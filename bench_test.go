@@ -1,0 +1,221 @@
+// Package repro's top-level benchmarks regenerate every evaluation figure
+// of the paper, one benchmark per table/figure panel.  Benchmarks run the
+// Quick-scale configuration so `go test -bench=.` finishes promptly and
+// report the figure's headline quantities as custom metrics; the paper-
+// scale regeneration is `go run ./cmd/plfsbench -fig all -scale paper`
+// (what EXPERIMENTS.md records).
+//
+// Run a single figure at paper scale through the bench harness with:
+//
+//	go test -bench=Fig8d -benchtime=1x -scale=paper
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"plfs/internal/harness"
+	"plfs/internal/stats"
+)
+
+var scaleFlag = flag.String("scale", "quick", "bench scale: quick | paper")
+
+func benchOpts() harness.Options {
+	o := harness.Options{Scale: harness.Quick, Reps: 1}
+	if *scaleFlag == "paper" {
+		o.Scale = harness.Paper
+		o.Reps = 3
+	}
+	return o
+}
+
+// runFigure executes one figure per benchmark iteration and reports a
+// selection of its points as benchmark metrics.
+func runFigure(b *testing.B, id string, metrics func(b *testing.B, tabs []*stats.Table)) {
+	b.Helper()
+	fig, ok := harness.FindFigure(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tabs, err := fig.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && metrics != nil {
+			metrics(b, tabs)
+		}
+	}
+}
+
+// lastX returns the largest x of a series and its mean value there.
+func lastX(tab *stats.Table, series string) (x, mean float64) {
+	for _, p := range tab.Points() {
+		if p.Series == series && p.X >= x {
+			x, mean = p.X, p.Mean
+		}
+	}
+	return
+}
+
+// BenchmarkFig2WriteSpeedup regenerates Figure 2: the summary of N-1
+// write speedups through PLFS across the workload suite.
+func BenchmarkFig2WriteSpeedup(b *testing.B) {
+	runFigure(b, "fig2", func(b *testing.B, tabs []*stats.Table) {
+		best := 0.0
+		for _, p := range tabs[0].Points() {
+			if p.Mean > best {
+				best = p.Mean
+			}
+		}
+		b.ReportMetric(best, "max-speedup-x")
+	})
+}
+
+// benchFig4 shares one Fig. 4 regeneration across the four panels.
+func benchFig4(b *testing.B, panel int, metric string, series string) {
+	runFigure(b, "fig4", func(b *testing.B, tabs []*stats.Table) {
+		_, v := lastX(tabs[panel], series)
+		b.ReportMetric(v, metric)
+	})
+}
+
+// BenchmarkFig4aReadOpenTime regenerates Figure 4a (read open time).
+func BenchmarkFig4aReadOpenTime(b *testing.B) {
+	benchFig4(b, 0, "original-open-sec", "original")
+}
+
+// BenchmarkFig4bReadBandwidth regenerates Figure 4b (effective read
+// bandwidth).
+func BenchmarkFig4bReadBandwidth(b *testing.B) {
+	benchFig4(b, 1, "flatten-read-MBps", "index-flatten")
+}
+
+// BenchmarkFig4cWriteCloseTime regenerates Figure 4c (write close time).
+func BenchmarkFig4cWriteCloseTime(b *testing.B) {
+	benchFig4(b, 2, "flatten-close-sec", "index-flatten")
+}
+
+// BenchmarkFig4dWriteBandwidth regenerates Figure 4d (effective write
+// bandwidth).
+func BenchmarkFig4dWriteBandwidth(b *testing.B) {
+	benchFig4(b, 3, "flatten-write-MBps", "index-flatten")
+}
+
+// benchFig5 regenerates one Figure 5 kernel panel and reports the PLFS
+// over direct read-bandwidth ratio at the largest process count.
+func benchFig5(b *testing.B, id string) {
+	runFigure(b, id, func(b *testing.B, tabs []*stats.Table) {
+		x, plfsBW := lastX(tabs[0], "plfs")
+		if p, ok := tabs[0].Lookup("direct", x); ok && p.Mean > 0 {
+			b.ReportMetric(plfsBW/p.Mean, "plfs-vs-direct-x")
+		}
+	})
+}
+
+// BenchmarkFig5aPixie3D regenerates Figure 5a.
+func BenchmarkFig5aPixie3D(b *testing.B) { benchFig5(b, "fig5a") }
+
+// BenchmarkFig5bAramco regenerates Figure 5b.
+func BenchmarkFig5bAramco(b *testing.B) { benchFig5(b, "fig5b") }
+
+// BenchmarkFig5cIOR regenerates Figure 5c.
+func BenchmarkFig5cIOR(b *testing.B) { benchFig5(b, "fig5c") }
+
+// BenchmarkFig5dMadbench regenerates Figure 5d.
+func BenchmarkFig5dMadbench(b *testing.B) { benchFig5(b, "fig5d") }
+
+// BenchmarkFig5eLANL1 regenerates Figure 5e.
+func BenchmarkFig5eLANL1(b *testing.B) { benchFig5(b, "fig5e") }
+
+// BenchmarkFig5fLANL3 regenerates Figure 5f.
+func BenchmarkFig5fLANL3(b *testing.B) { benchFig5(b, "fig5f") }
+
+// BenchmarkFig7aNNOpenTime regenerates Figure 7a (N-N open time vs MDS
+// count).
+func BenchmarkFig7aNNOpenTime(b *testing.B) {
+	runFigure(b, "fig7", func(b *testing.B, tabs []*stats.Table) {
+		x, direct := lastX(tabs[0], "w/o-plfs")
+		if p, ok := tabs[0].Lookup("plfs-9", x); ok && p.Mean > 0 {
+			b.ReportMetric(direct/p.Mean, "plfs9-open-speedup-x")
+		}
+	})
+}
+
+// BenchmarkFig7bNNCloseTime regenerates Figure 7b (N-N close time).
+func BenchmarkFig7bNNCloseTime(b *testing.B) {
+	runFigure(b, "fig7", func(b *testing.B, tabs []*stats.Table) {
+		_, v := lastX(tabs[1], "w/o-plfs")
+		b.ReportMetric(v, "direct-close-sec")
+	})
+}
+
+// BenchmarkFig8aLargeScaleRead regenerates Figure 8a (large-scale read
+// bandwidth on the Cielo profile).
+func BenchmarkFig8aLargeScaleRead(b *testing.B) {
+	runFigure(b, "fig8a", func(b *testing.B, tabs []*stats.Table) {
+		_, v := lastX(tabs[0], "n-1 plfs")
+		b.ReportMetric(v, "n1-plfs-MBps")
+	})
+}
+
+// BenchmarkFig8bLargeNNOpen regenerates Figure 8b (PLFS-1/10/20 N-N open).
+func BenchmarkFig8bLargeNNOpen(b *testing.B) {
+	runFigure(b, "fig8b", func(b *testing.B, tabs []*stats.Table) {
+		x, one := lastX(tabs[0], "plfs-1")
+		if p, ok := tabs[0].Lookup("plfs-10", x); ok && p.Mean > 0 {
+			b.ReportMetric(one/p.Mean, "plfs10-vs-plfs1-x")
+		}
+	})
+}
+
+// BenchmarkFig8cLargeN1Open regenerates Figure 8c (N-1 open time).
+func BenchmarkFig8cLargeN1Open(b *testing.B) {
+	runFigure(b, "fig8c", func(b *testing.B, tabs []*stats.Table) {
+		_, v := lastX(tabs[0], "plfs-10")
+		b.ReportMetric(v, "plfs10-open-sec")
+	})
+}
+
+// BenchmarkFig8dOpenSpeedup regenerates Figure 8d (the 17x claim).
+func BenchmarkFig8dOpenSpeedup(b *testing.B) {
+	runFigure(b, "fig8d", func(b *testing.B, tabs []*stats.Table) {
+		_, v := lastX(tabs[0], "speedup")
+		b.ReportMetric(v, "open-speedup-x")
+	})
+}
+
+// BenchmarkAblationFlattenThreshold sweeps the Index Flatten threshold.
+func BenchmarkAblationFlattenThreshold(b *testing.B) {
+	runFigure(b, "ablation-flatten", nil)
+}
+
+// BenchmarkAblationGroupCount sweeps the Parallel Index Read group size.
+func BenchmarkAblationGroupCount(b *testing.B) {
+	runFigure(b, "ablation-groups", nil)
+}
+
+// BenchmarkAblationLockUnit sweeps the range-lock granularity.
+func BenchmarkAblationLockUnit(b *testing.B) {
+	runFigure(b, "ablation-lockunit", nil)
+}
+
+// BenchmarkAblationSpreadMode compares federation spread modes.
+func BenchmarkAblationSpreadMode(b *testing.B) {
+	runFigure(b, "ablation-spread", nil)
+}
+
+// Example of the figure registry (keeps the doc honest).
+func Example() {
+	for _, f := range harness.Figures() {
+		_ = fmt.Sprintf("%s: %s", f.ID, f.Title)
+	}
+	fmt.Println(len(harness.Figures()) > 0)
+	// Output: true
+}
+
+// BenchmarkAblationDegradedOST measures resilience to a degraded disk group.
+func BenchmarkAblationDegradedOST(b *testing.B) {
+	runFigure(b, "ablation-degraded", nil)
+}

@@ -1,0 +1,99 @@
+// Command plfsbench regenerates the paper's evaluation figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	plfsbench -fig all                 # every figure, quick scale
+//	plfsbench -fig fig4 -scale paper   # one figure at paper scale
+//	plfsbench -list                    # show available figures
+//
+// Output is one aligned text table per figure panel (mean ± stddev over
+// repetitions); -csv DIR additionally writes machine-readable series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"plfs/internal/harness"
+)
+
+func main() {
+	var (
+		figID  = flag.String("fig", "all", "figure id to run (see -list), or 'all'")
+		scale  = flag.String("scale", "quick", "experiment scale: quick | paper")
+		reps   = flag.Int("reps", 0, "repetitions per point (0 = default)")
+		csvDir = flag.String("csv", "", "directory to write per-figure CSV files into")
+		quiet  = flag.Bool("q", false, "suppress per-run progress lines")
+		list   = flag.Bool("list", false, "list figures and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range harness.Figures() {
+			fmt.Printf("%-18s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	opts := harness.Options{Reps: *reps}
+	switch *scale {
+	case "quick":
+		opts.Scale = harness.Quick
+	case "paper":
+		opts.Scale = harness.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "plfsbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+
+	var figs []harness.Figure
+	if *figID == "all" {
+		figs = harness.Figures()
+	} else {
+		for _, id := range strings.Split(*figID, ",") {
+			f, ok := harness.FindFigure(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "plfsbench: unknown figure %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			figs = append(figs, f)
+		}
+	}
+
+	for _, f := range figs {
+		start := time.Now()
+		fmt.Printf("== %s: %s (scale=%s)\n", f.ID, f.Title, *scale)
+		tabs, err := f.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plfsbench: %s failed: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		for i, tab := range tabs {
+			fmt.Println(tab.Render())
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, "plfsbench:", err)
+					os.Exit(1)
+				}
+				name := f.ID
+				if len(tabs) > 1 {
+					name = fmt.Sprintf("%s-%d", f.ID, i)
+				}
+				path := filepath.Join(*csvDir, name+".csv")
+				if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "plfsbench:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("-- %s done in %.1fs\n\n", f.ID, time.Since(start).Seconds())
+	}
+}

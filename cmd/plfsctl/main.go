@@ -1,0 +1,164 @@
+// Command plfsctl inspects real on-disk PLFS containers (created by the
+// library over internal/osfs — e.g. by the examples).
+//
+// Usage:
+//
+//	plfsctl ls   <volume-root> [more roots...]        # list logical files
+//	plfsctl stat <logical> -root <volume-root> ...    # logical size
+//	plfsctl map  <logical> -root <volume-root> ...    # resolved offset map
+//	plfsctl read <logical> -root ... -off N -len N    # dump logical bytes
+//	plfsctl flatten <logical> -root ...               # persist a global index
+//	plfsctl check <logical> -root ...                 # container integrity check
+//	plfsctl rm   <logical> -root <volume-root> ...    # remove a container
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"plfs/internal/osfs"
+	"plfs/internal/plfs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var roots multiFlag
+	fs.Var(&roots, "root", "volume root directory (repeat for federated mounts)")
+	off := fs.Int64("off", 0, "read offset")
+	length := fs.Int64("len", 256, "read length")
+
+	var logical string
+	args := os.Args[2:]
+	if cmd != "ls" && len(args) > 0 && args[0][0] != '-' {
+		logical = args[0]
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if cmd == "ls" && len(roots) == 0 {
+		roots = fs.Args()
+	}
+	if len(roots) == 0 {
+		fmt.Fprintln(os.Stderr, "plfsctl: at least one -root required")
+		os.Exit(2)
+	}
+
+	m := plfs.NewMount(roots, plfs.Options{})
+	ctx := plfs.Ctx{Vols: backends(len(roots)), HostLeader: true}
+
+	var err error
+	switch cmd {
+	case "ls":
+		err = doLS(m, ctx)
+	case "stat":
+		err = doStat(m, ctx, logical)
+	case "map":
+		err = doMap(m, ctx, logical)
+	case "read":
+		err = doRead(m, ctx, logical, *off, *length)
+	case "rm":
+		err = m.Unlink(ctx, logical)
+	case "flatten":
+		err = m.Flatten(ctx, logical)
+	case "check":
+		var rep plfs.CheckReport
+		rep, err = m.Check(ctx, logical)
+		if err == nil {
+			fmt.Println(rep)
+			if !rep.OK() {
+				os.Exit(1)
+			}
+		}
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plfsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: plfsctl {ls|stat|map|read|flatten|check|rm} [logical] -root DIR [-root DIR...] [-off N] [-len N]")
+	os.Exit(2)
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func backends(n int) []plfs.Backend {
+	out := make([]plfs.Backend, n)
+	for i := range out {
+		out[i] = osfs.New()
+	}
+	return out
+}
+
+func doLS(m *plfs.Mount, ctx plfs.Ctx) error {
+	ents, err := m.ReadDir(ctx, "/")
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		kind := "file"
+		if e.Dir {
+			kind = "dir"
+		}
+		fmt.Printf("%-5s %s\n", kind, e.Name)
+	}
+	return nil
+}
+
+func doStat(m *plfs.Mount, ctx plfs.Ctx, logical string) error {
+	fi, err := m.Stat(ctx, logical)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: logical size %d bytes\n", logical, fi.Size)
+	return nil
+}
+
+func doMap(m *plfs.Mount, ctx plfs.Ctx, logical string) error {
+	r, err := m.OpenReader(ctx, logical)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	ix := r.Index()
+	fmt.Printf("# %s: %d droppings, %d raw entries, %d resolved segments, logical size %d\n",
+		logical, len(ix.Droppings()), ix.RawEntries(), ix.Segments(), ix.Size())
+	for _, p := range ix.Lookup(0, ix.Size()) {
+		if p.Dropping < 0 {
+			fmt.Printf("%12d +%-10d hole\n", p.Logical, p.Length)
+			continue
+		}
+		fmt.Printf("%12d +%-10d rank %-6d phys %-12d %s\n",
+			p.Logical, p.Length, p.Rank, p.PhysOff, ix.Droppings()[p.Dropping])
+	}
+	return nil
+}
+
+func doRead(m *plfs.Mount, ctx plfs.Ctx, logical string, off, n int64) error {
+	r, err := m.OpenReader(ctx, logical)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if off+n > r.Size() {
+		n = r.Size() - off
+	}
+	pl, err := r.ReadAt(off, n)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(pl.Materialize())
+	return nil
+}

@@ -1,0 +1,149 @@
+// Command plfsrun executes a single I/O kernel on the simulated cluster
+// and prints its phase times and effective bandwidths — the unit of every
+// figure, exposed for ad-hoc exploration.
+//
+// Examples:
+//
+//	plfsrun -kernel ior -ranks 256 -plfs
+//	plfsrun -kernel mpi-io-test -ranks 1024 -plfs -mode flatten -volumes 10
+//	plfsrun -kernel lanl3 -ranks 512 -plfs -cb
+//	plfsrun -kernel create-storm -ranks 2048 -files 4 -profile cielo -volumes 10 -plfs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"plfs/internal/adio"
+	"plfs/internal/harness"
+	"plfs/internal/mpi"
+	"plfs/internal/pfs"
+	"plfs/internal/plfs"
+	"plfs/internal/workloads"
+)
+
+func main() {
+	var (
+		kernel  = flag.String("kernel", "mpi-io-test", "workload: mpi-io-test | ior | madbench | pixie3d | aramco | lanl1 | lanl2 | lanl3 | n-n | create-storm")
+		ranks   = flag.Int("ranks", 64, "number of MPI ranks")
+		bytesMB = flag.Int64("mb", 50, "MB per rank (or total for strong-scaling kernels)")
+		opKB    = flag.Int64("opkb", 50, "operation size in KiB (where applicable)")
+		files   = flag.Int("files", 1, "files per rank (create-storm)")
+		usePLFS = flag.Bool("plfs", false, "route through PLFS (default: direct access)")
+		mode    = flag.String("mode", "parallel", "PLFS index mode: original | flatten | parallel")
+		volumes = flag.Int("volumes", 1, "metadata volumes (federation)")
+		profile = flag.String("profile", "small", "cluster profile: small | cielo")
+		cb      = flag.Bool("cb", false, "enable collective buffering")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		noRead  = flag.Bool("w", false, "write phase only")
+		verify  = flag.Bool("verify", true, "verify read contents")
+		stats   = flag.Bool("stats", false, "print the simulated file system's resource report")
+		dropC   = flag.Bool("dropcaches", true, "invalidate caches between write and read phases")
+		traceF  = flag.String("trace", "", "write a resource time-series CSV to this file")
+	)
+	flag.Parse()
+
+	cfg := pfs.SmallCluster()
+	if *profile == "cielo" {
+		cfg = pfs.Cielo()
+	}
+	cfg.Volumes = *volumes
+
+	var m plfs.Mode
+	switch *mode {
+	case "original":
+		m = plfs.Original
+	case "flatten":
+		m = plfs.IndexFlatten
+	case "parallel":
+		m = plfs.ParallelIndexRead
+	default:
+		fmt.Fprintf(os.Stderr, "plfsrun: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	bytes := *bytesMB << 20
+	op := *opKB << 10
+	var k workloads.Kernel
+	nn := false
+	switch *kernel {
+	case "mpi-io-test":
+		k = workloads.MPIIOTest(bytes, op)
+	case "ior":
+		k = workloads.IOR(bytes, op)
+	case "madbench":
+		k = workloads.Madbench{Matrices: 8, MatrixBytes: bytes / 8}
+	case "pixie3d":
+		k = workloads.Pixie3D{BytesPerRank: bytes, Vars: 8}
+	case "aramco":
+		k = workloads.Aramco{TotalBytes: bytes * int64(*ranks) / 4}
+	case "lanl1":
+		k = workloads.LANL1(bytes)
+	case "lanl2":
+		k = workloads.LANL2(bytes)
+	case "lanl3":
+		k = workloads.LANL3(bytes*int64(*ranks), *ranks)
+		*cb = true
+	case "n-n":
+		k = workloads.NNFiles{BytesPerRank: bytes, OpSize: op}
+		nn = true
+	case "create-storm":
+		k = workloads.CreateStorm{FilesPerRank: *files}
+		nn = true
+	default:
+		fmt.Fprintf(os.Stderr, "plfsrun: unknown kernel %q\n", *kernel)
+		os.Exit(2)
+	}
+
+	opt := plfs.Options{IndexMode: m, NumSubdirs: 32}
+	if *volumes > 1 {
+		if nn {
+			opt.SpreadContainers = true
+			opt.NumSubdirs = 4
+		} else {
+			opt.SpreadSubdirs = true
+		}
+	}
+	job := harness.Job{
+		Seed: *seed, Ranks: *ranks, Cfg: cfg, Net: mpi.DefaultNet(),
+		Opt:    opt,
+		Hints:  adio.Hints{CollectiveBuffering: *cb, ProcsPerNode: cfg.ProcsPerNode},
+		Kernel: k, UsePLFS: *usePLFS, ReadBack: !*noRead, Verify: *verify,
+		DropCaches: *dropC,
+	}
+	var traceFile *os.File
+	if *traceF != "" {
+		var err error
+		traceFile, err = os.Create(*traceF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plfsrun:", err)
+			os.Exit(1)
+		}
+		defer traceFile.Close()
+		job.TraceEvery = 50 * time.Millisecond
+		job.TraceTo = traceFile
+	}
+	res, rep, err := harness.RunWithReport(job)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plfsrun:", err)
+		os.Exit(1)
+	}
+
+	target := "direct"
+	if *usePLFS {
+		target = fmt.Sprintf("plfs (%s, %d volume(s))", m, *volumes)
+	}
+	fmt.Printf("%s x %d ranks on %s via %s\n", k.Name(), *ranks, *profile, target)
+	fmt.Printf("  write: open %8.3fs  io %8.3fs  close %8.3fs   %10.1f MB/s effective\n",
+		res.WriteOpen.Seconds(), res.Write.Seconds(), res.WriteClose.Seconds(), res.WriteBW(*ranks)/1e6)
+	if !*noRead && res.ReadTotal() > 0 {
+		fmt.Printf("  read:  open %8.3fs  io %8.3fs  close %8.3fs   %10.1f MB/s effective\n",
+			res.ReadOpen.Seconds(), res.Read.Seconds(), res.ReadClose.Seconds(), res.ReadBW(*ranks)/1e6)
+	}
+	fmt.Printf("  volume: %d MB per rank\n", res.BytesPerRank>>20)
+	if *stats {
+		fmt.Println("  " + rep.String())
+	}
+}

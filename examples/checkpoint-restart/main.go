@@ -1,0 +1,62 @@
+// Checkpoint-restart on the simulated cluster: the paper's headline
+// scenario end to end.
+//
+// A 256-process job on the simulated 64-node cluster writes an N-1
+// checkpoint and restarts from it, once directly against the parallel
+// file system and once through PLFS.  The run prints the write/read
+// bandwidths and open times of both, showing the transform's effect.
+//
+// Run:
+//
+//	go run ./examples/checkpoint-restart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plfs/internal/harness"
+	"plfs/internal/mpi"
+	"plfs/internal/pfs"
+	"plfs/internal/plfs"
+	"plfs/internal/workloads"
+)
+
+func main() {
+	const ranks = 256
+	kernel := workloads.MPIIOTest(50<<20, 50<<10) // 50 MB per rank in 50 KB ops, as §IV.C
+
+	run := func(usePLFS bool) workloads.Result {
+		cfg := pfs.SmallCluster()
+		res, err := harness.Run(harness.Job{
+			Seed: 42, Ranks: ranks, Cfg: cfg, Net: mpi.DefaultNet(),
+			Opt: plfs.Options{
+				IndexMode:  plfs.ParallelIndexRead,
+				NumSubdirs: 32,
+			},
+			Kernel: kernel, UsePLFS: usePLFS, ReadBack: true, Verify: true,
+			DropCaches: true, // a restart happens on a fresh (rebooted) machine
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	direct := run(false)
+	viaPLFS := run(true)
+
+	fmt.Printf("simulated cluster: 64 nodes x 16 cores, PanFS-class storage (1.25 GB/s peak)\n")
+	fmt.Printf("workload: %d processes, N-1 strided checkpoint, 50 MB/proc in 50 KB ops\n\n", ranks)
+	row := func(name string, r workloads.Result) {
+		fmt.Printf("%-8s write %7.1f MB/s (close %6.3fs)   read %7.1f MB/s (open %6.3fs)\n",
+			name, r.WriteBW(ranks)/1e6, r.WriteClose.Seconds(),
+			r.ReadBW(ranks)/1e6, r.ReadOpen.Seconds())
+	}
+	row("direct", direct)
+	row("plfs", viaPLFS)
+	fmt.Printf("\ncheckpoint (write) speedup through PLFS: %.1fx\n",
+		direct.WriteTotal().Seconds()/viaPLFS.WriteTotal().Seconds())
+	fmt.Printf("restart  (read)  speedup through PLFS: %.1fx\n",
+		direct.ReadTotal().Seconds()/viaPLFS.ReadTotal().Seconds())
+}

@@ -1,0 +1,59 @@
+// Kernels: run the paper's application I/O kernels (Pixie3D via the mini
+// Parallel-NetCDF library, ARAMCO via the mini HDF library, IOR, MADbench,
+// LANL 1, LANL 3 with collective buffering) at a small scale, through
+// PLFS and directly, and print effective read bandwidths — a miniature of
+// the paper's Figure 5.
+//
+// Run:
+//
+//	go run ./examples/kernels
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"plfs/internal/adio"
+	"plfs/internal/harness"
+	"plfs/internal/mpi"
+	"plfs/internal/pfs"
+	"plfs/internal/plfs"
+	"plfs/internal/workloads"
+)
+
+func main() {
+	const ranks = 64
+	type entry struct {
+		kernel workloads.Kernel
+		hints  adio.Hints
+	}
+	kernels := []entry{
+		{workloads.Pixie3D{BytesPerRank: 128 << 20, Vars: 8}, adio.Hints{}},
+		{workloads.Aramco{TotalBytes: 4 << 30}, adio.Hints{}},
+		{workloads.IOR(50<<20, 1<<20), adio.Hints{}},
+		{workloads.Madbench{Matrices: 4, MatrixBytes: 16 << 20}, adio.Hints{}},
+		{workloads.LANL1(50 << 20), adio.Hints{}},
+		{workloads.LANL3(4<<30, ranks), adio.Hints{CollectiveBuffering: true, ProcsPerNode: 16}},
+	}
+
+	fmt.Printf("%-12s %14s %14s %10s\n", "kernel", "direct MB/s", "plfs MB/s", "speedup")
+	for _, k := range kernels {
+		bw := func(usePLFS bool) float64 {
+			res, err := harness.Run(harness.Job{
+				Seed: 3, Ranks: ranks, Cfg: pfs.SmallCluster(), Net: mpi.DefaultNet(),
+				Opt:    plfs.Options{IndexMode: plfs.ParallelIndexRead, NumSubdirs: 32},
+				Hints:  k.hints,
+				Kernel: k.kernel, UsePLFS: usePLFS, ReadBack: true, Verify: true,
+				DropCaches: true, // reads measure storage, not page cache
+			})
+			if err != nil {
+				log.Fatalf("%s: %v", k.kernel.Name(), err)
+			}
+			return res.ReadBW(ranks) / 1e6
+		}
+		direct := bw(false)
+		viaPLFS := bw(true)
+		fmt.Printf("%-12s %14.1f %14.1f %9.2fx\n", k.kernel.Name(), direct, viaPLFS, viaPLFS/direct)
+	}
+	fmt.Println("\n(effective read bandwidth: open+read+close in the denominator, as in the paper)")
+}

@@ -1,0 +1,3 @@
+module plfs
+
+go 1.22

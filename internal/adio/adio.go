@@ -1,0 +1,577 @@
+// Package adio implements an MPI-IO style abstract device interface
+// (after ROMIO's ADIO): a uniform File API over interchangeable drivers,
+// with hints and two-phase collective buffering.
+//
+// The paper adds a PLFS driver to MPI-IO's ADIO layer ("MPI provides an
+// abstract device interface, ADIO, that we leverage to reroute I/O calls
+// to the PLFS library"), which is what lets PLFS inherit communicators
+// and run its collective index optimizations.  This package provides:
+//
+//   - the UFS driver: direct access to the underlying parallel file
+//     system (the paper's "direct access" baseline);
+//   - the PLFS driver: logical files routed through plfs.Mount;
+//   - collective buffering (two-phase I/O): tiny strided accesses are
+//     exchanged over the interconnect and issued as large contiguous
+//     transfers by per-node aggregators, as the paper enables for the
+//     LANL 3 kernel.
+package adio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"plfs/internal/comm"
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+// Mode selects open semantics.
+type Mode int
+
+const (
+	// ReadOnly opens an existing file for reading.
+	ReadOnly Mode = iota
+	// WriteCreate creates the file (rank 0) and opens it for writing
+	// everywhere.  PLFS files do not support concurrent read-write access
+	// (the paper modified IOR and MADbench accordingly).
+	WriteCreate
+)
+
+// Hints mirror the MPI-IO info keys the paper's experiments use.
+type Hints struct {
+	// CollectiveBuffering enables two-phase I/O on the *AtAll calls.
+	CollectiveBuffering bool
+	// CBBufferSize caps each aggregator's per-round buffer (default 16 MiB).
+	CBBufferSize int64
+	// ProcsPerNode tells the layer how ranks map to nodes so aggregators
+	// can be placed one per node (default 16).
+	ProcsPerNode int
+}
+
+func (h Hints) withDefaults() Hints {
+	if h.CBBufferSize <= 0 {
+		h.CBBufferSize = 16 << 20
+	}
+	if h.ProcsPerNode <= 0 {
+		h.ProcsPerNode = 16
+	}
+	return h
+}
+
+// File is an open MPI-IO file.
+type File interface {
+	// WriteAt / ReadAt are independent (non-collective) operations.
+	WriteAt(off int64, p payload.Payload) error
+	ReadAt(off, n int64) (payload.List, error)
+	// WriteAtAll / ReadAtAll are collective: every rank of the opening
+	// communicator must call them together.
+	WriteAtAll(off int64, p payload.Payload) error
+	ReadAtAll(off, n int64) (payload.List, error)
+	// Size returns the file size (write handles report bytes seen so far).
+	Size() int64
+	// Close releases the file; collective when opened with a communicator.
+	Close() error
+}
+
+// Driver opens files for a particular file system binding.
+type Driver interface {
+	Name() string
+	Open(ctx plfs.Ctx, path string, mode Mode, hints Hints) (File, error)
+}
+
+// ---------------------------------------------------------------------
+// UFS driver: direct access to the underlying parallel file system.
+
+// UFS is the direct-access driver; vol selects which backend volume the
+// path lives on.
+type UFS struct {
+	Vol int
+}
+
+// Name implements Driver.
+func (UFS) Name() string { return "ufs" }
+
+// Open implements Driver.
+func (u UFS) Open(ctx plfs.Ctx, path string, mode Mode, hints Hints) (File, error) {
+	hints = hints.withDefaults()
+	b := ctx.Vols[u.Vol]
+	var f plfs.File
+	var err error
+	switch mode {
+	case ReadOnly:
+		f, err = b.OpenRead(path)
+	case WriteCreate:
+		if ctx.Comm != nil {
+			// Rank 0 creates; everyone else opens after the broadcast.
+			var msg any
+			if ctx.Comm.Rank() == 0 {
+				f, err = b.Create(path)
+				msg = errString(err)
+			}
+			if s := ctx.Comm.Bcast(0, 16, msg); s != nil {
+				return nil, errors.New(s.(string))
+			}
+			if ctx.Comm.Rank() != 0 {
+				f, err = b.OpenWrite(path)
+			}
+		} else {
+			f, err = b.Create(path)
+		}
+	default:
+		return nil, fmt.Errorf("adio: bad mode %d", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	base := &ufsFile{ctx: ctx, f: f, writable: mode == WriteCreate}
+	return maybeCB(ctx, base, hints), nil
+}
+
+func errString(err error) any {
+	if err == nil {
+		return nil
+	}
+	return err.Error()
+}
+
+type ufsFile struct {
+	ctx      plfs.Ctx
+	f        plfs.File
+	writable bool
+	closed   bool
+}
+
+func (u *ufsFile) WriteAt(off int64, p payload.Payload) error {
+	if !u.writable {
+		return errors.New("adio: file opened read-only")
+	}
+	return u.f.WriteAt(off, p)
+}
+
+func (u *ufsFile) ReadAt(off, n int64) (payload.List, error) { return u.f.ReadAt(off, n) }
+
+func (u *ufsFile) WriteAtAll(off int64, p payload.Payload) error {
+	err := u.WriteAt(off, p)
+	if u.ctx.Comm != nil {
+		u.ctx.Comm.Barrier()
+	}
+	return err
+}
+
+func (u *ufsFile) ReadAtAll(off, n int64) (payload.List, error) {
+	pl, err := u.ReadAt(off, n)
+	if u.ctx.Comm != nil {
+		u.ctx.Comm.Barrier()
+	}
+	return pl, err
+}
+
+func (u *ufsFile) Size() int64 { return u.f.Size() }
+
+func (u *ufsFile) Close() error {
+	if u.closed {
+		return errors.New("adio: double close")
+	}
+	u.closed = true
+	err := u.f.Close()
+	if u.ctx.Comm != nil {
+		u.ctx.Comm.Barrier()
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------
+// PLFS driver.
+
+// PLFS routes logical files through a PLFS mount — the paper's ADIO
+// driver contribution.
+type PLFS struct {
+	Mount *plfs.Mount
+}
+
+// Name implements Driver.
+func (PLFS) Name() string { return "plfs" }
+
+// Open implements Driver.
+func (d PLFS) Open(ctx plfs.Ctx, path string, mode Mode, hints Hints) (File, error) {
+	hints = hints.withDefaults()
+	switch mode {
+	case ReadOnly:
+		r, err := d.Mount.OpenReader(ctx, path)
+		if err != nil {
+			return nil, err
+		}
+		return maybeCB(ctx, &plfsFile{ctx: ctx, r: r}, hints), nil
+	case WriteCreate:
+		w, err := d.Mount.Create(ctx, path)
+		if err != nil {
+			return nil, err
+		}
+		return maybeCB(ctx, &plfsFile{ctx: ctx, w: w}, hints), nil
+	}
+	return nil, fmt.Errorf("adio: bad mode %d", mode)
+}
+
+type plfsFile struct {
+	ctx    plfs.Ctx
+	w      *plfs.Writer
+	r      *plfs.Reader
+	size   int64
+	closed bool
+}
+
+func (p *plfsFile) WriteAt(off int64, pl payload.Payload) error {
+	if p.w == nil {
+		return errors.New("adio: PLFS file not open for write")
+	}
+	if end := off + pl.Len(); end > p.size {
+		p.size = end
+	}
+	return p.w.Write(off, pl)
+}
+
+func (p *plfsFile) ReadAt(off, n int64) (payload.List, error) {
+	if p.r == nil {
+		// PLFS does not support read-write mode on shared files (§IV.C.3).
+		return nil, errors.New("adio: PLFS file not open for read")
+	}
+	return p.r.ReadAt(off, n)
+}
+
+func (p *plfsFile) WriteAtAll(off int64, pl payload.Payload) error {
+	err := p.WriteAt(off, pl)
+	if p.ctx.Comm != nil {
+		p.ctx.Comm.Barrier()
+	}
+	return err
+}
+
+func (p *plfsFile) ReadAtAll(off, n int64) (payload.List, error) {
+	out, err := p.ReadAt(off, n)
+	if p.ctx.Comm != nil {
+		p.ctx.Comm.Barrier()
+	}
+	return out, err
+}
+
+func (p *plfsFile) Size() int64 {
+	if p.r != nil {
+		return p.r.Size()
+	}
+	return p.size
+}
+
+func (p *plfsFile) Close() error {
+	if p.closed {
+		return errors.New("adio: double close")
+	}
+	p.closed = true
+	if p.w != nil {
+		return p.w.Close()
+	}
+	return p.r.Close()
+}
+
+// ---------------------------------------------------------------------
+// Collective buffering (two-phase I/O).
+
+func maybeCB(ctx plfs.Ctx, f File, hints Hints) File {
+	if !hints.CollectiveBuffering || ctx.Comm == nil || ctx.Comm.Size() == 1 {
+		return f
+	}
+	return newCBFile(ctx, f, hints)
+}
+
+// cbFile layers two-phase collective buffering over any driver file.
+// Aggregators are the lowest rank on each node; collective accesses are
+// exchanged over the interconnect (node-local gather, then an aggregator
+// alltoall) and issued to the file system as large contiguous operations
+// on per-aggregator file domains.
+type cbFile struct {
+	ctx   plfs.Ctx
+	inner File
+	hints Hints
+
+	nodeComm comm.Comm // ranks sharing my node
+	aggComm  comm.Comm // aggregators (node leaders)
+	isAgg    bool
+	nAggs    int
+	size     int64
+}
+
+func newCBFile(ctx plfs.Ctx, inner File, hints Hints) *cbFile {
+	c := ctx.Comm
+	node := c.Rank() / hints.ProcsPerNode
+	nodeComm := c.Split(node, c.Rank())
+	isAgg := nodeComm.Rank() == 0
+	color := 0
+	if !isAgg {
+		color = 1 + node
+	}
+	aggComm := c.Split(color, c.Rank())
+	nAggs := (c.Size() + hints.ProcsPerNode - 1) / hints.ProcsPerNode
+	return &cbFile{
+		ctx: ctx, inner: inner, hints: hints,
+		nodeComm: nodeComm, aggComm: aggComm, isAgg: isAgg, nAggs: nAggs,
+	}
+}
+
+type cbPiece struct {
+	Off int64
+	P   payload.Payload
+}
+
+// domains partitions [lo, hi) evenly across aggregators.
+func domains(lo, hi int64, n int) []int64 {
+	bounds := make([]int64, n+1)
+	span := hi - lo
+	for i := 0; i <= n; i++ {
+		bounds[i] = lo + span*int64(i)/int64(n)
+	}
+	return bounds
+}
+
+func (f *cbFile) WriteAt(off int64, p payload.Payload) error { return f.inner.WriteAt(off, p) }
+func (f *cbFile) ReadAt(off, n int64) (payload.List, error)  { return f.inner.ReadAt(off, n) }
+
+// WriteAtAll performs a two-phase collective write.
+func (f *cbFile) WriteAtAll(off int64, p payload.Payload) error {
+	if end := off + p.Len(); end > f.size {
+		f.size = end
+	}
+	// Phase 0: node-local gather of pieces to the node aggregator.
+	pieces := f.nodeComm.Gather(0, p.Len()+16, cbPiece{off, p})
+	if !f.isAgg {
+		f.nodeComm.Barrier() // wait for aggregators to finish the round
+		return nil
+	}
+	// Compute the global extent among aggregators.
+	var lo, hi int64 = 1 << 62, -1
+	mine := make([]cbPiece, 0, len(pieces))
+	for _, v := range pieces {
+		pc := v.(cbPiece)
+		mine = append(mine, pc)
+		if pc.Off < lo {
+			lo = pc.Off
+		}
+		if end := pc.Off + pc.P.Len(); end > hi {
+			hi = end
+		}
+	}
+	exts := f.aggComm.Allgather(16, [2]int64{lo, hi})
+	for _, v := range exts {
+		e := v.([2]int64)
+		if e[0] < lo {
+			lo = e[0]
+		}
+		if e[1] > hi {
+			hi = e[1]
+		}
+	}
+	if hi <= lo {
+		f.nodeComm.Barrier()
+		return nil
+	}
+	// Phase 1: exchange pieces so each aggregator holds its file domain.
+	bounds := domains(lo, hi, f.nAggs)
+	na := f.aggComm.Size()
+	outgoing := make([][]cbPiece, na)
+	var outBytes []int64 = make([]int64, na)
+	for _, pc := range mine {
+		splitPieceByDomain(pc, bounds, func(d int, sub cbPiece) {
+			if d >= na {
+				d = na - 1
+			}
+			outgoing[d] = append(outgoing[d], sub)
+			outBytes[d] += sub.P.Len() + 16
+		})
+	}
+	vs := make([]any, na)
+	for i := range vs {
+		vs[i] = outgoing[i]
+	}
+	recv := f.aggComm.Alltoall(outBytes, vs)
+	// Phase 2: issue large contiguous writes for my domain.
+	var domainPieces []cbPiece
+	for _, v := range recv {
+		domainPieces = append(domainPieces, v.([]cbPiece)...)
+	}
+	if err := f.writeCoalesced(domainPieces); err != nil {
+		f.nodeComm.Barrier()
+		return err
+	}
+	f.nodeComm.Barrier()
+	return nil
+}
+
+// writeCoalesced sorts the domain's pieces and issues them as maximal
+// contiguous runs, respecting the CB buffer size.
+func (f *cbFile) writeCoalesced(pieces []cbPiece) error {
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].Off < pieces[j].Off })
+	var runStart int64
+	var run payload.List
+	flush := func() error {
+		if run.Len() == 0 {
+			return nil
+		}
+		for _, seg := range run {
+			if err := f.inner.WriteAt(runStart, seg); err != nil {
+				return err
+			}
+			runStart += seg.Len()
+		}
+		run = nil
+		return nil
+	}
+	for _, pc := range pieces {
+		end := runStart + run.Len()
+		if run.Len() == 0 || pc.Off != end || run.Len()+pc.P.Len() > f.hints.CBBufferSize {
+			if err := flush(); err != nil {
+				return err
+			}
+			runStart = pc.Off
+		}
+		run = run.Append(pc.P)
+	}
+	return flush()
+}
+
+// ReadAtAll performs a two-phase collective read.
+func (f *cbFile) ReadAtAll(off, n int64) (payload.List, error) {
+	// Phase 0: gather requests at the node aggregator.
+	reqs := f.nodeComm.Gather(0, 16, [2]int64{off, n})
+	var err error
+	if f.isAgg {
+		// Aggregators compute the global extent.
+		var lo, hi int64 = 1 << 62, -1
+		for _, v := range reqs {
+			r := v.([2]int64)
+			if r[0] < lo {
+				lo = r[0]
+			}
+			if end := r[0] + r[1]; end > hi {
+				hi = end
+			}
+		}
+		exts := f.aggComm.Allgather(16, [2]int64{lo, hi})
+		for _, v := range exts {
+			e := v.([2]int64)
+			if e[0] < lo {
+				lo = e[0]
+			}
+			if e[1] > hi {
+				hi = e[1]
+			}
+		}
+		if hi > lo {
+			// Phase 1: read my domain contiguously.
+			bounds := domains(lo, hi, f.nAggs)
+			me := f.aggComm.Rank()
+			dlo, dhi := bounds[me], bounds[min(me+1, len(bounds)-1)]
+			var domain payload.List
+			if dhi > dlo {
+				domain, err = f.inner.ReadAt(dlo, dhi-dlo)
+			}
+			// Phase 2: aggregator alltoall so each aggregator holds the
+			// bytes its node's ranks asked for.
+			type domainChunk struct {
+				Lo int64
+				Pl payload.List
+			}
+			na := f.aggComm.Size()
+			vs := make([]any, na)
+			nb := make([]int64, na)
+			// Every aggregator needs the slices of my domain overlapping
+			// its node's requests; send the whole domain (requests are
+			// typically dense in checkpoint restores).
+			for i := range vs {
+				vs[i] = domainChunk{dlo, domain}
+				nb[i] = domain.Len()
+			}
+			recv := f.aggComm.Alltoall(nb, vs)
+			// Assemble the file range needed by my node's ranks.
+			assembled := make(map[int]payload.List, len(reqs))
+			for ri, v := range reqs {
+				r := v.([2]int64)
+				var out payload.List
+				cur := r[0]
+				for cur < r[0]+r[1] {
+					found := false
+					for _, dv := range recv {
+						dc := dv.(domainChunk)
+						dEnd := dc.Lo + dc.Pl.Len()
+						if cur >= dc.Lo && cur < dEnd {
+							take := min64(dEnd-cur, r[0]+r[1]-cur)
+							out = out.Concat(dc.Pl.Slice(cur-dc.Lo, take))
+							cur += take
+							found = true
+							break
+						}
+					}
+					if !found {
+						out = out.Append(payload.Zeros(r[0] + r[1] - cur))
+						cur = r[0] + r[1]
+					}
+				}
+				assembled[ri] = out
+			}
+			// Phase 3: scatter results back within the node.
+			outs := make([]any, f.nodeComm.Size())
+			var per int64
+			for ri := range outs {
+				outs[ri] = assembled[ri]
+				per += assembled[ri].Len()
+			}
+			got := f.nodeComm.Scatter(0, per/int64(len(outs))+1, outs)
+			return got.(payload.List), err
+		}
+	}
+	if !f.isAgg {
+		got := f.nodeComm.Scatter(0, n, nil)
+		return got.(payload.List), nil
+	}
+	// Degenerate empty extent.
+	outs := make([]any, f.nodeComm.Size())
+	for i := range outs {
+		outs[i] = payload.List(nil)
+	}
+	got := f.nodeComm.Scatter(0, 0, outs)
+	return got.(payload.List), nil
+}
+
+func (f *cbFile) Size() int64 {
+	if s := f.inner.Size(); s > f.size {
+		return s
+	}
+	return f.size
+}
+
+func (f *cbFile) Close() error { return f.inner.Close() }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// splitPieceByDomain cuts a piece at domain boundaries.
+func splitPieceByDomain(pc cbPiece, bounds []int64, emit func(d int, sub cbPiece)) {
+	off, p := pc.Off, pc.P
+	for p.Len() > 0 {
+		// Find the domain containing off.
+		d := sort.Search(len(bounds)-1, func(i int) bool { return bounds[i+1] > off })
+		if d >= len(bounds)-1 {
+			d = len(bounds) - 2
+		}
+		end := bounds[d+1]
+		take := p.Len()
+		if off+take > end && end > off {
+			take = end - off
+		}
+		emit(d, cbPiece{off, p.Slice(0, take)})
+		p = p.Slice(take, p.Len()-take)
+		off += take
+	}
+}

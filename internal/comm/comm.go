@@ -1,0 +1,79 @@
+// Package comm defines the minimal collective-communication interface the
+// PLFS middleware and the MPI-IO layer are written against.
+//
+// The paper's index-aggregation techniques are collective algorithms
+// ("both of these solutions assume the use of the MPI-IO interface, which
+// we leverage for coordination").  Abstracting the collectives lets the
+// same PLFS code run in two worlds:
+//
+//   - internal/mpi implements Comm on the discrete-event simulator, where
+//     collective costs are modeled from message counts and volumes;
+//   - internal/localcomm implements Comm with real goroutines and channels,
+//     so PLFS works as an actual library over a local filesystem.
+//
+// Payload values passed through collectives are shared by reference; the
+// nbytes arguments tell cost models how much data logically moves.
+package comm
+
+// Comm is a communicator: a fixed group of participants with a dense rank
+// numbering.  All methods are collective unless noted: every member of the
+// communicator must call them in the same order.
+type Comm interface {
+	// Rank returns the caller's rank in [0, Size).
+	Rank() int
+	// Size returns the number of participants.
+	Size() int
+	// Barrier blocks until every participant has entered it.
+	Barrier()
+	// Bcast returns root's v on every rank.  nbytes is the logical size of
+	// v for cost modeling.
+	Bcast(root int, nbytes int64, v any) any
+	// Gather collects each rank's v; the root receives a slice indexed by
+	// rank, all other ranks receive nil.  nbytes is the per-rank size.
+	Gather(root int, nbytes int64, v any) []any
+	// Scatter distributes vs (significant at root, indexed by rank) so
+	// that each rank returns vs[rank].  nbytesEach is the per-rank size.
+	Scatter(root int, nbytesEach int64, vs []any) any
+	// Allgather collects each rank's v onto every rank.
+	Allgather(nbytes int64, v any) []any
+	// Alltoall sends vs[i] to rank i and returns the values received,
+	// indexed by source rank.  nbytes[i] is the size sent to rank i.
+	Alltoall(nbytes []int64, vs []any) []any
+	// Split partitions the communicator: ranks passing the same color form
+	// a new communicator, ordered by (key, old rank).  Like MPI_Comm_split,
+	// it is collective over the parent.
+	Split(color, key int) Comm
+}
+
+// SplitGroups computes the deterministic rank assignment MPI_Comm_split
+// semantics require: for each color, members ordered by (key, rank).
+// Implementations share it so simulated and real communicators agree.
+//
+// colors and keys are indexed by parent rank.  The result maps each parent
+// rank to (its group's member list in new-rank order).
+func SplitGroups(colors, keys []int) map[int][]int {
+	type member struct{ key, rank int }
+	byColor := make(map[int][]member)
+	for r := range colors {
+		c := colors[r]
+		byColor[c] = append(byColor[c], member{keys[r], r})
+	}
+	out := make(map[int][]int, len(colors))
+	for _, ms := range byColor {
+		// Insertion sort by (key, rank); groups are small.
+		for i := 1; i < len(ms); i++ {
+			for j := i; j > 0 && (ms[j].key < ms[j-1].key ||
+				(ms[j].key == ms[j-1].key && ms[j].rank < ms[j-1].rank)); j-- {
+				ms[j], ms[j-1] = ms[j-1], ms[j]
+			}
+		}
+		ranks := make([]int, len(ms))
+		for i, m := range ms {
+			ranks[i] = m.rank
+		}
+		for _, r := range ranks {
+			out[r] = ranks
+		}
+	}
+	return out
+}

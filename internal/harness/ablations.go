@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"fmt"
+
+	"plfs/internal/plfs"
+	"plfs/internal/stats"
+	"plfs/internal/workloads"
+)
+
+// AblationFlattenThreshold sweeps the Index Flatten buffer threshold: a
+// threshold below the per-process entry count forces the overflow
+// fallback, trading the cheap broadcast-open for a parallel read.
+func AblationFlattenThreshold(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	tab := &stats.Table{
+		Title:  "Ablation: Index Flatten threshold (entries per process)",
+		XLabel: "threshold", YLabel: "seconds",
+	}
+	ranks := 256
+	if o.Scale == Quick {
+		ranks = 32
+	}
+	nb, op := o.n1Bytes()
+	entries := int(nb / op) // per-process index entries the workload makes
+	for _, mul := range []float64{0.25, 0.5, 2, 8} {
+		thr := int(float64(entries) * mul)
+		var open, close stats.Sample
+		for rep := 0; rep < o.Reps; rep++ {
+			opt := n1MountOpt(plfs.IndexFlatten, 1)
+			opt.FlattenThreshold = thr
+			res, err := Run(Job{
+				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
+				Opt: opt, Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("flatten-threshold %d: %w", thr, err)
+			}
+			open.Add(res.ReadOpen.Seconds())
+			close.Add(res.WriteClose.Seconds())
+			o.log("ablation-flatten thr=%-7d rep %d: read-open %.3fs write-close %.3fs",
+				thr, rep, res.ReadOpen.Seconds(), res.WriteClose.Seconds())
+		}
+		tab.AddSample("read-open", float64(thr), &open)
+		tab.AddSample("write-close", float64(thr), &close)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// AblationGroupCount sweeps Parallel Index Read's group size, from a flat
+// single group (the leader hierarchy degenerates) through the balanced
+// sqrt default to per-process groups.
+func AblationGroupCount(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	tab := &stats.Table{
+		Title:  "Ablation: Parallel Index Read group size",
+		XLabel: "group size", YLabel: "read open seconds",
+	}
+	ranks := 256
+	if o.Scale == Quick {
+		ranks = 32
+	}
+	nb, op := o.n1Bytes()
+	sqrtN := 16
+	if o.Scale == Quick {
+		sqrtN = 6
+	}
+	for _, gs := range []int{1, sqrtN, ranks / 4, ranks} {
+		var s stats.Sample
+		for rep := 0; rep < o.Reps; rep++ {
+			opt := n1MountOpt(plfs.ParallelIndexRead, 1)
+			opt.GroupSize = gs
+			res, err := Run(Job{
+				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
+				Opt: opt, Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("group-size %d: %w", gs, err)
+			}
+			s.Add(res.ReadOpen.Seconds())
+			o.log("ablation-groups gs=%-5d rep %d: read-open %.3fs", gs, rep, res.ReadOpen.Seconds())
+		}
+		tab.AddSample("read-open", float64(gs), &s)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// AblationLockUnit sweeps the underlying file system's range-lock
+// granularity for direct N-1 writes: coarser units mean more false
+// sharing among strided writers — the serialization PLFS sidesteps.
+func AblationLockUnit(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	tab := &stats.Table{
+		Title:  "Ablation: direct N-1 write bandwidth vs lock unit",
+		XLabel: "lock unit KiB", YLabel: "MB/s",
+	}
+	ranks := 256
+	if o.Scale == Quick {
+		ranks = 32
+	}
+	nb, op := o.n1Bytes()
+	for _, unit := range []int64{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		var s stats.Sample
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := o.small()
+			cfg.LockUnit = unit
+			res, err := Run(Job{
+				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: cfg, Net: defaultNet(),
+				Kernel: workloads.MPIIOTest(nb, op), UsePLFS: false,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lock-unit %d: %w", unit, err)
+			}
+			s.Add(res.WriteBW(ranks) / 1e6)
+			o.log("ablation-lockunit unit=%-8d rep %d: writeBW %.1f MB/s", unit, rep, res.WriteBW(ranks)/1e6)
+		}
+		tab.AddSample("direct-write", float64(unit>>10), &s)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// AblationSpread compares federation spread modes for an N-N create storm
+// on 10 volumes: no spreading, container spreading, subdir spreading, and
+// both.
+func AblationSpread(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	tab := &stats.Table{
+		Title:  "Ablation: federation spread mode (N-N open, 10 volumes)",
+		XLabel: "procs", YLabel: "seconds",
+	}
+	procs := 2048
+	if o.Scale == Quick {
+		procs = 128
+	}
+	type variant struct {
+		name                string
+		containers, subdirs bool
+	}
+	for _, v := range []variant{
+		{"none", false, false},
+		{"containers", true, false},
+		{"subdirs", false, true},
+		{"both", true, true},
+	} {
+		var s stats.Sample
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := o.cielo()
+			cfg.Volumes = 10
+			opt := plfs.Options{
+				IndexMode: plfs.ParallelIndexRead, NumSubdirs: 4,
+				SpreadContainers: v.containers, SpreadSubdirs: v.subdirs,
+			}
+			res, err := Run(Job{
+				Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: cfg, Net: defaultNet(),
+				Opt: opt, Kernel: workloads.CreateStorm{FilesPerRank: 1}, UsePLFS: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("spread %s: %w", v.name, err)
+			}
+			s.Add(res.WriteOpen.Seconds())
+			o.log("ablation-spread %-11s rep %d: open %.2fs", v.name, rep, res.WriteOpen.Seconds())
+		}
+		tab.AddSample(v.name, float64(procs), &s)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// AblationDegradedOST injects a degraded disk group (25% of nominal
+// bandwidth, e.g. a rebuilding RAID set) and measures N-1 write bandwidth
+// through PLFS and direct.  Fair-share striping drags every large
+// transfer through the slow group, so both paths feel it; the ablation
+// quantifies how much of PLFS's advantage survives a sick disk.
+func AblationDegradedOST(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	tab := &stats.Table{
+		Title:  "Ablation: write bandwidth with one degraded OST group (25% speed)",
+		XLabel: "degraded (0=no,1=yes)", YLabel: "MB/s",
+	}
+	ranks := 256
+	if o.Scale == Quick {
+		ranks = 32
+	}
+	nb, op := o.n1Bytes()
+	for _, degraded := range []bool{false, true} {
+		x := 0.0
+		if degraded {
+			x = 1
+		}
+		for _, plfsOn := range []bool{false, true} {
+			series := "direct"
+			if plfsOn {
+				series = "plfs"
+			}
+			var s stats.Sample
+			for rep := 0; rep < o.Reps; rep++ {
+				cfg := o.small()
+				if degraded {
+					cfg.DegradedGroup = 0
+					cfg.DegradedFactor = 0.25
+				}
+				res, err := Run(Job{
+					Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: cfg, Net: defaultNet(),
+					Opt:    n1MountOpt(plfs.ParallelIndexRead, 1),
+					Kernel: workloads.MPIIOTest(nb, op), UsePLFS: plfsOn,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("degraded-ost %s: %w", series, err)
+				}
+				s.Add(res.WriteBW(ranks) / 1e6)
+				o.log("ablation-degraded %s degraded=%v rep %d: writeBW %.1f MB/s",
+					series, degraded, rep, res.WriteBW(ranks)/1e6)
+			}
+			tab.AddSample(series, x, &s)
+		}
+	}
+	return []*stats.Table{tab}, nil
+}

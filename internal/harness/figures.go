@@ -1,0 +1,428 @@
+package harness
+
+import (
+	"fmt"
+
+	"plfs/internal/adio"
+	"plfs/internal/mpi"
+	"plfs/internal/plfs"
+	"plfs/internal/stats"
+	"plfs/internal/workloads"
+)
+
+// Figure is one reproducible experiment from the paper's evaluation.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(Options) ([]*stats.Table, error)
+}
+
+// Figures returns the full reproduction suite in paper order.
+func Figures() []Figure {
+	return []Figure{
+		{"fig2", "Summary of N-1 write speedups through PLFS", Fig2},
+		{"fig4", "Read scaling: Original vs Index Flatten vs Parallel Index Read", Fig4},
+		{"fig5a", "Pixie3D read bandwidth (PLFS vs direct)", fig5Kernel("fig5a", "pixie3d")},
+		{"fig5b", "ARAMCO read bandwidth (PLFS vs direct)", fig5Kernel("fig5b", "aramco")},
+		{"fig5c", "IOR read bandwidth (PLFS vs direct)", fig5Kernel("fig5c", "ior")},
+		{"fig5d", "MADbench read bandwidth (PLFS vs direct)", fig5Kernel("fig5d", "madbench")},
+		{"fig5e", "LANL 1 read bandwidth (PLFS vs direct)", fig5Kernel("fig5e", "lanl1")},
+		{"fig5f", "LANL 3 read bandwidth (PLFS vs direct, collective buffering)", fig5Kernel("fig5f", "lanl3")},
+		{"fig7", "N-N metadata: open/close time vs files, varying MDS count", Fig7},
+		{"fig8a", "Large-scale read bandwidth (Cielo profile)", Fig8a},
+		{"fig8b", "Large-scale N-N open time: PLFS-1 / PLFS-10 / PLFS-20", Fig8b},
+		{"fig8c", "Large-scale N-1 open time: PLFS-1 vs PLFS-10", Fig8c},
+		{"fig8d", "Large-scale N-N open: PLFS-10 vs direct (17x claim)", Fig8d},
+		{"ablation-flatten", "Ablation: Index Flatten buffer threshold", AblationFlattenThreshold},
+		{"ablation-groups", "Ablation: Parallel Index Read group size", AblationGroupCount},
+		{"ablation-lockunit", "Ablation: direct N-1 write vs lock-unit size", AblationLockUnit},
+		{"ablation-spread", "Ablation: federation spread modes", AblationSpread},
+		{"ablation-degraded", "Ablation: one degraded OST group", AblationDegradedOST},
+	}
+}
+
+// FindFigure resolves an id.
+func FindFigure(id string) (Figure, bool) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// n1Bytes returns the MPI-IO Test volume per rank.
+func (o Options) n1Bytes() (total, op int64) {
+	if o.Scale == Paper {
+		return 50 << 20, 50 << 10 // 50 MB in 50 KB ops (§IV.C)
+	}
+	return 4 << 20, 50 << 10
+}
+
+// Fig2 measures the write-phase speedup of PLFS over direct N-1 access
+// for the workload suite (the paper's summary bar chart; our kernels
+// stand in for its application set — see DESIGN.md).
+func Fig2(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	ranks := 512
+	if o.Scale == Quick {
+		ranks = 32
+	}
+	tab := &stats.Table{
+		Title:  "Figure 2: N-1 write speedup through PLFS (x = processes)",
+		XLabel: "procs", YLabel: "write speedup (direct time / PLFS time)",
+	}
+	for _, k := range fig2Kernels(o, ranks) {
+		var s stats.Sample
+		for rep := 0; rep < o.Reps; rep++ {
+			seed := o.BaseSeed + int64(rep)
+			dir, err := Run(Job{Seed: seed, Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
+				Kernel: k.k, Hints: k.hints, UsePLFS: false})
+			if err != nil {
+				return nil, fmt.Errorf("fig2 %s direct: %w", k.k.Name(), err)
+			}
+			pl, err := Run(Job{Seed: seed, Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
+				Opt: n1MountOpt(plfs.ParallelIndexRead, 1), Kernel: k.k, Hints: k.hints, UsePLFS: true})
+			if err != nil {
+				return nil, fmt.Errorf("fig2 %s plfs: %w", k.k.Name(), err)
+			}
+			s.Add(stats.Speedup(dir.WriteTotal().Seconds(), pl.WriteTotal().Seconds()))
+			o.log("fig2 %-12s rep %d: direct %.2fs plfs %.2fs", k.k.Name(), rep,
+				dir.WriteTotal().Seconds(), pl.WriteTotal().Seconds())
+		}
+		tab.AddSample(k.k.Name(), float64(ranks), &s)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+type namedKernel struct {
+	k     workloads.Kernel
+	hints adio.Hints
+}
+
+func fig2Kernels(o Options, ranks int) []namedKernel {
+	nb, nop := o.n1Bytes()
+	big := int64(16 << 30)
+	if o.Scale == Quick {
+		big = 64 << 20
+	}
+	return []namedKernel{
+		{workloads.MPIIOTest(nb, nop), adio.Hints{}},
+		{workloads.LANL1(nb), adio.Hints{}},
+		{workloads.LANL2(nb / 2), adio.Hints{}},
+		{workloads.IOR(nb, 1<<20), adio.Hints{}},
+		{workloads.Madbench{Matrices: 4, MatrixBytes: nb / 4}, adio.Hints{}},
+		{workloads.Pixie3D{BytesPerRank: nb, Vars: 8}, adio.Hints{}},
+		{workloads.Aramco{TotalBytes: big}, adio.Hints{}},
+		{workloads.LANL3(big, ranks), adio.Hints{CollectiveBuffering: true, ProcsPerNode: 16}},
+	}
+}
+
+// Fig4 reproduces the four panels of the read-scaling study: MPI-IO Test
+// (50 MB per stream in 50 KB ops) through PLFS under the three index
+// modes, sweeping the number of concurrent I/O streams.
+func Fig4(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	mk := func(title, y string) *stats.Table {
+		return &stats.Table{Title: title, XLabel: "procs", YLabel: y}
+	}
+	a := mk("Figure 4a: read open time (index aggregation)", "seconds")
+	b := mk("Figure 4b: effective read bandwidth", "MB/s")
+	c := mk("Figure 4c: write close time", "seconds")
+	d := mk("Figure 4d: effective write bandwidth", "MB/s")
+	nb, op := o.n1Bytes()
+	modes := []plfs.Mode{plfs.Original, plfs.IndexFlatten, plfs.ParallelIndexRead}
+	for _, procs := range o.procCounts() {
+		for _, mode := range modes {
+			var sa, sb, sc, sd stats.Sample
+			for rep := 0; rep < o.repsFor(procs); rep++ {
+				res, err := Run(Job{
+					Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: o.small(), Net: defaultNet(),
+					Opt:    n1MountOpt(mode, 1),
+					Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig4 %v@%d: %w", mode, procs, err)
+				}
+				sa.Add(res.ReadOpen.Seconds())
+				sb.Add(res.ReadBW(procs) / 1e6)
+				sc.Add(res.WriteClose.Seconds())
+				sd.Add(res.WriteBW(procs) / 1e6)
+				o.log("fig4 %-20s procs=%-5d rep %d: open %.3fs readBW %.0f MB/s close %.3fs writeBW %.0f MB/s",
+					mode, procs, rep, res.ReadOpen.Seconds(), res.ReadBW(procs)/1e6,
+					res.WriteClose.Seconds(), res.WriteBW(procs)/1e6)
+			}
+			name := mode.String()
+			a.AddSample(name, float64(procs), &sa)
+			b.AddSample(name, float64(procs), &sb)
+			c.AddSample(name, float64(procs), &sc)
+			d.AddSample(name, float64(procs), &sd)
+		}
+	}
+	return []*stats.Table{a, b, c, d}, nil
+}
+
+// fig5Kernel builds the Fig. 5 reproduction for one I/O kernel: effective
+// read bandwidth, PLFS (Parallel Index Read, the chosen default) vs
+// direct access, across process counts.
+func fig5Kernel(id, name string) func(Options) ([]*stats.Table, error) {
+	return func(o Options) ([]*stats.Table, error) {
+		o = o.withDefaults()
+		tab := &stats.Table{
+			Title:  fmt.Sprintf("Figure %s: %s effective read bandwidth", id[3:], name),
+			XLabel: "procs", YLabel: "MB/s",
+		}
+		for _, procs := range o.kernelProcCounts() {
+			k, hints := fig5Instance(o, name, procs)
+			for _, plfsOn := range []bool{false, true} {
+				series := "direct"
+				if plfsOn {
+					series = "plfs"
+				}
+				var s stats.Sample
+				for rep := 0; rep < o.repsFor(procs); rep++ {
+					res, err := Run(Job{
+						Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: o.small(), Net: defaultNet(),
+						Opt:    n1MountOpt(plfs.ParallelIndexRead, 1),
+						Kernel: k, Hints: hints, UsePLFS: plfsOn, ReadBack: true,
+						DropCaches: true,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("%s %s@%d: %w", id, series, procs, err)
+					}
+					s.Add(res.ReadBW(procs) / 1e6)
+					o.log("%s %-7s procs=%-5d rep %d: readBW %.0f MB/s (open %.3fs)",
+						id, series, procs, rep, res.ReadBW(procs)/1e6, res.ReadOpen.Seconds())
+				}
+				tab.AddSample(series, float64(procs), &s)
+			}
+		}
+		return []*stats.Table{tab}, nil
+	}
+}
+
+// fig5Instance builds the kernel configuration of §IV.D for a process
+// count.
+func fig5Instance(o Options, name string, procs int) (workloads.Kernel, adio.Hints) {
+	perProc := int64(50 << 20) // 50 MB
+	gig := int64(1 << 30)
+	strong := int64(32 << 30)
+	if o.Scale == Quick {
+		perProc = 16 << 20
+		gig = 64 << 20
+		strong = 1 << 30
+	}
+	switch name {
+	case "pixie3d":
+		return workloads.Pixie3D{BytesPerRank: gig, Vars: 8}, adio.Hints{}
+	case "aramco":
+		return workloads.Aramco{TotalBytes: strong / 2}, adio.Hints{}
+	case "ior":
+		return workloads.IOR(perProc, 1<<20), adio.Hints{}
+	case "madbench":
+		return workloads.Madbench{Matrices: 8, MatrixBytes: perProc / 8}, adio.Hints{}
+	case "lanl1":
+		return workloads.LANL1(perProc), adio.Hints{}
+	case "lanl3":
+		return workloads.LANL3(strong, procs), adio.Hints{CollectiveBuffering: true, ProcsPerNode: 16}
+	}
+	panic("harness: unknown fig5 kernel " + name)
+}
+
+// Fig7 reproduces the small-cluster metadata study: an N-N open/close
+// storm, PLFS with 1/3/6/9 metadata volumes vs direct access, sweeping
+// the number of files.
+func Fig7(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	open := &stats.Table{Title: "Figure 7a: N-N open time", XLabel: "files", YLabel: "seconds"}
+	cls := &stats.Table{Title: "Figure 7b: N-N close time", XLabel: "files", YLabel: "seconds"}
+	files := []int{256, 512, 1024, 2048}
+	if o.Scale == Quick {
+		files = []int{32, 64, 128}
+	}
+	type series struct {
+		name string
+		vols int // 0 = direct
+	}
+	variants := []series{{"plfs-1", 1}, {"plfs-3", 3}, {"plfs-6", 6}, {"plfs-9", 9}, {"w/o-plfs", 0}}
+	for _, nf := range files {
+		ranks := nf
+		if max := 1024; ranks > max {
+			ranks = max
+		}
+		if o.Scale == Quick && ranks > 64 {
+			ranks = 64
+		}
+		per := nf / ranks
+		for _, v := range variants {
+			var so, sc stats.Sample
+			for rep := 0; rep < o.repsFor(ranks); rep++ {
+				cfg := o.small()
+				if v.vols > 0 {
+					cfg.Volumes = v.vols
+				}
+				res, err := Run(Job{
+					Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: cfg, Net: defaultNet(),
+					Opt:    nnMountOpt(v.vols),
+					Kernel: workloads.CreateStorm{FilesPerRank: per}, UsePLFS: v.vols > 0,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig7 %s@%d: %w", v.name, nf, err)
+				}
+				so.Add(res.WriteOpen.Seconds())
+				sc.Add(res.WriteClose.Seconds())
+				o.log("fig7 %-9s files=%-5d rep %d: open %.3fs close %.3fs",
+					v.name, nf, rep, res.WriteOpen.Seconds(), res.WriteClose.Seconds())
+			}
+			open.AddSample(v.name, float64(nf), &so)
+			cls.AddSample(v.name, float64(nf), &sc)
+		}
+	}
+	return []*stats.Table{open, cls}, nil
+}
+
+// Fig8a reproduces the large-scale read study on the Cielo profile:
+// N-N direct, N-N through PLFS, and N-1 through PLFS (Parallel Index
+// Read, 10 federated metadata volumes).
+func Fig8a(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	tab := &stats.Table{Title: "Figure 8a: large-scale effective read bandwidth", XLabel: "procs", YLabel: "MB/s"}
+	perProc, op := int64(50<<20), int64(10<<20)
+	if o.Scale == Quick {
+		perProc, op = 8<<20, 2<<20
+	}
+	type series struct {
+		name    string
+		usePLFS bool
+		kernel  func(procs int) workloads.Kernel
+		opt     func() plfs.Options
+	}
+	variants := []series{
+		{"n-n w/o plfs", false, func(int) workloads.Kernel { return workloads.NNFiles{BytesPerRank: perProc, OpSize: op} }, nil},
+		{"n-n plfs", true, func(int) workloads.Kernel { return workloads.NNFiles{BytesPerRank: perProc, OpSize: op} },
+			func() plfs.Options { return nnMountOpt(10) }},
+		{"n-1 plfs", true, func(int) workloads.Kernel { return workloads.MPIIOTest(perProc, op) },
+			func() plfs.Options { return n1MountOpt(plfs.ParallelIndexRead, 10) }},
+	}
+	for _, procs := range o.largeProcCounts() {
+		for _, v := range variants {
+			var s stats.Sample
+			for rep := 0; rep < o.repsFor(procs); rep++ {
+				cfg := o.cielo()
+				cfg.Volumes = 10
+				var opt plfs.Options
+				if v.opt != nil {
+					opt = v.opt()
+				}
+				res, err := Run(Job{
+					Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: cfg, Net: defaultNet(),
+					Opt: opt, Kernel: v.kernel(procs), UsePLFS: v.usePLFS, ReadBack: true,
+					DropCaches: true, // a restart reads from cold caches
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig8a %s@%d: %w", v.name, procs, err)
+				}
+				s.Add(res.ReadBW(procs) / 1e6)
+				o.log("fig8a %-14s procs=%-6d rep %d: readBW %.0f MB/s", v.name, procs, rep, res.ReadBW(procs)/1e6)
+			}
+			tab.AddSample(v.name, float64(procs), &s)
+		}
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// fig8Meta runs a Cielo-profile N-N create storm for one volume count.
+func fig8Meta(o Options, procs, vols int, rep int) (workloads.Result, error) {
+	cfg := o.cielo()
+	if vols > 0 {
+		cfg.Volumes = vols
+	}
+	return Run(Job{
+		Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: cfg, Net: defaultNet(),
+		Opt:    nnMountOpt(vols),
+		Kernel: workloads.CreateStorm{FilesPerRank: 1}, UsePLFS: vols > 0,
+	})
+}
+
+// Fig8b: large N-N open time for PLFS with 1, 10, and 20 metadata volumes.
+func Fig8b(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	tab := &stats.Table{Title: "Figure 8b: large-scale N-N open time", XLabel: "procs", YLabel: "seconds"}
+	for _, procs := range o.metaProcCounts() {
+		for _, vols := range []int{1, 10, 20} {
+			var s stats.Sample
+			for rep := 0; rep < o.repsFor(procs); rep++ {
+				res, err := fig8Meta(o, procs, vols, rep)
+				if err != nil {
+					return nil, fmt.Errorf("fig8b plfs-%d@%d: %w", vols, procs, err)
+				}
+				s.Add(res.WriteOpen.Seconds())
+				o.log("fig8b plfs-%-3d procs=%-6d rep %d: open %.2fs", vols, procs, rep, res.WriteOpen.Seconds())
+			}
+			tab.AddSample(fmt.Sprintf("plfs-%d", vols), float64(procs), &s)
+		}
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// Fig8c: large N-1 write-open time, PLFS-1 vs PLFS-10 (container creation
+// for a single shared file; federation only helps once the per-writer
+// metadata load is large).
+func Fig8c(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	tab := &stats.Table{Title: "Figure 8c: large-scale N-1 open time", XLabel: "procs", YLabel: "seconds"}
+	nb, op := int64(4<<20), int64(1<<20)
+	for _, procs := range o.metaProcCounts() {
+		for _, vols := range []int{1, 10} {
+			var s stats.Sample
+			for rep := 0; rep < o.repsFor(procs); rep++ {
+				cfg := o.cielo()
+				cfg.Volumes = vols
+				res, err := Run(Job{
+					Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: cfg, Net: defaultNet(),
+					Opt:    n1MountOpt(plfs.ParallelIndexRead, vols),
+					Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig8c plfs-%d@%d: %w", vols, procs, err)
+				}
+				s.Add(res.WriteOpen.Seconds())
+				o.log("fig8c plfs-%-3d procs=%-6d rep %d: open %.2fs", vols, procs, rep, res.WriteOpen.Seconds())
+			}
+			tab.AddSample(fmt.Sprintf("plfs-%d", vols), float64(procs), &s)
+		}
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// Fig8d: large N-N open time, PLFS-10 vs direct access — the 17x headline.
+func Fig8d(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	tab := &stats.Table{Title: "Figure 8d: N-N open, PLFS-10 vs direct", XLabel: "procs", YLabel: "seconds"}
+	for _, procs := range o.metaProcCounts() {
+		var direct, pl stats.Sample
+		for rep := 0; rep < o.repsFor(procs); rep++ {
+			d, err := fig8Meta(o, procs, 0, rep)
+			if err != nil {
+				return nil, fmt.Errorf("fig8d direct@%d: %w", procs, err)
+			}
+			p, err := fig8Meta(o, procs, 10, rep)
+			if err != nil {
+				return nil, fmt.Errorf("fig8d plfs@%d: %w", procs, err)
+			}
+			direct.Add(d.WriteOpen.Seconds())
+			pl.Add(p.WriteOpen.Seconds())
+			o.log("fig8d procs=%-6d rep %d: direct %.2fs plfs-10 %.2fs (speedup %.1fx)",
+				procs, rep, d.WriteOpen.Seconds(), p.WriteOpen.Seconds(),
+				stats.Speedup(d.WriteOpen.Seconds(), p.WriteOpen.Seconds()))
+		}
+		tab.AddSample("w/o-plfs", float64(procs), &direct)
+		tab.AddSample("plfs-10", float64(procs), &pl)
+		var sp stats.Sample
+		sp.Add(stats.Speedup(direct.Mean(), pl.Mean()))
+		tab.AddSample("speedup", float64(procs), &sp)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+func defaultNet() mpi.NetConfig { return mpi.DefaultNet() }

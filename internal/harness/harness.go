@@ -1,0 +1,240 @@
+// Package harness assembles full experiments: it builds a simulated
+// cluster, an MPI world, a PLFS mount, runs a workload kernel through a
+// chosen driver, repeats over seeds, and renders the mean ± stddev series
+// each of the paper's evaluation figures reports.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+	"time"
+
+	"plfs/internal/adio"
+	"plfs/internal/mpi"
+	"plfs/internal/pfs"
+	"plfs/internal/plfs"
+	"plfs/internal/sim"
+	"plfs/internal/simfs"
+	"plfs/internal/trace"
+	"plfs/internal/workloads"
+)
+
+// Job describes one simulated run.
+type Job struct {
+	Seed     int64
+	Ranks    int
+	Cfg      pfs.Config
+	Net      mpi.NetConfig
+	Opt      plfs.Options
+	Hints    adio.Hints
+	UsePLFS  bool
+	Kernel   workloads.Kernel
+	ReadBack bool
+	Verify   bool
+	// DropCaches invalidates client and server caches between the write
+	// and read phases, as the kernel studies (Fig. 5) require; the
+	// MPI-IO Test experiments (Fig. 4, Fig. 8a) leave caches warm, whose
+	// effects the paper explicitly notes.
+	DropCaches bool
+	// TraceEvery, with TraceTo, samples the file system's resources at
+	// the given virtual-time interval and writes the time series as CSV.
+	TraceEvery time.Duration
+	TraceTo    io.Writer
+}
+
+// Run executes the job and returns the job-level result (identical on all
+// ranks; rank 0's copy is returned).
+func Run(j Job) (workloads.Result, error) {
+	res, _, err := RunWithReport(j)
+	return res, err
+}
+
+// RunWithReport also returns the simulated file system's resource-usage
+// report, for bottleneck analysis.
+func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
+	eng := sim.NewEngine(j.Seed)
+	// Oversubscribe cores when the job exceeds the machine (the paper runs
+	// 2048 concurrent I/O streams on its 1024-core cluster).
+	ppn := j.Cfg.ProcsPerNode
+	if j.Ranks > j.Cfg.Nodes*ppn {
+		ppn = (j.Ranks + j.Cfg.Nodes - 1) / j.Cfg.Nodes
+	}
+	cfgPPN := j.Cfg
+	cfgPPN.ProcsPerNode = ppn
+	fs := pfs.New(eng, cfgPPN)
+	world := mpi.NewWorld(eng, j.Ranks, ppn, j.Net)
+	roots := make([]string, fs.Volumes())
+	for i := range roots {
+		roots[i] = fs.VolumeRoot(i)
+	}
+	mount := plfs.NewMount(roots, j.Opt)
+	var rec *trace.Recorder
+	if j.TraceEvery > 0 && j.TraceTo != nil {
+		rec = trace.NewRecorder(eng, j.TraceEvery)
+		for _, p := range fs.TraceProbes() {
+			rec.Add(p.Name, p.Fn)
+		}
+	}
+	var res workloads.Result
+	var kerr error
+	world.SpawnAll(func(r *mpi.Rank) {
+		ctx := simfs.Ctx(fs, r.Node(), r.Proc(), r.Rank(), ppn)
+		ctx.Comm = r.Comm()
+		var drv adio.Driver
+		path := j.Kernel.Name()
+		if j.UsePLFS {
+			drv = adio.PLFS{Mount: mount}
+		} else {
+			drv = adio.UFS{Vol: 0}
+			path = fs.VolumeRoot(0) + "/" + path
+		}
+		env := &workloads.Env{Ctx: ctx, Driver: drv, Hints: j.Hints, Path: path, Verify: j.Verify}
+		if j.DropCaches {
+			if r.Rank() == 0 {
+				env.InvalidateCaches = fs.DropCaches
+			} else {
+				env.InvalidateCaches = func() {} // participate in the barrier only
+			}
+		}
+		out, err := j.Kernel.Run(env, j.ReadBack)
+		if err != nil && kerr == nil {
+			kerr = fmt.Errorf("rank %d: %w", r.Rank(), err)
+		}
+		if r.Rank() == 0 {
+			res = out
+		}
+	})
+	if rec != nil {
+		rec.Start()
+	}
+	if err := eng.Run(); err != nil {
+		return res, fs.Report(), err
+	}
+	if rec != nil {
+		if err := rec.WriteCSV(j.TraceTo); err != nil {
+			return res, fs.Report(), err
+		}
+	}
+	rep := fs.Report()
+	// Large runs (tens of thousands of simulated processes) leave big
+	// heaps behind; return the memory before the next repetition so
+	// paper-scale sweeps stay within a laptop's RAM.
+	if j.Ranks >= 4096 {
+		debug.FreeOSMemory()
+	}
+	return res, rep, kerr
+}
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// Quick shrinks process counts and volumes so the whole figure suite
+	// runs in seconds (tests, `go test -bench`).
+	Quick Scale = iota
+	// Paper uses the paper's process counts and data sizes.
+	Paper
+)
+
+// Options configure a figure reproduction.
+type Options struct {
+	Scale Scale
+	Reps  int // repetitions (paper: 10); default 3
+	// BaseSeed separates repetition seed streams.
+	BaseSeed int64
+	// Progress, if non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Reps <= 0 {
+		o.Reps = 3
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1000
+	}
+	return o
+}
+
+func (o Options) log(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// procCounts returns the x-axis for the small-cluster figures.
+func (o Options) procCounts() []int {
+	if o.Scale == Paper {
+		return []int{16, 64, 256, 1024, 2048}
+	}
+	return []int{8, 16, 32, 64}
+}
+
+// kernelProcCounts returns the x-axis for the Fig. 5 kernel studies.
+func (o Options) kernelProcCounts() []int {
+	if o.Scale == Paper {
+		return []int{48, 96, 192, 384, 768}
+	}
+	return []int{8, 16, 32}
+}
+
+// largeProcCounts returns the x-axis for the Cielo figures.
+func (o Options) largeProcCounts() []int {
+	if o.Scale == Paper {
+		return []int{4096, 8192, 16384, 32768, 65536}
+	}
+	return []int{64, 128, 256}
+}
+
+// metaProcCounts returns the x-axis for the large metadata figures.
+func (o Options) metaProcCounts() []int {
+	if o.Scale == Paper {
+		return []int{2048, 4096, 8192, 16384, 32768}
+	}
+	return []int{64, 128, 256}
+}
+
+// repsFor trims repetitions on the most expensive points so the paper-
+// scale suite stays tractable.
+func (o Options) repsFor(ranks int) int {
+	r := o.Reps
+	if o.Scale == Paper && ranks >= 1024 && r > 2 {
+		return 2
+	}
+	return r
+}
+
+// small returns the small-cluster pfs config.
+func (o Options) small() pfs.Config { return pfs.SmallCluster() }
+
+// cielo returns the Cielo-profile pfs config.
+func (o Options) cielo() pfs.Config {
+	if o.Scale == Paper {
+		return pfs.Cielo()
+	}
+	// Quick mode: small machine with Cielo's contention character.
+	c := pfs.Cielo()
+	c.Nodes = 64
+	return c
+}
+
+// n1MountOpt is the standard PLFS mount for N-1 workloads: subdirs spread
+// across the volumes (Fig. 6), parallel index read unless overridden.
+func n1MountOpt(mode plfs.Mode, volumes int) plfs.Options {
+	return plfs.Options{
+		IndexMode:     mode,
+		NumSubdirs:    32,
+		SpreadSubdirs: volumes > 1,
+	}
+}
+
+// nnMountOpt is the PLFS mount for N-N workloads: whole containers spread
+// across volumes (§V technique 1).
+func nnMountOpt(volumes int) plfs.Options {
+	return plfs.Options{
+		IndexMode:        plfs.ParallelIndexRead,
+		NumSubdirs:       4,
+		SpreadContainers: volumes > 1,
+	}
+}

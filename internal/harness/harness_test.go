@@ -1,0 +1,45 @@
+package harness_test
+
+import (
+	"testing"
+
+	"plfs/internal/harness"
+)
+
+// TestAllFiguresRunQuick smoke-runs every figure and ablation at Quick
+// scale with a single repetition: every experiment must complete and
+// produce non-empty tables with the expected series.
+func TestAllFiguresRunQuick(t *testing.T) {
+	opts := harness.Options{Scale: harness.Quick, Reps: 1}
+	for _, fig := range harness.Figures() {
+		fig := fig
+		t.Run(fig.ID, func(t *testing.T) {
+			tabs, err := fig.Run(opts)
+			if err != nil {
+				t.Fatalf("%s: %v", fig.ID, err)
+			}
+			if len(tabs) == 0 {
+				t.Fatalf("%s produced no tables", fig.ID)
+			}
+			for _, tab := range tabs {
+				if len(tab.Points()) == 0 {
+					t.Fatalf("%s: empty table %q", fig.ID, tab.Title)
+				}
+				for _, p := range tab.Points() {
+					if p.N < 1 {
+						t.Fatalf("%s: point with no observations: %+v", fig.ID, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFindFigure(t *testing.T) {
+	if _, ok := harness.FindFigure("fig4"); !ok {
+		t.Fatal("fig4 not found")
+	}
+	if _, ok := harness.FindFigure("nope"); ok {
+		t.Fatal("bogus figure found")
+	}
+}

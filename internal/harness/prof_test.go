@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"plfs/internal/plfs"
+	"plfs/internal/workloads"
+)
+
+// TestProfileStorm and TestProfileFig4Point are manual scale probes:
+// enable with PLFS_SCALE_TEST=1.
+func TestProfileStorm(t *testing.T) {
+	if os.Getenv("PLFS_SCALE_TEST") == "" {
+		t.Skip("set PLFS_SCALE_TEST=1 to run scale probes")
+	}
+	for _, ranks := range []int{8192, 16384, 32768} {
+		o := Options{Scale: Paper}.withDefaults()
+		start := time.Now()
+		res, err := fig8Meta(o, ranks, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("ranks=%d open=%.2fs wall=%.1fs\n", ranks, res.WriteOpen.Seconds(), time.Since(start).Seconds())
+	}
+}
+
+func TestProfileFig4Point(t *testing.T) {
+	if os.Getenv("PLFS_SCALE_TEST") == "" {
+		t.Skip("set PLFS_SCALE_TEST=1 to run scale probes")
+	}
+	o := Options{Scale: Paper}.withDefaults()
+	nb, op := o.n1Bytes()
+	for _, mode := range []plfs.Mode{plfs.Original, plfs.ParallelIndexRead} {
+		start := time.Now()
+		res, rep, err := RunWithReport(Job{
+			Seed: 1, Ranks: 2048, Cfg: o.small(), Net: defaultNet(),
+			Opt:    n1MountOpt(mode, 1),
+			Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("mode=%-20s open=%.3fs readBW=%.0fMB/s wall=%.0fs\n  %s\n",
+			mode, res.ReadOpen.Seconds(), res.ReadBW(2048)/1e6, time.Since(start).Seconds(), rep)
+	}
+}

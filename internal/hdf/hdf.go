@@ -1,0 +1,270 @@
+// Package hdf is a minimal self-describing array-file format in the
+// spirit of HDF5, implemented over the MPI-IO (adio) layer.
+//
+// The paper's ARAMCO seismic kernel "uses MPI-IO and HDF5"; what matters
+// for I/O behaviour is the access pattern a formatting library dictates:
+// a header region at the front of the file that every process reads at
+// open, and per-process hyperslab accesses into row-major dataset extents
+// behind it.  This package produces exactly those patterns while being a
+// real, round-trippable format.
+//
+// Layout: a 4 KiB header (magic, dataset table) followed by each
+// dataset's elements packed row-major, datasets in definition order.
+package hdf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"plfs/internal/adio"
+	"plfs/internal/payload"
+	"plfs/internal/slab"
+)
+
+// Magic identifies mini-HDF files.
+const Magic = 0x4D484446 // "MHDF"
+
+// HeaderSize is the reserved header region.
+const HeaderSize = 4096
+
+// DatasetDef declares one dataset at file creation.
+type DatasetDef struct {
+	Name     string
+	Dims     []int64 // row-major extents
+	ElemSize int64   // bytes per element
+}
+
+// elements returns the total element count.
+func (d DatasetDef) elements() int64 {
+	n := int64(1)
+	for _, x := range d.Dims {
+		n *= x
+	}
+	return n
+}
+
+// Bytes returns the dataset's byte size.
+func (d DatasetDef) Bytes() int64 { return d.elements() * d.ElemSize }
+
+// File is an open mini-HDF file.
+type File struct {
+	f       adio.File
+	defs    []DatasetDef
+	offsets []int64 // file offset of each dataset
+	writing bool
+}
+
+// Create initializes a new mini-HDF file on f with the given datasets.
+// Collective when ctx.Comm is set: rank 0 writes the header, everyone
+// else synchronizes — the "shared header" pattern of real formatting
+// libraries.
+func Create(ctx CommCtx, f adio.File, defs []DatasetDef) (*File, error) {
+	if len(defs) == 0 {
+		return nil, errors.New("hdf: no datasets")
+	}
+	h := &File{f: f, defs: defs, writing: true}
+	h.computeOffsets()
+	hdr := encodeHeader(defs)
+	if len(hdr) > HeaderSize {
+		return nil, fmt.Errorf("hdf: header overflow (%d datasets)", len(defs))
+	}
+	if ctx.Comm == nil || ctx.Comm.Rank() == 0 {
+		if err := f.WriteAt(0, payload.FromBytes(hdr)); err != nil {
+			return nil, err
+		}
+	}
+	if ctx.Comm != nil {
+		ctx.Comm.Barrier()
+	}
+	return h, nil
+}
+
+// CommCtx carries the (optional) communicator for collective header
+// handling; adio files already hold their own context for data.
+type CommCtx struct {
+	Comm interface {
+		Rank() int
+		Size() int
+		Barrier()
+	}
+}
+
+// Open reads an existing mini-HDF file's header.  Every caller reads the
+// header region (the pattern that makes shared-header formats
+// metadata-hot at scale).
+func Open(f adio.File) (*File, error) {
+	pl, err := f.ReadAt(0, HeaderSize)
+	if err != nil {
+		return nil, err
+	}
+	defs, err := decodeHeader(pl.Materialize())
+	if err != nil {
+		return nil, err
+	}
+	h := &File{f: f, defs: defs}
+	h.computeOffsets()
+	return h, nil
+}
+
+func (h *File) computeOffsets() {
+	h.offsets = make([]int64, len(h.defs))
+	off := int64(HeaderSize)
+	for i, d := range h.defs {
+		h.offsets[i] = off
+		off += d.Bytes()
+	}
+}
+
+// Datasets lists the dataset definitions.
+func (h *File) Datasets() []DatasetDef { return append([]DatasetDef(nil), h.defs...) }
+
+// Dataset returns a handle by name.
+func (h *File) Dataset(name string) (*Dataset, error) {
+	for i, d := range h.defs {
+		if d.Name == name {
+			return &Dataset{file: h, def: d, base: h.offsets[i]}, nil
+		}
+	}
+	return nil, fmt.Errorf("hdf: no dataset %q", name)
+}
+
+// Dataset is a handle on one array.
+type Dataset struct {
+	file *File
+	def  DatasetDef
+	base int64
+}
+
+// Def returns the dataset definition.
+func (d *Dataset) Def() DatasetDef { return d.def }
+
+// slabRuns decomposes the hyperslab [start, start+count) into contiguous
+// file runs (byte offset, elements).
+func (d *Dataset) slabRuns(start, count []int64, emit func(off, elems int64)) error {
+	return slab.Runs(d.def.Dims, start, count, func(off, elems int64) {
+		emit(d.base+off*d.def.ElemSize, elems)
+	})
+}
+
+// WriteSlab writes the hyperslab [start, start+count) from p (row-major).
+func (d *Dataset) WriteSlab(start, count []int64, p payload.Payload) error {
+	if !d.file.writing {
+		return errors.New("hdf: file opened read-only")
+	}
+	var need int64 = d.def.ElemSize
+	for _, c := range count {
+		need *= c
+	}
+	if p.Len() != need {
+		return fmt.Errorf("hdf: slab payload is %d bytes, want %d", p.Len(), need)
+	}
+	var pos int64
+	var werr error
+	err := d.slabRuns(start, count, func(off, elems int64) {
+		if werr != nil {
+			return
+		}
+		n := elems * d.def.ElemSize
+		werr = d.file.f.WriteAt(off, p.Slice(pos, n))
+		pos += n
+	})
+	if err != nil {
+		return err
+	}
+	return werr
+}
+
+// ReadSlab reads the hyperslab [start, start+count).
+func (d *Dataset) ReadSlab(start, count []int64) (payload.List, error) {
+	var out payload.List
+	var rerr error
+	err := d.slabRuns(start, count, func(off, elems int64) {
+		if rerr != nil {
+			return
+		}
+		pl, err := d.file.f.ReadAt(off, elems*d.def.ElemSize)
+		if err != nil {
+			rerr = err
+			return
+		}
+		out = out.Concat(pl)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, rerr
+}
+
+// TotalBytes returns the file's data size (header excluded).
+func (h *File) TotalBytes() int64 {
+	var n int64
+	for _, d := range h.defs {
+		n += d.Bytes()
+	}
+	return n
+}
+
+func encodeHeader(defs []DatasetDef) []byte {
+	var buf []byte
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], Magic)
+	buf = append(buf, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(defs)))
+	buf = append(buf, tmp[:4]...)
+	for _, d := range defs {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(d.Name)))
+		buf = append(buf, tmp[:4]...)
+		buf = append(buf, d.Name...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(d.ElemSize))
+		buf = append(buf, tmp[:4]...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(d.Dims)))
+		buf = append(buf, tmp[:4]...)
+		for _, x := range d.Dims {
+			binary.LittleEndian.PutUint64(tmp[:], uint64(x))
+			buf = append(buf, tmp[:]...)
+		}
+	}
+	return buf
+}
+
+func decodeHeader(data []byte) ([]DatasetDef, error) {
+	bad := errors.New("hdf: corrupt header")
+	u32 := func() (uint32, bool) {
+		if len(data) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, true
+	}
+	magic, ok := u32()
+	if !ok || magic != Magic {
+		return nil, fmt.Errorf("hdf: bad magic %#x", magic)
+	}
+	n, ok := u32()
+	if !ok || n > 4096 {
+		return nil, bad
+	}
+	defs := make([]DatasetDef, 0, n)
+	for i := uint32(0); i < n; i++ {
+		nl, ok := u32()
+		if !ok || int(nl) > len(data) {
+			return nil, bad
+		}
+		name := string(data[:nl])
+		data = data[nl:]
+		es, ok1 := u32()
+		nd, ok2 := u32()
+		if !ok1 || !ok2 || int(nd)*8 > len(data) {
+			return nil, bad
+		}
+		dims := make([]int64, nd)
+		for j := range dims {
+			dims[j] = int64(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+		}
+		defs = append(defs, DatasetDef{Name: name, Dims: dims, ElemSize: int64(es)})
+	}
+	return defs, nil
+}

@@ -1,0 +1,170 @@
+package hdf_test
+
+import (
+	"sync"
+	"testing"
+
+	"plfs/internal/adio"
+	"plfs/internal/hdf"
+	"plfs/internal/localcomm"
+	"plfs/internal/osfs"
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+func runRanks(t *testing.T, n int, fn func(ctx plfs.Ctx, rank int)) {
+	t.Helper()
+	comms := localcomm.New(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(plfs.Ctx{
+				Vols: []plfs.Backend{osfs.New()}, Rank: i,
+				Host: i / 2, HostLeader: i%2 == 0, Comm: comms[i],
+			}, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestHDFRoundtripOverUFSAndPLFS(t *testing.T) {
+	for _, driver := range []string{"ufs", "plfs"} {
+		driver := driver
+		t.Run(driver, func(t *testing.T) {
+			dir := t.TempDir()
+			mount := plfs.NewMount([]string{t.TempDir()}, plfs.Options{IndexMode: plfs.ParallelIndexRead, NumSubdirs: 2})
+			const n = 4
+			const rows, cols = 8, 16 // per-rank slab: 2 rows
+			defs := []hdf.DatasetDef{
+				{Name: "pressure", Dims: []int64{rows, cols}, ElemSize: 8},
+				{Name: "velocity", Dims: []int64{rows * cols}, ElemSize: 4},
+			}
+			open := func(ctx plfs.Ctx, mode adio.Mode) (adio.File, error) {
+				if driver == "ufs" {
+					return adio.UFS{}.Open(ctx, dir+"/data.mhdf", mode, adio.Hints{})
+				}
+				return adio.PLFS{Mount: mount}.Open(ctx, "data.mhdf", mode, adio.Hints{})
+			}
+			runRanks(t, n, func(ctx plfs.Ctx, rank int) {
+				f, err := open(ctx, adio.WriteCreate)
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				h, err := hdf.Create(hdf.CommCtx{Comm: ctx.Comm}, f, defs)
+				if err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				ds, err := h.Dataset("pressure")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Rank r writes rows [2r, 2r+2).
+				start := []int64{int64(rank) * 2, 0}
+				count := []int64{2, cols}
+				nbytes := 2 * cols * 8
+				if err := ds.WriteSlab(start, count, payload.Synthetic(uint64(rank+1), 0, int64(nbytes))); err != nil {
+					t.Error(err)
+				}
+				if err := f.Close(); err != nil {
+					t.Error(err)
+				}
+
+				rf, err := open(ctx, adio.ReadOnly)
+				if err != nil {
+					t.Errorf("reopen: %v", err)
+					return
+				}
+				defer rf.Close()
+				h2, err := hdf.Open(rf)
+				if err != nil {
+					t.Errorf("hdf open: %v", err)
+					return
+				}
+				if got := len(h2.Datasets()); got != 2 {
+					t.Errorf("datasets = %d", got)
+				}
+				ds2, err := h2.Dataset("pressure")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Read a neighbor's slab and verify its pattern.
+				peer := (rank + 1) % n
+				got, err := ds2.ReadSlab([]int64{int64(peer) * 2, 0}, []int64{2, cols})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := payload.List{payload.Synthetic(uint64(peer+1), 0, int64(nbytes))}
+				if !payload.ContentEqual(got, want) {
+					t.Errorf("rank %d read of peer %d slab mismatch", rank, peer)
+				}
+			})
+		})
+	}
+}
+
+func TestHDFNonContiguousSlab(t *testing.T) {
+	dir := t.TempDir()
+	runRanks(t, 1, func(ctx plfs.Ctx, rank int) {
+		f, _ := adio.UFS{}.Open(ctx, dir+"/s.mhdf", adio.WriteCreate, adio.Hints{})
+		h, err := hdf.Create(hdf.CommCtx{}, f, []hdf.DatasetDef{{Name: "m", Dims: []int64{4, 8}, ElemSize: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, _ := h.Dataset("m")
+		// Column slab: 4 rows × 2 cols at col 3 — 4 separate runs.
+		pay := payload.Synthetic(9, 0, 8)
+		if err := ds.WriteSlab([]int64{0, 3}, []int64{4, 2}, pay); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ds.ReadSlab([]int64{0, 3}, []int64{4, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !payload.ContentEqual(got, payload.List{pay}) {
+			t.Fatal("column slab roundtrip mismatch")
+		}
+		// The untouched region must read as zeros.
+		z, _ := ds.ReadSlab([]int64{0, 0}, []int64{4, 3})
+		for _, b := range z.Materialize() {
+			if b != 0 {
+				t.Fatal("untouched region nonzero")
+			}
+		}
+		f.Close()
+	})
+}
+
+func TestHDFErrors(t *testing.T) {
+	dir := t.TempDir()
+	runRanks(t, 1, func(ctx plfs.Ctx, rank int) {
+		f, _ := adio.UFS{}.Open(ctx, dir+"/e.mhdf", adio.WriteCreate, adio.Hints{})
+		h, _ := hdf.Create(hdf.CommCtx{}, f, []hdf.DatasetDef{{Name: "d", Dims: []int64{4}, ElemSize: 4}})
+		ds, _ := h.Dataset("d")
+		if _, err := h.Dataset("missing"); err == nil {
+			t.Error("missing dataset lookup succeeded")
+		}
+		if err := ds.WriteSlab([]int64{2}, []int64{4}, payload.Zeros(16)); err == nil {
+			t.Error("out-of-bounds slab accepted")
+		}
+		if err := ds.WriteSlab([]int64{0}, []int64{2}, payload.Zeros(4)); err == nil {
+			t.Error("wrong payload size accepted")
+		}
+		f.Close()
+		// Reading a non-HDF file must fail cleanly.
+		g, _ := adio.UFS{}.Open(ctx, dir+"/junk", adio.WriteCreate, adio.Hints{})
+		g.WriteAt(0, payload.Zeros(hdf.HeaderSize))
+		g.Close()
+		r, _ := adio.UFS{}.Open(ctx, dir+"/junk", adio.ReadOnly, adio.Hints{})
+		defer r.Close()
+		if _, err := hdf.Open(r); err == nil {
+			t.Error("opened junk as HDF")
+		}
+	})
+}

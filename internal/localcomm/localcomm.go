@@ -1,0 +1,174 @@
+// Package localcomm implements comm.Comm for real goroutines.
+//
+// It lets PLFS run as an actual concurrent middleware library on a local
+// machine: each "rank" is a goroutine, and the collectives synchronize
+// through a shared generation barrier.  This is the binding used by the
+// real-filesystem examples and the POSIX-equivalence tests; the simulated
+// binding lives in internal/mpi.
+package localcomm
+
+import (
+	"sync"
+
+	"plfs/internal/comm"
+)
+
+// group is the shared state of one communicator.
+type group struct {
+	size int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	arrived   int
+	gen       uint64
+	slots     []any // deposit area for the in-progress collective
+	published []any // immutable snapshot of the last completed collective
+}
+
+// Comm is one rank's handle on a local communicator.
+type Comm struct {
+	g    *group
+	rank int
+}
+
+var _ comm.Comm = (*Comm)(nil)
+
+// New returns n communicator handles for a fresh group, one per rank.
+// Each handle must be used by exactly one goroutine.
+func New(n int) []*Comm {
+	cs := make([]*Comm, n)
+	for i, c := range newGroup(n) {
+		cs[i] = c
+	}
+	return cs
+}
+
+func newGroup(n int) []*Comm {
+	if n < 1 {
+		panic("localcomm: size must be >= 1")
+	}
+	g := &group{size: n, slots: make([]any, n)}
+	g.cond = sync.NewCond(&g.mu)
+	cs := make([]*Comm, n)
+	for i := range cs {
+		cs[i] = &Comm{g: g, rank: i}
+	}
+	return cs
+}
+
+// Rank returns the caller's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the group size.
+func (c *Comm) Size() int { return c.g.size }
+
+// sync is a phase barrier: deposit v in this rank's slot, wait for all
+// ranks, and return an immutable snapshot of every rank's deposit.  The
+// snapshot is never written again, so readers cannot race the next
+// collective's deposits.
+func (c *Comm) sync(v any) []any {
+	g := c.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.slots[c.rank] = v
+	g.arrived++
+	if g.arrived == g.size {
+		g.arrived = 0
+		g.gen++
+		g.published = append([]any(nil), g.slots...)
+		for i := range g.slots {
+			g.slots[i] = nil
+		}
+		g.cond.Broadcast()
+		return g.published
+	}
+	gen := g.gen
+	for g.gen == gen {
+		g.cond.Wait()
+	}
+	return g.published
+}
+
+// Barrier blocks until all ranks arrive.
+func (c *Comm) Barrier() { c.sync(nil) }
+
+// Bcast returns root's v on every rank.
+func (c *Comm) Bcast(root int, nbytes int64, v any) any {
+	return c.sync(v)[root]
+}
+
+// Gather returns the per-rank values at root, nil elsewhere.
+func (c *Comm) Gather(root int, nbytes int64, v any) []any {
+	slots := c.sync(v)
+	if c.rank == root {
+		return slots
+	}
+	return nil
+}
+
+// Scatter returns vs[rank] from root's vs on every rank.
+func (c *Comm) Scatter(root int, nbytesEach int64, vs []any) any {
+	var dep any
+	if c.rank == root {
+		dep = vs
+	}
+	slots := c.sync(dep)
+	return slots[root].([]any)[c.rank]
+}
+
+// Allgather returns every rank's value on every rank.
+func (c *Comm) Allgather(nbytes int64, v any) []any {
+	return c.sync(v)
+}
+
+// Alltoall sends vs[i] to rank i; the result is indexed by source rank.
+func (c *Comm) Alltoall(nbytes []int64, vs []any) []any {
+	slots := c.sync(vs)
+	out := make([]any, c.g.size)
+	for src, v := range slots {
+		out[src] = v.([]any)[c.rank]
+	}
+	return out
+}
+
+type splitArg struct{ color, key int }
+
+type splitResult struct {
+	groups map[int][]int   // parent rank -> member list (new-rank order)
+	comms  map[int][]*Comm // color -> child handles indexed by new rank
+	colors []int
+}
+
+// Split partitions the communicator by color, ordering by (key, rank).
+func (c *Comm) Split(color, key int) comm.Comm {
+	slots := c.sync(splitArg{color, key})
+	// Every rank deterministically computes the same partition; rank 0's
+	// construction of the child groups is then broadcast.
+	var res splitResult
+	if c.rank == 0 {
+		colors := make([]int, len(slots))
+		keys := make([]int, len(slots))
+		for r, v := range slots {
+			a := v.(splitArg)
+			colors[r], keys[r] = a.color, a.key
+		}
+		groups := comm.SplitGroups(colors, keys)
+		comms := make(map[int][]*Comm)
+		for r, members := range groups {
+			cg := colors[r]
+			if _, ok := comms[cg]; !ok {
+				comms[cg] = newGroup(len(members))
+			}
+		}
+		res = splitResult{groups: groups, comms: comms, colors: colors}
+	}
+	got := c.sync(res)[0].(splitResult)
+	members := got.groups[c.rank]
+	newRank := 0
+	for i, r := range members {
+		if r == c.rank {
+			newRank = i
+		}
+	}
+	return got.comms[got.colors[c.rank]][newRank]
+}

@@ -1,0 +1,189 @@
+package localcomm
+
+import (
+	"sync"
+	"testing"
+
+	"plfs/internal/comm"
+)
+
+// runAll drives one goroutine per communicator handle.
+func runAll(cs []*Comm, fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	for _, c := range cs {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			fn(c)
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestRankAndSize(t *testing.T) {
+	cs := New(5)
+	seen := make([]bool, 5)
+	var mu sync.Mutex
+	runAll(cs, func(c *Comm) {
+		if c.Size() != 5 {
+			t.Errorf("size = %d", c.Size())
+		}
+		mu.Lock()
+		seen[c.Rank()] = true
+		mu.Unlock()
+	})
+	for r, ok := range seen {
+		if !ok {
+			t.Fatalf("rank %d missing", r)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	cs := New(7)
+	runAll(cs, func(c *Comm) {
+		var v any
+		if c.Rank() == 3 {
+			v = "payload"
+		}
+		got := c.Bcast(3, 10, v)
+		if got != "payload" {
+			t.Errorf("rank %d got %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestGatherScatter(t *testing.T) {
+	cs := New(6)
+	runAll(cs, func(c *Comm) {
+		vals := c.Gather(0, 8, c.Rank()*10)
+		if c.Rank() == 0 {
+			for r, v := range vals {
+				if v.(int) != r*10 {
+					t.Errorf("gather[%d] = %v", r, v)
+				}
+			}
+			out := make([]any, c.Size())
+			for i := range out {
+				out[i] = i * 100
+			}
+			if got := c.Scatter(0, 8, out); got.(int) != 0 {
+				t.Errorf("root scatter got %v", got)
+			}
+		} else {
+			if vals != nil {
+				t.Errorf("non-root gather returned %v", vals)
+			}
+			if got := c.Scatter(0, 8, nil); got.(int) != c.Rank()*100 {
+				t.Errorf("rank %d scatter got %v", c.Rank(), got)
+			}
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	cs := New(4)
+	runAll(cs, func(c *Comm) {
+		vals := c.Allgather(4, c.Rank())
+		for r, v := range vals {
+			if v.(int) != r {
+				t.Errorf("allgather[%d] = %v at rank %d", r, v, c.Rank())
+			}
+		}
+	})
+}
+
+func TestBackToBackCollectivesDoNotRace(t *testing.T) {
+	// A sequence of collectives with no pauses; catches snapshot reuse bugs.
+	cs := New(8)
+	runAll(cs, func(c *Comm) {
+		for i := 0; i < 200; i++ {
+			got := c.Bcast(i%8, 8, func() any {
+				if c.Rank() == i%8 {
+					return i
+				}
+				return nil
+			}())
+			if got.(int) != i {
+				t.Errorf("iter %d rank %d got %v", i, c.Rank(), got)
+				return
+			}
+		}
+	})
+}
+
+func TestSplit(t *testing.T) {
+	cs := New(9)
+	runAll(cs, func(c *Comm) {
+		// Three groups of three by color = rank % 3; key reverses order.
+		sub := c.Split(c.Rank()%3, -c.Rank())
+		if sub.Size() != 3 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		// key = -rank, so highest parent rank gets new rank 0.
+		wantRank := map[int]int{0: 2, 3: 1, 6: 0, 1: 2, 4: 1, 7: 0, 2: 2, 5: 1, 8: 0}[c.Rank()]
+		if sub.Rank() != wantRank {
+			t.Errorf("parent %d new rank = %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// The subcommunicator must work: gather parent ranks at sub-root.
+		vals := sub.Gather(0, 8, c.Rank())
+		if sub.Rank() == 0 {
+			if len(vals) != 3 {
+				t.Errorf("sub gather len = %d", len(vals))
+			}
+		}
+	})
+}
+
+func TestSplitGroupsSemantics(t *testing.T) {
+	colors := []int{0, 1, 0, 1, 0}
+	keys := []int{5, 0, 3, 1, 3}
+	g := comm.SplitGroups(colors, keys)
+	// color 0: ranks {0(k5), 2(k3), 4(k3)} -> order by (key, rank): 2, 4, 0
+	want0 := []int{2, 4, 0}
+	for i, r := range g[0] {
+		if r != want0[i] {
+			t.Fatalf("group of rank 0 = %v, want %v", g[0], want0)
+		}
+	}
+	// color 1: ranks {1(k0), 3(k1)} -> 1, 3
+	if g[1][0] != 1 || g[1][1] != 3 {
+		t.Fatalf("group of rank 1 = %v", g[1])
+	}
+}
+
+func TestSingleRankComm(t *testing.T) {
+	cs := New(1)
+	runAll(cs, func(c *Comm) {
+		c.Barrier()
+		if got := c.Bcast(0, 1, 42); got.(int) != 42 {
+			t.Errorf("bcast = %v", got)
+		}
+		if got := c.Allgather(1, 7); len(got) != 1 || got[0].(int) != 7 {
+			t.Errorf("allgather = %v", got)
+		}
+		sub := c.Split(0, 0)
+		if sub.Size() != 1 || sub.Rank() != 0 {
+			t.Errorf("split = %d/%d", sub.Rank(), sub.Size())
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 5
+	cs := New(n)
+	runAll(cs, func(c *Comm) {
+		vs := make([]any, n)
+		nb := make([]int64, n)
+		for i := range vs {
+			vs[i] = c.Rank()*100 + i
+			nb[i] = 8
+		}
+		got := c.Alltoall(nb, vs)
+		for src, v := range got {
+			if v.(int) != src*100+c.Rank() {
+				t.Errorf("alltoall[%d] = %v at rank %d", src, v, c.Rank())
+			}
+		}
+	})
+}

@@ -1,0 +1,300 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"plfs/internal/sim"
+)
+
+// runWorld spawns fn on every rank of a fresh world and runs the engine.
+func runWorld(t *testing.T, n int, fn func(*Rank)) *sim.Engine {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	w := NewWorld(eng, n, 16, DefaultNet())
+	w.SpawnAll(fn)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// worldSizes exercises non-trivial, non-power-of-two cases.
+var worldSizes = []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 33}
+
+func TestSendRecv(t *testing.T) {
+	runWorld(t, 2, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 5, 100, "hello")
+		} else {
+			m := r.Recv(0, 5)
+			if m.Val.(string) != "hello" || m.Bytes != 100 {
+				t.Errorf("got %+v", m)
+			}
+		}
+	})
+}
+
+func TestSendRecvOrderingPerTag(t *testing.T) {
+	runWorld(t, 2, func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				r.Send(1, 9, 8, i)
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				if got := r.Recv(0, 9).Val.(int); got != i {
+					t.Errorf("message %d arrived as %d", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, n := range worldSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			var minAfter, maxBefore sim.Time = 1 << 62, -1
+			runWorld(t, n, func(r *Rank) {
+				// Stagger arrivals.
+				r.Proc().Sleep(time.Duration(r.Rank()) * time.Millisecond)
+				if now := r.Proc().Now(); now > maxBefore {
+					maxBefore = now
+				}
+				r.Comm().Barrier()
+				if now := r.Proc().Now(); now < minAfter {
+					minAfter = now
+				}
+			})
+			if minAfter < maxBefore {
+				t.Fatalf("a rank left the barrier at %v before the last arrived at %v", minAfter, maxBefore)
+			}
+		})
+	}
+}
+
+func TestBcastAllSizesAllRoots(t *testing.T) {
+	for _, n := range worldSizes {
+		for root := 0; root < n; root += 1 + n/3 {
+			n, root := n, root
+			t.Run(fmt.Sprintf("n=%d/root=%d", n, root), func(t *testing.T) {
+				runWorld(t, n, func(r *Rank) {
+					var v any
+					if r.Rank() == root {
+						v = "val"
+					}
+					if got := r.Comm().Bcast(root, 64, v); got.(string) != "val" {
+						t.Errorf("rank %d got %v", r.Rank(), got)
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestGatherAllSizes(t *testing.T) {
+	for _, n := range worldSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			root := n / 2
+			runWorld(t, n, func(r *Rank) {
+				vals := r.Comm().Gather(root, 8, r.Rank()*3)
+				if r.Rank() == root {
+					if len(vals) != n {
+						t.Errorf("gather len = %d", len(vals))
+						return
+					}
+					for i, v := range vals {
+						if v.(int) != i*3 {
+							t.Errorf("gather[%d] = %v", i, v)
+						}
+					}
+				} else if vals != nil {
+					t.Errorf("non-root got %v", vals)
+				}
+			})
+		})
+	}
+}
+
+func TestScatterAllSizes(t *testing.T) {
+	for _, n := range worldSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			root := (n - 1) / 2
+			runWorld(t, n, func(r *Rank) {
+				var vs []any
+				if r.Rank() == root {
+					vs = make([]any, n)
+					for i := range vs {
+						vs[i] = i * 7
+					}
+				}
+				got := r.Comm().Scatter(root, 8, vs)
+				if got.(int) != r.Rank()*7 {
+					t.Errorf("rank %d scatter got %v", r.Rank(), got)
+				}
+			})
+		})
+	}
+}
+
+func TestAllgatherAllSizes(t *testing.T) {
+	for _, n := range worldSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runWorld(t, n, func(r *Rank) {
+				vals := r.Comm().Allgather(8, r.Rank()+100)
+				for i, v := range vals {
+					if v.(int) != i+100 {
+						t.Errorf("allgather[%d] = %v at rank %d", i, v, r.Rank())
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	sum := func(a, b any) any { return a.(int) + b.(int) }
+	for _, n := range worldSizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			want := n * (n - 1) / 2
+			runWorld(t, n, func(r *Rank) {
+				c := r.Comm()
+				got := c.Reduce(0, 8, r.Rank(), sum)
+				if r.Rank() == 0 && got.(int) != want {
+					t.Errorf("reduce = %v, want %d", got, want)
+				}
+				all := c.Allreduce(8, r.Rank(), sum)
+				if all.(int) != want {
+					t.Errorf("allreduce = %v at rank %d", all, r.Rank())
+				}
+			})
+		})
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 5
+	runWorld(t, n, func(r *Rank) {
+		vs := make([]any, n)
+		nb := make([]int64, n)
+		for i := range vs {
+			vs[i] = r.Rank()*100 + i // value destined for rank i
+			nb[i] = 16
+		}
+		got := r.Comm().Alltoall(nb, vs)
+		for src, v := range got {
+			if v.(int) != src*100+r.Rank() {
+				t.Errorf("alltoall[%d] = %v at rank %d", src, v, r.Rank())
+			}
+		}
+	})
+}
+
+func TestSplitAndSubCollectives(t *testing.T) {
+	const n = 12
+	runWorld(t, n, func(r *Rank) {
+		c := r.Comm()
+		sub := c.Split(r.Rank()%3, r.Rank())
+		if sub.Size() != 4 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		// Group members share a color; gather world ranks at sub-root.
+		vals := sub.Gather(0, 8, r.Rank())
+		if sub.Rank() == 0 {
+			for i, v := range vals {
+				if v.(int)%3 != r.Rank()%3 {
+					t.Errorf("member %d has wrong color: %v", i, v)
+				}
+			}
+		}
+		// The parent communicator still works after splitting.
+		c.Barrier()
+	})
+}
+
+func TestConsecutiveCollectivesNoCrosstalk(t *testing.T) {
+	runWorld(t, 9, func(r *Rank) {
+		c := r.Comm()
+		for i := 0; i < 30; i++ {
+			root := i % 9
+			var v any
+			if r.Rank() == root {
+				v = i
+			}
+			if got := c.Bcast(root, 8, v); got.(int) != i {
+				t.Errorf("iter %d got %v", i, got)
+				return
+			}
+		}
+	})
+}
+
+// TestBcastScalesLogarithmically checks the cost model: broadcasting to 4x
+// the ranks must cost far less than 4x the time (binomial tree).
+func TestBcastScalesLogarithmically(t *testing.T) {
+	cost := func(n int) sim.Time {
+		eng := sim.NewEngine(1)
+		w := NewWorld(eng, n, 16, DefaultNet())
+		w.SpawnAll(func(r *Rank) {
+			var v any
+			if r.Rank() == 0 {
+				v = 1
+			}
+			r.Comm().Bcast(0, 1<<20, v)
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	t64, t256 := cost(64), cost(256)
+	if ratio := float64(t256) / float64(t64); ratio > 2.5 {
+		t.Fatalf("bcast 256/64 cost ratio = %.2f, want logarithmic (<2.5)", ratio)
+	}
+}
+
+// TestSameNodeTransfersCheaper checks that intra-node messages use memory
+// bandwidth, not the NIC.
+func TestSameNodeTransfersCheaper(t *testing.T) {
+	cost := func(procsPerNode int) sim.Time {
+		eng := sim.NewEngine(1)
+		w := NewWorld(eng, 2, procsPerNode, NetConfig{NICBW: 1e9, Latency: time.Microsecond, MemBW: 100e9})
+		w.Spawn(0, func(r *Rank) { r.Send(1, 1, 100<<20, nil) })
+		w.Spawn(1, func(r *Rank) { r.Recv(0, 1) })
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	same := cost(2)  // both ranks on one node
+	cross := cost(1) // one rank per node
+	if same*10 > cross {
+		t.Fatalf("same-node %v not much cheaper than cross-node %v", same, cross)
+	}
+}
+
+func TestGatherVolumeGrowsUpTree(t *testing.T) {
+	// Total NIC traffic for a gather should exceed n×nbytes (interior
+	// forwarding) but stay well under n²×nbytes.
+	const n, nb = 32, 1 << 10
+	eng := sim.NewEngine(1)
+	w := NewWorld(eng, n, 1, DefaultNet()) // 1 proc/node: all traffic on NICs
+	w.SpawnAll(func(r *Rank) { r.Comm().Gather(0, nb, r.Rank()) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var moved int64
+	for _, nic := range w.nics {
+		moved += nic.Moved
+	}
+	moved /= 2 // counted at both sender and receiver NIC
+	if moved < (n-1)*nb || moved > n*n*nb/2 {
+		t.Fatalf("gather moved %d bytes, outside tree bounds", moved)
+	}
+}

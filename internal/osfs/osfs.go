@@ -1,0 +1,135 @@
+// Package osfs binds the PLFS Backend interface to the real operating
+// system filesystem, so PLFS runs as an actual middleware library over a
+// local directory tree (the role the underlying parallel file system's
+// mount plays in production).
+package osfs
+
+import (
+	"io"
+	"os"
+	"sort"
+
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+// FS implements plfs.Backend over the host filesystem.  The zero value is
+// ready to use; paths are passed through verbatim.
+type FS struct{}
+
+var _ plfs.Backend = FS{}
+
+// New returns an OS-filesystem backend.
+func New() FS { return FS{} }
+
+// Mkdir implements plfs.Backend.
+func (FS) Mkdir(path string) error { return os.Mkdir(path, 0o755) }
+
+// Create implements plfs.Backend.  Creation is exclusive, matching the
+// container protocol's reliance on EEXIST.
+func (FS) Create(path string) (plfs.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: f}, nil
+}
+
+// OpenRead implements plfs.Backend.
+func (FS) OpenRead(path string) (plfs.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: f, ro: true}, nil
+}
+
+// OpenWrite implements plfs.Backend: open an existing file for writing
+// without truncation.
+func (FS) OpenWrite(path string) (plfs.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: f}, nil
+}
+
+// Stat implements plfs.Backend.
+func (FS) Stat(path string) (plfs.Info, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return plfs.Info{}, err
+	}
+	return plfs.Info{Name: fi.Name(), Dir: fi.IsDir(), Size: fi.Size()}, nil
+}
+
+// ReadDir implements plfs.Backend.
+func (FS) ReadDir(path string) ([]plfs.Info, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]plfs.Info, 0, len(ents))
+	for _, e := range ents {
+		info := plfs.Info{Name: e.Name(), Dir: e.IsDir()}
+		if !e.IsDir() {
+			if fi, err := e.Info(); err == nil {
+				info.Size = fi.Size()
+			}
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Remove implements plfs.Backend.
+func (FS) Remove(path string) error { return os.Remove(path) }
+
+// Rename implements plfs.Backend.
+func (FS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+type file struct {
+	f  *os.File
+	ro bool
+}
+
+func (f *file) WriteAt(off int64, p payload.Payload) error {
+	_, err := f.f.WriteAt(p.Materialize(), off)
+	return err
+}
+
+func (f *file) Append(p payload.Payload) (int64, error) {
+	off, err := f.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	_, err = f.f.Write(p.Materialize())
+	return off, err
+}
+
+func (f *file) ReadAt(off, n int64) (payload.List, error) {
+	buf := make([]byte, n)
+	read, err := f.f.ReadAt(buf, off)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	var out payload.List
+	out = out.Append(payload.FromBytes(buf[:read]))
+	if int64(read) < n {
+		// Reads past EOF return zeros, matching the simulated store's
+		// sparse-object semantics (PLFS bounds reads by the logical size).
+		out = out.Append(payload.Zeros(n - int64(read)))
+	}
+	return out, nil
+}
+
+func (f *file) Size() int64 {
+	fi, err := f.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+func (f *file) Close() error { return f.f.Close() }

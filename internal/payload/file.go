@@ -1,0 +1,263 @@
+package payload
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Span is a half-open byte range [Start, End) carrying a resolution
+// sequence number and an opaque reference into caller-owned storage.  It is
+// the common currency of overwrite resolution: both the simulated file
+// store and the PLFS global index resolve overlapping writes with the same
+// sweep (highest Seq wins), exactly mirroring PLFS's use of timestamps to
+// order writes to the same offset.
+type Span struct {
+	Start, End int64
+	Seq        uint64
+	Ref        int32
+}
+
+// Resolve flattens possibly-overlapping spans into a sorted, disjoint
+// cover in which, at every byte, the span with the highest Seq wins
+// (ties broken toward the later Ref).  Adjacent pieces of the same Ref are
+// merged.  The result references the same Refs, clipped.
+func Resolve(spans []Span) []Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	in := make([]Span, 0, len(spans))
+	bounds := make([]int64, 0, 2*len(spans))
+	for _, s := range spans {
+		if s.End <= s.Start {
+			continue
+		}
+		in = append(in, s)
+		bounds = append(bounds, s.Start, s.End)
+	}
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].Start < in[j].Start })
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	bounds = dedupInt64(bounds)
+
+	var out []Span
+	var active spanHeap
+	next := 0 // next span (by Start) to activate
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		lo, hi := bounds[bi], bounds[bi+1]
+		for next < len(in) && in[next].Start <= lo {
+			heap.Push(&active, in[next])
+			next++
+		}
+		for active.Len() > 0 && active[0].End <= lo {
+			heap.Pop(&active)
+		}
+		if active.Len() == 0 {
+			continue
+		}
+		w := active[0]
+		if n := len(out); n > 0 && out[n-1].Ref == w.Ref && out[n-1].End == lo &&
+			out[n-1].Seq == w.Seq {
+			out[n-1].End = hi
+		} else {
+			out = append(out, Span{Start: lo, End: hi, Seq: w.Seq, Ref: w.Ref})
+		}
+	}
+	return out
+}
+
+func dedupInt64(xs []int64) []int64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// spanHeap orders active spans by descending (Seq, Ref): the winner is at
+// the top.  Dead spans (End <= cursor) are lazily removed.
+type spanHeap []Span
+
+func (h spanHeap) Len() int { return len(h) }
+func (h spanHeap) Less(i, j int) bool {
+	if h[i].Seq != h[j].Seq {
+		return h[i].Seq > h[j].Seq
+	}
+	return h[i].Ref > h[j].Ref
+}
+func (h spanHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *spanHeap) Push(x any)   { *h = append(*h, x.(Span)) }
+func (h *spanHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// File is a sparse byte store built from payload extents.  Writes are
+// buffered and consolidated lazily (on the first read after a write), so a
+// write-heavy phase costs O(1) amortized per write and a consolidation
+// costs O(n log n) — matching how the simulator's workloads behave
+// (bulk-synchronous write phase, then read phase).
+//
+// Overlapping writes resolve to the latest (highest write sequence), like
+// a POSIX file written without concurrent overlap guarantees.
+type File struct {
+	resolved []fext   // sorted, disjoint
+	pending  []pwrite // unconsolidated writes, in arrival order
+	seq      uint64
+	size     int64
+}
+
+type fext struct {
+	off int64
+	p   Payload
+}
+
+type pwrite struct {
+	off int64
+	seq uint64
+	p   Payload
+}
+
+// Size returns the file size (highest written byte + 1).
+func (f *File) Size() int64 { return f.size }
+
+// WriteAt records a write of p at offset off.
+func (f *File) WriteAt(off int64, p Payload) {
+	if p.Length == 0 {
+		return
+	}
+	f.seq++
+	f.pending = append(f.pending, pwrite{off: off, seq: f.seq, p: p})
+	if end := off + p.Length; end > f.size {
+		f.size = end
+	}
+}
+
+// Append writes p at the current end of file and returns the offset it
+// landed at.
+func (f *File) Append(p Payload) int64 {
+	off := f.size
+	f.WriteAt(off, p)
+	return off
+}
+
+// consolidate folds pending writes into the resolved extent list.
+func (f *File) consolidate() {
+	if len(f.pending) == 0 {
+		return
+	}
+	spans := make([]Span, 0, len(f.resolved)+len(f.pending))
+	store := make([]Payload, 0, cap(spans))
+	add := func(off int64, seq uint64, p Payload) {
+		store = append(store, p)
+		spans = append(spans, Span{Start: off, End: off + p.Length, Seq: seq, Ref: int32(len(store) - 1)})
+	}
+	for _, e := range f.resolved {
+		add(e.off, 0, e.p) // already-resolved extents never overlap; seq 0 is safe
+	}
+	for _, w := range f.pending {
+		add(w.off, w.seq, w.p)
+	}
+	f.pending = f.pending[:0]
+	res := Resolve(spans)
+	f.resolved = f.resolved[:0]
+	for _, s := range res {
+		src := spans[findSpanRef(spans, s.Ref)]
+		p := store[s.Ref].Slice(s.Start-src.Start, s.End-s.Start)
+		if n := len(f.resolved); n > 0 {
+			last := &f.resolved[n-1]
+			if last.off+last.p.Length == s.Start && last.p.canCoalesce(p) {
+				last.p.Length += p.Length
+				continue
+			}
+		}
+		f.resolved = append(f.resolved, fext{off: s.Start, p: p})
+	}
+}
+
+// findSpanRef locates the original span for a ref; Refs are assigned as
+// indices, so this is a direct lookup.
+func findSpanRef(spans []Span, ref int32) int { return int(ref) }
+
+// ReadAt returns the byte range [off, off+length), with holes reading as
+// zeros.  Reading past EOF returns zeros for the overhang (the simulated
+// store is a sparse object store, not a POSIX fd; EOF handling lives in
+// the filesystem layer above).
+func (f *File) ReadAt(off, length int64) List {
+	if length <= 0 {
+		return nil
+	}
+	f.consolidate()
+	var out List
+	end := off + length
+	// Find the first extent ending after off.
+	i := sort.Search(len(f.resolved), func(i int) bool {
+		e := f.resolved[i]
+		return e.off+e.p.Length > off
+	})
+	cur := off
+	for ; i < len(f.resolved) && cur < end; i++ {
+		e := f.resolved[i]
+		if e.off > cur {
+			gap := e.off - cur
+			if gap > end-cur {
+				gap = end - cur
+			}
+			out = out.Append(Zeros(gap))
+			cur += gap
+			if cur >= end {
+				break
+			}
+		}
+		lo := cur - e.off
+		take := e.p.Length - lo
+		if take > end-cur {
+			take = end - cur
+		}
+		out = out.Append(e.p.Slice(lo, take))
+		cur += take
+	}
+	if cur < end {
+		out = out.Append(Zeros(end - cur))
+	}
+	return out
+}
+
+// Extents returns the number of resolved extents (after consolidation),
+// a memory/diagnostic metric.
+func (f *File) Extents() int {
+	f.consolidate()
+	return len(f.resolved)
+}
+
+// Truncate resets the file to empty if n == 0; partial truncation clips
+// extents.  (Checkpoint workloads only ever truncate to zero on recreate,
+// but the general form is cheap to support.)
+func (f *File) Truncate(n int64) {
+	f.consolidate()
+	if n <= 0 {
+		f.resolved = f.resolved[:0]
+		f.size = 0
+		return
+	}
+	out := f.resolved[:0]
+	for _, e := range f.resolved {
+		if e.off >= n {
+			break
+		}
+		if e.off+e.p.Length > n {
+			e.p = e.p.Slice(0, n-e.off)
+		}
+		out = append(out, e)
+	}
+	f.resolved = out
+	if f.size > n {
+		f.size = n
+	}
+}

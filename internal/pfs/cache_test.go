@@ -1,0 +1,178 @@
+package pfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := newCache(1000, 1)
+	if c.hitBytes(1, 0, 100) != 0 {
+		t.Fatal("empty cache hit")
+	}
+	c.insert(1, 0, 100)
+	if got := c.hitBytes(1, 0, 100); got != 100 {
+		t.Fatalf("hit = %d, want 100", got)
+	}
+	if got := c.hitBytes(1, 50, 100); got != 50 {
+		t.Fatalf("partial hit = %d, want 50", got)
+	}
+	if c.hitBytes(2, 0, 100) != 0 {
+		t.Fatal("wrong-object hit")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newCache(100, 1)
+	c.insert(1, 0, 60)
+	c.insert(2, 0, 60) // evicts obj 1's extent
+	if c.used > 100 {
+		t.Fatalf("used = %d over capacity", c.used)
+	}
+	if got := c.hitBytes(2, 0, 60); got != 60 {
+		t.Fatalf("recent insert evicted: hit = %d", got)
+	}
+	// Block-granular FIFO eviction trims exactly back to capacity: the
+	// oldest 20 bytes of obj 1 are gone, the rest survive.
+	if got := c.hitBytes(1, 0, 60); got != 40 {
+		t.Fatalf("oldest blocks not evicted: hit = %d, want 40", got)
+	}
+	if got := c.hitBytes(1, 20, 40); got != 40 {
+		t.Fatalf("surviving tail wrong: hit = %d, want 40", got)
+	}
+}
+
+func TestCacheOversizedInsertKeepsTail(t *testing.T) {
+	c := newCache(100, 1)
+	c.insert(1, 0, 1000)
+	if c.used > 100 {
+		t.Fatalf("used = %d", c.used)
+	}
+	// Only the tail of the stream fits.
+	if got := c.hitBytes(1, 900, 100); got != 100 {
+		t.Fatalf("tail hit = %d, want 100", got)
+	}
+}
+
+func TestCacheZeroCapacityDisabled(t *testing.T) {
+	c := newCache(0, 1)
+	c.insert(1, 0, 10)
+	if c.hitBytes(1, 0, 10) != 0 {
+		t.Fatal("zero-capacity cache stored data")
+	}
+}
+
+func TestCacheDrop(t *testing.T) {
+	c := newCache(1000, 1)
+	c.insert(1, 0, 100)
+	c.insert(2, 0, 100)
+	c.drop(1)
+	if c.hitBytes(1, 0, 100) != 0 {
+		t.Fatal("dropped object still cached")
+	}
+	if c.hitBytes(2, 0, 100) != 100 {
+		t.Fatal("drop removed wrong object")
+	}
+	if c.used != 100 {
+		t.Fatalf("used = %d, want 100", c.used)
+	}
+}
+
+// Property: cache accounting matches a brute-force byte-set oracle and
+// never exceeds capacity.
+func TestCacheMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capacity = 200
+		c := newCache(capacity, 1)
+		type key struct {
+			obj uint64
+			b   int64
+		}
+		// The oracle only checks subset consistency: every byte the cache
+		// claims as hit must have been inserted at some point (no phantom
+		// hits), and used == sum of interval lengths <= capacity.
+		inserted := map[key]bool{}
+		for k := 0; k < 200; k++ {
+			obj := uint64(rng.Intn(3) + 1)
+			off := int64(rng.Intn(300))
+			n := int64(rng.Intn(80) + 1)
+			if rng.Intn(2) == 0 {
+				c.insert(obj, off, n)
+				start := off
+				if n > capacity {
+					start = off + n - capacity
+				}
+				for b := start; b < off+n; b++ {
+					inserted[key{obj, b}] = true
+				}
+			} else {
+				hits := c.hitBytes(obj, off, n)
+				// Count bytes that were ever inserted; hits must not exceed.
+				var everIn int64
+				for b := off; b < off+n; b++ {
+					if inserted[key{obj, b}] {
+						everIn++
+					}
+				}
+				if hits > everIn {
+					return false
+				}
+			}
+			// Accounting invariants: used equals the number of present
+			// blocks (block size 1 -> bytes) and never exceeds capacity;
+			// the per-object block counts sum to the total.
+			if int64(len(c.present)) != c.used || c.used > capacity {
+				return false
+			}
+			perObj := 0
+			for _, n := range c.objBlks {
+				if n <= 0 {
+					return false
+				}
+				perObj += n
+			}
+			if perObj != len(c.present) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSTSharesConservation(t *testing.T) {
+	f := func(off, n uint32, stripeSel, groupSel uint8) bool {
+		stripe := int64(1) << (10 + stripeSel%8) // 1K..128K
+		groups := int(groupSel%16) + 1
+		o, sz := int64(off), int64(n%10_000_000)+1
+		shares := ostShares(uint64(off)*7, o, sz, stripe, groups)
+		var sum int64
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == sz && len(shares) == groups
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSTSharesSmallTransferSingleGroup(t *testing.T) {
+	shares := ostShares(3, 0, 100, 64<<10, 8)
+	nonzero := 0
+	for _, s := range shares {
+		if s > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("small transfer touched %d groups", nonzero)
+	}
+}

@@ -1,0 +1,435 @@
+package pfs
+
+import (
+	"time"
+
+	"plfs/internal/payload"
+	"plfs/internal/sim"
+)
+
+// Client is one compute process's view of the file system.  All operations
+// charge simulated time against the caller's process and the shared
+// metadata/data resources.
+type Client struct {
+	fs   *FS
+	node int
+	p    *sim.Proc
+}
+
+// Client returns a client bound to the given compute node and process.
+func (fs *FS) Client(node int, p *sim.Proc) *Client {
+	if node < 0 || node >= len(fs.nodes) {
+		panic("pfs: node out of range")
+	}
+	return &Client{fs: fs, node: node, p: p}
+}
+
+// Node returns the compute node this client runs on.
+func (c *Client) Node() int { return c.node }
+
+// FS returns the underlying file system.
+func (c *Client) FS() *FS { return c.fs }
+
+func (c *Client) jit(d time.Duration) time.Duration {
+	return c.fs.Eng.Jitter(d, c.fs.Cfg.JitterFrac)
+}
+
+// mdsService charges one read-path metadata RPC on the volume: network
+// round trip plus service through the wide read pool.
+func (c *Client) mdsService(vol int, d time.Duration) {
+	c.fs.MetaOps++
+	c.p.Sleep(c.jit(c.fs.Cfg.StorageRTT))
+	c.fs.vols[vol].mdsRead.Use(c.p, c.jit(d))
+}
+
+// nsMutate charges a namespace mutation in dir: the MDS service plus the
+// per-directory critical section, whose cost grows with the number of
+// queued mutators (a hot-directory lock convoy).
+func (c *Client) nsMutate(dir *fnode, d time.Duration) {
+	cfg := &c.fs.Cfg
+	c.fs.MetaOps++
+	c.p.Sleep(c.jit(cfg.StorageRTT))
+	waiters := dir.dirMu.Waiters()
+	if dir.dirMu.Locked() {
+		waiters++
+	}
+	dir.dirMu.Lock(c.p)
+	crit := cfg.DirCritical
+	if waiters > 0 {
+		w := waiters
+		if cfg.DirWaiterCap > 0 && w > cfg.DirWaiterCap {
+			w = cfg.DirWaiterCap
+		}
+		crit += time.Duration(w) * cfg.DirPerWaiter
+	}
+	c.p.Sleep(c.jit(crit))
+	dir.dirMu.Unlock()
+	c.fs.vols[dir.vol].mds.Use(c.p, c.jit(d))
+}
+
+// createUnder inserts a new child into parent via mk, paying the full
+// namespace-mutation cost (directory critical section + mutation service)
+// only when this caller actually performs the insert.  Racers that find
+// the entry already present — before or after queueing on the directory
+// lock — resolve with a cheap lookup, as a real metadata server resolves
+// EEXIST under a briefly-held lock.  The insert happens inside the
+// critical section, so a convoy of racers behind the winner drains
+// instantly rather than each paying the mutation cost.
+func (c *Client) createUnder(parent *fnode, name string, mk func() *fnode) (*fnode, error) {
+	cfg := &c.fs.Cfg
+	c.fs.MetaOps++
+	if existing, ok := parent.children[name]; ok {
+		// Resolved from the client's dentry knowledge + one lookup RPC.
+		c.p.Sleep(c.jit(cfg.StorageRTT))
+		c.fs.vols[parent.vol].mdsRead.Use(c.p, c.jit(cfg.LookupOp))
+		return existing, ErrExist
+	}
+	c.p.Sleep(c.jit(cfg.StorageRTT))
+	waiters := parent.dirMu.Waiters()
+	if parent.dirMu.Locked() {
+		waiters++
+	}
+	parent.dirMu.Lock(c.p)
+	if existing, ok := parent.children[name]; ok {
+		parent.dirMu.Unlock()
+		c.fs.vols[parent.vol].mdsRead.Use(c.p, c.jit(cfg.LookupOp))
+		return existing, ErrExist
+	}
+	crit := cfg.DirCritical
+	if waiters > 0 {
+		w := waiters
+		if cfg.DirWaiterCap > 0 && w > cfg.DirWaiterCap {
+			w = cfg.DirWaiterCap
+		}
+		crit += time.Duration(w) * cfg.DirPerWaiter
+	}
+	c.p.Sleep(c.jit(crit))
+	node := mk()
+	parent.dirMu.Unlock()
+	c.fs.vols[parent.vol].mds.Use(c.p, c.jit(cfg.CreateOp))
+	return node, nil
+}
+
+// Mkdir creates a directory.  The new directory inherits its parent's
+// volume (directories cannot straddle metadata domains — the "rigid
+// realms" the paper describes for PanFS).
+func (c *Client) Mkdir(path string) error {
+	parent, name, err := c.fs.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	if !parent.dir {
+		return ErrNotDir
+	}
+	_, err = c.createUnder(parent, name, func() *fnode { return c.fs.newDir(parent, name) })
+	return err
+}
+
+// Create creates a new file and opens it for writing.
+func (c *Client) Create(path string) (*Handle, error) {
+	parent, name, err := c.fs.lookupParent(path)
+	if err != nil {
+		return nil, err
+	}
+	if !parent.dir {
+		return nil, ErrNotDir
+	}
+	node, err := c.createUnder(parent, name, func() *fnode { return c.fs.newFile(parent, name) })
+	if err != nil {
+		if node != nil && node.dir {
+			return nil, ErrIsDir
+		}
+		return nil, err
+	}
+	node.writeOpeners++
+	return &Handle{c: c, f: node, writing: true}, nil
+}
+
+// OpenRead opens an existing file for reading.
+func (c *Client) OpenRead(path string) (*Handle, error) {
+	n, err := c.fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.dir {
+		return nil, ErrIsDir
+	}
+	c.mdsService(n.vol, c.fs.Cfg.LookupOp)
+	return &Handle{c: c, f: n}, nil
+}
+
+// OpenWrite opens an existing file for writing (no truncation).
+func (c *Client) OpenWrite(path string) (*Handle, error) {
+	n, err := c.fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.dir {
+		return nil, ErrIsDir
+	}
+	c.mdsService(n.vol, c.fs.Cfg.LookupOp)
+	n.writeOpeners++
+	return &Handle{c: c, f: n, writing: true}, nil
+}
+
+// Stat returns metadata for path.
+func (c *Client) Stat(path string) (FileInfo, error) {
+	n, err := c.fs.lookup(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	c.mdsService(n.vol, c.fs.Cfg.StatOp)
+	return n.info(), nil
+}
+
+// ReadDir lists a directory in lexical order.
+func (c *Client) ReadDir(path string) ([]FileInfo, error) {
+	n, err := c.fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if !n.dir {
+		return nil, ErrNotDir
+	}
+	c.mdsService(n.vol, c.fs.Cfg.ReadDirOp+time.Duration(len(n.children))*c.fs.Cfg.ReadDirEnt)
+	out := make([]FileInfo, 0, len(n.children))
+	for _, name := range n.sortedChildren() {
+		out = append(out, n.children[name].info())
+	}
+	return out, nil
+}
+
+// Remove unlinks a file or empty directory.
+func (c *Client) Remove(path string) error {
+	n, err := c.fs.lookup(path)
+	if err != nil {
+		return err
+	}
+	if n.parent == nil {
+		return ErrNotEmpty
+	}
+	if n.dir && len(n.children) > 0 {
+		return ErrNotEmpty
+	}
+	c.nsMutate(n.parent, c.fs.Cfg.CreateOp)
+	delete(n.parent.children, n.name)
+	if !n.dir {
+		for _, ns := range c.fs.nodes {
+			ns.cache.drop(n.obj)
+		}
+	}
+	return nil
+}
+
+// Rename moves a file or directory within the same volume.
+func (c *Client) Rename(oldPath, newPath string) error {
+	n, err := c.fs.lookup(oldPath)
+	if err != nil {
+		return err
+	}
+	parent, name, err := c.fs.lookupParent(newPath)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[name]; ok {
+		return ErrExist
+	}
+	if parent.vol != n.vol {
+		return ErrNotDir // cross-volume renames are not supported, like rigid realms
+	}
+	c.nsMutate(n.parent, c.fs.Cfg.CreateOp)
+	c.nsMutate(parent, c.fs.Cfg.CreateOp)
+	delete(n.parent.children, n.name)
+	n.parent = parent
+	n.name = name
+	parent.children[name] = n
+	return nil
+}
+
+// Handle is an open file.
+type Handle struct {
+	c       *Client
+	f       *fnode
+	writing bool
+	closed  bool
+}
+
+// Size returns the file size as known to the client (no charged RPC; the
+// client caches attributes from open).
+func (h *Handle) Size() int64 { return h.f.data.Size() }
+
+// Object returns the file's storage object id (diagnostics).
+func (h *Handle) Object() uint64 { return h.f.obj }
+
+// Path-free name of the file (diagnostics).
+func (h *Handle) Name() string { return h.f.name }
+
+// WriteAt writes p at the given offset, paying range-lock costs when the
+// file has multiple concurrent write openers.
+func (h *Handle) WriteAt(off int64, p payload.Payload) error {
+	if h.closed {
+		return ErrClosed
+	}
+	if !h.writing {
+		return ErrReadOnly
+	}
+	n := p.Len()
+	if n == 0 {
+		return nil
+	}
+	cfg := &h.c.fs.Cfg
+	if h.f.writeOpeners > 1 && cfg.LockUnit > 0 {
+		lo := off / cfg.LockUnit
+		hi := (off + n + cfg.LockUnit - 1) / cfg.LockUnit
+		rpcs := h.f.locks.acquire(lo, hi, h.c.node)
+		if rpcs > 0 {
+			h.c.fs.LockOps += int64(rpcs)
+			// Lock traffic serializes through the file's lock manager.
+			h.f.lockMgr.Use(h.c.p, h.c.jit(time.Duration(rpcs)*cfg.LockRPC))
+		}
+	}
+	seq := h.f.streamSeq(off, n, cfg.StreamSlots)
+	h.transfer(off, n, n, seq, false)
+	h.f.data.WriteAt(off, p)
+	h.c.fs.nodes[h.c.node].cache.insert(h.f.obj, off, n)
+	return nil
+}
+
+// Append writes p at the current end of file and returns the offset it
+// landed at.  Appends to single-writer files (PLFS droppings) are the
+// fast path: sequential, lock-free.
+func (h *Handle) Append(p payload.Payload) (int64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	off := h.f.data.Size()
+	return off, h.WriteAt(off, p)
+}
+
+// ReadAt returns the byte range [off, off+n), serving cached bytes at
+// memory speed and the rest through the storage network and disks.
+func (h *Handle) ReadAt(off, n int64) (payload.List, error) {
+	if h.closed {
+		return nil, ErrClosed
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	c := h.c
+	cfg := &c.fs.Cfg
+	cache := c.fs.nodes[c.node].cache
+	hit := cache.hitBytes(h.f.obj, off, n)
+	miss := n - hit
+	c.fs.CacheHitB += hit
+	c.fs.CacheMisB += miss
+	// The access advances the object's readahead stream over its full
+	// range whether or not parts were served from cache, so sequential
+	// scans stay sequential across hit/miss boundaries.
+	seq := h.f.streamSeq(off, n, cfg.StreamSlots)
+	if hit > 0 && cfg.MemBW > 0 {
+		c.p.Sleep(time.Duration(float64(hit) / cfg.MemBW * 1e9))
+	}
+	if miss > 0 {
+		// Insert the range before the transfer completes: concurrent
+		// readers of the same range on this node coalesce onto the
+		// in-flight fill instead of issuing a thundering herd of disk
+		// reads (they may observe completion slightly early — an
+		// approximation of page-cache request coalescing).
+		cache.insert(h.f.obj, off, n)
+		h.transfer(off, n, miss, seq, true)
+	}
+	return h.f.data.ReadAt(off, n), nil
+}
+
+// transfer models moving n bytes at file offset off between the client
+// and the storage system: one flow across the shared storage network and
+// one flow per involved OST group, pipelined (the slowest stage governs).
+// Non-sequential requests charge each involved group a positioning
+// penalty, expressed as seek-equivalent bytes so that it composes with
+// fair sharing.
+// Reads served from the storage servers' cache skip the disk stage.
+// off/n describe the logical access; disk is the portion that must come
+// from (or go to) the disks; seq is the object-level stream verdict
+// computed by the caller (sequentiality is a property of the shared
+// object, not the handle: concurrent streams into one file compete for
+// the object's readahead slots).
+func (h *Handle) transfer(off, n, disk int64, seq, isRead bool) {
+	c := h.c
+	cfg := &c.fs.Cfg
+	c.p.Sleep(c.jit(cfg.StorageRTT))
+
+	if isRead {
+		if svrHit := c.fs.svrCache.hitBytes(h.f.obj, off, n); disk > n-svrHit {
+			disk = n - svrHit
+		}
+	}
+	c.fs.svrCache.insert(h.f.obj, off, n)
+
+	var wg sim.WaitGroup
+	wg.Add(1)
+	c.fs.snet.TransferAsync(n, wg.Done)
+	if disk > 0 {
+		shares := ostShares(h.f.obj, off, disk, cfg.StripeUnit, len(c.fs.groups))
+		for g, bytes := range shares {
+			if bytes == 0 {
+				continue
+			}
+			if !seq && cfg.SeekTime > 0 {
+				c.fs.SeekOps++
+				bytes += int64(cfg.SeekTime.Seconds() * cfg.OSTGroupBW)
+			}
+			wg.Add(1)
+			c.fs.groups[g].TransferAsync(bytes, wg.Done)
+		}
+	}
+	wg.Wait(c.p)
+}
+
+// ostShares distributes a transfer of n bytes at offset off across the
+// OST groups according to round-robin striping.  Each object's stripe 0
+// starts at a different group (obj % groups), as real layouts randomize
+// the starting OST so small files spread across the disk pool.
+func ostShares(obj uint64, off, n int64, stripe int64, groups int) []int64 {
+	shares := make([]int64, groups)
+	if stripe <= 0 || groups == 1 {
+		shares[int(obj)%groups] = n
+		return shares
+	}
+	base := int(obj % uint64(groups))
+	if n >= stripe*int64(groups) {
+		// Large transfer: essentially even across all groups.
+		each := n / int64(groups)
+		rem := n - each*int64(groups)
+		for i := range shares {
+			shares[i] = each
+		}
+		shares[(base+int(off/stripe))%groups] += rem
+		return shares
+	}
+	// Small transfer: walk the stripe units it touches.
+	for n > 0 {
+		g := (base + int(off/stripe)) % groups
+		take := stripe - off%stripe
+		if take > n {
+			take = n
+		}
+		shares[g] += take
+		off += take
+		n -= take
+	}
+	return shares
+}
+
+// Close releases the handle.  Closing a written file charges a metadata
+// update (size/attributes); read closes are free, as on real clients.
+func (h *Handle) Close() error {
+	if h.closed {
+		return ErrClosed
+	}
+	h.closed = true
+	if h.writing {
+		h.f.writeOpeners--
+		h.c.mdsService(h.f.vol, h.c.fs.Cfg.CloseOp)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Package pfs implements a discrete-event simulated parallel file system.
+//
+// It models the mechanisms the paper identifies as the sources of N-1
+// slowness and PLFS speedups on GPFS/Lustre/PanFS-class systems:
+//
+//   - a pool of metadata servers (volumes), each with parallel service
+//     capacity but *per-directory serialization* of namespace mutations —
+//     the single-directory create storm and N² index-open bottlenecks;
+//   - striped object storage, modeled as fair-share OST groups with a
+//     positioning (seek) penalty for non-sequential streams — why
+//     decoupled, log-structured PLFS streams read fast and strided N-1
+//     streams read slow;
+//   - a byte-range write lock manager per shared file — why concurrent
+//     N-1 writes serialize and PLFS's decoupled appends do not;
+//   - a shared storage-network pipe (the cluster-to-storage bottleneck);
+//   - a per-node client cache, which lets re-reads of recently written
+//     data exceed the storage network's nominal peak, as the paper
+//     observes at 1024 streams.
+//
+// Everything is calibrated by Config; the defaults approximate the paper's
+// 64-node / 1024-core cluster with a 551 TB PanFS behind a 10 GigE storage
+// network (about 1.25 GB/s of theoretical peak bandwidth).
+package pfs
+
+import "time"
+
+// Config describes one simulated cluster + parallel file system.
+type Config struct {
+	// Cluster geometry.
+	Nodes        int // compute nodes
+	ProcsPerNode int // cores (ranks) per node
+
+	// Per-node memory bandwidth used to serve client-cache hits.
+	MemBW float64 // bytes/sec
+
+	// Metadata service.  Namespace mutations funnel through a narrow
+	// server pool (MDSServers) plus per-directory serialization; metadata
+	// reads (lookups, opens, stats) are served by a much wider pool
+	// (MDSReadServers), as real systems replicate and cache read-mostly
+	// metadata across director blades.
+	Volumes        int           // metadata domains ("realms"); directories are pinned to one
+	MDSServers     int           // parallel mutation servers per volume
+	MDSReadServers int           // parallel read-path servers per volume
+	CreateOp       time.Duration // service time: create/mkdir/remove
+	LookupOp       time.Duration // service time: open/lookup
+	StatOp         time.Duration // service time: stat
+	CloseOp        time.Duration // service time: close of a written file
+	ReadDirOp      time.Duration // service time: readdir base
+	ReadDirEnt     time.Duration // additional readdir time per entry
+
+	// Per-directory serialization of namespace mutations.  Each mutation
+	// holds the directory for DirCritical + DirPerWaiter×waiters (capped),
+	// modeling lock convoys on hot directories.
+	DirCritical  time.Duration
+	DirPerWaiter time.Duration
+	DirWaiterCap int
+
+	// Data path.
+	OSTGroups  int           // fair-share disk groups
+	OSTGroupBW float64       // bytes/sec per group
+	SeekTime   time.Duration // positioning penalty per non-sequential request per group
+	// StreamSlots is the number of concurrent access streams per object
+	// whose sequentiality the storage system can track (readahead
+	// contexts).  More concurrent streams than slots thrash each other.
+	StreamSlots int
+	StripeUnit  int64         // bytes per stripe unit
+	StorageBW   float64       // shared storage network, bytes/sec (the "theoretical peak")
+	StorageRTT  time.Duration // request round-trip latency
+
+	// Byte-range write locking on shared files (files with >1 concurrent
+	// write opener).  Lock operations serialize through a per-file manager.
+	LockUnit int64
+	LockRPC  time.Duration
+
+	// Client cache per node; zero disables caching.
+	ClientCacheBytes int64
+
+	// Server-side cache across the storage servers (OST RAM under shared
+	// production load): read hits skip the disks (but still cross the
+	// storage network).  Small relative to checkpoint datasets, large
+	// relative to index files — which is why the Original design's N²
+	// re-reads of the same index droppings stop paying disk seeks after
+	// the first pass while bulk data does not.  Zero disables it.
+	ServerCacheBytes int64
+
+	// JitterFrac perturbs every service time by ±frac (uniform), giving
+	// run-to-run variance under different seeds.
+	JitterFrac float64
+
+	// DegradedGroup, when >= 0, injects a failure: that OST group runs at
+	// DegradedFactor of its bandwidth (a rebuilding RAID set or a sick
+	// disk).  Used by the degradation ablation.
+	DegradedGroup  int
+	DegradedFactor float64
+}
+
+// SmallCluster returns a configuration approximating the paper's
+// production cluster: 64 nodes × 16 cores, InfiniBand interconnect, and a
+// Panasas system behind a 10 GigE storage network with a 1.25 GB/s peak.
+func SmallCluster() Config {
+	return Config{
+		Nodes:        64,
+		ProcsPerNode: 16,
+		MemBW:        3e9,
+
+		Volumes:        1,
+		MDSServers:     4,
+		MDSReadServers: 64,
+		CreateOp:       1200 * time.Microsecond,
+		LookupOp:       150 * time.Microsecond,
+		StatOp:         100 * time.Microsecond,
+		CloseOp:        150 * time.Microsecond,
+		ReadDirOp:      200 * time.Microsecond,
+		ReadDirEnt:     2 * time.Microsecond,
+
+		DirCritical:  600 * time.Microsecond,
+		DirPerWaiter: 2 * time.Microsecond,
+		DirWaiterCap: 4096,
+
+		OSTGroups:   8,
+		OSTGroupBW:  300e6,
+		SeekTime:    4 * time.Millisecond,
+		StreamSlots: 4,
+		StripeUnit:  64 << 10,
+		StorageBW:   1.25e9,
+		StorageRTT:  200 * time.Microsecond,
+
+		LockUnit: 64 << 10,
+		LockRPC:  1 * time.Millisecond,
+
+		ClientCacheBytes: 4 << 30, // nodes have 32 GB; the page cache holds recent checkpoints
+		ServerCacheBytes: 512 << 20,
+		JitterFrac:       0.05,
+
+		DegradedGroup: -1,
+	}
+}
+
+// Cielo returns a configuration approximating Cielo, the paper's Cray XE6:
+// 8,894 nodes × 16 cores (142k cores), Gemini interconnect, and a 10 PB
+// Panasas system with a much larger storage network.
+func Cielo() Config {
+	c := SmallCluster()
+	c.Nodes = 8894
+	c.ProcsPerNode = 16
+	c.Volumes = 1
+	c.MDSServers = 16
+	c.MDSReadServers = 128
+	c.DirCritical = 1500 * time.Microsecond
+	c.DirPerWaiter = 150 * time.Nanosecond
+	c.DirWaiterCap = 1 << 20
+	c.OSTGroups = 16
+	c.OSTGroupBW = 6e9
+	c.SeekTime = 4 * time.Millisecond
+	c.StorageBW = 80e9
+	c.ClientCacheBytes = 4 << 30
+	c.ServerCacheBytes = 4 << 30
+	return c
+}

@@ -1,0 +1,356 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"sort"
+	"strings"
+	"time"
+
+	"plfs/internal/payload"
+	"plfs/internal/sim"
+)
+
+// Errors returned by filesystem operations.  ErrExist and ErrNotExist wrap
+// the io/fs sentinels so layers above can test them without knowing which
+// backend produced them.
+var (
+	ErrExist    = fmt.Errorf("pfs: %w", iofs.ErrExist)
+	ErrNotExist = fmt.Errorf("pfs: %w", iofs.ErrNotExist)
+	ErrIsDir    = errors.New("pfs: is a directory")
+	ErrNotDir   = errors.New("pfs: not a directory")
+	ErrNotEmpty = errors.New("pfs: directory not empty")
+	ErrClosed   = errors.New("pfs: handle closed")
+	ErrReadOnly = errors.New("pfs: handle not open for writing")
+)
+
+// FS is one simulated parallel file system instance attached to an engine.
+type FS struct {
+	Eng *sim.Engine
+	Cfg Config
+
+	vols     []*volume
+	groups   []*sim.PSLink
+	snet     *sim.PSLink
+	nodes    []*nodeState
+	svrCache *cache
+	root     *fnode
+
+	nextObj uint64
+
+	// Counters for diagnostics and tests.
+	MetaOps   int64
+	LockOps   int64
+	SeekOps   int64
+	CacheHitB int64
+	CacheMisB int64
+}
+
+type volume struct {
+	mds     *sim.Resource // namespace mutations
+	mdsRead *sim.Resource // lookups, opens, stats, readdirs
+}
+
+type nodeState struct {
+	cache *cache
+}
+
+// fnode is a namespace node (file or directory).
+type fnode struct {
+	name   string
+	parent *fnode
+	vol    int
+	dir    bool
+
+	// Directory state.
+	children map[string]*fnode
+	dirMu    *sim.Mutex
+
+	// File state.
+	obj          uint64
+	data         payload.File
+	writeOpeners int
+	lockMgr      *sim.Resource
+	locks        lockTable
+
+	// streams is the object's readahead/allocation stream table: the file
+	// positions of the most recent access streams (LRU order, bounded by
+	// Config.StreamSlots).  It is shared by every handle on the file, so
+	// concurrent readers of one shared object thrash each other's
+	// sequentiality — the reason decoupled PLFS droppings prefetch well
+	// and N-1 shared files do not.
+	streams []int64
+}
+
+// streamSeq reports whether an access at off continues one of the
+// object's active streams, and records the stream position for the next
+// access.
+func (n *fnode) streamSeq(off, length int64, slots int) bool {
+	if slots < 1 {
+		slots = 1
+	}
+	for i, pos := range n.streams {
+		if pos == off {
+			// Continue this stream; move it to the MRU position.
+			copy(n.streams[1:i+1], n.streams[:i])
+			n.streams[0] = off + length
+			return true
+		}
+	}
+	// New stream: evict the LRU slot if full.
+	if len(n.streams) < slots {
+		n.streams = append(n.streams, 0)
+	}
+	copy(n.streams[1:], n.streams[:len(n.streams)-1])
+	n.streams[0] = off + length
+	return false
+}
+
+// New creates a file system on the engine.  The namespace root exists and
+// lives on volume 0; use VolumeRoot to obtain per-volume top directories.
+func New(eng *sim.Engine, cfg Config) *FS {
+	if cfg.Volumes < 1 {
+		cfg.Volumes = 1
+	}
+	if cfg.OSTGroups < 1 {
+		cfg.OSTGroups = 1
+	}
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	fs := &FS{Eng: eng, Cfg: cfg}
+	for i := 0; i < cfg.Volumes; i++ {
+		fs.vols = append(fs.vols, &volume{
+			mds:     sim.NewResource(eng, max(1, cfg.MDSServers)),
+			mdsRead: sim.NewResource(eng, max(1, cfg.MDSReadServers)),
+		})
+	}
+	for i := 0; i < cfg.OSTGroups; i++ {
+		bw := cfg.OSTGroupBW
+		if i == cfg.DegradedGroup && cfg.DegradedFactor > 0 && cfg.DegradedFactor < 1 {
+			bw *= cfg.DegradedFactor
+		}
+		fs.groups = append(fs.groups, sim.NewPSLink(eng, fmt.Sprintf("ost%d", i), bw))
+	}
+	fs.snet = sim.NewPSLink(eng, "storage-net", cfg.StorageBW)
+	fs.svrCache = newCache(cfg.ServerCacheBytes, cfg.StripeUnit)
+	for i := 0; i < cfg.Nodes; i++ {
+		fs.nodes = append(fs.nodes, &nodeState{cache: newCache(cfg.ClientCacheBytes, cfg.StripeUnit)})
+	}
+	fs.root = &fnode{name: "/", dir: true, children: map[string]*fnode{}, dirMu: sim.NewMutex(eng)}
+	// Pre-create the per-volume top directories: /vol0 .. /volN-1.
+	for i := 0; i < cfg.Volumes; i++ {
+		d := &fnode{
+			name: fmt.Sprintf("vol%d", i), parent: fs.root, vol: i, dir: true,
+			children: map[string]*fnode{}, dirMu: sim.NewMutex(eng),
+		}
+		fs.root.children[d.name] = d
+	}
+	return fs
+}
+
+// VolumeRoot returns the path of volume i's top directory.
+func (fs *FS) VolumeRoot(i int) string { return fmt.Sprintf("/vol%d", i) }
+
+// Report summarizes resource usage over the simulation so far: where the
+// time went and which stage was the bottleneck.
+type Report struct {
+	MetaOps     int64
+	LockOps     int64
+	SeekOps     int64
+	NetBytes    int64   // through the storage network
+	DiskBytes   int64   // through the OST groups (includes seek-equivalents)
+	CacheHitPct float64 // client-cache read hit ratio
+	MDSBusy     []time.Duration
+	MDSReadBusy []time.Duration
+}
+
+// DropCaches empties every node's client cache and the storage servers'
+// cache — the benchmarking hygiene (drop_caches, remounts) used between
+// the write and read phases of kernel studies so reads measure the
+// storage system rather than local memory.
+func (fs *FS) DropCaches() {
+	for _, ns := range fs.nodes {
+		ns.cache = newCache(fs.Cfg.ClientCacheBytes, fs.Cfg.StripeUnit)
+	}
+	fs.svrCache = newCache(fs.Cfg.ServerCacheBytes, fs.Cfg.StripeUnit)
+}
+
+// Report builds a usage summary.
+func (fs *FS) Report() Report {
+	r := Report{
+		MetaOps:  fs.MetaOps,
+		LockOps:  fs.LockOps,
+		SeekOps:  fs.SeekOps,
+		NetBytes: fs.snet.Moved,
+	}
+	for _, g := range fs.groups {
+		r.DiskBytes += g.Moved
+	}
+	if tot := fs.CacheHitB + fs.CacheMisB; tot > 0 {
+		r.CacheHitPct = 100 * float64(fs.CacheHitB) / float64(tot)
+	}
+	for _, v := range fs.vols {
+		r.MDSBusy = append(r.MDSBusy, v.mds.Busy)
+		r.MDSReadBusy = append(r.MDSReadBusy, v.mdsRead.Busy)
+	}
+	return r
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var mb, rb time.Duration
+	for _, d := range r.MDSBusy {
+		mb += d
+	}
+	for _, d := range r.MDSReadBusy {
+		rb += d
+	}
+	return fmt.Sprintf(
+		"meta ops %d (mutate busy %.1fs, read busy %.1fs across %d volume(s)); lock rpcs %d; seeks %d; "+
+			"net %.1f GB; disk %.1f GB (incl. seek-equivalents); client-cache hit %.0f%%",
+		r.MetaOps, mb.Seconds(), rb.Seconds(), len(r.MDSBusy), r.LockOps, r.SeekOps,
+		float64(r.NetBytes)/1e9, float64(r.DiskBytes)/1e9, r.CacheHitPct)
+}
+
+// Volumes returns the number of metadata domains.
+func (fs *FS) Volumes() int { return fs.Cfg.Volumes }
+
+// StoragePeak returns the storage network capacity in bytes per second
+// (the cluster's "theoretical peak" I/O bandwidth).
+func (fs *FS) StoragePeak() float64 { return fs.Cfg.StorageBW }
+
+func splitPath(path string) []string {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil
+	}
+	return strings.Split(path, "/")
+}
+
+// lookup resolves path to a node without charging simulation cost.
+func (fs *FS) lookup(path string) (*fnode, error) {
+	n := fs.root
+	for _, part := range splitPath(path) {
+		if !n.dir {
+			return nil, ErrNotDir
+		}
+		c, ok := n.children[part]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		n = c
+	}
+	return n, nil
+}
+
+// lookupParent resolves the parent directory of path and returns it with
+// the final path element.
+func (fs *FS) lookupParent(path string) (*fnode, string, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nil, "", ErrExist
+	}
+	dir := fs.root
+	for _, part := range parts[:len(parts)-1] {
+		c, ok := dir.children[part]
+		if !ok {
+			return nil, "", ErrNotExist
+		}
+		if !c.dir {
+			return nil, "", ErrNotDir
+		}
+		dir = c
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+func (fs *FS) newDir(parent *fnode, name string) *fnode {
+	d := &fnode{
+		name: name, parent: parent, vol: parent.vol, dir: true,
+		children: map[string]*fnode{}, dirMu: sim.NewMutex(fs.Eng),
+	}
+	parent.children[name] = d
+	return d
+}
+
+func (fs *FS) newFile(parent *fnode, name string) *fnode {
+	fs.nextObj++
+	f := &fnode{
+		name: name, parent: parent, vol: parent.vol,
+		obj: fs.nextObj, lockMgr: sim.NewResource(fs.Eng, 1),
+	}
+	parent.children[name] = f
+	return f
+}
+
+// FileInfo describes a namespace entry.
+type FileInfo struct {
+	Name  string
+	Dir   bool
+	Size  int64
+	Bytes int64 // alias of Size for files
+}
+
+func (n *fnode) info() FileInfo {
+	fi := FileInfo{Name: n.name, Dir: n.dir}
+	if !n.dir {
+		fi.Size = n.data.Size()
+		fi.Bytes = fi.Size
+	}
+	return fi
+}
+
+// sortedChildren returns child names in lexical order (deterministic).
+func (n *fnode) sortedChildren() []string {
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TraceProbes exposes the file system's shared resources as trace probes
+// for time-series sampling (see internal/trace): in-flight flow counts,
+// metadata queue depths, and cumulative byte/op counters.
+func (fs *FS) TraceProbes() []struct {
+	Name string
+	Fn   func() float64
+} {
+	type probe = struct {
+		Name string
+		Fn   func() float64
+	}
+	ps := []probe{
+		{"snet_flows", func() float64 { return float64(fs.snet.Active()) }},
+		{"net_bytes", func() float64 { return float64(fs.snet.Moved) }},
+		{"meta_ops", func() float64 { return float64(fs.MetaOps) }},
+		{"lock_rpcs", func() float64 { return float64(fs.LockOps) }},
+		{"seeks", func() float64 { return float64(fs.SeekOps) }},
+		{"cache_hit_bytes", func() float64 { return float64(fs.CacheHitB) }},
+	}
+	ps = append(ps, probe{"ost_flows", func() float64 {
+		n := 0
+		for _, g := range fs.groups {
+			n += g.Active()
+		}
+		return float64(n)
+	}})
+	ps = append(ps, probe{"mds_queue", func() float64 {
+		n := 0
+		for _, v := range fs.vols {
+			n += v.mds.QueueLen()
+		}
+		return float64(n)
+	}})
+	ps = append(ps, probe{"mdsread_queue", func() float64 {
+		n := 0
+		for _, v := range fs.vols {
+			n += v.mdsRead.QueueLen()
+		}
+		return float64(n)
+	}})
+	return ps
+}

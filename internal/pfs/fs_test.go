@@ -1,0 +1,511 @@
+package pfs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"plfs/internal/payload"
+	"plfs/internal/sim"
+)
+
+// testFS builds an engine + FS with mild, deterministic parameters.
+func testFS(seed int64, mutate func(*Config)) (*sim.Engine, *FS) {
+	eng := sim.NewEngine(seed)
+	cfg := SmallCluster()
+	cfg.JitterFrac = 0
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return eng, New(eng, cfg)
+}
+
+// runOne runs fn as a single simulated process and returns its duration.
+func runOne(t *testing.T, eng *sim.Engine, fn func(p *sim.Proc)) sim.Time {
+	t.Helper()
+	var took sim.Time
+	eng.Spawn("test", func(p *sim.Proc) {
+		start := p.Now()
+		fn(p)
+		took = p.Now() - start
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return took
+}
+
+func TestNamespaceSemantics(t *testing.T) {
+	eng, fs := testFS(1, nil)
+	runOne(t, eng, func(p *sim.Proc) {
+		c := fs.Client(0, p)
+		if err := c.Mkdir("/vol0/a"); err != nil {
+			t.Errorf("mkdir: %v", err)
+		}
+		if err := c.Mkdir("/vol0/a"); err != ErrExist {
+			t.Errorf("duplicate mkdir: %v", err)
+		}
+		if err := c.Mkdir("/vol0/missing/b"); err != ErrNotExist {
+			t.Errorf("mkdir under missing: %v", err)
+		}
+		h, err := c.Create("/vol0/a/f")
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if _, err := c.Create("/vol0/a/f"); err != ErrExist {
+			t.Errorf("duplicate create: %v", err)
+		}
+		if err := h.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		if err := h.Close(); err != ErrClosed {
+			t.Errorf("double close: %v", err)
+		}
+		if _, err := c.OpenRead("/vol0/a"); err != ErrIsDir {
+			t.Errorf("open dir: %v", err)
+		}
+		if _, err := c.OpenRead("/vol0/a/nope"); err != ErrNotExist {
+			t.Errorf("open missing: %v", err)
+		}
+		fi, err := c.Stat("/vol0/a/f")
+		if err != nil || fi.Dir {
+			t.Errorf("stat: %+v %v", fi, err)
+		}
+		ents, err := c.ReadDir("/vol0/a")
+		if err != nil || len(ents) != 1 || ents[0].Name != "f" {
+			t.Errorf("readdir: %+v %v", ents, err)
+		}
+		if err := c.Remove("/vol0/a"); err != ErrNotEmpty {
+			t.Errorf("remove non-empty: %v", err)
+		}
+		if err := c.Remove("/vol0/a/f"); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+		if err := c.Remove("/vol0/a"); err != nil {
+			t.Errorf("remove dir: %v", err)
+		}
+	})
+}
+
+func TestRename(t *testing.T) {
+	eng, fs := testFS(1, nil)
+	runOne(t, eng, func(p *sim.Proc) {
+		c := fs.Client(0, p)
+		h, _ := c.Create("/vol0/x")
+		h.WriteAt(0, payload.FromBytes([]byte("data")))
+		h.Close()
+		if err := c.Rename("/vol0/x", "/vol0/y"); err != nil {
+			t.Fatalf("rename: %v", err)
+		}
+		if _, err := c.Stat("/vol0/x"); err != ErrNotExist {
+			t.Errorf("old name lives: %v", err)
+		}
+		r, err := c.OpenRead("/vol0/y")
+		if err != nil {
+			t.Fatalf("open renamed: %v", err)
+		}
+		got, _ := r.ReadAt(0, 4)
+		if string(got.Materialize()) != "data" {
+			t.Error("renamed contents wrong")
+		}
+	})
+}
+
+func TestDataRoundtrip(t *testing.T) {
+	eng, fs := testFS(1, nil)
+	runOne(t, eng, func(p *sim.Proc) {
+		c := fs.Client(0, p)
+		h, _ := c.Create("/vol0/f")
+		h.WriteAt(0, payload.Synthetic(7, 0, 1<<20))
+		h.WriteAt(1<<20, payload.FromBytes([]byte("tail")))
+		got, err := h.ReadAt(0, 1<<20+4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := payload.List{payload.Synthetic(7, 0, 1<<20), payload.FromBytes([]byte("tail"))}
+		if !payload.ContentEqual(got, want) {
+			t.Error("roundtrip mismatch")
+		}
+		if h.Size() != 1<<20+4 {
+			t.Errorf("size = %d", h.Size())
+		}
+	})
+}
+
+func TestAppendReturnsOffsets(t *testing.T) {
+	eng, fs := testFS(1, nil)
+	runOne(t, eng, func(p *sim.Proc) {
+		c := fs.Client(0, p)
+		h, _ := c.Create("/vol0/log")
+		o1, _ := h.Append(payload.Synthetic(1, 0, 100))
+		o2, _ := h.Append(payload.Synthetic(1, 100, 50))
+		if o1 != 0 || o2 != 100 {
+			t.Errorf("append offsets = %d, %d", o1, o2)
+		}
+	})
+}
+
+func TestReadOnlyHandleRejectsWrites(t *testing.T) {
+	eng, fs := testFS(1, nil)
+	runOne(t, eng, func(p *sim.Proc) {
+		c := fs.Client(0, p)
+		h, _ := c.Create("/vol0/f")
+		h.WriteAt(0, payload.Zeros(10))
+		h.Close()
+		r, _ := c.OpenRead("/vol0/f")
+		if err := r.WriteAt(0, payload.Zeros(1)); err != ErrReadOnly {
+			t.Errorf("write on read handle: %v", err)
+		}
+	})
+}
+
+// TestN1SharedWriteSlowerThanNN verifies the paper's core premise: the
+// same aggregate volume written by concurrent processes is far slower
+// into one shared file (range-lock ping-pong) than into unique files.
+func TestN1SharedWriteSlowerThanNN(t *testing.T) {
+	const procs = 32
+	const writes = 20
+	const wsize = 47 << 10 // unaligned with the 64K lock unit
+
+	run := func(shared bool) sim.Time {
+		eng, fs := testFS(7, nil)
+		var ready sim.Gate
+		created := false
+		for i := 0; i < procs; i++ {
+			i := i
+			eng.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+				c := fs.Client(i%fs.Cfg.Nodes, p)
+				var h *Handle
+				var err error
+				if shared {
+					// Rank 0 creates the shared file; the rest open it.
+					if i == 0 {
+						h, err = c.Create("/vol0/shared")
+						created = true
+						ready.OpenAll()
+					} else {
+						if !created {
+							ready.Wait(p)
+						}
+						h, err = c.OpenWrite("/vol0/shared")
+					}
+				} else {
+					h, err = c.Create(fmt.Sprintf("/vol0/f%d", i))
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for k := 0; k < writes; k++ {
+					var off int64
+					if shared {
+						// N-1 strided: interleaved offsets.
+						off = int64(k*procs+i) * wsize
+					} else {
+						off = int64(k) * wsize
+					}
+					if err := h.WriteAt(off, payload.Synthetic(uint64(i+1), off, wsize)); err != nil {
+						t.Error(err)
+					}
+				}
+				h.Close()
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+
+	tShared := run(true)
+	tUnique := run(false)
+	if ratio := float64(tShared) / float64(tUnique); ratio < 3 {
+		t.Fatalf("shared/unique write time ratio = %.2f, want the N-1 penalty (>3x)", ratio)
+	}
+}
+
+// TestSequentialReadFasterThanStrided verifies the prefetch model: reading
+// a file sequentially avoids the positioning penalty that strided reads
+// pay per request.
+func TestSequentialReadFasterThanStrided(t *testing.T) {
+	const n = 64
+	const rsize = 50 << 10
+	prep := func(fs *FS, p *sim.Proc) *Handle {
+		c := fs.Client(0, p)
+		h, _ := c.Create("/vol0/f")
+		h.WriteAt(0, payload.Synthetic(1, 0, n*rsize))
+		h.Close()
+		r, _ := c.OpenRead("/vol0/f")
+		return r
+	}
+	runPattern := func(strided bool) sim.Time {
+		eng, fs := testFS(3, func(c *Config) { c.ClientCacheBytes = 0; c.ServerCacheBytes = 0 })
+		return runOne(t, eng, func(p *sim.Proc) {
+			r := prep(fs, p)
+			for k := 0; k < n; k++ {
+				idx := k
+				if strided {
+					idx = (k * 7) % n // jump around
+				}
+				if _, err := r.ReadAt(int64(idx)*rsize, rsize); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+	seq := runPattern(false)
+	str := runPattern(true)
+	if ratio := float64(str) / float64(seq); ratio < 2 {
+		t.Fatalf("strided/sequential read ratio = %.2f, want seek penalty (>2x)", ratio)
+	}
+}
+
+// TestCacheMakesRereadFast verifies that re-reading recently written data
+// is served from the node cache at memory speed.
+func TestCacheMakesRereadFast(t *testing.T) {
+	const size = 64 << 20
+	eng, fs := testFS(3, nil)
+	var writeT, rereadT sim.Time
+	runOne(t, eng, func(p *sim.Proc) {
+		c := fs.Client(0, p)
+		h, _ := c.Create("/vol0/f")
+		start := p.Now()
+		h.WriteAt(0, payload.Synthetic(1, 0, size))
+		writeT = p.Now() - start
+		start = p.Now()
+		h.ReadAt(0, size)
+		rereadT = p.Now() - start
+	})
+	if rereadT*2 > writeT {
+		t.Fatalf("cached re-read %v not much faster than write %v", rereadT, writeT)
+	}
+	if fs.CacheHitB != size {
+		t.Fatalf("cache hit bytes = %d, want %d", fs.CacheHitB, size)
+	}
+}
+
+// TestHotDirectoryContention verifies that creating many files in one
+// directory is slower than creating them spread over many directories —
+// the single-directory metadata bottleneck of N-N workloads.
+func TestHotDirectoryContention(t *testing.T) {
+	const procs = 64
+	run := func(spread bool) sim.Time {
+		eng, fs := testFS(5, nil)
+		var storm sim.Time // duration of the create storm only, not setup
+		eng.Spawn("setup", func(p *sim.Proc) {
+			c := fs.Client(0, p)
+			if spread {
+				for i := 0; i < procs; i++ {
+					if err := c.Mkdir(fmt.Sprintf("/vol0/d%d", i)); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+			start := p.Now()
+			var wg sim.WaitGroup
+			wg.Add(procs)
+			for i := 0; i < procs; i++ {
+				i := i
+				eng.Spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) {
+					cc := fs.Client(i%fs.Cfg.Nodes, p)
+					path := fmt.Sprintf("/vol0/f%d", i)
+					if spread {
+						path = fmt.Sprintf("/vol0/d%d/f", i)
+					}
+					h, err := cc.Create(path)
+					if err != nil {
+						t.Error(err)
+					} else {
+						h.Close()
+					}
+					wg.Done()
+				})
+			}
+			wg.Wait(p)
+			storm = p.Now() - start
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return storm
+	}
+	hot := run(false)
+	cold := run(true)
+	if ratio := float64(hot) / float64(cold); ratio < 1.5 {
+		t.Fatalf("hot/spread create ratio = %.2f, want directory serialization (>1.5x)", ratio)
+	}
+}
+
+// TestVolumesParallelizeMetadata verifies that spreading create load over
+// multiple volumes scales metadata throughput — the mechanism behind
+// PLFS federated metadata.
+func TestVolumesParallelizeMetadata(t *testing.T) {
+	const procs = 64
+	run := func(vols int) sim.Time {
+		eng, fs := testFS(5, func(c *Config) { c.Volumes = vols })
+		eng.Spawn("root", func(p *sim.Proc) {
+			var wg sim.WaitGroup
+			wg.Add(procs)
+			for i := 0; i < procs; i++ {
+				i := i
+				eng.Spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) {
+					cc := fs.Client(i%fs.Cfg.Nodes, p)
+					h, err := cc.Create(fmt.Sprintf("%s/f%d", fs.VolumeRoot(i%vols), i))
+					if err != nil {
+						t.Error(err)
+					} else {
+						h.Close()
+					}
+					wg.Done()
+				})
+			}
+			wg.Wait(p)
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	one := run(1)
+	eight := run(8)
+	if ratio := float64(one) / float64(eight); ratio < 3 {
+		t.Fatalf("1-vol/8-vol create ratio = %.2f, want metadata scaling (>3x)", ratio)
+	}
+}
+
+// TestStorageNetworkCapsBandwidth verifies aggregate write bandwidth is
+// bounded by the storage network peak.
+func TestStorageNetworkCapsBandwidth(t *testing.T) {
+	const procs = 16
+	const size = 32 << 20
+	eng, fs := testFS(5, nil)
+	eng.Spawn("root", func(p *sim.Proc) {
+		var wg sim.WaitGroup
+		wg.Add(procs)
+		for i := 0; i < procs; i++ {
+			i := i
+			eng.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+				c := fs.Client(i%fs.Cfg.Nodes, p)
+				h, err := c.Create(fmt.Sprintf("/vol0/f%d", i))
+				if err != nil {
+					t.Error(err)
+				}
+				h.WriteAt(0, payload.Synthetic(uint64(i+1), 0, size))
+				h.Close()
+				wg.Done()
+			})
+		}
+		wg.Wait(p)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	bw := float64(procs*size) / eng.Now().Seconds()
+	if bw > fs.StoragePeak()*1.05 {
+		t.Fatalf("aggregate bw %.0f exceeds peak %.0f", bw, fs.StoragePeak())
+	}
+	if bw < fs.StoragePeak()*0.5 {
+		t.Fatalf("aggregate bw %.0f far below peak %.0f (model too slow)", bw, fs.StoragePeak())
+	}
+}
+
+func TestJitterProducesVariance(t *testing.T) {
+	run := func(seed int64) sim.Time {
+		eng := sim.NewEngine(seed)
+		cfg := SmallCluster() // default jitter
+		fs := New(eng, cfg)
+		eng.Spawn("p", func(p *sim.Proc) {
+			c := fs.Client(0, p)
+			for i := 0; i < 10; i++ {
+				h, _ := c.Create(fmt.Sprintf("/vol0/f%d", i))
+				h.WriteAt(0, payload.Zeros(1<<20))
+				h.Close()
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Now()
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds gave identical times despite jitter")
+	}
+	if run(3) != run(3) {
+		t.Fatal("same seed gave different times")
+	}
+}
+
+func TestMkdirVolumeInheritance(t *testing.T) {
+	eng, fs := testFS(1, func(c *Config) { c.Volumes = 4 })
+	runOne(t, eng, func(p *sim.Proc) {
+		c := fs.Client(0, p)
+		if err := c.Mkdir("/vol2/d"); err != nil {
+			t.Fatal(err)
+		}
+		n, err := fs.lookup("/vol2/d")
+		if err != nil || n.vol != 2 {
+			t.Fatalf("vol = %d, err = %v", n.vol, err)
+		}
+	})
+}
+
+func TestTransferTouchesOSTsAndNet(t *testing.T) {
+	eng, fs := testFS(1, nil)
+	runOne(t, eng, func(p *sim.Proc) {
+		c := fs.Client(0, p)
+		h, _ := c.Create("/vol0/f")
+		h.WriteAt(0, payload.Zeros(8<<20))
+	})
+	if fs.snet.Moved != 8<<20 {
+		t.Fatalf("storage net moved %d", fs.snet.Moved)
+	}
+	var ost int64
+	for _, g := range fs.groups {
+		ost += g.Moved
+	}
+	if ost < 8<<20 {
+		t.Fatalf("ost groups moved %d", ost)
+	}
+}
+
+func TestReadDirCostScalesWithEntries(t *testing.T) {
+	mk := func(entries int) sim.Time {
+		eng, fs := testFS(1, func(c *Config) { c.ReadDirEnt = 100 * time.Microsecond })
+		return runOne(t, eng, func(p *sim.Proc) {
+			c := fs.Client(0, p)
+			for i := 0; i < entries; i++ {
+				h, _ := c.Create(fmt.Sprintf("/vol0/f%d", i))
+				h.Close()
+			}
+			start := p.Now()
+			c.ReadDir("/vol0")
+			if d := p.Now() - start; d <= 0 {
+				t.Error("free readdir")
+			}
+		})
+	}
+	if mk(100) <= mk(2) {
+		t.Fatal("readdir cost did not scale with entries")
+	}
+}
+
+func TestReportSummarizesActivity(t *testing.T) {
+	eng, fs := testFS(2, nil)
+	runOne(t, eng, func(p *sim.Proc) {
+		c := fs.Client(0, p)
+		h, _ := c.Create("/vol0/r")
+		h.WriteAt(0, payload.Synthetic(1, 0, 1<<20))
+		h.ReadAt(0, 1<<20)
+		h.Close()
+	})
+	rep := fs.Report()
+	if rep.MetaOps == 0 || rep.NetBytes < 1<<20 || rep.DiskBytes == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.CacheHitPct != 100 {
+		t.Fatalf("reread of own write should hit: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}

@@ -1,0 +1,144 @@
+package pfs
+
+import "sort"
+
+// lockTable tracks byte-range write-token ownership on a shared file.  It
+// stores a sorted list of disjoint owned ranges (owner = node id).  The
+// interesting quantity for cost modeling is how many *ownership changes* a
+// write causes: each contiguous run of units that must be (re)acquired is
+// one lock RPC, and stealing a token held by another node costs a revoke.
+//
+// Once the table fragments past fragmentedCap segments, the file has
+// reached the fully-interleaved steady state: essentially every acquire
+// from a strided writer steals from a neighbour.  From then on acquires
+// are charged the steal cost (2 RPCs) without tracking exact ownership,
+// keeping the model O(1) at any scale.
+type lockTable struct {
+	segs      []lockSeg
+	saturated bool
+}
+
+// fragmentedCap bounds exact ownership tracking.
+const fragmentedCap = 1 << 14
+
+type lockSeg struct {
+	start, end int64 // unit numbers, half-open
+	owner      int
+}
+
+// acquire makes node the owner of units [lo, hi) and returns the number of
+// lock RPCs required: one per maximal run of units not already owned by
+// node, plus one extra per run stolen from a different owner (revoke +
+// grant).
+func (t *lockTable) acquire(lo, hi int64, node int) (rpcs int) {
+	if hi <= lo {
+		return 0
+	}
+	if t.saturated {
+		return 2
+	}
+	if len(t.segs) >= fragmentedCap {
+		t.saturated = true
+		t.segs = nil
+		return 2
+	}
+	// Count runs not owned by node.
+	cur := lo
+	i := sort.Search(len(t.segs), func(i int) bool { return t.segs[i].end > lo })
+	inForeign := false
+	inUnowned := false
+	for cur < hi {
+		if i < len(t.segs) && t.segs[i].start <= cur {
+			s := t.segs[i]
+			end := min64(s.end, hi)
+			if s.owner == node {
+				inForeign, inUnowned = false, false
+			} else {
+				if !inForeign {
+					rpcs += 2 // revoke + grant
+					inForeign, inUnowned = true, false
+				}
+			}
+			cur = end
+			if s.end <= hi {
+				i++
+			}
+		} else {
+			// Unowned gap up to the next segment or hi.
+			end := hi
+			if i < len(t.segs) && t.segs[i].start < hi {
+				end = t.segs[i].start
+			}
+			if !inUnowned {
+				rpcs++ // simple grant
+				inUnowned, inForeign = true, false
+			}
+			cur = end
+		}
+	}
+	t.setOwner(lo, hi, node)
+	return rpcs
+}
+
+// setOwner rewrites the table so [lo, hi) is owned by node.
+func (t *lockTable) setOwner(lo, hi int64, node int) {
+	out := t.segs[:0:0]
+	inserted := false
+	insert := func() {
+		if inserted {
+			return
+		}
+		inserted = true
+		if n := len(out); n > 0 && out[n-1].owner == node && out[n-1].end == lo {
+			out[n-1].end = hi
+		} else {
+			out = append(out, lockSeg{lo, hi, node})
+		}
+	}
+	for _, s := range t.segs {
+		if s.end <= lo {
+			out = append(out, s)
+			continue
+		}
+		if s.start >= hi {
+			insert()
+			if n := len(out); n > 0 && out[n-1].owner == s.owner && out[n-1].end == s.start {
+				out[n-1].end = s.end
+			} else {
+				out = append(out, s)
+			}
+			continue
+		}
+		// Overlap: keep the non-overlapped fringes.
+		if s.start < lo {
+			out = append(out, lockSeg{s.start, lo, s.owner})
+		}
+		insert()
+		if s.end > hi {
+			if n := len(out); n > 0 && out[n-1].owner == s.owner && out[n-1].end == hi {
+				out[n-1].end = s.end
+			} else {
+				out = append(out, lockSeg{hi, s.end, s.owner})
+			}
+		}
+	}
+	insert()
+	t.segs = out
+}
+
+// ownerAt returns the owner of the unit, or -1 if unowned.
+func (t *lockTable) ownerAt(unit int64) int {
+	for _, s := range t.segs {
+		if unit >= s.start && unit < s.end {
+			return s.owner
+		}
+	}
+	return -1
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+// Package plfs implements the Parallel Log-structured File System — the
+// paper's transformative I/O middleware.
+//
+// PLFS preserves an application's logical view of a shared file while
+// physically decoupling it: the logical file becomes a *container*
+// directory on an underlying parallel file system; each writing process
+// appends its data to a private *data dropping* and records where each
+// write logically belongs in a private *index dropping*.  N-1 workloads
+// (N processes, one file) become N-N on the backing store, eliminating
+// write serialization; the deferred work of resolving logical offsets is
+// paid when the file is opened for reading.
+//
+// This package contains everything the paper describes:
+//
+//   - the container structure (access file, metadir, openhosts, hostdir
+//     subdirs holding data/index droppings) — §II, Fig. 1;
+//   - timestamp-resolved index aggregation into a global offset map;
+//   - the three read-open strategies — Original (uncoordinated N² opens),
+//     Index Flatten (aggregate at write close), and Parallel Index Read
+//     (two-level group/leader aggregation at read open) — §IV, Fig. 3;
+//   - federated metadata: static hashing of containers and of subdirs
+//     across multiple metadata volumes — §V, Fig. 6.
+//
+// PLFS is written against the small Backend/Clock/Sleeper interfaces below
+// and the comm.Comm collectives, so the identical middleware runs over a
+// real directory tree with goroutine writers (internal/osfs +
+// internal/localcomm) and inside the simulated cluster (internal/simfs +
+// internal/mpi), where the paper's performance claims are reproduced.
+package plfs
+
+import (
+	"time"
+
+	"plfs/internal/payload"
+)
+
+// Backend is the slice of an underlying (parallel) file system PLFS needs.
+// Implementations must return errors satisfying errors.Is(err,
+// io/fs.ErrExist) and io/fs.ErrNotExist where applicable.  A Backend
+// handle is private to one process/goroutine.
+type Backend interface {
+	Mkdir(path string) error
+	Create(path string) (File, error)
+	OpenRead(path string) (File, error)
+	OpenWrite(path string) (File, error)
+	Stat(path string) (Info, error)
+	ReadDir(path string) ([]Info, error)
+	Remove(path string) error
+	Rename(oldPath, newPath string) error
+}
+
+// File is an open backend file.
+type File interface {
+	// WriteAt writes p at the given offset.
+	WriteAt(off int64, p payload.Payload) error
+	// Append writes p at end-of-file and returns the offset it landed at.
+	Append(p payload.Payload) (int64, error)
+	// ReadAt returns the byte range [off, off+n).
+	ReadAt(off, n int64) (payload.List, error)
+	// Size returns the current file size.
+	Size() int64
+	// Close releases the file.
+	Close() error
+}
+
+// Info describes a backend namespace entry.
+type Info struct {
+	Name string
+	Dir  bool
+	Size int64
+}
+
+// Clock provides timestamps for index records.  PLFS resolves writes to
+// the same logical offset by timestamp (the paper assumes synchronized
+// cluster clocks; ties are broken deterministically by rank).
+type Clock interface {
+	Now() int64 // nanoseconds
+}
+
+// ClockFunc adapts a function to a Clock.
+type ClockFunc func() int64
+
+// Now implements Clock.
+func (f ClockFunc) Now() int64 { return f() }
+
+// Sleeper charges CPU time for index parsing/merging.  The simulator binds
+// this to the calling process so large index merges cost simulated time; a
+// real deployment uses NopSleeper (the CPU time is spent for real).
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// NopSleeper ignores sleep requests.
+type NopSleeper struct{}
+
+// Sleep implements Sleeper.
+func (NopSleeper) Sleep(time.Duration) {}

@@ -1,0 +1,202 @@
+package plfs_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+// TestFlattenExistingContainer: the plfs_flatten_index path — flatten a
+// container written without IndexFlatten, then verify readers use the
+// global index and the bytes are unchanged.
+func TestFlattenExistingContainer(t *testing.T) {
+	const n, blocks, bs = 6, 4, int64(256)
+	r := newRig(t, 2, plfs.Options{
+		IndexMode: plfs.Original, NumSubdirs: 3,
+		SpreadContainers: true, SpreadSubdirs: true,
+	})
+	runRanks(t, r, n, func(ctx plfs.Ctx, rank int) {
+		writeN1(t, r.m, ctx, rank, n, blocks, bs, "wr1rm")
+	})
+	ctx := r.ctx(0, nil)
+	if err := r.m.Flatten(ctx, "wr1rm"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := r.m.Flatten(ctx, "wr1rm"); err != nil {
+		t.Fatal(err)
+	}
+	// The global index file exists in the canonical container's metadir.
+	found := false
+	for _, root := range r.roots {
+		if _, err := os.Stat(filepath.Join(root, "wr1rm", "meta", "global.index")); err == nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no global index written")
+	}
+	// Serial reader must report serving from the flattened index...
+	rd, err := r.m.OpenReader(ctx, "wr1rm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Stats.UsedGlobal {
+		t.Fatal("reader ignored the flattened index")
+	}
+	verifyN1(t, rd, n, blocks, bs)
+	rd.Close()
+	// ...and so must collective readers in any mode.
+	runRanks(t, r, n, func(ctx plfs.Ctx, rank int) {
+		rd, err := r.m.OpenReader(ctx, "wr1rm")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if !rd.Stats.UsedGlobal {
+			t.Error("collective reader ignored the flattened index")
+		}
+		verifyN1(t, rd, n, blocks, bs)
+		rd.Close()
+	})
+}
+
+func TestFlattenMissingContainerFails(t *testing.T) {
+	r := newRig(t, 1, plfs.Options{})
+	if err := r.m.Flatten(r.ctx(0, nil), "ghost"); err == nil {
+		t.Fatal("flatten of missing container succeeded")
+	}
+}
+
+// TestContainerRename: renaming a container moves canonical and shadow
+// directories and invalidates any flattened index.
+func TestContainerRename(t *testing.T) {
+	const n, blocks, bs = 4, 3, int64(128)
+	r := newRig(t, 1, plfs.Options{IndexMode: plfs.Original, NumSubdirs: 2})
+	runRanks(t, r, n, func(ctx plfs.Ctx, rank int) {
+		writeN1(t, r.m, ctx, rank, n, blocks, bs, "before")
+	})
+	ctx := r.ctx(0, nil)
+	if err := r.m.Flatten(ctx, "before"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.Rename(ctx, "before", "after"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r.m.IsContainer(ctx, "before"); ok {
+		t.Fatal("old name still a container")
+	}
+	rd, err := r.m.OpenReader(ctx, "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if rd.Stats.UsedGlobal {
+		t.Fatal("stale flattened index survived rename")
+	}
+	verifyN1(t, rd, n, blocks, bs)
+	if err := r.m.Rename(ctx, "missing", "x"); err == nil {
+		t.Fatal("rename of missing container succeeded")
+	}
+}
+
+func TestTruncateEmptiesContainer(t *testing.T) {
+	const n, blocks, bs = 4, 3, int64(128)
+	r := newRig(t, 1, plfs.Options{IndexMode: plfs.Original, NumSubdirs: 2})
+	runRanks(t, r, n, func(ctx plfs.Ctx, rank int) {
+		writeN1(t, r.m, ctx, rank, n, blocks, bs, "tr")
+	})
+	ctx := r.ctx(0, nil)
+	if err := r.m.Truncate(ctx, "tr"); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := r.m.Stat(ctx, "tr")
+	if err != nil || fi.Size != 0 {
+		t.Fatalf("post-truncate stat = %+v, %v", fi, err)
+	}
+	// The container can be rewritten afterwards.
+	runRanks(t, r, n, func(ctx plfs.Ctx, rank int) {
+		writeN1(t, r.m, ctx, rank, n, 1, bs, "tr")
+	})
+	rd, err := r.m.OpenReader(ctx, "tr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	verifyN1(t, rd, n, 1, bs)
+	if err := r.m.Truncate(ctx, "nope"); err == nil {
+		t.Fatal("truncate of missing container succeeded")
+	}
+}
+
+func TestCheckCleanAndCorrupt(t *testing.T) {
+	const n, blocks, bs = 4, 3, int64(128)
+	r := newRig(t, 1, plfs.Options{IndexMode: plfs.Original, NumSubdirs: 2})
+	runRanks(t, r, n, func(ctx plfs.Ctx, rank int) {
+		writeN1(t, r.m, ctx, rank, n, blocks, bs, "chk")
+	})
+	ctx := r.ctx(0, nil)
+	rep, err := r.m.Check(ctx, "chk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean container failed check: %s", rep)
+	}
+	if rep.Droppings != n || rep.Logical != int64(n*blocks)*bs {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Corrupt a data dropping by truncating it: records become
+	// out-of-bounds and coverage mismatches.
+	dd, _ := filepath.Glob(filepath.Join(r.roots[0], "chk", "hostdir.*", "dropping.data.*"))
+	if err := os.Truncate(dd[0], 10); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = r.m.Check(ctx, "chk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("corrupt container passed check")
+	}
+}
+
+// TestIndexCompression: segmented (contiguous) writers produce one index
+// record regardless of op count; disabling compression restores one
+// record per op.
+func TestIndexCompression(t *testing.T) {
+	write := func(opt plfs.Options) int {
+		r := newRig(t, 1, opt)
+		ctx := r.ctx(0, nil)
+		w, err := r.m.Create(ctx, "seg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 16; k++ {
+			off := int64(k) * 64
+			if err := w.Write(off, payload.Synthetic(1, off, 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.Close()
+		rd, err := r.m.OpenReader(ctx, "seg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rd.Close()
+		got, _ := rd.ReadAt(0, 16*64)
+		if !payload.ContentEqual(got, payload.List{payload.Synthetic(1, 0, 16*64)}) {
+			t.Fatal("content mismatch")
+		}
+		return rd.Stats.RawEntries
+	}
+	if got := write(plfs.Options{IndexMode: plfs.Original}); got != 1 {
+		t.Fatalf("compressed entries = %d, want 1", got)
+	}
+	if got := write(plfs.Options{IndexMode: plfs.Original, NoIndexCompression: true}); got != 16 {
+		t.Fatalf("uncompressed entries = %d, want 16", got)
+	}
+}

@@ -1,0 +1,255 @@
+package plfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"plfs/internal/payload"
+)
+
+// Entry is one index record: "process wrote Length bytes that logically
+// belong at LogicalOff; they physically live at PhysOff of dropping
+// Dropping; resolved against other writes by Timestamp".
+type Entry struct {
+	LogicalOff int64
+	Length     int64
+	PhysOff    int64
+	Timestamp  int64
+	Dropping   int32 // id into the container's canonical dropping order
+	Rank       int32
+}
+
+// EntryBytes is the serialized size of one Entry.
+const EntryBytes = 40
+
+// seqOf produces the resolution sequence for last-writer-wins: timestamp
+// first, rank as the deterministic tiebreak (the paper's note 1: clocks
+// are synchronized and checkpoints don't overwrite in practice, but the
+// simulator produces exact ties).
+func seqOf(e Entry) uint64 {
+	return uint64(e.Timestamp)<<16 | uint64(uint16(e.Rank))
+}
+
+// encodeEntries serializes entries (little-endian, EntryBytes each).
+func encodeEntries(entries []Entry) []byte {
+	buf := make([]byte, len(entries)*EntryBytes)
+	for i, e := range entries {
+		b := buf[i*EntryBytes:]
+		binary.LittleEndian.PutUint64(b[0:], uint64(e.LogicalOff))
+		binary.LittleEndian.PutUint64(b[8:], uint64(e.Length))
+		binary.LittleEndian.PutUint64(b[16:], uint64(e.PhysOff))
+		binary.LittleEndian.PutUint64(b[24:], uint64(e.Timestamp))
+		binary.LittleEndian.PutUint32(b[32:], uint32(e.Dropping))
+		binary.LittleEndian.PutUint32(b[36:], uint32(e.Rank))
+	}
+	return buf
+}
+
+// decodeEntries parses an index dropping's bytes.  The dropping id of
+// every decoded entry is rewritten to droppingID: ids are a property of
+// the reader's canonical dropping ordering, not of the writer.
+func decodeEntries(data []byte, droppingID int32) ([]Entry, error) {
+	if len(data)%EntryBytes != 0 {
+		return nil, fmt.Errorf("plfs: corrupt index: %d bytes is not a multiple of %d", len(data), EntryBytes)
+	}
+	out := make([]Entry, len(data)/EntryBytes)
+	for i := range out {
+		b := data[i*EntryBytes:]
+		out[i] = Entry{
+			LogicalOff: int64(binary.LittleEndian.Uint64(b[0:])),
+			Length:     int64(binary.LittleEndian.Uint64(b[8:])),
+			PhysOff:    int64(binary.LittleEndian.Uint64(b[16:])),
+			Timestamp:  int64(binary.LittleEndian.Uint64(b[24:])),
+			Dropping:   droppingID,
+			Rank:       int32(binary.LittleEndian.Uint32(b[36:])),
+		}
+	}
+	return out, nil
+}
+
+// Index is a resolved global offset map: a sorted, disjoint cover of the
+// logical file mapping every byte to (dropping, physical offset).
+type Index struct {
+	segs      []indexSeg
+	droppings []string // dropping data-file paths, indexed by Entry.Dropping
+	rawCount  int      // total raw entries aggregated (cost accounting)
+	size      int64    // logical file size
+}
+
+type indexSeg struct {
+	logical int64
+	length  int64
+	physOff int64
+	drop    int32
+	rank    int32
+}
+
+// BuildIndex resolves raw entry shards (one per index dropping, any order)
+// into a global index.  droppings maps dropping ids to data-file paths.
+func BuildIndex(shards [][]Entry, droppings []string) *Index {
+	var total int
+	for _, s := range shards {
+		total += len(s)
+	}
+	flat := make([]Entry, 0, total)
+	for _, s := range shards {
+		flat = append(flat, s...)
+	}
+	spans := make([]payload.Span, len(flat))
+	for i, e := range flat {
+		spans[i] = payload.Span{Start: e.LogicalOff, End: e.LogicalOff + e.Length, Seq: seqOf(e), Ref: int32(i)}
+	}
+	res := payload.Resolve(spans)
+	ix := &Index{droppings: droppings, rawCount: total}
+	for _, s := range res {
+		e := flat[s.Ref]
+		ix.segs = append(ix.segs, indexSeg{
+			logical: s.Start,
+			length:  s.End - s.Start,
+			physOff: e.PhysOff + (s.Start - e.LogicalOff),
+			drop:    e.Dropping,
+			rank:    e.Rank,
+		})
+		if s.End > ix.size {
+			ix.size = s.End
+		}
+	}
+	return ix
+}
+
+// Size returns the logical file size.
+func (ix *Index) Size() int64 { return ix.size }
+
+// RawEntries returns how many raw index records were aggregated.
+func (ix *Index) RawEntries() int { return ix.rawCount }
+
+// Segments returns the number of resolved segments.
+func (ix *Index) Segments() int { return len(ix.segs) }
+
+// Droppings returns the dropping data-file paths.
+func (ix *Index) Droppings() []string { return ix.droppings }
+
+// Piece is one contiguous portion of a logical read, mapped to physical
+// storage.  A negative Dropping means a hole (read as zeros).
+type Piece struct {
+	Logical  int64
+	Length   int64
+	Dropping int32
+	PhysOff  int64
+	Rank     int32
+}
+
+// Lookup maps the logical range [off, off+n) to physical pieces, including
+// hole pieces for unwritten gaps.
+func (ix *Index) Lookup(off, n int64) []Piece {
+	if n <= 0 {
+		return nil
+	}
+	end := off + n
+	var out []Piece
+	i := sort.Search(len(ix.segs), func(i int) bool {
+		s := ix.segs[i]
+		return s.logical+s.length > off
+	})
+	cur := off
+	for ; i < len(ix.segs) && cur < end; i++ {
+		s := ix.segs[i]
+		if s.logical > cur {
+			gap := min64(s.logical, end) - cur
+			out = append(out, Piece{Logical: cur, Length: gap, Dropping: -1})
+			cur += gap
+			if cur >= end {
+				break
+			}
+		}
+		lo := cur - s.logical
+		take := min64(s.length-lo, end-cur)
+		out = append(out, Piece{
+			Logical: cur, Length: take,
+			Dropping: s.drop, PhysOff: s.physOff + lo, Rank: s.rank,
+		})
+		cur += take
+	}
+	if cur < end {
+		out = append(out, Piece{Logical: cur, Length: end - cur, Dropping: -1})
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// timeDuration converts an entry count to a time.Duration multiplier.
+func timeDuration(n int) time.Duration { return time.Duration(n) }
+
+// encodeGlobalIndex serializes a flattened global index: a header listing
+// the canonical dropping data paths, then the entries (whose Dropping ids
+// reference the header order).
+func encodeGlobalIndex(paths []string, entries []Entry) []byte {
+	var buf []byte
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(paths)))
+	buf = append(buf, tmp[:4]...)
+	for _, p := range paths {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(p)))
+		buf = append(buf, tmp[:4]...)
+		buf = append(buf, p...)
+	}
+	binary.LittleEndian.PutUint64(tmp[:], uint64(len(entries)))
+	buf = append(buf, tmp[:]...)
+	body := encodeEntries(entries)
+	// Entries already carry canonical dropping ids; keep them.
+	for i, e := range entries {
+		binary.LittleEndian.PutUint32(body[i*EntryBytes+32:], uint32(e.Dropping))
+	}
+	return append(buf, body...)
+}
+
+// decodeGlobalIndex parses the output of encodeGlobalIndex.
+func decodeGlobalIndex(data []byte) (paths []string, entries []Entry, err error) {
+	bad := fmt.Errorf("plfs: corrupt global index")
+	if len(data) < 4 {
+		return nil, nil, bad
+	}
+	np := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	for i := 0; i < np; i++ {
+		if len(data) < 4 {
+			return nil, nil, bad
+		}
+		l := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if len(data) < l {
+			return nil, nil, bad
+		}
+		paths = append(paths, string(data[:l]))
+		data = data[l:]
+	}
+	if len(data) < 8 {
+		return nil, nil, bad
+	}
+	ne := int(binary.LittleEndian.Uint64(data))
+	data = data[8:]
+	if len(data) != ne*EntryBytes {
+		return nil, nil, bad
+	}
+	entries = make([]Entry, ne)
+	for i := range entries {
+		b := data[i*EntryBytes:]
+		entries[i] = Entry{
+			LogicalOff: int64(binary.LittleEndian.Uint64(b[0:])),
+			Length:     int64(binary.LittleEndian.Uint64(b[8:])),
+			PhysOff:    int64(binary.LittleEndian.Uint64(b[16:])),
+			Timestamp:  int64(binary.LittleEndian.Uint64(b[24:])),
+			Dropping:   int32(binary.LittleEndian.Uint32(b[32:])),
+			Rank:       int32(binary.LittleEndian.Uint32(b[36:])),
+		}
+	}
+	return paths, entries, nil
+}

@@ -1,0 +1,606 @@
+package plfs
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	iofs "io/fs"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"plfs/internal/comm"
+)
+
+// Mode selects the index aggregation strategy (§IV of the paper).
+type Mode int
+
+const (
+	// Original is the uncoordinated design: every reading process opens
+	// and reads every index dropping itself (N² opens for N processes).
+	Original Mode = iota
+	// IndexFlatten aggregates the global index once, at write close:
+	// writers buffer index entries, gather them to rank 0, and persist a
+	// single global index that read-open merely broadcasts.
+	IndexFlatten
+	// ParallelIndexRead aggregates at read open with a two-level
+	// group/leader hierarchy: members read disjoint subsets of the index
+	// droppings, leaders merge and exchange, then broadcast (N opens).
+	ParallelIndexRead
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Original:
+		return "original"
+	case IndexFlatten:
+		return "index-flatten"
+	case ParallelIndexRead:
+		return "parallel-index-read"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Container layout names (Fig. 1 of the paper).
+const (
+	accessFile    = ".plfsaccess"
+	metaDir       = "meta"
+	openHostsDir  = "openhosts"
+	hostdirPrefix = "hostdir."
+	metalinkSufx  = ".metalink"
+	globalIndex   = "global.index"
+	dataPrefix    = "dropping.data."
+	indexPrefix   = "dropping.index."
+	sizePrefix    = "sz."
+)
+
+// Options configure a PLFS mount.
+type Options struct {
+	// NumSubdirs is the number of hostdir subdirectories per container
+	// (default 32).
+	NumSubdirs int
+	// SpreadContainers hashes each container onto one of the mount's
+	// volumes (federated metadata technique 1, for N-N workloads).
+	SpreadContainers bool
+	// SpreadSubdirs hashes each container's hostdirs across volumes
+	// (federated metadata technique 2, for the physical N-N created from
+	// logical N-1 workloads; Fig. 6).
+	SpreadSubdirs bool
+	// IndexMode selects the read-open aggregation strategy.
+	IndexMode Mode
+	// FlattenThreshold is the per-process buffered-entry limit for
+	// IndexFlatten (default 65536); if any process exceeds it, the global
+	// index is not built and readers fall back.
+	FlattenThreshold int
+	// GroupSize is the member count per group for ParallelIndexRead;
+	// 0 picks ~sqrt(N) for a balanced two-level hierarchy.
+	GroupSize int
+	// DataFlushBytes enables write-behind buffering: data payloads are
+	// batched into sequential appends of this size.  Zero (the default)
+	// writes through per operation, like real PLFS; buffering shifts the
+	// tail flush into close time, so leave it off when close latency is
+	// being measured.
+	DataFlushBytes int64
+	// NoIndexCompression disables write-side index compression.  By
+	// default (like real PLFS) an index record that exactly continues the
+	// previous one — logically and physically — extends it instead of
+	// appending a new record, so segmented writers produce tiny indexes
+	// while strided writers keep one record per operation.
+	NoIndexCompression bool
+	// ParseCPUPerEntry charges CPU for decoding index records from their
+	// droppings (default 500ns/entry); MergeCPUPerEntry charges CPU for
+	// resolving raw records into the global offset map (default 2µs/entry,
+	// the dominant open-time CPU term at scale).  Both are charged through
+	// the context's Sleeper.
+	ParseCPUPerEntry time.Duration
+	MergeCPUPerEntry time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumSubdirs <= 0 {
+		o.NumSubdirs = 32
+	}
+	if o.FlattenThreshold <= 0 {
+		o.FlattenThreshold = 65536
+	}
+	if o.ParseCPUPerEntry <= 0 {
+		o.ParseCPUPerEntry = 500 * time.Nanosecond
+	}
+	if o.MergeCPUPerEntry <= 0 {
+		o.MergeCPUPerEntry = 2 * time.Microsecond
+	}
+	return o
+}
+
+// Ctx carries one process's bindings: its backend handles (one per
+// volume), identity, clock, and optional communicator.  Collective PLFS
+// operations (Create, OpenReader, Writer.Close, Reader.Close) must be
+// called by every rank of Ctx.Comm when it is non-nil.
+type Ctx struct {
+	// Vols holds this process's backend handle for each mount volume.
+	Vols []Backend
+	// Rank and Host identify the process; HostLeader marks the lowest
+	// rank on its host (it maintains the openhosts record).
+	Rank       int
+	Host       int
+	HostLeader bool
+	// Clock stamps index records.
+	Clock Clock
+	// Sleep charges CPU time for index parsing (nil = no charge).
+	Sleep Sleeper
+	// Comm enables the collective optimizations; nil means serial mode
+	// (the FUSE-style interface), which always uses Original aggregation.
+	Comm comm.Comm
+}
+
+func (c Ctx) now() int64 {
+	if c.Clock != nil {
+		return c.Clock.Now()
+	}
+	return time.Now().UnixNano()
+}
+
+func (c Ctx) sleep(d time.Duration) {
+	if c.Sleep != nil && d > 0 {
+		c.Sleep.Sleep(d)
+	}
+}
+
+// Mount is a PLFS mount point: shared configuration plus the cross-process
+// index cache.  Backend handles live in Ctx, so one Mount serves any
+// number of processes.
+type Mount struct {
+	roots []string
+	opt   Options
+
+	mu    sync.Mutex
+	state map[string]*containerState
+}
+
+// containerState caches parsed index shards and built global indexes.
+// Droppings are immutable once written (log structure), so cached shards
+// never go stale; the generation invalidates built indexes when new
+// writers attach.
+type containerState struct {
+	mu       sync.Mutex
+	gen      uint64
+	parsed   map[string][]Entry
+	builtKey string
+	built    *Index
+}
+
+// NewMount creates a mount over the given per-volume backend root paths.
+func NewMount(roots []string, opt Options) *Mount {
+	if len(roots) == 0 {
+		panic("plfs: mount needs at least one volume root")
+	}
+	return &Mount{roots: roots, opt: opt.withDefaults(), state: map[string]*containerState{}}
+}
+
+// Volumes returns the number of metadata volumes behind the mount.
+func (m *Mount) Volumes() int { return len(m.roots) }
+
+// Root returns volume i's backend root path.
+func (m *Mount) Root(i int) string { return m.roots[i] }
+
+// Options returns the mount options (with defaults applied).
+func (m *Mount) Options() Options { return m.opt }
+
+func (m *Mount) stateOf(rel string) *containerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.state[rel]
+	if !ok {
+		st = &containerState{parsed: map[string][]Entry{}}
+		m.state[rel] = st
+	}
+	return st
+}
+
+func (m *Mount) dropState(rel string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.state, rel)
+}
+
+func clean(rel string) string {
+	rel = path.Clean("/" + rel)
+	return strings.TrimPrefix(rel, "/")
+}
+
+func hashStr(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// containerVol returns the volume hosting the canonical container of rel.
+func (m *Mount) containerVol(rel string) int {
+	if !m.opt.SpreadContainers || len(m.roots) == 1 {
+		return 0
+	}
+	return int(hashStr(rel)) % len(m.roots)
+}
+
+// subdirVol returns the volume hosting hostdir i of a container whose
+// canonical volume is vc.
+func (m *Mount) subdirVol(vc, i int) int {
+	if !m.opt.SpreadSubdirs || len(m.roots) == 1 {
+		return vc
+	}
+	return (vc + i) % len(m.roots)
+}
+
+// containerPath returns the canonical container directory path.
+func (m *Mount) containerPath(rel string) (string, int) {
+	vc := m.containerVol(rel)
+	return path.Join(m.roots[vc], rel), vc
+}
+
+// hostdirPath returns the path and volume of hostdir i for container rel.
+func (m *Mount) hostdirPath(rel string, i int) (string, int) {
+	vc := m.containerVol(rel)
+	v := m.subdirVol(vc, i)
+	return path.Join(m.roots[v], rel, fmt.Sprintf("%s%d", hostdirPrefix, i)), v
+}
+
+// subdirFor maps a writer to its hostdir (real PLFS hashes by host).
+func (m *Mount) subdirFor(host int) int { return host % m.opt.NumSubdirs }
+
+// Mkdir creates a logical directory on every volume, so containers and
+// shadow containers can be placed under it anywhere.
+func (m *Mount) Mkdir(ctx Ctx, rel string) error {
+	rel = clean(rel)
+	for v, root := range m.roots {
+		if err := ctx.Vols[v].Mkdir(path.Join(root, rel)); err != nil && !errors.Is(err, iofs.ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsContainer reports whether rel names a PLFS container.
+func (m *Mount) IsContainer(ctx Ctx, rel string) (bool, error) {
+	rel = clean(rel)
+	cpath, vc := m.containerPath(rel)
+	fi, err := ctx.Vols[vc].Stat(cpath)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	if !fi.Dir {
+		return false, nil
+	}
+	_, err = ctx.Vols[vc].Stat(path.Join(cpath, accessFile))
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+// Stat returns the logical file info for a container: its name and the
+// logical size cached in the metadir by writers at close.
+func (m *Mount) Stat(ctx Ctx, rel string) (Info, error) {
+	rel = clean(rel)
+	cpath, vc := m.containerPath(rel)
+	if _, err := ctx.Vols[vc].Stat(cpath); err != nil {
+		return Info{}, err
+	}
+	ents, err := ctx.Vols[vc].ReadDir(path.Join(cpath, metaDir))
+	if err != nil {
+		return Info{}, err
+	}
+	var size int64
+	found := false
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name, sizePrefix) {
+			parts := strings.SplitN(strings.TrimPrefix(e.Name, sizePrefix), ".", 2)
+			if n, err := strconv.ParseInt(parts[0], 10, 64); err == nil {
+				found = true
+				if n > size {
+					size = n
+				}
+			}
+		}
+	}
+	if !found {
+		// No cached size (e.g. writers died before close): aggregate the
+		// index the slow way.
+		drops, err := m.listDroppings(ctx, rel)
+		if err != nil {
+			return Info{}, err
+		}
+		ix, err := m.aggregateSerial(ctx, rel, drops)
+		if err != nil {
+			return Info{}, err
+		}
+		size = ix.Size()
+	}
+	return Info{Name: path.Base(rel), Dir: false, Size: size}, nil
+}
+
+// ReadDir lists the logical directory rel: the union across volumes, with
+// containers presented as logical files.
+func (m *Mount) ReadDir(ctx Ctx, rel string) ([]Info, error) {
+	rel = clean(rel)
+	seen := map[string]Info{}
+	found := false
+	for v, root := range m.roots {
+		ents, err := ctx.Vols[v].ReadDir(path.Join(root, rel))
+		if err != nil {
+			if errors.Is(err, iofs.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		found = true
+		for _, e := range ents {
+			if _, dup := seen[e.Name]; dup {
+				continue
+			}
+			if e.Dir {
+				isC, err := m.IsContainer(ctx, path.Join(rel, e.Name))
+				if err != nil {
+					return nil, err
+				}
+				if isC {
+					seen[e.Name] = Info{Name: e.Name, Dir: false}
+					continue
+				}
+			}
+			seen[e.Name] = e
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("plfs: readdir %s: %w", rel, iofs.ErrNotExist)
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Info, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out, nil
+}
+
+// Rename moves a container to a new logical name.  It renames the
+// container directory on every volume it touches (canonical and shadow).
+// With SpreadContainers the canonical volume is a pure function of the
+// name, so renames that would change the hash placement are refused —
+// the same restriction rigid metadata realms impose.
+func (m *Mount) Rename(ctx Ctx, oldRel, newRel string) error {
+	oldRel, newRel = clean(oldRel), clean(newRel)
+	if ok, err := m.IsContainer(ctx, oldRel); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("plfs: rename %s: not a container: %w", oldRel, iofs.ErrNotExist)
+	}
+	if m.containerVol(oldRel) != m.containerVol(newRel) {
+		return fmt.Errorf("plfs: rename %s -> %s: names hash to different metadata volumes", oldRel, newRel)
+	}
+	for v, root := range m.roots {
+		oldP, newP := path.Join(root, oldRel), path.Join(root, newRel)
+		if _, err := ctx.Vols[v].Stat(oldP); err != nil {
+			if errors.Is(err, iofs.ErrNotExist) {
+				continue // no shadow container on this volume
+			}
+			return err
+		}
+		if err := ctx.Vols[v].Rename(oldP, newP); err != nil {
+			return err
+		}
+	}
+	// A flattened global index records absolute dropping paths under the
+	// old name; drop it so readers re-aggregate from the moved droppings.
+	vc := m.containerVol(newRel)
+	gp := path.Join(m.roots[vc], newRel, metaDir, globalIndex)
+	if err := ctx.Vols[vc].Remove(gp); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+		return err
+	}
+	m.dropState(oldRel)
+	m.dropState(newRel)
+	return nil
+}
+
+// Truncate resets a container's logical contents to empty (the O_TRUNC
+// open path): droppings, size records, and any flattened index are
+// removed; the container skeleton stays so open handles' paths remain
+// valid namespaces.
+func (m *Mount) Truncate(ctx Ctx, rel string) error {
+	rel = clean(rel)
+	if ok, err := m.IsContainer(ctx, rel); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("plfs: truncate %s: not a container: %w", rel, iofs.ErrNotExist)
+	}
+	drops, err := m.listDroppings(ctx, rel)
+	if err != nil {
+		return err
+	}
+	for _, d := range drops {
+		if err := ctx.Vols[d.Vol].Remove(d.Data); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+			return err
+		}
+		if d.Index != "" {
+			if err := ctx.Vols[d.Vol].Remove(d.Index); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+				return err
+			}
+		}
+	}
+	cpath, vc := m.containerPath(rel)
+	meta := path.Join(cpath, metaDir)
+	ents, err := ctx.Vols[vc].ReadDir(meta)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if err := ctx.Vols[vc].Remove(path.Join(meta, e.Name)); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+			return err
+		}
+	}
+	st := m.stateOf(rel)
+	st.mu.Lock()
+	st.gen++
+	st.builtKey, st.built = "", nil
+	st.parsed = map[string][]Entry{}
+	st.mu.Unlock()
+	return nil
+}
+
+// Unlink removes a container: droppings, hostdirs (canonical and shadow),
+// metadata, and the container directories themselves.
+func (m *Mount) Unlink(ctx Ctx, rel string) error {
+	rel = clean(rel)
+	cpath, vc := m.containerPath(rel)
+	b := ctx.Vols[vc]
+	if _, err := b.Stat(path.Join(cpath, accessFile)); err != nil {
+		return fmt.Errorf("plfs: unlink %s: not a container: %w", rel, err)
+	}
+	// Remove hostdirs on every volume they may live on.
+	for i := 0; i < m.opt.NumSubdirs; i++ {
+		hpath, hv := m.hostdirPath(rel, i)
+		if err := removeTree(ctx.Vols[hv], hpath); err != nil {
+			return err
+		}
+		if hv != vc {
+			// Shadow container dir, if now empty, and the metalink marker.
+			_ = ctx.Vols[hv].Remove(path.Join(m.roots[hv], rel))
+			_ = b.Remove(path.Join(cpath, fmt.Sprintf("%s%d%s", hostdirPrefix, i, metalinkSufx)))
+		}
+	}
+	for _, sub := range []string{metaDir, openHostsDir} {
+		if err := removeTree(b, path.Join(cpath, sub)); err != nil {
+			return err
+		}
+	}
+	if err := b.Remove(path.Join(cpath, accessFile)); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+		return err
+	}
+	if err := b.Remove(cpath); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+		return err
+	}
+	m.dropState(rel)
+	return nil
+}
+
+// removeTree removes a directory and its (flat) contents; missing paths
+// are fine.
+func removeTree(b Backend, dir string) error {
+	ents, err := b.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range ents {
+		sub := path.Join(dir, e.Name)
+		if e.Dir {
+			if err := removeTree(b, sub); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := b.Remove(sub); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+			return err
+		}
+	}
+	if err := b.Remove(dir); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// droppingRef locates one writer's pair of droppings.
+type droppingRef struct {
+	Data  string // data dropping path
+	Index string // index dropping path ("" if the writer left none)
+	Vol   int
+}
+
+// listDroppings enumerates the container's droppings in canonical (sorted
+// by data path) order, resolving spread hostdirs.  Cost: one readdir of
+// the canonical container plus one readdir per existing hostdir.
+func (m *Mount) listDroppings(ctx Ctx, rel string) ([]droppingRef, error) {
+	cpath, vc := m.containerPath(rel)
+	ents, err := ctx.Vols[vc].ReadDir(cpath)
+	if err != nil {
+		return nil, err
+	}
+	present := map[int]bool{}
+	for _, e := range ents {
+		name := e.Name
+		if strings.HasSuffix(name, metalinkSufx) {
+			name = strings.TrimSuffix(name, metalinkSufx)
+		} else if !e.Dir {
+			continue
+		}
+		if !strings.HasPrefix(name, hostdirPrefix) {
+			continue
+		}
+		if i, err := strconv.Atoi(strings.TrimPrefix(name, hostdirPrefix)); err == nil {
+			present[i] = true
+		}
+	}
+	ids := make([]int, 0, len(present))
+	for i := range present {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	var refs []droppingRef
+	for _, i := range ids {
+		hpath, hv := m.hostdirPath(rel, i)
+		hents, err := ctx.Vols[hv].ReadDir(hpath)
+		if err != nil {
+			if errors.Is(err, iofs.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		byStamp := map[string]*droppingRef{}
+		for _, e := range hents {
+			switch {
+			case strings.HasPrefix(e.Name, dataPrefix):
+				stamp := strings.TrimPrefix(e.Name, dataPrefix)
+				r := byStamp[stamp]
+				if r == nil {
+					r = &droppingRef{Vol: hv}
+					byStamp[stamp] = r
+				}
+				r.Data = path.Join(hpath, e.Name)
+			case strings.HasPrefix(e.Name, indexPrefix):
+				stamp := strings.TrimPrefix(e.Name, indexPrefix)
+				r := byStamp[stamp]
+				if r == nil {
+					r = &droppingRef{Vol: hv}
+					byStamp[stamp] = r
+				}
+				r.Index = path.Join(hpath, e.Name)
+			}
+		}
+		stamps := make([]string, 0, len(byStamp))
+		for s := range byStamp {
+			stamps = append(stamps, s)
+		}
+		sort.Strings(stamps)
+		for _, s := range stamps {
+			if r := byStamp[s]; r.Data != "" {
+				refs = append(refs, *r)
+			}
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Data < refs[j].Data })
+	return refs, nil
+}

@@ -1,0 +1,547 @@
+package plfs
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"math"
+	"path"
+	"strings"
+
+	"plfs/internal/payload"
+)
+
+// Reader is a read handle on a logical PLFS file.  Opening a reader pays
+// the deferred cost of PLFS's write optimization: aggregating every
+// writer's index records into a global offset map, using the mount's
+// aggregation mode.
+type Reader struct {
+	m   *Mount
+	ctx Ctx
+	rel string
+
+	ix      *Index
+	handles map[int32]File
+	closed  bool
+
+	// Stats describes what this open did (for tests and the harness).
+	Stats OpenStats
+}
+
+// OpenStats reports the work an OpenReader performed.
+type OpenStats struct {
+	Mode       Mode  // effective aggregation mode
+	UsedGlobal bool  // served from a flattened global index
+	Droppings  int   // droppings in the container
+	RawEntries int   // raw index records aggregated
+	IndexReads int   // index files this process read
+	IndexBytes int64 // index bytes this process read
+}
+
+// OpenReader opens the logical file rel for reading.  With a communicator
+// the configured collective aggregation runs; without one (serial/FUSE
+// mode) the Original uncoordinated design is used.
+func (m *Mount) OpenReader(ctx Ctx, rel string) (*Reader, error) {
+	rel = clean(rel)
+	r := &Reader{m: m, ctx: ctx, rel: rel, handles: map[int32]File{}}
+	mode := m.opt.IndexMode
+	if ctx.Comm == nil {
+		mode = Original
+	}
+	r.Stats.Mode = mode
+
+	var err error
+	switch mode {
+	case Original:
+		err = r.aggregateOriginal()
+	case IndexFlatten:
+		err = r.aggregateFlatten()
+	case ParallelIndexRead:
+		err = r.aggregateParallel()
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.Stats.Droppings = len(r.ix.Droppings())
+	r.Stats.RawEntries = r.ix.RawEntries()
+	return r, nil
+}
+
+// volOfPath maps a backend path to its volume by root prefix.
+func (m *Mount) volOfPath(p string) int {
+	best, bestLen := 0, -1
+	for v, root := range m.roots {
+		if strings.HasPrefix(p, root+"/") || p == root {
+			if len(root) > bestLen {
+				best, bestLen = v, len(root)
+			}
+		}
+	}
+	return best
+}
+
+// tryGlobalIndex attempts to read the flattened global index; it returns
+// (nil, nil) when none exists.
+func (r *Reader) tryGlobalIndex() (*Index, error) {
+	m, ctx := r.m, r.ctx
+	cpath, vc := m.containerPath(r.rel)
+	gp := path.Join(cpath, metaDir, globalIndex)
+	f, err := ctx.Vols[vc].OpenRead(gp)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	size := f.Size()
+	pl, err := f.ReadAt(0, size)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	r.Stats.IndexReads++
+	r.Stats.IndexBytes += size
+	paths, entries, err := decodeGlobalIndex(pl.Materialize())
+	if err != nil {
+		return nil, err
+	}
+	ctx.sleep(m.opt.ParseCPUPerEntry * timeDuration(len(entries)))
+	return r.buildCached([][]Entry{entries}, paths), nil
+}
+
+// indexOf builds (with caching) the resolved index from raw shards.
+func (r *Reader) buildCached(shards [][]Entry, dataPaths []string) *Index {
+	st := r.m.stateOf(r.rel)
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	last := ""
+	if len(dataPaths) > 0 {
+		last = dataPaths[len(dataPaths)-1]
+	}
+	key := fmt.Sprintf("%d/%d/%d/%s", st.gen, len(dataPaths), total, last)
+	r.ctx.sleep(r.m.opt.MergeCPUPerEntry * timeDuration(total))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.builtKey == key && st.built != nil {
+		return st.built
+	}
+	ix := BuildIndex(shards, dataPaths)
+	st.builtKey, st.built = key, ix
+	return ix
+}
+
+// readShard reads and parses one index dropping, assigning it the
+// canonical dropping id.  Parsed entries are cached per path (droppings
+// are immutable), so repeated opens decode once per process group.
+func (r *Reader) readShard(ref droppingRef, id int32) ([]Entry, error) {
+	m, ctx := r.m, r.ctx
+	st := m.stateOf(r.rel)
+	f, err := ctx.Vols[ref.Vol].OpenRead(ref.Index)
+	if err != nil {
+		return nil, err
+	}
+	size := f.Size()
+	pl, err := f.ReadAt(0, size)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	r.Stats.IndexReads++
+	r.Stats.IndexBytes += size
+	ctx.sleep(m.opt.ParseCPUPerEntry * timeDuration(int(size/EntryBytes)))
+
+	st.mu.Lock()
+	cached, ok := st.parsed[ref.Index]
+	st.mu.Unlock()
+	if ok {
+		return withDropping(cached, id), nil
+	}
+	entries, err := decodeEntries(pl.Materialize(), id)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", ref.Index, err)
+	}
+	st.mu.Lock()
+	st.parsed[ref.Index] = entries
+	st.mu.Unlock()
+	return entries, nil
+}
+
+// withDropping returns entries with the given dropping id (copying only
+// when the cached id differs).
+func withDropping(entries []Entry, id int32) []Entry {
+	if len(entries) == 0 || entries[0].Dropping == id {
+		return entries
+	}
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	for i := range out {
+		out[i].Dropping = id
+	}
+	return out
+}
+
+// aggregateOriginal is the paper's original design: this process alone
+// lists the container and reads every index dropping (N readers each
+// doing this produce the N² open storm of Fig. 3a).
+func (r *Reader) aggregateOriginal() error {
+	if ix, err := r.tryGlobalIndex(); err != nil || ix != nil {
+		r.ix = ix
+		r.Stats.UsedGlobal = ix != nil
+		return err
+	}
+	drops, err := r.m.listDroppings(r.ctx, r.rel)
+	if err != nil {
+		return err
+	}
+	shards := make([][]Entry, 0, len(drops))
+	paths := make([]string, len(drops))
+	for i, d := range drops {
+		paths[i] = d.Data
+		if d.Index == "" {
+			continue
+		}
+		sh, err := r.readShard(d, int32(i))
+		if err != nil {
+			return err
+		}
+		shards = append(shards, sh)
+	}
+	r.ix = r.buildCached(shards, paths)
+	return nil
+}
+
+// aggregateFlatten reads the global index at rank 0 and broadcasts it
+// (Fig. 3b).  If no global index exists (a writer overflowed the
+// threshold, or the file was written without flattening), it falls back
+// to Parallel Index Read.
+func (r *Reader) aggregateFlatten() error {
+	c := r.ctx.Comm
+	type hdr struct {
+		errs    string
+		missing bool
+		nbytes  int64
+	}
+	type material struct {
+		paths   []string
+		entries []Entry
+	}
+	var hv, mv any
+	if c.Rank() == 0 {
+		ix, err := r.tryGlobalIndex()
+		switch {
+		case err != nil:
+			hv = hdr{errs: err.Error()}
+		case ix == nil:
+			hv = hdr{missing: true}
+		default:
+			entries := flattenEntriesOf(ix)
+			hv = hdr{nbytes: int64(len(entries)) * EntryBytes}
+			mv = material{paths: ix.Droppings(), entries: entries}
+		}
+	}
+	h := c.Bcast(0, 24, hv).(hdr)
+	if h.errs != "" {
+		return errors.New(h.errs)
+	}
+	if h.missing {
+		r.Stats.Mode = ParallelIndexRead
+		return r.aggregateParallel()
+	}
+	r.Stats.UsedGlobal = true
+	got := c.Bcast(0, h.nbytes, mv).(material)
+	r.ix = r.buildCached([][]Entry{got.entries}, got.paths)
+	return nil
+}
+
+// flattenEntriesOf reconstructs raw-entry form from a built index (used
+// to transport the global index without keeping the original bytes).
+func flattenEntriesOf(ix *Index) []Entry {
+	out := make([]Entry, len(ix.segs))
+	for i, s := range ix.segs {
+		out[i] = Entry{
+			LogicalOff: s.logical, Length: s.length, PhysOff: s.physOff,
+			Dropping: s.drop, Rank: s.rank,
+		}
+	}
+	return out
+}
+
+// parallel-read shard transport.
+type shardMsg struct {
+	ID      int32
+	Entries []Entry
+}
+
+// aggregateParallel implements Parallel Index Read (Fig. 3c): ranks are
+// partitioned into groups; members read disjoint subsets of the index
+// droppings; group leaders merge, exchange with the other leaders, and
+// broadcast the global set within their groups.  The container is opened
+// N times instead of N².
+func (r *Reader) aggregateParallel() error {
+	m, ctx := r.m, r.ctx
+	c := ctx.Comm
+
+	// Rank 0 lists the container (and checks for a flattened index).
+	type hdr struct {
+		global bool
+		errs   string
+		ndrops int
+	}
+	var hv, dv any
+	if c.Rank() == 0 {
+		if ix, err := r.tryGlobalIndex(); err != nil {
+			hv = hdr{errs: err.Error()}
+		} else if ix != nil {
+			hv = hdr{global: true}
+		} else if drops, err := m.listDroppings(ctx, r.rel); err != nil {
+			hv = hdr{errs: err.Error()}
+		} else {
+			hv = hdr{ndrops: len(drops)}
+			dv = drops
+		}
+	}
+	first := c.Bcast(0, 24, hv).(hdr)
+	if first.errs != "" {
+		return errors.New(first.errs)
+	}
+	if first.global {
+		// A flattened index exists: serve everyone from it.
+		r.Stats.Mode = IndexFlatten
+		return r.aggregateFlatten()
+	}
+	drops, _ := c.Bcast(0, int64(first.ndrops)*96, dv).([]droppingRef)
+
+	n := c.Size()
+	groupSize := m.opt.GroupSize
+	if groupSize <= 0 {
+		groupSize = int(math.Ceil(math.Sqrt(float64(n))))
+	}
+	if groupSize > n {
+		groupSize = n
+	}
+	group := c.Split(c.Rank()/groupSize, c.Rank())
+	numGroups := (n + groupSize - 1) / groupSize
+	myGroup := c.Rank() / groupSize
+	isLeader := group.Rank() == 0
+
+	// The leaders form their own communicator; everyone else gets a
+	// private color (their comm is unused).
+	leaderColor := 0
+	if !isLeader {
+		leaderColor = 1 + myGroup
+	}
+	leaders := c.Split(leaderColor, c.Rank())
+
+	// Leader assigns members their subset of this group's droppings.
+	var assignment []shardRef
+	if isLeader {
+		mine := chunk(len(drops), numGroups, myGroup)
+		members := group.Size()
+		lists := make([][]shardRef, members)
+		for k, di := range mine {
+			w := k % members
+			lists[w] = append(lists[w], shardRef{Ref: drops[di], ID: int32(di)})
+		}
+		vs := make([]any, members)
+		for i := range vs {
+			vs[i] = lists[i]
+		}
+		assignment = group.Scatter(0, 32, vs).([]shardRef)
+	} else {
+		assignment = group.Scatter(0, 32, nil).([]shardRef)
+	}
+
+	// Members read their assigned subindices.
+	var mine []shardMsg
+	var mineBytes int64
+	for _, a := range assignment {
+		if a.Ref.Index == "" {
+			continue
+		}
+		sh, err := r.readShard(a.Ref, a.ID)
+		if err != nil {
+			return err
+		}
+		mine = append(mine, shardMsg{ID: a.ID, Entries: sh})
+		mineBytes += int64(len(sh)) * EntryBytes
+	}
+
+	// Members return subindices to their leader; leaders exchange and
+	// broadcast the merged global set within their groups.
+	gathered := group.Gather(0, mineBytes+32, mine)
+	var all []shardMsg
+	if isLeader {
+		var groupShards []shardMsg
+		var groupBytes int64
+		for _, gv := range gathered {
+			for _, sm := range gv.([]shardMsg) {
+				groupShards = append(groupShards, sm)
+				groupBytes += int64(len(sm.Entries)) * EntryBytes
+			}
+		}
+		exchanged := leaders.Allgather(groupBytes+32, groupShards)
+		for _, ev := range exchanged {
+			all = append(all, ev.([]shardMsg)...)
+		}
+	}
+	// Leader first announces the merged size so every forwarding hop in
+	// the broadcast tree charges the true volume.
+	var allBytes int64
+	for _, sm := range all {
+		allBytes += int64(len(sm.Entries)) * EntryBytes
+	}
+	allBytes = group.Bcast(0, 8, allBytes).(int64)
+	all = group.Bcast(0, allBytes, all).([]shardMsg)
+
+	shards := make([][]Entry, 0, len(all))
+	paths := make([]string, len(drops))
+	for i, d := range drops {
+		paths[i] = d.Data
+	}
+	for _, sm := range all {
+		shards = append(shards, sm.Entries)
+	}
+	r.ix = r.buildCached(shards, paths)
+	return nil
+}
+
+type shardRef struct {
+	Ref droppingRef
+	ID  int32
+}
+
+// chunk returns the indices [0,total) assigned to bucket b of nb buckets
+// (contiguous blocks, remainder to the low buckets).
+func chunk(total, nb, b int) []int {
+	base := total / nb
+	rem := total % nb
+	start := b*base + min(b, rem)
+	count := base
+	if b < rem {
+		count++
+	}
+	out := make([]int, 0, count)
+	for i := start; i < start+count; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Size returns the logical file size.
+func (r *Reader) Size() int64 { return r.ix.Size() }
+
+// Index exposes the resolved global index (diagnostics and tests).
+func (r *Reader) Index() *Index { return r.ix }
+
+// handle lazily opens the data dropping with the given id.
+func (r *Reader) handle(id int32) (File, error) {
+	if f, ok := r.handles[id]; ok {
+		return f, nil
+	}
+	p := r.ix.Droppings()[id]
+	f, err := r.ctx.Vols[r.m.volOfPath(p)].OpenRead(p)
+	if err != nil {
+		return nil, err
+	}
+	r.handles[id] = f
+	return f, nil
+}
+
+// ReadAt returns the logical byte range [off, off+n), with holes reading
+// as zeros.  When the read pattern matches the write pattern, each piece
+// is a sequential read of one log-structured dropping — the prefetch-
+// friendly pattern the paper credits for PLFS read speedups.
+func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
+	if r.closed {
+		return nil, errors.New("plfs: reader closed")
+	}
+	var out payload.List
+	for _, piece := range r.ix.Lookup(off, n) {
+		if piece.Dropping < 0 {
+			out = out.Append(payload.Zeros(piece.Length))
+			continue
+		}
+		f, err := r.handle(piece.Dropping)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := f.ReadAt(piece.PhysOff, piece.Length)
+		if err != nil {
+			return nil, err
+		}
+		out = out.Concat(pl)
+	}
+	return out, nil
+}
+
+// Close releases the reader's dropping handles.
+func (r *Reader) Close() error {
+	if r.closed {
+		return errors.New("plfs: reader closed")
+	}
+	r.closed = true
+	for _, f := range r.handles {
+		f.Close()
+	}
+	r.handles = nil
+	return nil
+}
+
+// aggregateSerial is the Mount-level helper used by Stat when no size
+// record exists: an Original-style aggregation without a Reader.
+func (m *Mount) aggregateSerial(ctx Ctx, rel string, drops []droppingRef) (*Index, error) {
+	r := &Reader{m: m, ctx: ctx, rel: rel, handles: map[int32]File{}}
+	shards := make([][]Entry, 0, len(drops))
+	paths := make([]string, len(drops))
+	for i, d := range drops {
+		paths[i] = d.Data
+		if d.Index == "" {
+			continue
+		}
+		sh, err := r.readShard(d, int32(i))
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, sh)
+	}
+	return r.buildCached(shards, paths), nil
+}
+
+// Flatten aggregates an existing container's index droppings into a
+// persistent global index (the plfs_flatten_index administrative tool):
+// subsequent read opens, in any mode, serve from the single flattened
+// file instead of re-aggregating — useful for write-once, read-many
+// data.  It is idempotent; a second call is a cheap no-op.
+func (m *Mount) Flatten(ctx Ctx, rel string) error {
+	rel = clean(rel)
+	r := &Reader{m: m, ctx: ctx, rel: rel, handles: map[int32]File{}}
+	if ix, err := r.tryGlobalIndex(); err != nil {
+		return err
+	} else if ix != nil {
+		return nil // already flattened
+	}
+	drops, err := m.listDroppings(ctx, rel)
+	if err != nil {
+		return err
+	}
+	ix, err := m.aggregateSerial(ctx, rel, drops)
+	if err != nil {
+		return err
+	}
+	entries := flattenEntriesOf(ix)
+	ctx.sleep(m.opt.ParseCPUPerEntry * timeDuration(len(entries)))
+	buf := encodeGlobalIndex(ix.Droppings(), entries)
+	cpath, vc := m.containerPath(rel)
+	f, err := ctx.Vols[vc].Create(path.Join(cpath, metaDir, globalIndex))
+	if err != nil {
+		if errors.Is(err, iofs.ErrExist) {
+			return nil // raced with another flattener
+		}
+		return err
+	}
+	defer f.Close()
+	_, err = f.Append(payload.FromBytes(buf))
+	return err
+}

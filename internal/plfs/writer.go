@@ -1,0 +1,400 @@
+package plfs
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"path"
+
+	"plfs/internal/payload"
+)
+
+// Writer is one process's write handle on a logical PLFS file.  All data
+// goes to a private data dropping as sequential appends; index records
+// accumulate and are persisted according to the mount's index mode.
+type Writer struct {
+	m   *Mount
+	ctx Ctx
+	rel string
+
+	vc        int // canonical container volume
+	subdir    int
+	subVol    int
+	stamp     string
+	dataPath  string
+	indexPath string
+	dataFile  File
+
+	buf      payload.List
+	bufBytes int64
+	written  int64 // bytes flushed to the data dropping
+
+	entries    []Entry
+	spilledAll bool // entries already persisted to the index dropping
+	overflowed bool // exceeded the flatten threshold
+
+	maxLogical int64
+	closed     bool
+}
+
+// Create opens the logical file rel for writing, creating the container
+// if needed.  With a communicator this is collective: rank 0 creates the
+// container skeleton and the rest attach after a barrier — the paper's
+// MPI-IO open.  Without one, every caller races politely (mkdir with
+// EEXIST tolerated), as through FUSE.
+func (m *Mount) Create(ctx Ctx, rel string) (*Writer, error) {
+	rel = clean(rel)
+	if ctx.Comm != nil {
+		var res any
+		if ctx.Comm.Rank() == 0 {
+			res = errToStr(m.createSkeleton(ctx, rel))
+		}
+		if s := ctx.Comm.Bcast(0, 16, res); s != nil {
+			return nil, errors.New(s.(string))
+		}
+	} else {
+		if err := m.createSkeleton(ctx, rel); err != nil {
+			return nil, err
+		}
+	}
+
+	st := m.stateOf(rel)
+	st.mu.Lock()
+	st.gen++
+	st.builtKey, st.built = "", nil
+	st.mu.Unlock()
+
+	w := &Writer{m: m, ctx: ctx, rel: rel}
+	w.vc = m.containerVol(rel)
+	w.subdir = m.subdirFor(ctx.Host)
+	if err := w.ensureHostdir(); err != nil {
+		return nil, err
+	}
+	if ctx.HostLeader {
+		// Register this host in openhosts (ignored if a sibling won).
+		cpath, _ := m.containerPath(rel)
+		f, err := ctx.Vols[w.vc].Create(path.Join(cpath, openHostsDir, fmt.Sprintf("host.%d", ctx.Host)))
+		if err == nil {
+			f.Close()
+		} else if !errors.Is(err, iofs.ErrExist) {
+			return nil, err
+		}
+	}
+	// Create this writer's droppings.
+	w.stamp = fmt.Sprintf("%d.%d", ctx.now(), ctx.Rank)
+	hpath, hv := m.hostdirPath(rel, w.subdir)
+	w.subVol = hv
+	w.dataPath = path.Join(hpath, dataPrefix+w.stamp)
+	w.indexPath = path.Join(hpath, indexPrefix+w.stamp)
+	df, err := ctx.Vols[hv].Create(w.dataPath)
+	if err != nil {
+		return nil, err
+	}
+	w.dataFile = df
+	return w, nil
+}
+
+func errToStr(err error) any {
+	if err == nil {
+		return nil
+	}
+	return err.Error()
+}
+
+// createSkeleton builds the container directory structure, tolerating
+// pieces that already exist (another writer got there first).
+func (m *Mount) createSkeleton(ctx Ctx, rel string) error {
+	cpath, vc := m.containerPath(rel)
+	b := ctx.Vols[vc]
+	if err := b.Mkdir(cpath); err != nil && !errors.Is(err, iofs.ErrExist) {
+		return err
+	}
+	if f, err := b.Create(path.Join(cpath, accessFile)); err == nil {
+		f.Close()
+	} else if !errors.Is(err, iofs.ErrExist) {
+		return err
+	}
+	for _, sub := range []string{metaDir, openHostsDir} {
+		if err := b.Mkdir(path.Join(cpath, sub)); err != nil && !errors.Is(err, iofs.ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureHostdir creates the writer's hostdir (and, when subdirs are
+// spread, the shadow container and the canonical metalink marker).
+func (w *Writer) ensureHostdir() error {
+	m, ctx := w.m, w.ctx
+	hpath, hv := m.hostdirPath(w.rel, w.subdir)
+	if hv != m.containerVol(w.rel) {
+		// Shadow container directory on the remote volume.
+		shadow := path.Join(m.roots[hv], w.rel)
+		if err := ctx.Vols[hv].Mkdir(shadow); err != nil && !errors.Is(err, iofs.ErrExist) {
+			return err
+		}
+	}
+	err := ctx.Vols[hv].Mkdir(hpath)
+	switch {
+	case err == nil:
+		if hv != m.containerVol(w.rel) {
+			// First creator leaves a metalink marker in the canonical
+			// container so uncoordinated readers can find the hostdir.
+			cpath, vc := m.containerPath(w.rel)
+			ml := path.Join(cpath, fmt.Sprintf("%s%d%s", hostdirPrefix, w.subdir, metalinkSufx))
+			if f, err := ctx.Vols[vc].Create(ml); err == nil {
+				f.Close()
+			} else if !errors.Is(err, iofs.ErrExist) {
+				return err
+			}
+		}
+		return nil
+	case errors.Is(err, iofs.ErrExist):
+		return nil
+	default:
+		return err
+	}
+}
+
+// Write records p at logical offset off.  The data is appended (buffered)
+// to the private data dropping — always sequential regardless of off, the
+// core log-structured transform.
+func (w *Writer) Write(off int64, p payload.Payload) error {
+	if w.closed {
+		return errors.New("plfs: writer closed")
+	}
+	n := p.Len()
+	if n == 0 {
+		return nil
+	}
+	phys := w.written + w.bufBytes
+	if last := len(w.entries) - 1; last >= 0 && !w.m.opt.NoIndexCompression {
+		e := &w.entries[last]
+		if e.LogicalOff+e.Length == off && e.PhysOff+e.Length == phys {
+			// Index compression: the write continues the previous record.
+			e.Length += n
+			e.Timestamp = w.ctx.now()
+			w.buf = w.buf.Append(p)
+			w.bufBytes += n
+			if end := off + n; end > w.maxLogical {
+				w.maxLogical = end
+			}
+			if w.bufBytes >= w.m.opt.DataFlushBytes {
+				return w.flushData()
+			}
+			return nil
+		}
+	}
+	w.entries = append(w.entries, Entry{
+		LogicalOff: off,
+		Length:     n,
+		PhysOff:    phys,
+		Timestamp:  w.ctx.now(),
+		Rank:       int32(w.ctx.Rank),
+	})
+	w.buf = w.buf.Append(p)
+	w.bufBytes += n
+	if end := off + n; end > w.maxLogical {
+		w.maxLogical = end
+	}
+	if w.bufBytes >= w.m.opt.DataFlushBytes {
+		// DataFlushBytes == 0 means write-through: every Write flushes.
+		if err := w.flushData(); err != nil {
+			return err
+		}
+	}
+	if w.m.opt.IndexMode == IndexFlatten && !w.overflowed && len(w.entries) > w.m.opt.FlattenThreshold {
+		w.overflowed = true
+	}
+	return nil
+}
+
+// flushData appends buffered payloads to the data dropping.
+func (w *Writer) flushData() error {
+	for _, p := range w.buf {
+		if _, err := w.dataFile.Append(p); err != nil {
+			return err
+		}
+	}
+	w.written += w.bufBytes
+	w.buf, w.bufBytes = w.buf[:0], 0
+	return nil
+}
+
+// Sync flushes buffered data to the backing store.
+func (w *Writer) Sync() error {
+	if w.closed {
+		return errors.New("plfs: writer closed")
+	}
+	return w.flushData()
+}
+
+// writeOwnIndex persists this writer's index dropping.
+func (w *Writer) writeOwnIndex() error {
+	if w.spilledAll || len(w.entries) == 0 {
+		return nil
+	}
+	f, err := w.ctx.Vols[w.subVol].Create(w.indexPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Append(payload.FromBytes(encodeEntries(w.entries))); err != nil {
+		return err
+	}
+	w.spilledAll = true
+	return nil
+}
+
+// flattenShard is what each writer contributes to Index Flatten at close.
+type flattenShard struct {
+	DataPath string
+	Entries  []Entry
+	Size     int64
+	Overflow bool
+}
+
+// Close flushes data, persists index information according to the index
+// mode, records the logical size in the metadir, and deregisters the
+// host.  With a communicator it is collective; under IndexFlatten this is
+// where the global index is gathered and written — the cost visible in
+// the paper's Fig. 4c/4d.
+func (w *Writer) Close() error {
+	if w.closed {
+		return errors.New("plfs: writer closed")
+	}
+	w.closed = true
+	if err := w.flushData(); err != nil {
+		return err
+	}
+	if err := w.dataFile.Close(); err != nil {
+		return err
+	}
+
+	m, ctx := w.m, w.ctx
+	flatten := m.opt.IndexMode == IndexFlatten && ctx.Comm != nil
+
+	if flatten {
+		sh := flattenShard{DataPath: w.dataPath, Entries: w.entries, Size: w.maxLogical, Overflow: w.overflowed}
+		shards := ctx.Comm.Gather(0, int64(len(w.entries))*EntryBytes+64, sh)
+		anyOverflow := false
+		var maxSize int64
+		if ctx.Comm.Rank() == 0 {
+			for _, v := range shards {
+				s := v.(flattenShard)
+				anyOverflow = anyOverflow || s.Overflow
+				if s.Size > maxSize {
+					maxSize = s.Size
+				}
+			}
+		}
+		st := ctx.Comm.Bcast(0, 16, [2]any{anyOverflow, maxSize}).([2]any)
+		anyOverflow = st[0].(bool)
+		if anyOverflow {
+			// Threshold exceeded somewhere: everyone keeps a private index.
+			if err := w.writeOwnIndex(); err != nil {
+				return err
+			}
+		} else if ctx.Comm.Rank() == 0 {
+			if err := w.writeGlobalIndex(shards); err != nil {
+				return err
+			}
+		}
+		if ctx.Comm.Rank() == 0 {
+			if err := w.writeSizeRecord(st[1].(int64)); err != nil {
+				return err
+			}
+		}
+		ctx.Comm.Barrier()
+	} else {
+		if err := w.writeOwnIndex(); err != nil {
+			return err
+		}
+		if ctx.Comm != nil {
+			sz := ctx.Comm.Allgather(8, w.maxLogical)
+			if ctx.Comm.Rank() == 0 {
+				var maxSize int64
+				for _, v := range sz {
+					if s := v.(int64); s > maxSize {
+						maxSize = s
+					}
+				}
+				if err := w.writeSizeRecord(maxSize); err != nil {
+					return err
+				}
+			}
+			ctx.Comm.Barrier()
+		} else {
+			if err := w.writeSizeRecord(w.maxLogical); err != nil {
+				return err
+			}
+		}
+	}
+
+	if ctx.HostLeader {
+		cpath, _ := m.containerPath(w.rel)
+		err := ctx.Vols[w.vc].Remove(path.Join(cpath, openHostsDir, fmt.Sprintf("host.%d", ctx.Host)))
+		if err != nil && !errors.Is(err, iofs.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSizeRecord caches the logical size in the metadir.
+func (w *Writer) writeSizeRecord(size int64) error {
+	cpath, vc := w.m.containerPath(w.rel)
+	name := path.Join(cpath, metaDir, fmt.Sprintf("%s%d.%d", sizePrefix, size, w.ctx.Rank))
+	f, err := w.ctx.Vols[vc].Create(name)
+	if err != nil {
+		if errors.Is(err, iofs.ErrExist) {
+			return nil
+		}
+		return err
+	}
+	return f.Close()
+}
+
+// writeGlobalIndex persists the flattened global index to the metadir.
+// Format: header with the canonical dropping paths, then every shard's
+// entries with dropping ids rewritten to the canonical order.
+func (w *Writer) writeGlobalIndex(shardVals []any) error {
+	shards := make([]flattenShard, 0, len(shardVals))
+	for _, v := range shardVals {
+		shards = append(shards, v.(flattenShard))
+	}
+	// Canonical order: sorted by data path (matches listDroppings).
+	order := make([]int, len(shards))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && shards[order[j]].DataPath < shards[order[j-1]].DataPath; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	paths := make([]string, len(order))
+	var all []Entry
+	var total int
+	for _, s := range shards {
+		total += len(s.Entries)
+	}
+	all = make([]Entry, 0, total)
+	for id, si := range order {
+		paths[id] = shards[si].DataPath
+		for _, e := range shards[si].Entries {
+			e.Dropping = int32(id)
+			all = append(all, e)
+		}
+	}
+	w.ctx.sleep(w.m.opt.ParseCPUPerEntry * timeDuration(len(all)))
+	buf := encodeGlobalIndex(paths, all)
+	cpath, vc := w.m.containerPath(w.rel)
+	f, err := w.ctx.Vols[vc].Create(path.Join(cpath, metaDir, globalIndex))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Append(payload.FromBytes(buf))
+	return err
+}

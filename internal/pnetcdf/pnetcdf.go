@@ -1,0 +1,336 @@
+// Package pnetcdf is a minimal Parallel-NetCDF-flavored array-file format
+// over the MPI-IO (adio) layer.
+//
+// The paper's Pixie3D kernel "does I/O through the Parallel-NetCDF
+// library".  Like real netCDF, files are built in define mode (dimensions
+// then variables), EndDef freezes the layout and writes the header, and
+// data access is per-variable hyperslab (vara) reads/writes.  Every
+// opener reads the header; variables are packed row-major behind it in
+// definition order.
+package pnetcdf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"plfs/internal/adio"
+	"plfs/internal/payload"
+	"plfs/internal/slab"
+)
+
+// Magic identifies mini-netCDF files ("MCDF").
+const Magic = 0x4D434446
+
+// HeaderSize is the reserved header region.
+const HeaderSize = 4096
+
+// DimID names a dimension; VarID names a variable.
+type (
+	DimID int
+	VarID int
+)
+
+type dim struct {
+	name string
+	size int64
+}
+
+type variable struct {
+	name     string
+	elemSize int64
+	dims     []DimID
+	offset   int64
+}
+
+// File is an open mini-netCDF file.
+type File struct {
+	f       adio.File
+	comm    Comm
+	dims    []dim
+	vars    []variable
+	defMode bool
+	writing bool
+}
+
+// Comm is the slice of a communicator the formatting library needs.
+type Comm interface {
+	Rank() int
+	Size() int
+	Barrier()
+}
+
+// CreateFile starts a new file in define mode.
+func CreateFile(c Comm, f adio.File) *File {
+	return &File{f: f, comm: c, defMode: true, writing: true}
+}
+
+// DefDim defines a dimension (define mode only).
+func (nc *File) DefDim(name string, size int64) (DimID, error) {
+	if !nc.defMode {
+		return 0, errors.New("pnetcdf: not in define mode")
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("pnetcdf: dimension %q has size %d", name, size)
+	}
+	nc.dims = append(nc.dims, dim{name, size})
+	return DimID(len(nc.dims) - 1), nil
+}
+
+// DefVar defines a variable over dimensions (define mode only).
+func (nc *File) DefVar(name string, elemSize int64, dims []DimID) (VarID, error) {
+	if !nc.defMode {
+		return 0, errors.New("pnetcdf: not in define mode")
+	}
+	for _, d := range dims {
+		if int(d) >= len(nc.dims) {
+			return 0, fmt.Errorf("pnetcdf: variable %q references unknown dim %d", name, d)
+		}
+	}
+	nc.vars = append(nc.vars, variable{name: name, elemSize: elemSize, dims: append([]DimID(nil), dims...)})
+	return VarID(len(nc.vars) - 1), nil
+}
+
+// EndDef freezes the schema, computes the layout, and (collectively)
+// writes the header.
+func (nc *File) EndDef() error {
+	if !nc.defMode {
+		return errors.New("pnetcdf: already out of define mode")
+	}
+	nc.defMode = false
+	nc.computeLayout()
+	hdr := nc.encodeHeader()
+	if len(hdr) > HeaderSize {
+		return errors.New("pnetcdf: header overflow")
+	}
+	if nc.comm == nil || nc.comm.Rank() == 0 {
+		if err := nc.f.WriteAt(0, payload.FromBytes(hdr)); err != nil {
+			return err
+		}
+	}
+	if nc.comm != nil {
+		nc.comm.Barrier()
+	}
+	return nil
+}
+
+func (nc *File) computeLayout() {
+	off := int64(HeaderSize)
+	for i := range nc.vars {
+		nc.vars[i].offset = off
+		off += nc.varBytes(i)
+	}
+}
+
+func (nc *File) varShape(i int) []int64 {
+	v := nc.vars[i]
+	shape := make([]int64, len(v.dims))
+	for j, d := range v.dims {
+		shape[j] = nc.dims[d].size
+	}
+	return shape
+}
+
+func (nc *File) varBytes(i int) int64 {
+	return slab.Elements(nc.varShape(i)) * nc.vars[i].elemSize
+}
+
+// Open reads an existing file's header (every caller).
+func Open(c Comm, f adio.File) (*File, error) {
+	pl, err := f.ReadAt(0, HeaderSize)
+	if err != nil {
+		return nil, err
+	}
+	nc := &File{f: f, comm: c}
+	if err := nc.decodeHeader(pl.Materialize()); err != nil {
+		return nil, err
+	}
+	nc.computeLayout()
+	return nc, nil
+}
+
+// InqVarID looks a variable up by name.
+func (nc *File) InqVarID(name string) (VarID, error) {
+	for i, v := range nc.vars {
+		if v.name == name {
+			return VarID(i), nil
+		}
+	}
+	return 0, fmt.Errorf("pnetcdf: no variable %q", name)
+}
+
+// InqDim returns a dimension's name and size.
+func (nc *File) InqDim(d DimID) (string, int64, error) {
+	if int(d) >= len(nc.dims) {
+		return "", 0, fmt.Errorf("pnetcdf: bad dim id %d", d)
+	}
+	return nc.dims[d].name, nc.dims[d].size, nil
+}
+
+// NumVars returns the variable count.
+func (nc *File) NumVars() int { return len(nc.vars) }
+
+// VarBytes returns the byte size of a variable's full extent.
+func (nc *File) VarBytes(v VarID) int64 { return nc.varBytes(int(v)) }
+
+// TotalBytes returns the data size of all variables.
+func (nc *File) TotalBytes() int64 {
+	var n int64
+	for i := range nc.vars {
+		n += nc.varBytes(i)
+	}
+	return n
+}
+
+// PutVara writes the hyperslab [start, start+count) of variable v.
+func (nc *File) PutVara(v VarID, start, count []int64, p payload.Payload) error {
+	if nc.defMode {
+		return errors.New("pnetcdf: still in define mode")
+	}
+	if !nc.writing {
+		return errors.New("pnetcdf: file opened read-only")
+	}
+	vr := nc.vars[v]
+	if want := slab.Elements(count) * vr.elemSize; p.Len() != want {
+		return fmt.Errorf("pnetcdf: vara payload %d bytes, want %d", p.Len(), want)
+	}
+	var pos int64
+	var werr error
+	err := slab.Runs(nc.varShape(int(v)), start, count, func(off, elems int64) {
+		if werr != nil {
+			return
+		}
+		n := elems * vr.elemSize
+		werr = nc.f.WriteAt(vr.offset+off*vr.elemSize, p.Slice(pos, n))
+		pos += n
+	})
+	if err != nil {
+		return err
+	}
+	return werr
+}
+
+// GetVara reads the hyperslab [start, start+count) of variable v.
+func (nc *File) GetVara(v VarID, start, count []int64) (payload.List, error) {
+	if nc.defMode {
+		return nil, errors.New("pnetcdf: still in define mode")
+	}
+	vr := nc.vars[v]
+	var out payload.List
+	var rerr error
+	err := slab.Runs(nc.varShape(int(v)), start, count, func(off, elems int64) {
+		if rerr != nil {
+			return
+		}
+		pl, err := nc.f.ReadAt(vr.offset+off*vr.elemSize, elems*vr.elemSize)
+		if err != nil {
+			rerr = err
+			return
+		}
+		out = out.Concat(pl)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, rerr
+}
+
+func (nc *File) encodeHeader() []byte {
+	var buf []byte
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	putStr := func(s string) {
+		put32(uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	put32(Magic)
+	put32(uint32(len(nc.dims)))
+	for _, d := range nc.dims {
+		putStr(d.name)
+		put64(uint64(d.size))
+	}
+	put32(uint32(len(nc.vars)))
+	for _, v := range nc.vars {
+		putStr(v.name)
+		put32(uint32(v.elemSize))
+		put32(uint32(len(v.dims)))
+		for _, d := range v.dims {
+			put32(uint32(d))
+		}
+	}
+	return buf
+}
+
+func (nc *File) decodeHeader(data []byte) error {
+	bad := errors.New("pnetcdf: corrupt header")
+	u32 := func() (uint32, bool) {
+		if len(data) < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if len(data) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		return v, true
+	}
+	str := func() (string, bool) {
+		n, ok := u32()
+		if !ok || int(n) > len(data) {
+			return "", false
+		}
+		s := string(data[:n])
+		data = data[n:]
+		return s, true
+	}
+	magic, ok := u32()
+	if !ok || magic != Magic {
+		return fmt.Errorf("pnetcdf: bad magic %#x", magic)
+	}
+	nd, ok := u32()
+	if !ok || nd > 4096 {
+		return bad
+	}
+	for i := uint32(0); i < nd; i++ {
+		name, ok1 := str()
+		size, ok2 := u64()
+		if !ok1 || !ok2 {
+			return bad
+		}
+		nc.dims = append(nc.dims, dim{name, int64(size)})
+	}
+	nv, ok := u32()
+	if !ok || nv > 4096 {
+		return bad
+	}
+	for i := uint32(0); i < nv; i++ {
+		name, ok1 := str()
+		es, ok2 := u32()
+		ndims, ok3 := u32()
+		if !ok1 || !ok2 || !ok3 || ndims > 64 {
+			return bad
+		}
+		dims := make([]DimID, ndims)
+		for j := range dims {
+			d, ok := u32()
+			if !ok || int(d) >= len(nc.dims) {
+				return bad
+			}
+			dims[j] = DimID(d)
+		}
+		nc.vars = append(nc.vars, variable{name: name, elemSize: int64(es), dims: dims})
+	}
+	return nil
+}

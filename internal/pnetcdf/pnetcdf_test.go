@@ -1,0 +1,160 @@
+package pnetcdf_test
+
+import (
+	"sync"
+	"testing"
+
+	"plfs/internal/adio"
+	"plfs/internal/localcomm"
+	"plfs/internal/osfs"
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+	"plfs/internal/pnetcdf"
+)
+
+func runRanks(t *testing.T, n int, fn func(ctx plfs.Ctx, rank int)) {
+	t.Helper()
+	comms := localcomm.New(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(plfs.Ctx{
+				Vols: []plfs.Backend{osfs.New()}, Rank: i,
+				Host: i / 2, HostLeader: i%2 == 0, Comm: comms[i],
+			}, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestNetCDFDefineModeAndRoundtrip(t *testing.T) {
+	mount := plfs.NewMount([]string{t.TempDir()}, plfs.Options{IndexMode: plfs.ParallelIndexRead, NumSubdirs: 2})
+	const n = 4
+	const nx, ny = 8, 12
+	runRanks(t, n, func(ctx plfs.Ctx, rank int) {
+		drv := adio.PLFS{Mount: mount}
+		f, err := drv.Open(ctx, "pixie.mcdf", adio.WriteCreate, adio.Hints{})
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		nc := pnetcdf.CreateFile(ctx.Comm, f)
+		dx, err := nc.DefDim("x", nx)
+		if err != nil {
+			t.Error(err)
+		}
+		dy, _ := nc.DefDim("y", ny)
+		vb, err := nc.DefVar("B", 8, []pnetcdf.DimID{dx, dy})
+		if err != nil {
+			t.Error(err)
+		}
+		if _, err := nc.DefVar("rho", 8, []pnetcdf.DimID{dx, dy}); err != nil {
+			t.Error(err)
+		}
+		if err := nc.EndDef(); err != nil {
+			t.Errorf("enddef: %v", err)
+			return
+		}
+		// Writes after EndDef only.
+		rows := int64(nx / n)
+		start := []int64{int64(rank) * rows, 0}
+		count := []int64{rows, ny}
+		bytes := rows * ny * 8
+		if err := nc.PutVara(vb, start, count, payload.Synthetic(uint64(rank+1), 0, bytes)); err != nil {
+			t.Error(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+
+		rf, err := drv.Open(ctx, "pixie.mcdf", adio.ReadOnly, adio.Hints{})
+		if err != nil {
+			t.Errorf("reopen: %v", err)
+			return
+		}
+		defer rf.Close()
+		nc2, err := pnetcdf.Open(ctx.Comm, rf)
+		if err != nil {
+			t.Errorf("nc open: %v", err)
+			return
+		}
+		if nc2.NumVars() != 2 {
+			t.Errorf("vars = %d", nc2.NumVars())
+		}
+		vb2, err := nc2.InqVarID("B")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		peer := (rank + 3) % n
+		got, err := nc2.GetVara(vb2, []int64{int64(peer) * rows, 0}, count)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !payload.ContentEqual(got, payload.List{payload.Synthetic(uint64(peer+1), 0, bytes)}) {
+			t.Errorf("rank %d read of peer %d slab mismatch", rank, peer)
+		}
+	})
+}
+
+func TestNetCDFDefineModeRules(t *testing.T) {
+	dir := t.TempDir()
+	runRanks(t, 1, func(ctx plfs.Ctx, rank int) {
+		f, _ := adio.UFS{}.Open(ctx, dir+"/r.mcdf", adio.WriteCreate, adio.Hints{})
+		nc := pnetcdf.CreateFile(nil, f)
+		d, _ := nc.DefDim("t", 4)
+		v, _ := nc.DefVar("v", 4, []pnetcdf.DimID{d})
+		if err := nc.PutVara(v, []int64{0}, []int64{1}, payload.Zeros(4)); err == nil {
+			t.Error("write in define mode accepted")
+		}
+		if err := nc.EndDef(); err != nil {
+			t.Fatal(err)
+		}
+		if err := nc.EndDef(); err == nil {
+			t.Error("double EndDef accepted")
+		}
+		if _, err := nc.DefDim("late", 2); err == nil {
+			t.Error("DefDim after EndDef accepted")
+		}
+		if _, err := nc.DefVar("late", 4, nil); err == nil {
+			t.Error("DefVar after EndDef accepted")
+		}
+		if _, err := nc.InqVarID("nope"); err == nil {
+			t.Error("unknown var lookup succeeded")
+		}
+		name, size, err := nc.InqDim(d)
+		if err != nil || name != "t" || size != 4 {
+			t.Errorf("InqDim = %q %d %v", name, size, err)
+		}
+		if err := nc.PutVara(v, []int64{0}, []int64{4}, payload.Synthetic(1, 0, 16)); err != nil {
+			t.Error(err)
+		}
+		f.Close()
+	})
+}
+
+func TestNetCDFVariableLayoutsDoNotOverlap(t *testing.T) {
+	dir := t.TempDir()
+	runRanks(t, 1, func(ctx plfs.Ctx, rank int) {
+		f, _ := adio.UFS{}.Open(ctx, dir+"/l.mcdf", adio.WriteCreate, adio.Hints{})
+		nc := pnetcdf.CreateFile(nil, f)
+		d, _ := nc.DefDim("n", 16)
+		a, _ := nc.DefVar("a", 1, []pnetcdf.DimID{d})
+		b, _ := nc.DefVar("b", 1, []pnetcdf.DimID{d})
+		nc.EndDef()
+		nc.PutVara(a, []int64{0}, []int64{16}, payload.Synthetic(1, 0, 16))
+		nc.PutVara(b, []int64{0}, []int64{16}, payload.Synthetic(2, 0, 16))
+		ga, _ := nc.GetVara(a, []int64{0}, []int64{16})
+		gb, _ := nc.GetVara(b, []int64{0}, []int64{16})
+		if !payload.ContentEqual(ga, payload.List{payload.Synthetic(1, 0, 16)}) {
+			t.Error("variable a clobbered")
+		}
+		if !payload.ContentEqual(gb, payload.List{payload.Synthetic(2, 0, 16)}) {
+			t.Error("variable b clobbered")
+		}
+		f.Close()
+	})
+}

@@ -1,0 +1,262 @@
+// Package sim implements a deterministic discrete-event simulator used to
+// model HPC clusters and parallel storage systems.
+//
+// The engine advances a virtual clock over a priority queue of events.
+// Simulated processes are goroutines that run one at a time: the engine
+// resumes exactly one process, waits for it to block (on a sleep, a
+// resource, a link transfer, or a message), and only then pops the next
+// event.  Because at most one simulated goroutine executes at any moment,
+// model code needs no locking and every run is a pure function of its
+// configuration and seed.
+//
+// The package provides the primitives the higher layers are built from:
+//
+//   - Engine/Proc: clock, event queue, process spawning and sleeping
+//   - Resource:    a k-server FIFO service center (metadata servers, disks)
+//   - PSLink:      a processor-sharing (fair-share) bandwidth link
+//     (networks, storage pipes) that charges each concurrent
+//     flow an equal share of the capacity
+//   - Mutex/Gate:  serialization and condition-style waiting
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the run.
+type Time int64
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration converts t (a span, not a point) to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+type event struct {
+	t    Time
+	seq  uint64
+	proc *Proc  // if non-nil, resume this process
+	fn   func() // otherwise run this callback in engine context
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event     { return h[0] }
+func (h *eventHeap) pushEv(e *event) { heap.Push(h, e) }
+func (h *eventHeap) popEv() *event   { return heap.Pop(h).(*event) }
+
+// Engine is a discrete-event simulation run.  The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	yield   chan struct{}
+	live    map[*Proc]struct{}
+	cur     *Proc // the process currently executing, if any
+	rng     *rand.Rand
+	failure any
+	stopped bool
+}
+
+// NewEngine returns an engine whose random service-time jitter is derived
+// from seed.  Two engines with the same seed and the same model produce
+// identical traces.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.  It must only be
+// used from model code running inside the simulation.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Live returns the number of processes that have been spawned and not yet
+// exited.  Periodic observers (tracers) use it to stop rescheduling
+// themselves once the simulation's real work is done, so the event queue
+// can drain.
+func (e *Engine) Live() int { return len(e.live) }
+
+// Jitter returns d perturbed by a uniform factor in [1-frac, 1+frac].
+func (e *Engine) Jitter(d time.Duration, frac float64) time.Duration {
+	if frac <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*e.rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
+func (e *Engine) schedule(t Time, p *Proc, fn func()) *event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &event{t: t, seq: e.seq, proc: p, fn: fn}
+	e.queue.pushEv(ev)
+	return ev
+}
+
+// At schedules fn to run in engine context at absolute time t.
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, nil, fn) }
+
+// After schedules fn to run in engine context d from now.
+func (e *Engine) After(d time.Duration, fn func()) { e.schedule(e.now+Time(d), nil, fn) }
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with virtual time by the engine.
+type Proc struct {
+	e    *Engine
+	name string
+
+	resume chan struct{}
+	parked bool // true while blocked with no pending resume event (debug only)
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs in.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Spawn creates a simulated process running fn.  The process starts at the
+// current virtual time, after already-queued events.
+func (e *Engine) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.live[p] = struct{}{}
+	e.schedule(e.now, p, nil)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if e.failure == nil {
+					e.failure = fmt.Sprintf("proc %q panicked: %v", p.name, r)
+				}
+			}
+			delete(e.live, p)
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+// park blocks the calling process until some event resumes it.  The caller
+// must have arranged for a wake-up (a queued event or registration with a
+// primitive that will schedule one).
+func (p *Proc) park() {
+	if p.e.cur != p {
+		// A simulated operation (sleep, resource, transfer) was invoked on
+		// a Proc that is not the one currently executing — almost always a
+		// handle or client created by one process being used from another.
+		panic(fmt.Sprintf("sim: blocking operation on proc %q from a different goroutine (current: %q)",
+			p.name, p.e.curName()))
+	}
+	p.parked = true
+	p.e.yield <- struct{}{}
+	<-p.resume
+	p.parked = false
+}
+
+func (e *Engine) curName() string {
+	if e.cur == nil {
+		return "<engine>"
+	}
+	return e.cur.name
+}
+
+// Block parks the process.  It is exported for primitives built outside
+// this package; the waker must later call Proc.Wake.
+func (p *Proc) Block() { p.park() }
+
+// Wake schedules p to resume at the current virtual time.  It must be
+// called from simulation context (another proc or an engine callback).
+func (p *Proc) Wake() { p.e.schedule(p.e.now, p, nil) }
+
+// Sleep suspends the process for d of virtual time.  Negative durations
+// sleep zero.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.schedule(p.e.now+Time(d), p, nil)
+	p.park()
+}
+
+// Yield reschedules the process at the current time behind already-queued
+// events, allowing other ready processes to run first.
+func (p *Proc) Yield() {
+	p.e.schedule(p.e.now, p, nil)
+	p.park()
+}
+
+// Run processes events until the queue is empty, then reports whether the
+// simulation completed cleanly.  It returns an error if a process panicked
+// or if processes remain blocked with no pending events (a model deadlock).
+func (e *Engine) Run() error {
+	for e.queue.Len() > 0 {
+		ev := e.queue.popEv()
+		e.now = ev.t
+		if ev.proc != nil {
+			e.cur = ev.proc
+			ev.proc.resume <- struct{}{}
+			<-e.yield
+			e.cur = nil
+			if e.failure != nil {
+				return fmt.Errorf("sim: %v", e.failure)
+			}
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	if len(e.live) > 0 {
+		names := make([]string, 0, len(e.live))
+		for p := range e.live {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		if len(names) > 8 {
+			names = append(names[:8], "...")
+		}
+		return fmt.Errorf("sim: deadlock: %d processes blocked forever (%v)", len(e.live), names)
+	}
+	return nil
+}
+
+// RunProcs spawns one process per function and runs the engine to
+// completion.  It is a convenience for tests and small models.
+func (e *Engine) RunProcs(fns ...func(*Proc)) error {
+	for i, fn := range fns {
+		e.Spawn(fmt.Sprintf("proc-%d", i), fn)
+	}
+	return e.Run()
+}

@@ -1,0 +1,118 @@
+// Package simfs adapts a simulated parallel file system client
+// (internal/pfs) to the PLFS Backend interface, binding the middleware to
+// the discrete-event cluster model.
+package simfs
+
+import (
+	"time"
+
+	"plfs/internal/payload"
+	"plfs/internal/pfs"
+	"plfs/internal/plfs"
+	"plfs/internal/sim"
+)
+
+// Backend wraps one simulated client.
+type Backend struct {
+	c *pfs.Client
+}
+
+var _ plfs.Backend = Backend{}
+
+// New returns a backend for the given simulated client.
+func New(c *pfs.Client) Backend { return Backend{c: c} }
+
+// Vols builds the per-volume backend set plfs.Ctx wants; on pfs every
+// volume is reachable through the same client, so all slots share it.
+func Vols(c *pfs.Client, volumes int) []plfs.Backend {
+	out := make([]plfs.Backend, volumes)
+	for i := range out {
+		out[i] = Backend{c: c}
+	}
+	return out
+}
+
+// Ctx assembles a complete plfs.Ctx for a simulated process.
+func Ctx(fs *pfs.FS, node int, p *sim.Proc, rank, procsPerNode int) plfs.Ctx {
+	c := fs.Client(node, p)
+	return plfs.Ctx{
+		Vols:       Vols(c, fs.Volumes()),
+		Rank:       rank,
+		Host:       node,
+		HostLeader: rank%procsPerNode == 0,
+		Clock:      plfs.ClockFunc(func() int64 { return int64(p.Now()) }),
+		Sleep:      procSleeper{p},
+	}
+}
+
+type procSleeper struct{ p *sim.Proc }
+
+func (s procSleeper) Sleep(d time.Duration) { s.p.Sleep(d) }
+
+// Mkdir implements plfs.Backend.
+func (b Backend) Mkdir(path string) error { return b.c.Mkdir(path) }
+
+// Create implements plfs.Backend.
+func (b Backend) Create(path string) (plfs.File, error) {
+	h, err := b.c.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return file{h}, nil
+}
+
+// OpenRead implements plfs.Backend.
+func (b Backend) OpenRead(path string) (plfs.File, error) {
+	h, err := b.c.OpenRead(path)
+	if err != nil {
+		return nil, err
+	}
+	return file{h}, nil
+}
+
+// OpenWrite implements plfs.Backend.
+func (b Backend) OpenWrite(path string) (plfs.File, error) {
+	h, err := b.c.OpenWrite(path)
+	if err != nil {
+		return nil, err
+	}
+	return file{h}, nil
+}
+
+// Stat implements plfs.Backend.
+func (b Backend) Stat(path string) (plfs.Info, error) {
+	fi, err := b.c.Stat(path)
+	if err != nil {
+		return plfs.Info{}, err
+	}
+	return plfs.Info{Name: fi.Name, Dir: fi.Dir, Size: fi.Size}, nil
+}
+
+// ReadDir implements plfs.Backend.
+func (b Backend) ReadDir(path string) ([]plfs.Info, error) {
+	ents, err := b.c.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]plfs.Info, len(ents))
+	for i, e := range ents {
+		out[i] = plfs.Info{Name: e.Name, Dir: e.Dir, Size: e.Size}
+	}
+	return out, nil
+}
+
+// Remove implements plfs.Backend.
+func (b Backend) Remove(path string) error { return b.c.Remove(path) }
+
+// Rename implements plfs.Backend.
+func (b Backend) Rename(oldPath, newPath string) error { return b.c.Rename(oldPath, newPath) }
+
+type file struct {
+	h *pfs.Handle
+}
+
+func (f file) WriteAt(off int64, p payload.Payload) error { return f.h.WriteAt(off, p) }
+func (f file) Append(p payload.Payload) (int64, error)    { return f.h.Append(p) }
+func (f file) ReadAt(off, n int64) (payload.List, error)  { return f.h.ReadAt(off, n) }
+func (f file) Size() int64                                { return f.h.Size() }
+func (f file) Close() error                               { return f.h.Close() }

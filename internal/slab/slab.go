@@ -1,0 +1,74 @@
+// Package slab decomposes row-major hyperslab selections into contiguous
+// runs — the core address arithmetic shared by the mini formatting
+// libraries (internal/hdf, internal/pnetcdf).
+package slab
+
+import "fmt"
+
+// Runs invokes emit(offsetElems, lengthElems) for each maximal contiguous
+// run of the hyperslab [start, start+count) within a row-major array of
+// the given dims.  Offsets and lengths are in elements.
+func Runs(dims, start, count []int64, emit func(off, elems int64)) error {
+	nd := len(dims)
+	if len(start) != nd || len(count) != nd {
+		return fmt.Errorf("slab: rank mismatch (dims %d, start %d, count %d)", nd, len(start), len(count))
+	}
+	if nd == 0 {
+		return nil
+	}
+	for i := 0; i < nd; i++ {
+		if start[i] < 0 || count[i] < 0 || start[i]+count[i] > dims[i] {
+			return fmt.Errorf("slab: selection out of bounds in dim %d: start %d count %d extent %d",
+				i, start[i], count[i], dims[i])
+		}
+		if count[i] == 0 {
+			return nil
+		}
+	}
+	// split: the outermost dimension still included in a contiguous run; a
+	// run may take a partial count in dim split but must take the full
+	// extent of every inner dimension.
+	runElems := int64(1)
+	split := nd
+	for i := nd - 1; i >= 0; i-- {
+		runElems *= count[i]
+		split = i
+		if count[i] != dims[i] {
+			break
+		}
+	}
+	strides := make([]int64, nd)
+	s := int64(1)
+	for i := nd - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= dims[i]
+	}
+	idx := make([]int64, split)
+	for {
+		off := start[split] * strides[split]
+		for i := 0; i < split; i++ {
+			off += (start[i] + idx[i]) * strides[i]
+		}
+		emit(off, runElems)
+		i := split - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < count[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
+// Elements returns the element count of a selection.
+func Elements(count []int64) int64 {
+	n := int64(1)
+	for _, c := range count {
+		n *= c
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package slab
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func collect(t *testing.T, dims, start, count []int64) []int64 {
+	t.Helper()
+	var offsets []int64
+	err := Runs(dims, start, count, func(off, elems int64) {
+		for i := int64(0); i < elems; i++ {
+			offsets = append(offsets, off+i)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return offsets
+}
+
+// oracle enumerates selected linear offsets by brute force.
+func oracle(dims, start, count []int64) []int64 {
+	strides := make([]int64, len(dims))
+	s := int64(1)
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= dims[i]
+	}
+	var out []int64
+	idx := make([]int64, len(dims))
+	var walk func(d int, off int64)
+	walk = func(d int, off int64) {
+		if d == len(dims) {
+			out = append(out, off)
+			return
+		}
+		for i := int64(0); i < count[d]; i++ {
+			walk(d+1, off+(start[d]+i)*strides[d])
+		}
+	}
+	if Elements(count) > 0 {
+		walk(0, 0)
+	}
+	_ = idx
+	return out
+}
+
+func TestRunsBasic2D(t *testing.T) {
+	got := collect(t, []int64{4, 8}, []int64{1, 2}, []int64{2, 3})
+	want := oracle([]int64{4, 8}, []int64{1, 2}, []int64{2, 3})
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestRunsFullInnerDimsCoalesce(t *testing.T) {
+	runs := 0
+	err := Runs([]int64{4, 8}, []int64{1, 0}, []int64{2, 8}, func(off, elems int64) {
+		runs++
+		if elems != 16 || off != 8 {
+			t.Fatalf("run = (%d, %d)", off, elems)
+		}
+	})
+	if err != nil || runs != 1 {
+		t.Fatalf("runs = %d, err = %v", runs, err)
+	}
+}
+
+func TestRunsBoundsChecking(t *testing.T) {
+	if err := Runs([]int64{4}, []int64{2}, []int64{3}, func(int64, int64) {}); err == nil {
+		t.Fatal("out-of-bounds selection accepted")
+	}
+	if err := Runs([]int64{4}, []int64{0}, []int64{2, 2}, func(int64, int64) {}); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if err := Runs([]int64{4}, []int64{-1}, []int64{2}, func(int64, int64) {}); err == nil {
+		t.Fatal("negative start accepted")
+	}
+}
+
+func TestRunsZeroCountIsEmpty(t *testing.T) {
+	called := false
+	if err := Runs([]int64{4, 4}, []int64{0, 0}, []int64{2, 0}, func(int64, int64) { called = true }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("zero-count selection emitted runs")
+	}
+}
+
+// Property: Runs enumerates exactly the oracle's offsets, in order, for
+// random selections up to rank 4.
+func TestRunsMatchOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 1 + rng.Intn(4)
+		dims := make([]int64, nd)
+		start := make([]int64, nd)
+		count := make([]int64, nd)
+		for i := range dims {
+			dims[i] = 1 + int64(rng.Intn(6))
+			start[i] = int64(rng.Intn(int(dims[i])))
+			count[i] = int64(rng.Intn(int(dims[i]-start[i]) + 1))
+		}
+		var got []int64
+		if err := Runs(dims, start, count, func(off, elems int64) {
+			for i := int64(0); i < elems; i++ {
+				got = append(got, off+i)
+			}
+		}); err != nil {
+			return false
+		}
+		want := oracle(dims, start, count)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElements(t *testing.T) {
+	if Elements([]int64{3, 4, 5}) != 60 {
+		t.Fatal("elements wrong")
+	}
+	if Elements(nil) != 1 {
+		t.Fatal("empty selection should be 1 (scalar)")
+	}
+}

@@ -1,0 +1,247 @@
+// Package stats provides the small statistical and tabulation utilities the
+// benchmark harness uses to aggregate repeated simulation runs into the
+// mean ± stddev series the paper's figures report.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates observations and reports summary statistics.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Stddev returns the sample standard deviation (n-1 denominator), or 0 for
+// fewer than two observations.
+func (s *Sample) Stddev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) by linear interpolation,
+// or 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	xs := append([]float64(nil), s.xs...)
+	sort.Float64s(xs)
+	if p <= 0 {
+		return xs[0]
+	}
+	if p >= 100 {
+		return xs[len(xs)-1]
+	}
+	pos := p / 100 * float64(len(xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// Point is one (x, series) cell of a figure: the aggregate of repeated runs.
+type Point struct {
+	Series string
+	X      float64
+	Mean   float64
+	Stddev float64
+	N      int
+}
+
+// Table collects Points and renders figure-style text output.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	points []Point
+}
+
+// Add records an aggregated point.
+func (t *Table) Add(p Point) { t.points = append(t.points, p) }
+
+// AddSample aggregates a Sample into a point.
+func (t *Table) AddSample(series string, x float64, s *Sample) {
+	t.Add(Point{Series: series, X: x, Mean: s.Mean(), Stddev: s.Stddev(), N: s.N()})
+}
+
+// Points returns the recorded points in insertion order.
+func (t *Table) Points() []Point { return append([]Point(nil), t.points...) }
+
+// Series returns the distinct series names in first-appearance order.
+func (t *Table) Series() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, p := range t.points {
+		if !seen[p.Series] {
+			seen[p.Series] = true
+			names = append(names, p.Series)
+		}
+	}
+	return names
+}
+
+// Lookup returns the point for (series, x), if present.
+func (t *Table) Lookup(series string, x float64) (Point, bool) {
+	for _, p := range t.points {
+		if p.Series == series && p.X == x {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// xs returns the distinct X values in ascending order.
+func (t *Table) xs() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, p := range t.points {
+		if !seen[p.X] {
+			seen[p.X] = true
+			xs = append(xs, p.X)
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Render formats the table as aligned text: one row per X, one
+// mean±stddev column per series.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	series := t.Series()
+	xl := t.XLabel
+	if xl == "" {
+		xl = "x"
+	}
+	header := []string{xl}
+	header = append(header, series...)
+	rows := [][]string{header}
+	for _, x := range t.xs() {
+		row := []string{formatX(x)}
+		for _, s := range series {
+			if p, ok := t.Lookup(s, x); ok {
+				row = append(row, fmt.Sprintf("%s ± %s", FormatSig(p.Mean, 4), FormatSig(p.Stddev, 2)))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	if t.YLabel != "" {
+		fmt.Fprintf(&b, "(values: %s)\n", t.YLabel)
+	}
+	return b.String()
+}
+
+// CSV renders the points as series,x,mean,stddev,n lines with a header.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("series,x,mean,stddev,n\n")
+	for _, p := range t.points {
+		fmt.Fprintf(&b, "%s,%v,%v,%v,%d\n", p.Series, p.X, p.Mean, p.Stddev, p.N)
+	}
+	return b.String()
+}
+
+func formatX(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// FormatSig formats v with the given number of significant digits.
+func FormatSig(v float64, sig int) string {
+	if v == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.*g", sig, v)
+}
+
+// Speedup returns base/over, or +Inf when over is zero; it is the paper's
+// "Nx faster" metric for times, and over/base for bandwidths.
+func Speedup(base, over float64) float64 {
+	if over == 0 {
+		return math.Inf(1)
+	}
+	return base / over
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	// Sample stddev of the classic set: sqrt(32/7).
+	if got, want := s.Stddev(), math.Sqrt(32.0/7.0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+}
+
+func TestEmptySampleIsZero(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+}
+
+func TestSingleObservationStddevZero(t *testing.T) {
+	var s Sample
+	s.Add(3.5)
+	if s.Stddev() != 0 {
+		t.Fatalf("stddev of one obs = %v", s.Stddev())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 50.5", got)
+	}
+}
+
+// Property: mean is within [min, max] and stddev is non-negative.
+func TestSampleProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// quick generates huge magnitudes; scale into a sane range to
+			// avoid float overflow in the sum-of-squares.
+			s.Add(math.Mod(x, 1e6))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.Stddev() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{Title: "Fig X", XLabel: "procs", YLabel: "seconds"}
+	var s1, s2 Sample
+	s1.Add(1.0)
+	s1.Add(1.2)
+	s2.Add(9.5)
+	tab.AddSample("plfs", 64, &s1)
+	tab.AddSample("direct", 64, &s2)
+	tab.Add(Point{Series: "plfs", X: 128, Mean: 2, Stddev: 0.1, N: 3})
+	out := tab.Render()
+	for _, want := range []string{"Fig X", "procs", "plfs", "direct", "seconds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The 128 row has no direct point: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing placeholder for absent point:\n%s", out)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "series,x,mean,stddev,n\n") {
+		t.Fatalf("csv header wrong: %q", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != 4 {
+		t.Fatalf("csv rows = %d, want 4", got)
+	}
+}
+
+func TestTableSeriesOrderAndLookup(t *testing.T) {
+	tab := &Table{}
+	tab.Add(Point{Series: "b", X: 1, Mean: 10})
+	tab.Add(Point{Series: "a", X: 1, Mean: 20})
+	tab.Add(Point{Series: "b", X: 2, Mean: 30})
+	s := tab.Series()
+	if len(s) != 2 || s[0] != "b" || s[1] != "a" {
+		t.Fatalf("series = %v, want [b a] (insertion order)", s)
+	}
+	p, ok := tab.Lookup("b", 2)
+	if !ok || p.Mean != 30 {
+		t.Fatalf("lookup = %+v, %v", p, ok)
+	}
+	if _, ok := tab.Lookup("c", 1); ok {
+		t.Fatal("lookup of absent series succeeded")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(150, 10); got != 15 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("speedup over zero must be +Inf")
+	}
+}
+
+func TestFormatSig(t *testing.T) {
+	if got := FormatSig(0, 3); got != "0" {
+		t.Fatalf("FormatSig(0) = %q", got)
+	}
+	if got := FormatSig(123.456, 4); got != "123.5" {
+		t.Fatalf("FormatSig = %q", got)
+	}
+}

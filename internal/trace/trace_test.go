@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"plfs/internal/sim"
+)
+
+func TestRecorderSamplesAndStops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := NewRecorder(eng, 10*time.Millisecond)
+	counter := 0.0
+	r.Add("work", func() float64 { return counter })
+	eng.Spawn("worker", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(10 * time.Millisecond)
+			counter++
+		}
+	})
+	r.Start()
+	if err := eng.Run(); err != nil {
+		t.Fatal(err) // the recorder must not deadlock or spin forever
+	}
+	if r.Samples() < 10 || r.Samples() > 13 {
+		t.Fatalf("samples = %d, want ~11", r.Samples())
+	}
+	series := r.Series("work")
+	if series[0] != 0 || series[len(series)-1] < 9 {
+		t.Fatalf("series = %v", series)
+	}
+	if r.Series("nope") != nil {
+		t.Fatal("unknown series returned data")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := NewRecorder(eng, time.Millisecond)
+	r.Add("x", func() float64 { return 42 })
+	eng.Spawn("p", func(p *sim.Proc) { p.Sleep(3 * time.Millisecond) })
+	r.Start()
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "t_seconds,x\n") {
+		t.Fatalf("csv header: %q", out)
+	}
+	if !strings.Contains(out, ",42\n") {
+		t.Fatalf("csv missing samples: %q", out)
+	}
+}
+
+func TestRateProbe(t *testing.T) {
+	var c int64
+	p := Rate("r", time.Second, func() int64 { return c })
+	if got := p.Fn(); got != 0 {
+		t.Fatalf("first sample = %v", got)
+	}
+	c = 100
+	if got := p.Fn(); got != 100 {
+		t.Fatalf("rate = %v, want 100/s", got)
+	}
+	c = 150
+	if got := p.Fn(); got != 50 {
+		t.Fatalf("rate = %v, want 50/s", got)
+	}
+}

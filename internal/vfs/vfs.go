@@ -1,0 +1,353 @@
+// Package vfs is the FUSE-substitute interposition layer: a per-process
+// POSIX-style mount table and file-descriptor API.
+//
+// The paper's most transparent PLFS interface is a FUSE mount ("users
+// need only to place their files in the PLFS mount point").  This package
+// plays that role in-process: paths under a PLFS mount are transparently
+// routed through the middleware — with no communicator, exactly like
+// FUSE, so reads use the Original uncoordinated aggregation — while other
+// paths pass through to a backend directly.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"path"
+	"sort"
+	"strings"
+
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+// Open flags (a subset of POSIX).
+const (
+	ORdonly = 0
+	OWronly = 1
+	OCreate = 1 << 6
+)
+
+// Errors.
+var (
+	ErrBadFD       = errors.New("vfs: bad file descriptor")
+	ErrUnsupported = errors.New("vfs: operation not supported")
+	ErrNoMount     = errors.New("vfs: no filesystem mounted at path")
+)
+
+// VFS is one process's view of the mounted namespace.  It is not safe for
+// concurrent use by multiple goroutines (like a process's fd table, each
+// simulated process owns one).
+type VFS struct {
+	ctx    plfs.Ctx // communicator intentionally ignored (FUSE is serial)
+	mounts []mountEntry
+	fds    map[int]*fd
+	next   int
+}
+
+type mountEntry struct {
+	prefix string
+	pl     *plfs.Mount // PLFS mount, or
+	vol    int         // passthrough volume index...
+	root   string      // ...rooted here
+}
+
+type fd struct {
+	path    string
+	w       *plfs.Writer
+	r       *plfs.Reader
+	bf      plfs.File // passthrough backend file
+	pos     int64
+	writing bool
+}
+
+// New creates a VFS for the process described by ctx.  Any communicator
+// in ctx is ignored: the FUSE path is non-collective.
+func New(ctx plfs.Ctx) *VFS {
+	ctx.Comm = nil
+	return &VFS{ctx: ctx, fds: map[int]*fd{}, next: 3}
+}
+
+// MountPLFS mounts a PLFS file system at prefix.
+func (v *VFS) MountPLFS(prefix string, m *plfs.Mount) {
+	v.addMount(mountEntry{prefix: cleanAbs(prefix), pl: m})
+}
+
+// MountBackend mounts backend volume vol's directory root at prefix
+// (direct access, no transformation).
+func (v *VFS) MountBackend(prefix string, vol int, root string) {
+	v.addMount(mountEntry{prefix: cleanAbs(prefix), vol: vol, root: root})
+}
+
+func (v *VFS) addMount(e mountEntry) {
+	v.mounts = append(v.mounts, e)
+	// Longest prefix first.
+	sort.Slice(v.mounts, func(i, j int) bool { return len(v.mounts[i].prefix) > len(v.mounts[j].prefix) })
+}
+
+func cleanAbs(p string) string { return path.Clean("/" + p) }
+
+// resolve finds the mount owning p and the mount-relative path.
+func (v *VFS) resolve(p string) (*mountEntry, string, error) {
+	p = cleanAbs(p)
+	for i := range v.mounts {
+		m := &v.mounts[i]
+		if p == m.prefix || strings.HasPrefix(p, m.prefix+"/") || m.prefix == "/" {
+			rel := strings.TrimPrefix(strings.TrimPrefix(p, m.prefix), "/")
+			return m, rel, nil
+		}
+	}
+	return nil, "", ErrNoMount
+}
+
+// Open opens a file, returning a descriptor.  PLFS files cannot be opened
+// read-write (the middleware's documented restriction).
+func (v *VFS) Open(p string, flags int) (int, error) {
+	m, rel, err := v.resolve(p)
+	if err != nil {
+		return -1, err
+	}
+	f := &fd{path: p, writing: flags&OWronly != 0}
+	switch {
+	case m.pl != nil && f.writing:
+		if flags&OCreate == 0 {
+			return -1, ErrUnsupported // PLFS appends via fresh droppings only
+		}
+		w, err := m.pl.Create(v.ctx, rel)
+		if err != nil {
+			return -1, err
+		}
+		f.w = w
+	case m.pl != nil:
+		r, err := m.pl.OpenReader(v.ctx, rel)
+		if err != nil {
+			return -1, err
+		}
+		f.r = r
+	default:
+		full := path.Join(m.root, rel)
+		b := v.ctx.Vols[m.vol]
+		var bf plfs.File
+		if f.writing {
+			if flags&OCreate != 0 {
+				bf, err = b.Create(full)
+				if errors.Is(err, iofs.ErrExist) {
+					bf, err = b.OpenWrite(full)
+				}
+			} else {
+				bf, err = b.OpenWrite(full)
+			}
+		} else {
+			bf, err = b.OpenRead(full)
+		}
+		if err != nil {
+			return -1, err
+		}
+		f.bf = bf
+	}
+	fdn := v.next
+	v.next++
+	v.fds[fdn] = f
+	return fdn, nil
+}
+
+func (v *VFS) fd(n int) (*fd, error) {
+	f, ok := v.fds[n]
+	if !ok {
+		return nil, ErrBadFD
+	}
+	return f, nil
+}
+
+// Pwrite writes p at the given offset.
+func (v *VFS) Pwrite(fdn int, off int64, p payload.Payload) error {
+	f, err := v.fd(fdn)
+	if err != nil {
+		return err
+	}
+	if !f.writing {
+		return fmt.Errorf("vfs: %s: not open for write", f.path)
+	}
+	if f.w != nil {
+		return f.w.Write(off, p)
+	}
+	return f.bf.WriteAt(off, p)
+}
+
+// Write appends at the file position.
+func (v *VFS) Write(fdn int, p payload.Payload) error {
+	f, err := v.fd(fdn)
+	if err != nil {
+		return err
+	}
+	if err := v.Pwrite(fdn, f.pos, p); err != nil {
+		return err
+	}
+	f.pos += p.Len()
+	return nil
+}
+
+// Pread reads n bytes at the given offset.
+func (v *VFS) Pread(fdn int, off, n int64) (payload.List, error) {
+	f, err := v.fd(fdn)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case f.r != nil:
+		return f.r.ReadAt(off, n)
+	case f.bf != nil && !f.writing:
+		return f.bf.ReadAt(off, n)
+	default:
+		return nil, fmt.Errorf("vfs: %s: not open for read", f.path)
+	}
+}
+
+// Read reads n bytes at the file position, advancing it.  Reads are
+// clipped at end of file.
+func (v *VFS) Read(fdn int, n int64) (payload.List, error) {
+	f, err := v.fd(fdn)
+	if err != nil {
+		return nil, err
+	}
+	size := v.fdSize(f)
+	if f.pos >= size {
+		return nil, nil
+	}
+	if f.pos+n > size {
+		n = size - f.pos
+	}
+	pl, err := v.Pread(fdn, f.pos, n)
+	if err == nil {
+		f.pos += pl.Len()
+	}
+	return pl, err
+}
+
+func (v *VFS) fdSize(f *fd) int64 {
+	switch {
+	case f.r != nil:
+		return f.r.Size()
+	case f.bf != nil:
+		return f.bf.Size()
+	default:
+		return 0
+	}
+}
+
+// Seek sets the file position (whence 0 = absolute, 1 = relative,
+// 2 = from end).
+func (v *VFS) Seek(fdn int, off int64, whence int) (int64, error) {
+	f, err := v.fd(fdn)
+	if err != nil {
+		return 0, err
+	}
+	switch whence {
+	case 0:
+		f.pos = off
+	case 1:
+		f.pos += off
+	case 2:
+		f.pos = v.fdSize(f) + off
+	default:
+		return 0, ErrUnsupported
+	}
+	if f.pos < 0 {
+		f.pos = 0
+	}
+	return f.pos, nil
+}
+
+// Close releases a descriptor.
+func (v *VFS) Close(fdn int) error {
+	f, err := v.fd(fdn)
+	if err != nil {
+		return err
+	}
+	delete(v.fds, fdn)
+	switch {
+	case f.w != nil:
+		return f.w.Close()
+	case f.r != nil:
+		return f.r.Close()
+	default:
+		return f.bf.Close()
+	}
+}
+
+// Stat returns file metadata; PLFS containers appear as logical files.
+func (v *VFS) Stat(p string) (plfs.Info, error) {
+	m, rel, err := v.resolve(p)
+	if err != nil {
+		return plfs.Info{}, err
+	}
+	if m.pl != nil {
+		if ok, err := m.pl.IsContainer(v.ctx, rel); err != nil {
+			return plfs.Info{}, err
+		} else if ok {
+			return m.pl.Stat(v.ctx, rel)
+		}
+		// A plain directory inside the PLFS mount.
+		return v.ctx.Vols[0].Stat(path.Join(mountRoot(m), rel))
+	}
+	return v.ctx.Vols[m.vol].Stat(path.Join(m.root, rel))
+}
+
+// mountRoot returns a representative backing root for namespace queries
+// on plain directories inside a PLFS mount.
+func mountRoot(m *mountEntry) string { return m.pl.Root(0) }
+
+// Readdir lists a directory.
+func (v *VFS) Readdir(p string) ([]plfs.Info, error) {
+	m, rel, err := v.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if m.pl != nil {
+		return m.pl.ReadDir(v.ctx, rel)
+	}
+	return v.ctx.Vols[m.vol].ReadDir(path.Join(m.root, rel))
+}
+
+// Mkdir creates a directory.
+func (v *VFS) Mkdir(p string) error {
+	m, rel, err := v.resolve(p)
+	if err != nil {
+		return err
+	}
+	if m.pl != nil {
+		return m.pl.Mkdir(v.ctx, rel)
+	}
+	return v.ctx.Vols[m.vol].Mkdir(path.Join(m.root, rel))
+}
+
+// Rename moves a file within one mount.
+func (v *VFS) Rename(oldP, newP string) error {
+	mo, oldRel, err := v.resolve(oldP)
+	if err != nil {
+		return err
+	}
+	mn, newRel, err := v.resolve(newP)
+	if err != nil {
+		return err
+	}
+	if mo != mn {
+		return ErrUnsupported // cross-mount renames, like cross-device links
+	}
+	if mo.pl != nil {
+		return mo.pl.Rename(v.ctx, oldRel, newRel)
+	}
+	return v.ctx.Vols[mo.vol].Rename(path.Join(mo.root, oldRel), path.Join(mo.root, newRel))
+}
+
+// Unlink removes a file (or a PLFS container, wholesale).
+func (v *VFS) Unlink(p string) error {
+	m, rel, err := v.resolve(p)
+	if err != nil {
+		return err
+	}
+	if m.pl != nil {
+		return m.pl.Unlink(v.ctx, rel)
+	}
+	return v.ctx.Vols[m.vol].Remove(path.Join(m.root, rel))
+}

@@ -1,0 +1,195 @@
+package vfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"plfs/internal/osfs"
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+	"plfs/internal/vfs"
+)
+
+func newVFS(t *testing.T) (*vfs.VFS, *plfs.Mount, string) {
+	t.Helper()
+	plfsRoot := t.TempDir()
+	directRoot := t.TempDir()
+	m := plfs.NewMount([]string{plfsRoot}, plfs.Options{IndexMode: plfs.ParallelIndexRead, NumSubdirs: 2})
+	v := vfs.New(plfs.Ctx{Vols: []plfs.Backend{osfs.New()}, Rank: 0, HostLeader: true})
+	v.MountPLFS("/mnt/plfs", m)
+	v.MountBackend("/mnt/direct", 0, directRoot)
+	return v, m, directRoot
+}
+
+func TestPLFSPathWriteReadThroughVFS(t *testing.T) {
+	v, _, _ := newVFS(t)
+	fd, err := v.Open("/mnt/plfs/ckpt", vfs.OWronly|vfs.OCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Write(fd, payload.FromBytes([]byte("hello "))); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Write(fd, payload.FromBytes([]byte("world"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := v.Open("/mnt/plfs/ckpt", vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close(rd)
+	got, err := v.Read(rd, 100) // clipped at EOF
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Materialize()) != "hello world" {
+		t.Fatalf("got %q", got.Materialize())
+	}
+}
+
+func TestVFSPreadPwriteAndSeek(t *testing.T) {
+	v, _, _ := newVFS(t)
+	fd, _ := v.Open("/mnt/plfs/f", vfs.OWronly|vfs.OCreate)
+	if err := v.Pwrite(fd, 10, payload.FromBytes([]byte("XY"))); err != nil {
+		t.Fatal(err)
+	}
+	v.Close(fd)
+	rd, _ := v.Open("/mnt/plfs/f", vfs.ORdonly)
+	defer v.Close(rd)
+	if pos, _ := v.Seek(rd, -2, 2); pos != 10 {
+		t.Fatalf("seek-from-end pos = %d", pos)
+	}
+	got, _ := v.Read(rd, 10)
+	if string(got.Materialize()) != "XY" {
+		t.Fatalf("got %q", got.Materialize())
+	}
+	pl, _ := v.Pread(rd, 0, 12)
+	want := append(make([]byte, 10), 'X', 'Y')
+	if !bytes.Equal(pl.Materialize(), want) {
+		t.Fatalf("pread got %v", pl.Materialize())
+	}
+}
+
+func TestDirectMountPassthrough(t *testing.T) {
+	v, _, _ := newVFS(t)
+	fd, err := v.Open("/mnt/direct/plain.txt", vfs.OWronly|vfs.OCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Write(fd, payload.FromBytes([]byte("direct bytes")))
+	v.Close(fd)
+	fi, err := v.Stat("/mnt/direct/plain.txt")
+	if err != nil || fi.Size != 12 {
+		t.Fatalf("stat = %+v, %v", fi, err)
+	}
+	rd, _ := v.Open("/mnt/direct/plain.txt", vfs.ORdonly)
+	defer v.Close(rd)
+	got, _ := v.Read(rd, 100)
+	if string(got.Materialize()) != "direct bytes" {
+		t.Fatalf("got %q", got.Materialize())
+	}
+}
+
+func TestPLFSContainerLooksLikeFile(t *testing.T) {
+	v, _, _ := newVFS(t)
+	fd, _ := v.Open("/mnt/plfs/ck", vfs.OWronly|vfs.OCreate)
+	v.Write(fd, payload.FromBytes(make([]byte, 4096)))
+	v.Close(fd)
+	fi, err := v.Stat("/mnt/plfs/ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Dir || fi.Size != 4096 {
+		t.Fatalf("container stat = %+v", fi)
+	}
+	ents, err := v.Readdir("/mnt/plfs")
+	if err != nil || len(ents) != 1 || ents[0].Dir {
+		t.Fatalf("readdir = %+v, %v", ents, err)
+	}
+}
+
+func TestVFSErrors(t *testing.T) {
+	v, _, _ := newVFS(t)
+	if _, err := v.Open("/nowhere/x", vfs.ORdonly); err == nil {
+		t.Fatal("open outside mounts succeeded")
+	}
+	if _, err := v.Open("/mnt/plfs/missing", vfs.ORdonly); err == nil {
+		t.Fatal("open of missing PLFS file succeeded")
+	}
+	if err := v.Close(99); err == nil {
+		t.Fatal("close of bad fd succeeded")
+	}
+	fd, _ := v.Open("/mnt/plfs/w", vfs.OWronly|vfs.OCreate)
+	if _, err := v.Pread(fd, 0, 1); err == nil {
+		t.Fatal("read of write-only PLFS fd succeeded (read-write mode is unsupported)")
+	}
+	v.Close(fd)
+	rd, _ := v.Open("/mnt/plfs/w", vfs.ORdonly)
+	if err := v.Pwrite(rd, 0, payload.Zeros(1)); err == nil {
+		t.Fatal("write on read fd succeeded")
+	}
+	v.Close(rd)
+}
+
+func TestVFSUnlinkAndMkdir(t *testing.T) {
+	v, m, _ := newVFS(t)
+	if err := v.Mkdir("/mnt/plfs/dir"); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := v.Open("/mnt/plfs/dir/f", vfs.OWronly|vfs.OCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Write(fd, payload.FromBytes([]byte("z")))
+	v.Close(fd)
+	if err := v.Unlink("/mnt/plfs/dir/f"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := plfs.Ctx{Vols: []plfs.Backend{osfs.New()}}
+	if ok, _ := m.IsContainer(ctx, "dir/f"); ok {
+		t.Fatal("container survived unlink")
+	}
+}
+
+// TestVFSUsesOriginalAggregation: the FUSE path is serial, so even on a
+// parallel-index-read mount, reads aggregate with the Original design.
+func TestVFSUsesOriginalAggregation(t *testing.T) {
+	v, m, _ := newVFS(t)
+	fd, _ := v.Open("/mnt/plfs/s", vfs.OWronly|vfs.OCreate)
+	v.Write(fd, payload.FromBytes([]byte("abc")))
+	v.Close(fd)
+	ctx := plfs.Ctx{Vols: []plfs.Backend{osfs.New()}}
+	rd, err := m.OpenReader(ctx, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if rd.Stats.Mode != plfs.Original {
+		t.Fatalf("serial reader mode = %v", rd.Stats.Mode)
+	}
+}
+
+func TestVFSRename(t *testing.T) {
+	v, _, _ := newVFS(t)
+	fd, _ := v.Open("/mnt/plfs/a", vfs.OWronly|vfs.OCreate)
+	v.Write(fd, payload.FromBytes([]byte("move me")))
+	v.Close(fd)
+	if err := v.Rename("/mnt/plfs/a", "/mnt/plfs/b"); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := v.Open("/mnt/plfs/b", vfs.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close(rd)
+	got, _ := v.Read(rd, 100)
+	if string(got.Materialize()) != "move me" {
+		t.Fatalf("got %q", got.Materialize())
+	}
+	if err := v.Rename("/mnt/plfs/x", "/mnt/direct/y"); err == nil {
+		t.Fatal("cross-mount rename succeeded")
+	}
+}

@@ -1,0 +1,336 @@
+package workloads
+
+import (
+	"fmt"
+
+	"plfs/internal/adio"
+	"plfs/internal/hdf"
+	"plfs/internal/payload"
+	"plfs/internal/pnetcdf"
+)
+
+// Pixie3D reproduces the §IV.D.1 kernel: the Pixie3D MHD code doing its
+// I/O through Parallel-NetCDF.  Weak scaling — every process contributes
+// BytesPerRank across Vars field variables; every process reads its slab
+// back from the shared file.
+type Pixie3D struct {
+	BytesPerRank int64
+	Vars         int
+}
+
+// Name implements Kernel.
+func (Pixie3D) Name() string { return "pixie3d" }
+
+// Run implements Kernel.
+func (p Pixie3D) Run(env *Env, readBack bool) (Result, error) {
+	if p.Vars <= 0 {
+		p.Vars = 8
+	}
+	n := env.Ranks()
+	rank := env.Rank()
+	const elem = 8
+	perVar := p.BytesPerRank / int64(p.Vars) / elem // elements per rank per var
+	if perVar < 1 {
+		perVar = 1
+	}
+	res := Result{BytesPerRank: perVar * elem * int64(p.Vars)}
+
+	f, d, err := env.openWrite()
+	res.WriteOpen = d
+	if err != nil {
+		return res, err
+	}
+	var nc *pnetcdf.File
+	var vars []pnetcdf.VarID
+	res.Write, err = env.phase(func() error {
+		nc = pnetcdf.CreateFile(env.Ctx.Comm, f)
+		dx, err := nc.DefDim("x", int64(n))
+		if err != nil {
+			return err
+		}
+		de, err := nc.DefDim("elem", perVar)
+		if err != nil {
+			return err
+		}
+		for v := 0; v < p.Vars; v++ {
+			id, err := nc.DefVar(fmt.Sprintf("field%d", v), elem, []pnetcdf.DimID{dx, de})
+			if err != nil {
+				return err
+			}
+			vars = append(vars, id)
+		}
+		if err := nc.EndDef(); err != nil {
+			return err
+		}
+		for _, id := range vars {
+			pay := payload.Synthetic(tag(rank), int64(id)*perVar*elem, perVar*elem)
+			if err := nc.PutVara(id, []int64{int64(rank), 0}, []int64{1, perVar}, pay); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if res.WriteClose, err = env.closeFile(f); err != nil {
+		return res, err
+	}
+	if !readBack {
+		return res, nil
+	}
+	env.dropCaches()
+
+	r, d, err := env.openRead()
+	res.ReadOpen = d
+	if err != nil {
+		return res, err
+	}
+	res.Read, err = env.phase(func() error {
+		nc2, err := pnetcdf.Open(env.Ctx.Comm, r)
+		if err != nil {
+			return err
+		}
+		for v := 0; v < p.Vars; v++ {
+			id, err := nc2.InqVarID(fmt.Sprintf("field%d", v))
+			if err != nil {
+				return err
+			}
+			got, err := nc2.GetVara(id, []int64{int64(rank), 0}, []int64{1, perVar})
+			if err != nil {
+				return err
+			}
+			if err := verifyPiece(env, got, tag(rank), int64(id)*perVar*elem, perVar*elem); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ReadClose, err = env.closeFile(r)
+	return res, err
+}
+
+// Aramco reproduces the §IV.D.2 kernel: a seismic processing application
+// using MPI-IO and HDF5.  Strong scaling — the dataset is TotalBytes
+// regardless of process count; each rank writes and reads its shrinking
+// share.
+type Aramco struct {
+	TotalBytes int64
+	// OpSize is the access granularity (default 1 MiB): seismic traces are
+	// processed in chunks, not slurped whole.
+	OpSize int64
+}
+
+// Name implements Kernel.
+func (Aramco) Name() string { return "aramco" }
+
+// Run implements Kernel.
+func (a Aramco) Run(env *Env, readBack bool) (Result, error) {
+	n := env.Ranks()
+	rank := env.Rank()
+	const elem = 4
+	op := a.OpSize
+	if op <= 0 {
+		op = 1 << 20
+	}
+	opElems := op / elem
+	per := a.TotalBytes / elem / int64(n)
+	if per < opElems {
+		per = opElems
+	}
+	per = per / opElems * opElems // whole chunks
+	res := Result{BytesPerRank: per * elem}
+	defs := []hdf.DatasetDef{{Name: "traces", Dims: []int64{per * int64(n)}, ElemSize: elem}}
+	base := int64(rank) * per
+
+	f, d, err := env.openWrite()
+	res.WriteOpen = d
+	if err != nil {
+		return res, err
+	}
+	res.Write, err = env.phase(func() error {
+		h, err := hdf.Create(hdf.CommCtx{Comm: env.Ctx.Comm}, f, defs)
+		if err != nil {
+			return err
+		}
+		ds, err := h.Dataset("traces")
+		if err != nil {
+			return err
+		}
+		for o := int64(0); o < per; o += opElems {
+			off := base + o
+			if err := ds.WriteSlab([]int64{off}, []int64{opElems},
+				payload.Synthetic(tag(rank), off*elem, op)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if res.WriteClose, err = env.closeFile(f); err != nil {
+		return res, err
+	}
+	if !readBack {
+		return res, nil
+	}
+	env.dropCaches()
+
+	r, d, err := env.openRead()
+	res.ReadOpen = d
+	if err != nil {
+		return res, err
+	}
+	res.Read, err = env.phase(func() error {
+		h, err := hdf.Open(r)
+		if err != nil {
+			return err
+		}
+		ds, err := h.Dataset("traces")
+		if err != nil {
+			return err
+		}
+		for o := int64(0); o < per; o += opElems {
+			off := base + o
+			got, err := ds.ReadSlab([]int64{off}, []int64{opElems})
+			if err != nil {
+				return err
+			}
+			if err := verifyPiece(env, got, tag(rank), off*elem, op); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ReadClose, err = env.closeFile(r)
+	return res, err
+}
+
+// NNFiles is the N-N data workload: every rank writes BytesPerRank into
+// its own file in OpSize sequential increments and reads it back — the
+// pattern parallel file systems love, used as the "N-N without PLFS"
+// series of the large-scale read experiment (Fig. 8a).
+type NNFiles struct {
+	BytesPerRank int64
+	OpSize       int64
+}
+
+// Name implements Kernel.
+func (NNFiles) Name() string { return "n-n" }
+
+// Run implements Kernel.
+func (k NNFiles) Run(env *Env, readBack bool) (Result, error) {
+	rank := env.Rank()
+	ops := int(k.BytesPerRank / k.OpSize)
+	res := Result{BytesPerRank: k.OpSize * int64(ops)}
+	serial := env.Ctx
+	serial.Comm = nil // private files: uncoordinated opens
+	path := fmt.Sprintf("%s.%d", env.Path, rank)
+
+	var f adio.File
+	var err error
+	res.WriteOpen, err = env.phase(func() (e error) {
+		f, e = env.Driver.Open(serial, path, adio.WriteCreate, env.Hints)
+		return e
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Write, err = env.phase(func() error {
+		for i := 0; i < ops; i++ {
+			off := int64(i) * k.OpSize
+			if err := f.WriteAt(off, payload.Synthetic(tag(rank), off, k.OpSize)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if res.WriteClose, err = env.phase(f.Close); err != nil {
+		return res, err
+	}
+	if !readBack {
+		return res, nil
+	}
+	env.dropCaches()
+	var r adio.File
+	res.ReadOpen, err = env.phase(func() (e error) {
+		r, e = env.Driver.Open(serial, path, adio.ReadOnly, env.Hints)
+		return e
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Read, err = env.phase(func() error {
+		for i := 0; i < ops; i++ {
+			off := int64(i) * k.OpSize
+			got, rerr := r.ReadAt(off, k.OpSize)
+			if rerr != nil {
+				return rerr
+			}
+			if err := verifyPiece(env, got, tag(rank), off, k.OpSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ReadClose, err = env.phase(r.Close)
+	return res, err
+}
+
+// CreateStorm is the N-N metadata workload of §V: every rank creates,
+// opens, and closes FilesPerRank unique files.  Open time includes file
+// creation, as in the paper's Fig. 7/8 methodology.  It runs uncoordinated
+// (each file is private), so the env's communicator is used only for
+// phase timing.
+type CreateStorm struct {
+	FilesPerRank int
+}
+
+// Name implements Kernel.
+func (CreateStorm) Name() string { return "create-storm" }
+
+// Run implements Kernel.  readBack is ignored (metadata only); the open
+// time lands in WriteOpen and the close time in WriteClose.
+func (c CreateStorm) Run(env *Env, readBack bool) (Result, error) {
+	rank := env.Rank()
+	serial := env.Ctx
+	serial.Comm = nil // N-N: uncoordinated creates
+	files := make([]adio.File, 0, c.FilesPerRank)
+	var res Result
+	var err error
+	res.WriteOpen, err = env.phase(func() error {
+		for k := 0; k < c.FilesPerRank; k++ {
+			f, err := env.Driver.Open(serial, fmt.Sprintf("%s.%d.%d", env.Path, rank, k), adio.WriteCreate, env.Hints)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.WriteClose, err = env.phase(func() error {
+		for _, f := range files {
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return res, err
+}

@@ -1,0 +1,309 @@
+package workloads
+
+import "plfs/internal/payload"
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// stridedN1 is the common engine for strided N-1 kernels: rank i's k-th
+// operation targets offset (k*N + i) * opSize, contents pattern-tagged by
+// rank, read pattern matching the write pattern.
+type stridedN1 struct {
+	name       string
+	opSize     int64
+	opsPerRank int
+	collective bool // use WriteAtAll/ReadAtAll (collective buffering path)
+}
+
+func (s stridedN1) Name() string { return s.name }
+
+// Run implements Kernel.
+func (s stridedN1) Run(env *Env, readBack bool) (Result, error) {
+	n := env.Ranks()
+	rank := env.Rank()
+	res := Result{BytesPerRank: s.opSize * int64(s.opsPerRank)}
+
+	f, d, err := env.openWrite()
+	res.WriteOpen = d
+	if err != nil {
+		return res, err
+	}
+	res.Write, err = env.phase(func() error {
+		for k := 0; k < s.opsPerRank; k++ {
+			off := int64(k*n+rank) * s.opSize
+			p := payload.Synthetic(tag(rank), off, s.opSize)
+			var werr error
+			if s.collective {
+				werr = f.WriteAtAll(off, p)
+			} else {
+				werr = f.WriteAt(off, p)
+			}
+			if werr != nil {
+				return werr
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if res.WriteClose, err = env.closeFile(f); err != nil {
+		return res, err
+	}
+	if !readBack {
+		return res, nil
+	}
+	env.dropCaches()
+
+	r, d, err := env.openRead()
+	res.ReadOpen = d
+	if err != nil {
+		return res, err
+	}
+	res.Read, err = env.phase(func() error {
+		for k := 0; k < s.opsPerRank; k++ {
+			off := int64(k*n+rank) * s.opSize
+			var got payload.List
+			var rerr error
+			if s.collective {
+				got, rerr = r.ReadAtAll(off, s.opSize)
+			} else {
+				got, rerr = r.ReadAt(off, s.opSize)
+			}
+			if rerr != nil {
+				return rerr
+			}
+			if err := verifyPiece(env, got, tag(rank), off, s.opSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ReadClose, err = env.closeFile(r)
+	return res, err
+}
+
+// segmentedN1 writes each rank's data as one contiguous block (IOR's
+// default "segmented" layout): rank i owns [i*B, (i+1)*B).
+type segmentedN1 struct {
+	name       string
+	opSize     int64
+	opsPerRank int
+}
+
+func (s segmentedN1) Name() string { return s.name }
+
+// Run implements Kernel.
+func (s segmentedN1) Run(env *Env, readBack bool) (Result, error) {
+	rank := env.Rank()
+	block := s.opSize * int64(s.opsPerRank)
+	base := int64(rank) * block
+	res := Result{BytesPerRank: block}
+
+	f, d, err := env.openWrite()
+	res.WriteOpen = d
+	if err != nil {
+		return res, err
+	}
+	res.Write, err = env.phase(func() error {
+		for k := 0; k < s.opsPerRank; k++ {
+			off := base + int64(k)*s.opSize
+			if err := f.WriteAt(off, payload.Synthetic(tag(rank), off, s.opSize)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if res.WriteClose, err = env.closeFile(f); err != nil {
+		return res, err
+	}
+	if !readBack {
+		return res, nil
+	}
+	env.dropCaches()
+	r, d, err := env.openRead()
+	res.ReadOpen = d
+	if err != nil {
+		return res, err
+	}
+	res.Read, err = env.phase(func() error {
+		for k := 0; k < s.opsPerRank; k++ {
+			off := base + int64(k)*s.opSize
+			got, rerr := r.ReadAt(off, s.opSize)
+			if rerr != nil {
+				return rerr
+			}
+			if err := verifyPiece(env, got, tag(rank), off, s.opSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ReadClose, err = env.closeFile(r)
+	return res, err
+}
+
+// MPIIOTest reproduces the LANL MPI-IO Test configuration of §IV.C: each
+// concurrent I/O stream moves BytesPerRank in OpSize increments, N-1
+// strided, with the read pattern matching the write pattern.
+func MPIIOTest(bytesPerRank, opSize int64) Kernel {
+	return stridedN1{
+		name:       "mpi-io-test",
+		opSize:     opSize,
+		opsPerRank: int(bytesPerRank / opSize),
+	}
+}
+
+// IOR reproduces the §IV.D.3 configuration: 50 MB per process in 1 MB
+// increments to a shared file, segmented layout, read-write mode opens
+// converted to read-only (PLFS's restriction — handled by adio).
+func IOR(bytesPerRank, opSize int64) Kernel {
+	return segmentedN1{
+		name:       "ior",
+		opSize:     opSize,
+		opsPerRank: int(bytesPerRank / opSize),
+	}
+}
+
+// LANL1 is the §IV.D.5 kernel: a weak-scaling mission application writing
+// and reading in ~500 KB strided increments.
+func LANL1(bytesPerRank int64) Kernel {
+	const op = 500 << 10
+	return stridedN1{
+		name:       "lanl1",
+		opSize:     op,
+		opsPerRank: int(bytesPerRank / op),
+	}
+}
+
+// LANL2 is the write-workload proxy for the paper's worst-case Fig. 2
+// application: small (16 KiB), lock-unit-unaligned, strided records — the
+// pattern that collapses shared-file write bandwidth hardest and gives
+// PLFS its largest speedups.
+func LANL2(bytesPerRank int64) Kernel {
+	const op = 16<<10 + 512 // unaligned with every power-of-two lock unit
+	return stridedN1{
+		name:       "lanl2",
+		opSize:     op,
+		opsPerRank: int(bytesPerRank / op),
+	}
+}
+
+// LANL3 is the §IV.D.6 kernel: strong scaling to a shared file, tiny
+// (1024 B) accesses aggregated by collective buffering (enable it in
+// Env.Hints).  The simulated kernel issues one collective call per
+// aggregation round: with two-phase I/O the wire and disk traffic of the
+// tiny interleaved accesses is identical to the contiguous per-round
+// exchange, and the constant round geometry is what keeps the PLFS index
+// size flat, as the paper observes.
+func LANL3(totalBytes int64, ranks int) Kernel {
+	per := totalBytes / int64(ranks)
+	const round = 1 << 20 // per-rank bytes contributed per collective round
+	ops := int(per / round)
+	if ops < 1 {
+		ops = 1
+	}
+	return stridedN1{
+		name:       "lanl3",
+		opSize:     round,
+		opsPerRank: ops,
+		collective: true,
+	}
+}
+
+// Madbench reproduces the §IV.D.4 I/O phases of the MADspec cosmic
+// microwave background code: each rank writes its share of M matrices
+// sequentially, then reads them all back (opens converted to read-only).
+type Madbench struct {
+	Matrices    int
+	MatrixBytes int64 // per rank, per matrix
+	// OpSize is the access granularity within a matrix (default 1 MiB).
+	OpSize int64
+}
+
+// Name implements Kernel.
+func (Madbench) Name() string { return "madbench" }
+
+// Run implements Kernel.
+func (m Madbench) Run(env *Env, readBack bool) (Result, error) {
+	n := env.Ranks()
+	rank := env.Rank()
+	res := Result{BytesPerRank: m.MatrixBytes * int64(m.Matrices)}
+	stride := m.MatrixBytes * int64(n) // one matrix spans all ranks
+
+	f, d, err := env.openWrite()
+	res.WriteOpen = d
+	if err != nil {
+		return res, err
+	}
+	op := m.OpSize
+	if op <= 0 {
+		op = 1 << 20
+	}
+	if op > m.MatrixBytes {
+		op = m.MatrixBytes
+	}
+	res.Write, err = env.phase(func() error {
+		for mt := 0; mt < m.Matrices; mt++ {
+			base := int64(mt)*stride + int64(rank)*m.MatrixBytes
+			for o := int64(0); o < m.MatrixBytes; o += op {
+				n := min64(op, m.MatrixBytes-o)
+				if err := f.WriteAt(base+o, payload.Synthetic(tag(rank), base+o, n)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if res.WriteClose, err = env.closeFile(f); err != nil {
+		return res, err
+	}
+	if !readBack {
+		return res, nil
+	}
+	env.dropCaches()
+	r, d, err := env.openRead()
+	res.ReadOpen = d
+	if err != nil {
+		return res, err
+	}
+	res.Read, err = env.phase(func() error {
+		// Read back in its entirety, matrices in reverse (the S-W-C
+		// pattern re-reads the most recent first).
+		for mt := m.Matrices - 1; mt >= 0; mt-- {
+			base := int64(mt)*stride + int64(rank)*m.MatrixBytes
+			for o := int64(0); o < m.MatrixBytes; o += op {
+				n := min64(op, m.MatrixBytes-o)
+				got, rerr := r.ReadAt(base+o, n)
+				if rerr != nil {
+					return rerr
+				}
+				if err := verifyPiece(env, got, tag(rank), base+o, n); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ReadClose, err = env.closeFile(r)
+	return res, err
+}

@@ -1,0 +1,146 @@
+package workloads_test
+
+import (
+	"fmt"
+	"testing"
+
+	"plfs/internal/adio"
+	"plfs/internal/mpi"
+	"plfs/internal/pfs"
+	"plfs/internal/plfs"
+	"plfs/internal/sim"
+	"plfs/internal/simfs"
+	"plfs/internal/workloads"
+)
+
+// runKernel executes a kernel on a fresh simulated cluster and returns
+// rank 0's Result (identical on all ranks: phases are barrier-bracketed).
+func runKernel(t *testing.T, k workloads.Kernel, ranks int, driver string, hints adio.Hints, readBack bool) workloads.Result {
+	t.Helper()
+	eng := sim.NewEngine(11)
+	cfg := pfs.SmallCluster()
+	cfg.JitterFrac = 0
+	cfg.Volumes = 2
+	fs := pfs.New(eng, cfg)
+	world := mpi.NewWorld(eng, ranks, cfg.ProcsPerNode, mpi.DefaultNet())
+	roots := make([]string, fs.Volumes())
+	for i := range roots {
+		roots[i] = fs.VolumeRoot(i)
+	}
+	mount := plfs.NewMount(roots, plfs.Options{
+		IndexMode: plfs.ParallelIndexRead, NumSubdirs: 4,
+		SpreadContainers: true, SpreadSubdirs: true,
+	})
+	var res workloads.Result
+	world.SpawnAll(func(r *mpi.Rank) {
+		ctx := simfs.Ctx(fs, r.Node(), r.Proc(), r.Rank(), cfg.ProcsPerNode)
+		ctx.Comm = r.Comm()
+		var drv adio.Driver
+		if driver == "plfs" {
+			drv = adio.PLFS{Mount: mount}
+		} else {
+			drv = adio.UFS{}
+		}
+		path := k.Name()
+		if driver != "plfs" {
+			path = "/vol0/" + path
+		}
+		env := &workloads.Env{Ctx: ctx, Driver: drv, Hints: hints, Path: path, Verify: true}
+		out, err := k.Run(env, readBack)
+		if err != nil {
+			t.Errorf("rank %d: %v", r.Rank(), err)
+			return
+		}
+		if r.Rank() == 0 {
+			res = out
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAllKernelsVerifyOnBothDrivers(t *testing.T) {
+	const ranks = 8
+	kernels := []workloads.Kernel{
+		workloads.MPIIOTest(400<<10, 50<<10),
+		workloads.IOR(512<<10, 128<<10),
+		workloads.LANL1(1 << 20),
+		workloads.Madbench{Matrices: 3, MatrixBytes: 128 << 10},
+		workloads.Pixie3D{BytesPerRank: 256 << 10, Vars: 4},
+		workloads.Aramco{TotalBytes: 2 << 20},
+	}
+	for _, k := range kernels {
+		for _, drv := range []string{"plfs", "ufs"} {
+			k, drv := k, drv
+			t.Run(fmt.Sprintf("%s/%s", k.Name(), drv), func(t *testing.T) {
+				res := runKernel(t, k, ranks, drv, adio.Hints{}, true)
+				if res.BytesPerRank == 0 {
+					t.Fatal("no bytes accounted")
+				}
+				if res.Write <= 0 || res.Read <= 0 {
+					t.Fatalf("phases not timed: %+v", res)
+				}
+				if res.ReadBW(ranks) <= 0 || res.WriteBW(ranks) <= 0 {
+					t.Fatalf("bandwidths not computed: %+v", res)
+				}
+			})
+		}
+	}
+}
+
+func TestLANL3WithCollectiveBuffering(t *testing.T) {
+	const ranks = 8
+	hints := adio.Hints{CollectiveBuffering: true, ProcsPerNode: 4}
+	for _, drv := range []string{"plfs", "ufs"} {
+		drv := drv
+		t.Run(drv, func(t *testing.T) {
+			res := runKernel(t, workloads.LANL3(32<<20, ranks), ranks, drv, hints, true)
+			if res.BytesPerRank != 4<<20 {
+				t.Fatalf("bytes per rank = %d", res.BytesPerRank)
+			}
+		})
+	}
+}
+
+func TestCreateStormTimesOpensAndCloses(t *testing.T) {
+	res := runKernel(t, workloads.CreateStorm{FilesPerRank: 4}, 8, "plfs", adio.Hints{}, false)
+	if res.WriteOpen <= 0 || res.WriteClose <= 0 {
+		t.Fatalf("storm not timed: %+v", res)
+	}
+	if res.Read != 0 || res.ReadOpen != 0 {
+		t.Fatalf("storm should not read: %+v", res)
+	}
+}
+
+// TestEffectiveBandwidthDefinition checks the §IV note-2 semantics: the
+// effective read bandwidth denominator includes open and close time.
+func TestEffectiveBandwidthDefinition(t *testing.T) {
+	res := workloads.Result{
+		ReadOpen: 1e9, Read: 2e9, ReadClose: 1e9, BytesPerRank: 100,
+	}
+	if got := res.ReadBW(4); got != 100.0 {
+		t.Fatalf("effective read bw = %v, want 100 B/s (400 bytes / 4 s)", got)
+	}
+	if res.ReadTotal().Seconds() != 4 {
+		t.Fatalf("read total = %v", res.ReadTotal())
+	}
+}
+
+// TestStrongVsWeakScalingVolumes checks the scaling semantics the paper
+// relies on: ARAMCO and LANL3 are strong scaling (per-rank bytes shrink
+// with N); MPI-IO Test, Pixie3D, and LANL1 are weak scaling (constant per
+// rank).
+func TestStrongVsWeakScalingVolumes(t *testing.T) {
+	a4 := runKernel(t, workloads.Aramco{TotalBytes: 64 << 20}, 4, "plfs", adio.Hints{}, false)
+	a8 := runKernel(t, workloads.Aramco{TotalBytes: 64 << 20}, 8, "plfs", adio.Hints{}, false)
+	if a8.BytesPerRank*2 != a4.BytesPerRank {
+		t.Fatalf("aramco not strong scaling: %d vs %d", a4.BytesPerRank, a8.BytesPerRank)
+	}
+	w4 := runKernel(t, workloads.MPIIOTest(256<<10, 64<<10), 4, "plfs", adio.Hints{}, false)
+	w8 := runKernel(t, workloads.MPIIOTest(256<<10, 64<<10), 8, "plfs", adio.Hints{}, false)
+	if w4.BytesPerRank != w8.BytesPerRank {
+		t.Fatalf("mpi-io-test not weak scaling: %d vs %d", w4.BytesPerRank, w8.BytesPerRank)
+	}
+}

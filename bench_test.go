@@ -196,6 +196,12 @@ func BenchmarkAblationGroupCount(b *testing.B) {
 	runFigure(b, "ablation-groups", nil)
 }
 
+// BenchmarkAblationDecodeWorkers A/Bs the index-aggregation worker pool
+// (simulated results identical; host wall-clock is the payoff).
+func BenchmarkAblationDecodeWorkers(b *testing.B) {
+	runFigure(b, "ablation-workers", nil)
+}
+
 // BenchmarkAblationLockUnit sweeps the range-lock granularity.
 func BenchmarkAblationLockUnit(b *testing.B) {
 	runFigure(b, "ablation-lockunit", nil)

@@ -24,12 +24,13 @@ import (
 
 func main() {
 	var (
-		figID  = flag.String("fig", "all", "figure id to run (see -list), or 'all'")
-		scale  = flag.String("scale", "quick", "experiment scale: quick | paper")
-		reps   = flag.Int("reps", 0, "repetitions per point (0 = default)")
-		csvDir = flag.String("csv", "", "directory to write per-figure CSV files into")
-		quiet  = flag.Bool("q", false, "suppress per-run progress lines")
-		list   = flag.Bool("list", false, "list figures and exit")
+		figID   = flag.String("fig", "all", "figure id to run (see -list), or 'all'")
+		scale   = flag.String("scale", "quick", "experiment scale: quick | paper")
+		reps    = flag.Int("reps", 0, "repetitions per point (0 = default)")
+		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files into")
+		workers = flag.Int("workers", 0, "decode worker pool per mount (0 = GOMAXPROCS, 1 = serial)")
+		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
+		list    = flag.Bool("list", false, "list figures and exit")
 	)
 	flag.Parse()
 
@@ -40,7 +41,7 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Reps: *reps}
+	opts := harness.Options{Reps: *reps, DecodeWorkers: *workers}
 	switch *scale {
 	case "quick":
 		opts.Scale = harness.Quick

@@ -42,6 +42,7 @@ func main() {
 		stats   = flag.Bool("stats", false, "print the simulated file system's resource report")
 		dropC   = flag.Bool("dropcaches", true, "invalidate caches between write and read phases")
 		traceF  = flag.String("trace", "", "write a resource time-series CSV to this file")
+		workers = flag.Int("workers", 0, "decode worker pool (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -97,7 +98,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := plfs.Options{IndexMode: m, NumSubdirs: 32}
+	opt := plfs.Options{IndexMode: m, NumSubdirs: 32, DecodeWorkers: *workers}
 	if *volumes > 1 {
 		if nn {
 			opt.SpreadContainers = true

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"plfs/internal/plfs"
 	"plfs/internal/stats"
@@ -27,7 +29,7 @@ func AblationFlattenThreshold(o Options) ([]*stats.Table, error) {
 		thr := int(float64(entries) * mul)
 		var open, close stats.Sample
 		for rep := 0; rep < o.Reps; rep++ {
-			opt := n1MountOpt(plfs.IndexFlatten, 1)
+			opt := o.n1MountOpt(plfs.IndexFlatten, 1)
 			opt.FlattenThreshold = thr
 			res, err := Run(Job{
 				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
@@ -68,7 +70,7 @@ func AblationGroupCount(o Options) ([]*stats.Table, error) {
 	for _, gs := range []int{1, sqrtN, ranks / 4, ranks} {
 		var s stats.Sample
 		for rep := 0; rep < o.Reps; rep++ {
-			opt := n1MountOpt(plfs.ParallelIndexRead, 1)
+			opt := o.n1MountOpt(plfs.ParallelIndexRead, 1)
 			opt.GroupSize = gs
 			res, err := Run(Job{
 				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
@@ -81,6 +83,56 @@ func AblationGroupCount(o Options) ([]*stats.Table, error) {
 			o.log("ablation-groups gs=%-5d rep %d: read-open %.3fs", gs, rep, res.ReadOpen.Seconds())
 		}
 		tab.AddSample("read-open", float64(gs), &s)
+	}
+	return []*stats.Table{tab}, nil
+}
+
+// AblationDecodeWorkers A/Bs the real-CPU worker pool behind index
+// aggregation: the same simulated run with DecodeWorkers=1 (serial
+// baseline) and DecodeWorkers=GOMAXPROCS.  Simulated read-open time must
+// be identical — the pool only parallelizes host CPU work — so the table
+// reports both the (identical) simulated seconds and the host wall-clock
+// per run, which is where the pool pays off.
+func AblationDecodeWorkers(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	tab := &stats.Table{
+		Title:  "Ablation: DecodeWorkers (simulated read-open vs host wall-clock)",
+		XLabel: "workers", YLabel: "seconds",
+	}
+	ranks := 256
+	if o.Scale == Quick {
+		ranks = 32
+	}
+	nb, op := o.n1Bytes()
+	serialOpen := make([]float64, o.Reps)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		var open, wall stats.Sample
+		for rep := 0; rep < o.Reps; rep++ {
+			wo := o
+			wo.DecodeWorkers = workers
+			start := time.Now()
+			res, err := Run(Job{
+				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
+				Opt:    wo.n1MountOpt(plfs.ParallelIndexRead, 1),
+				Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("decode-workers %d: %w", workers, err)
+			}
+			elapsed := time.Since(start).Seconds()
+			if workers == 1 {
+				serialOpen[rep] = res.ReadOpen.Seconds()
+			} else if res.ReadOpen.Seconds() != serialOpen[rep] {
+				return nil, fmt.Errorf("decode-workers %d: simulated read-open %.6fs != serial %.6fs (pool must not change virtual time)",
+					workers, res.ReadOpen.Seconds(), serialOpen[rep])
+			}
+			open.Add(res.ReadOpen.Seconds())
+			wall.Add(elapsed)
+			o.log("ablation-workers w=%-3d rep %d: sim read-open %.3fs host wall %.2fs",
+				workers, rep, res.ReadOpen.Seconds(), elapsed)
+		}
+		tab.AddSample("sim-read-open", float64(workers), &open)
+		tab.AddSample("host-wall", float64(workers), &wall)
 	}
 	return []*stats.Table{tab}, nil
 }
@@ -200,7 +252,7 @@ func AblationDegradedOST(o Options) ([]*stats.Table, error) {
 				}
 				res, err := Run(Job{
 					Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: cfg, Net: defaultNet(),
-					Opt:    n1MountOpt(plfs.ParallelIndexRead, 1),
+					Opt:    o.n1MountOpt(plfs.ParallelIndexRead, 1),
 					Kernel: workloads.MPIIOTest(nb, op), UsePLFS: plfsOn,
 				})
 				if err != nil {

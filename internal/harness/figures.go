@@ -35,6 +35,7 @@ func Figures() []Figure {
 		{"fig8d", "Large-scale N-N open: PLFS-10 vs direct (17x claim)", Fig8d},
 		{"ablation-flatten", "Ablation: Index Flatten buffer threshold", AblationFlattenThreshold},
 		{"ablation-groups", "Ablation: Parallel Index Read group size", AblationGroupCount},
+		{"ablation-workers", "Ablation: DecodeWorkers pool (wall-clock A/B)", AblationDecodeWorkers},
 		{"ablation-lockunit", "Ablation: direct N-1 write vs lock-unit size", AblationLockUnit},
 		{"ablation-spread", "Ablation: federation spread modes", AblationSpread},
 		{"ablation-degraded", "Ablation: one degraded OST group", AblationDegradedOST},
@@ -82,7 +83,7 @@ func Fig2(o Options) ([]*stats.Table, error) {
 				return nil, fmt.Errorf("fig2 %s direct: %w", k.k.Name(), err)
 			}
 			pl, err := Run(Job{Seed: seed, Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
-				Opt: n1MountOpt(plfs.ParallelIndexRead, 1), Kernel: k.k, Hints: k.hints, UsePLFS: true})
+				Opt: o.n1MountOpt(plfs.ParallelIndexRead, 1), Kernel: k.k, Hints: k.hints, UsePLFS: true})
 			if err != nil {
 				return nil, fmt.Errorf("fig2 %s plfs: %w", k.k.Name(), err)
 			}
@@ -138,7 +139,7 @@ func Fig4(o Options) ([]*stats.Table, error) {
 			for rep := 0; rep < o.repsFor(procs); rep++ {
 				res, err := Run(Job{
 					Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: o.small(), Net: defaultNet(),
-					Opt:    n1MountOpt(mode, 1),
+					Opt:    o.n1MountOpt(mode, 1),
 					Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
 				})
 				if err != nil {
@@ -183,7 +184,7 @@ func fig5Kernel(id, name string) func(Options) ([]*stats.Table, error) {
 				for rep := 0; rep < o.repsFor(procs); rep++ {
 					res, err := Run(Job{
 						Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: o.small(), Net: defaultNet(),
-						Opt:    n1MountOpt(plfs.ParallelIndexRead, 1),
+						Opt:    o.n1MountOpt(plfs.ParallelIndexRead, 1),
 						Kernel: k, Hints: hints, UsePLFS: plfsOn, ReadBack: true,
 						DropCaches: true,
 					})
@@ -263,7 +264,7 @@ func Fig7(o Options) ([]*stats.Table, error) {
 				}
 				res, err := Run(Job{
 					Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: cfg, Net: defaultNet(),
-					Opt:    nnMountOpt(v.vols),
+					Opt:    o.nnMountOpt(v.vols),
 					Kernel: workloads.CreateStorm{FilesPerRank: per}, UsePLFS: v.vols > 0,
 				})
 				if err != nil {
@@ -300,9 +301,9 @@ func Fig8a(o Options) ([]*stats.Table, error) {
 	variants := []series{
 		{"n-n w/o plfs", false, func(int) workloads.Kernel { return workloads.NNFiles{BytesPerRank: perProc, OpSize: op} }, nil},
 		{"n-n plfs", true, func(int) workloads.Kernel { return workloads.NNFiles{BytesPerRank: perProc, OpSize: op} },
-			func() plfs.Options { return nnMountOpt(10) }},
+			func() plfs.Options { return o.nnMountOpt(10) }},
 		{"n-1 plfs", true, func(int) workloads.Kernel { return workloads.MPIIOTest(perProc, op) },
-			func() plfs.Options { return n1MountOpt(plfs.ParallelIndexRead, 10) }},
+			func() plfs.Options { return o.n1MountOpt(plfs.ParallelIndexRead, 10) }},
 	}
 	for _, procs := range o.largeProcCounts() {
 		for _, v := range variants {
@@ -339,7 +340,7 @@ func fig8Meta(o Options, procs, vols int, rep int) (workloads.Result, error) {
 	}
 	return Run(Job{
 		Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: cfg, Net: defaultNet(),
-		Opt:    nnMountOpt(vols),
+		Opt:    o.nnMountOpt(vols),
 		Kernel: workloads.CreateStorm{FilesPerRank: 1}, UsePLFS: vols > 0,
 	})
 }
@@ -380,7 +381,7 @@ func Fig8c(o Options) ([]*stats.Table, error) {
 				cfg.Volumes = vols
 				res, err := Run(Job{
 					Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: cfg, Net: defaultNet(),
-					Opt:    n1MountOpt(plfs.ParallelIndexRead, vols),
+					Opt:    o.n1MountOpt(plfs.ParallelIndexRead, vols),
 					Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true,
 				})
 				if err != nil {

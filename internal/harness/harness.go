@@ -145,6 +145,11 @@ type Options struct {
 	BaseSeed int64
 	// Progress, if non-nil, receives one line per completed run.
 	Progress func(string)
+	// DecodeWorkers is passed through to plfs.Options.DecodeWorkers for
+	// every mount the harness builds: it bounds the real-CPU worker pool
+	// used for index decode and the index build.  Simulated results are
+	// identical for any value; only regeneration wall-clock changes.
+	DecodeWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -221,20 +226,22 @@ func (o Options) cielo() pfs.Config {
 
 // n1MountOpt is the standard PLFS mount for N-1 workloads: subdirs spread
 // across the volumes (Fig. 6), parallel index read unless overridden.
-func n1MountOpt(mode plfs.Mode, volumes int) plfs.Options {
+func (o Options) n1MountOpt(mode plfs.Mode, volumes int) plfs.Options {
 	return plfs.Options{
 		IndexMode:     mode,
 		NumSubdirs:    32,
 		SpreadSubdirs: volumes > 1,
+		DecodeWorkers: o.DecodeWorkers,
 	}
 }
 
 // nnMountOpt is the PLFS mount for N-N workloads: whole containers spread
 // across volumes (§V technique 1).
-func nnMountOpt(volumes int) plfs.Options {
+func (o Options) nnMountOpt(volumes int) plfs.Options {
 	return plfs.Options{
 		IndexMode:        plfs.ParallelIndexRead,
 		NumSubdirs:       4,
 		SpreadContainers: volumes > 1,
+		DecodeWorkers:    o.DecodeWorkers,
 	}
 }

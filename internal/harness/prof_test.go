@@ -37,7 +37,7 @@ func TestProfileFig4Point(t *testing.T) {
 		start := time.Now()
 		res, rep, err := RunWithReport(Job{
 			Seed: 1, Ranks: 2048, Cfg: o.small(), Net: defaultNet(),
-			Opt:    n1MountOpt(mode, 1),
+			Opt:    o.n1MountOpt(mode, 1),
 			Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
 		})
 		if err != nil {

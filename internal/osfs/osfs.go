@@ -22,6 +22,11 @@ var _ plfs.Backend = FS{}
 // New returns an OS-filesystem backend.
 func New() FS { return FS{} }
 
+// ConcurrentIO marks the backend as safe for the reader's I/O fan-out:
+// handles are os.Files, whose positional reads are pread(2) calls with no
+// shared cursor, and Open/Close are independent syscalls.
+func (FS) ConcurrentIO() bool { return true }
+
 // Mkdir implements plfs.Backend.
 func (FS) Mkdir(path string) error { return os.Mkdir(path, 0o755) }
 

@@ -22,24 +22,62 @@ type Span struct {
 // (ties broken toward the later Ref).  Adjacent pieces of the same Ref are
 // merged.  The result references the same Refs, clipped.
 func Resolve(spans []Span) []Span {
-	if len(spans) == 0 {
-		return nil
-	}
 	in := make([]Span, 0, len(spans))
-	bounds := make([]int64, 0, 2*len(spans))
 	for _, s := range spans {
 		if s.End <= s.Start {
 			continue
 		}
 		in = append(in, s)
-		bounds = append(bounds, s.Start, s.End)
 	}
 	if len(in) == 0 {
 		return nil
 	}
 	sort.Slice(in, func(i, j int) bool { return in[i].Start < in[j].Start })
-	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
-	bounds = dedupInt64(bounds)
+	return resolveSweep(in)
+}
+
+// ResolveSorted is Resolve for spans already sorted by Start (ascending):
+// it skips the global re-sort, so callers that merge pre-sorted runs — the
+// parallel index builder's per-shard sorts plus k-way merge — pay only the
+// linear sweep plus one sort of the End bounds.  The output is identical
+// to Resolve on the same multiset of spans.  Empty spans (End <= Start)
+// are dropped; out-of-order input is a contract violation and produces an
+// unspecified cover.
+func ResolveSorted(spans []Span) []Span {
+	in := spans
+	for i, s := range in {
+		if s.End <= s.Start {
+			// Rare path: compact the empties away, preserving order.
+			in = append(make([]Span, 0, len(spans)), spans[:i]...)
+			for _, s := range spans[i:] {
+				if s.End > s.Start {
+					in = append(in, s)
+				}
+			}
+			break
+		}
+	}
+	if len(in) == 0 {
+		return nil
+	}
+	return resolveSweep(in)
+}
+
+// resolveSweep runs the boundary sweep over spans sorted by Start.  The
+// result is a pure function of the span multiset: equal-Start spans all
+// activate at the same boundary, and the winner at each cell is picked by
+// (Seq, Ref) alone, so any valid sort order yields the same cover.
+func resolveSweep(in []Span) []Span {
+	// Bounds are every distinct Start and End.  Starts arrive sorted; only
+	// the Ends need sorting, then a linear merge of the two runs.
+	starts := make([]int64, len(in))
+	ends := make([]int64, len(in))
+	for i, s := range in {
+		starts[i] = s.Start
+		ends[i] = s.End
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	bounds := mergeSortedInt64(starts, ends)
 
 	var out []Span
 	var active spanHeap
@@ -67,10 +105,22 @@ func Resolve(spans []Span) []Span {
 	return out
 }
 
-func dedupInt64(xs []int64) []int64 {
-	out := xs[:0]
-	for i, x := range xs {
-		if i == 0 || x != out[len(out)-1] {
+// mergeSortedInt64 merges two sorted runs into one sorted, deduplicated
+// slice.
+func mergeSortedInt64(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var x int64
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] <= b[j]):
+			x = a[i]
+			i++
+		default:
+			x = b[j]
+			j++
+		}
+		if n := len(out); n == 0 || out[n-1] != x {
 			out = append(out, x)
 		}
 	}

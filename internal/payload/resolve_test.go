@@ -1,0 +1,74 @@
+package payload
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: ResolveSorted on a Start-sorted copy of the input equals
+// Resolve on the unsorted input — the two entry points compute the same
+// cover from the same span multiset.
+func TestResolveSortedMatchesResolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		spans := make([]Span, n)
+		for i := range spans {
+			start := int64(rng.Intn(1000))
+			spans[i] = Span{
+				Start: start,
+				End:   start + int64(rng.Intn(50)), // sometimes empty
+				Seq:   uint64(rng.Intn(16)),        // force seq ties
+				Ref:   int32(i),
+			}
+		}
+		want := Resolve(spans)
+		sorted := append([]Span(nil), spans...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+		got := ResolveSorted(sorted)
+		return reflect.DeepEqual(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveSortedEdgeCases(t *testing.T) {
+	if got := ResolveSorted(nil); got != nil {
+		t.Fatalf("ResolveSorted(nil) = %v", got)
+	}
+	// All-empty spans resolve to nothing.
+	if got := ResolveSorted([]Span{{Start: 5, End: 5}, {Start: 9, End: 3}}); got != nil {
+		t.Fatalf("all-empty = %v", got)
+	}
+	// Empty spans interleaved with real ones are filtered without
+	// disturbing order; the input slice must not be mutated.
+	in := []Span{
+		{Start: 0, End: 10, Seq: 1, Ref: 0},
+		{Start: 5, End: 5, Seq: 9, Ref: 1}, // empty
+		{Start: 10, End: 20, Seq: 1, Ref: 2},
+	}
+	orig := append([]Span(nil), in...)
+	got := ResolveSorted(in)
+	want := []Span{{Start: 0, End: 10, Seq: 1, Ref: 0}, {Start: 10, End: 20, Seq: 1, Ref: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(in, orig) {
+		t.Fatal("ResolveSorted mutated its input")
+	}
+}
+
+func TestMergeSortedInt64(t *testing.T) {
+	got := mergeSortedInt64([]int64{1, 3, 3, 7}, []int64{0, 3, 8})
+	want := []int64{0, 1, 3, 7, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	if got := mergeSortedInt64(nil, nil); len(got) != 0 {
+		t.Fatalf("merge(nil,nil) = %v", got)
+	}
+}

@@ -37,7 +37,9 @@ import (
 // Backend is the slice of an underlying (parallel) file system PLFS needs.
 // Implementations must return errors satisfying errors.Is(err,
 // io/fs.ErrExist) and io/fs.ErrNotExist where applicable.  A Backend
-// handle is private to one process/goroutine.
+// handle is private to one process/goroutine unless the implementation
+// also satisfies ConcurrentIO, in which case the reader may fan out I/O
+// calls across its worker pool.
 type Backend interface {
 	Mkdir(path string) error
 	Create(path string) (File, error)

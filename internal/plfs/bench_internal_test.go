@@ -1,0 +1,67 @@
+package plfs
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// benchWorkers is the pool width the "parallel" sub-benchmarks use; on a
+// single-core runner it degenerates to the serial plan, so compare the
+// sub-benchmarks on multi-core hardware.
+func benchWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func benchRaws(shards [][]Entry) [][]byte {
+	raws := make([][]byte, len(shards))
+	for i, s := range shards {
+		raws[i] = encodeEntries(s)
+	}
+	return raws
+}
+
+// BenchmarkDecodeEntries measures index-dropping decode throughput:
+// one-at-a-time versus fanned out across the worker pool.
+func BenchmarkDecodeEntries(b *testing.B) {
+	const nShards, perShard = 64, 2048
+	shards, _ := randomShards(rand.New(rand.NewSource(1)), nShards, perShard)
+	raws := benchRaws(shards)
+	out := make([][]Entry, nShards)
+	nbytes := int64(nShards * perShard * EntryBytes)
+	decode := func(b *testing.B, workers int) {
+		b.SetBytes(nbytes)
+		for i := 0; i < b.N; i++ {
+			parallelFor(workers, len(raws), func(s int) {
+				var err error
+				out[s], err = decodeEntries(raws[s], int32(s))
+				if err != nil {
+					b.Error(err)
+				}
+			})
+		}
+	}
+	b.Run("serial", func(b *testing.B) { decode(b, 1) })
+	b.Run("parallel", func(b *testing.B) { decode(b, benchWorkers()) })
+}
+
+// BenchmarkBuildIndex measures global-index construction from raw shards:
+// the serial flatten-then-sort build versus the per-shard parallel sort
+// plus k-way merge feeding ResolveSorted.
+func BenchmarkBuildIndex(b *testing.B) {
+	const nShards, perShard = 64, 2048
+	shards, paths := randomShards(rand.New(rand.NewSource(2)), nShards, perShard)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ix := BuildIndex(shards, paths); ix.RawEntries() != nShards*perShard {
+				b.Fatal("bad build")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		w := benchWorkers()
+		for i := 0; i < b.N; i++ {
+			if ix := BuildIndexParallel(shards, paths, w); ix.RawEntries() != nShards*perShard {
+				b.Fatal("bad build")
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package plfs
 
 import (
+	"container/heap"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -89,6 +90,26 @@ type indexSeg struct {
 // BuildIndex resolves raw entry shards (one per index dropping, any order)
 // into a global index.  droppings maps dropping ids to data-file paths.
 func BuildIndex(shards [][]Entry, droppings []string) *Index {
+	return buildIndex(shards, droppings, 1)
+}
+
+// BuildIndexParallel is BuildIndex with the sort distributed over up to
+// workers goroutines: each shard's spans are sorted independently, the
+// sorted runs are k-way merged, and the merged run feeds
+// payload.ResolveSorted (which skips the global re-sort).  The resulting
+// Index is identical to BuildIndex's — the resolve sweep depends only on
+// the span multiset, and Refs are assigned by flat position either way —
+// so callers may switch freely between the two.
+func BuildIndexParallel(shards [][]Entry, droppings []string, workers int) *Index {
+	return buildIndex(shards, droppings, workers)
+}
+
+// parallelSortMin is the total entry count below which the parallel build
+// falls back to the serial path: goroutine + merge overhead dominates
+// under a few thousand records.
+const parallelSortMin = 4096
+
+func buildIndex(shards [][]Entry, droppings []string, workers int) *Index {
 	var total int
 	for _, s := range shards {
 		total += len(s)
@@ -97,11 +118,18 @@ func BuildIndex(shards [][]Entry, droppings []string) *Index {
 	for _, s := range shards {
 		flat = append(flat, s...)
 	}
-	spans := make([]payload.Span, len(flat))
-	for i, e := range flat {
-		spans[i] = payload.Span{Start: e.LogicalOff, End: e.LogicalOff + e.Length, Seq: seqOf(e), Ref: int32(i)}
+
+	var res []payload.Span
+	if workers > 1 && len(shards) > 1 && total >= parallelSortMin {
+		res = payload.ResolveSorted(mergeShardSpans(shards, flat, workers))
+	} else {
+		spans := make([]payload.Span, len(flat))
+		for i, e := range flat {
+			spans[i] = payload.Span{Start: e.LogicalOff, End: e.LogicalOff + e.Length, Seq: seqOf(e), Ref: int32(i)}
+		}
+		res = payload.Resolve(spans)
 	}
-	res := payload.Resolve(spans)
+
 	ix := &Index{droppings: droppings, rawCount: total}
 	for _, s := range res {
 		e := flat[s.Ref]
@@ -117,6 +145,77 @@ func BuildIndex(shards [][]Entry, droppings []string) *Index {
 		}
 	}
 	return ix
+}
+
+// mergeShardSpans builds one span per entry (Ref = position in the
+// flattened shard order, matching the serial path), sorts each shard's
+// spans concurrently, and k-way merges the sorted runs into a single run
+// sorted by Start.
+func mergeShardSpans(shards [][]Entry, flat []Entry, workers int) []payload.Span {
+	runs := make([][]payload.Span, len(shards))
+	offsets := make([]int, len(shards))
+	off := 0
+	for k, s := range shards {
+		offsets[k] = off
+		off += len(s)
+	}
+	parallelFor(workers, len(shards), func(k int) {
+		s := shards[k]
+		run := make([]payload.Span, len(s))
+		base := offsets[k]
+		for i, e := range s {
+			run[i] = payload.Span{Start: e.LogicalOff, End: e.LogicalOff + e.Length, Seq: seqOf(e), Ref: int32(base + i)}
+		}
+		sort.Slice(run, func(i, j int) bool {
+			if run[i].Start != run[j].Start {
+				return run[i].Start < run[j].Start
+			}
+			return run[i].Ref < run[j].Ref
+		})
+		runs[k] = run
+	})
+
+	out := make([]payload.Span, 0, len(flat))
+	var h runHeap
+	for _, run := range runs {
+		if len(run) > 0 {
+			h = append(h, run)
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		run := h[0]
+		out = append(out, run[0])
+		if len(run) > 1 {
+			h[0] = run[1:]
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return out
+}
+
+// runHeap is a min-heap of sorted span runs keyed by their head span's
+// (Start, Ref).
+type runHeap [][]payload.Span
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	a, b := h[i][0], h[j][0]
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.Ref < b.Ref
+}
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.([]payload.Span)) }
+func (h *runHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
 }
 
 // Size returns the logical file size.
@@ -203,12 +302,8 @@ func encodeGlobalIndex(paths []string, entries []Entry) []byte {
 	}
 	binary.LittleEndian.PutUint64(tmp[:], uint64(len(entries)))
 	buf = append(buf, tmp[:]...)
-	body := encodeEntries(entries)
-	// Entries already carry canonical dropping ids; keep them.
-	for i, e := range entries {
-		binary.LittleEndian.PutUint32(body[i*EntryBytes+32:], uint32(e.Dropping))
-	}
-	return append(buf, body...)
+	// encodeEntries already serialized the canonical Dropping ids.
+	return append(buf, encodeEntries(entries)...)
 }
 
 // decodeGlobalIndex parses the output of encodeGlobalIndex.

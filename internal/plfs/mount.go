@@ -98,7 +98,25 @@ type Options struct {
 	// the context's Sleeper.
 	ParseCPUPerEntry time.Duration
 	MergeCPUPerEntry time.Duration
+	// DecodeWorkers bounds the worker pool used for real-CPU parallelism
+	// on the read path: concurrent index-dropping decode during
+	// aggregation, per-shard sorting in the index build, and fan-out of
+	// ReadAt data fetches.  0 (the default) means one worker per available
+	// CPU; 1 forces the serial baseline.  Simulated virtual time is
+	// unaffected — the pool only changes wall-clock cost.
+	DecodeWorkers int
+	// SerialResolve forces the flatten-then-global-sort index build even
+	// when DecodeWorkers would allow the merge-based parallel build (A/B
+	// baseline for the harness).
+	SerialResolve bool
+	// NoReadFanout disables ReadAt's batched per-dropping read fan-out
+	// (A/B baseline for the harness).  Fan-out also disables itself on
+	// backends that don't advertise ConcurrentIO, such as the simulator.
+	NoReadFanout bool
 }
+
+// decodeWorkers resolves DecodeWorkers to an effective pool size.
+func (o Options) decodeWorkers() int { return defaultWorkers(o.DecodeWorkers) }
 
 func (o Options) withDefaults() Options {
 	if o.NumSubdirs <= 0 {

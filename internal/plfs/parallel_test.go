@@ -1,0 +1,171 @@
+package plfs
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelFor(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 10}, {4, 10}, {16, 3}, {4, 0}, {0, 5}, {-1, 5}, {4, 1},
+	} {
+		var hits atomic.Int64
+		seen := make([]atomic.Int32, tc.n)
+		parallelFor(tc.workers, tc.n, func(i int) {
+			hits.Add(1)
+			seen[i].Add(1)
+		})
+		if hits.Load() != int64(tc.n) {
+			t.Fatalf("parallelFor(%d,%d): %d calls", tc.workers, tc.n, hits.Load())
+		}
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("parallelFor(%d,%d): index %d visited %d times", tc.workers, tc.n, i, seen[i].Load())
+			}
+		}
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if w := defaultWorkers(0); w < 1 {
+		t.Fatalf("defaultWorkers(0) = %d", w)
+	}
+	if w := defaultWorkers(-3); w != 1 {
+		t.Fatalf("defaultWorkers(-3) = %d, want 1", w)
+	}
+	if w := defaultWorkers(7); w != 7 {
+		t.Fatalf("defaultWorkers(7) = %d", w)
+	}
+}
+
+func TestChunkEdgeCases(t *testing.T) {
+	// More buckets than items: the high buckets must be nil, not empty
+	// non-nil slices (assignments stay allocation-free).
+	for b := 0; b < 5; b++ {
+		got := chunk(3, 5, b)
+		if b < 3 {
+			if len(got) != 1 || got[0] != b {
+				t.Fatalf("chunk(3,5,%d) = %v", b, got)
+			}
+		} else if got != nil {
+			t.Fatalf("chunk(3,5,%d) = %#v, want nil", b, got)
+		}
+	}
+	// Zero items: every bucket is nil.
+	for b := 0; b < 4; b++ {
+		if got := chunk(0, 4, b); got != nil {
+			t.Fatalf("chunk(0,4,%d) = %#v, want nil", b, got)
+		}
+	}
+	// Uneven remainder: 10 items over 3 buckets goes 4/3/3 with the
+	// remainder to the low buckets, contiguous and in order.
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	for b := range want {
+		if got := chunk(10, 3, b); !reflect.DeepEqual(got, want[b]) {
+			t.Fatalf("chunk(10,3,%d) = %v, want %v", b, got, want[b])
+		}
+	}
+}
+
+// randomShards builds nShards droppings of random entries, dense enough
+// that overlaps and timestamp ties are common.
+func randomShards(rng *rand.Rand, nShards, perShard int) ([][]Entry, []string) {
+	shards := make([][]Entry, nShards)
+	paths := make([]string, nShards)
+	for s := range shards {
+		paths[s] = fmt.Sprintf("d%d", s)
+		es := make([]Entry, perShard)
+		var phys int64
+		for i := range es {
+			n := int64(1 + rng.Intn(512))
+			es[i] = Entry{
+				LogicalOff: int64(rng.Intn(1 << 16)),
+				Length:     n,
+				PhysOff:    phys,
+				Timestamp:  int64(rng.Intn(64)), // force ties
+				Dropping:   int32(s),
+				Rank:       int32(s),
+			}
+			phys += n
+		}
+		shards[s] = es
+	}
+	return shards, paths
+}
+
+// Property: the merge-based parallel build produces an Index identical to
+// the serial flatten-and-sort build — same segments, size, raw count —
+// for any shard multiset, above and below the parallel threshold.
+func TestBuildIndexParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nShards := 2 + rng.Intn(8)
+		perShard := 16 + rng.Intn(1024)
+		shards, paths := randomShards(rng, nShards, perShard)
+		serial := BuildIndex(shards, paths)
+		par := BuildIndexParallel(shards, paths, 4)
+		return reflect.DeepEqual(serial, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+	// Force the merge path explicitly (total well above parallelSortMin).
+	rng := rand.New(rand.NewSource(7))
+	shards, paths := randomShards(rng, 64, 256)
+	if !reflect.DeepEqual(BuildIndex(shards, paths), BuildIndexParallel(shards, paths, 8)) {
+		t.Fatal("parallel build diverged from serial at 64 shards")
+	}
+}
+
+// The flattened global index must preserve non-canonical dropping ids
+// byte-for-byte through encode/decode (the encoder's old second pass that
+// re-wrote ids was a no-op and has been removed).
+func TestGlobalIndexPreservesDroppingIDs(t *testing.T) {
+	paths := []string{"/v0/d0", "/v1/d1", "/v0/d2"}
+	entries := []Entry{
+		{LogicalOff: 0, Length: 4, PhysOff: 0, Timestamp: 3, Dropping: 2, Rank: 5},
+		{LogicalOff: 4, Length: 4, PhysOff: 9, Timestamp: 1, Dropping: 0, Rank: 1},
+		{LogicalOff: 8, Length: 4, PhysOff: 2, Timestamp: 2, Dropping: 1, Rank: 0},
+	}
+	p2, e2, err := decodeGlobalIndex(encodeGlobalIndex(paths, entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(paths, p2) {
+		t.Fatalf("paths changed: %v", p2)
+	}
+	for i := range entries {
+		if e2[i].Dropping != entries[i].Dropping {
+			t.Fatalf("entry %d dropping id %d -> %d", i, entries[i].Dropping, e2[i].Dropping)
+		}
+	}
+	if !reflect.DeepEqual(entries, e2) {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", entries, e2)
+	}
+}
+
+func TestBatchPieces(t *testing.T) {
+	pieces := []Piece{
+		{Logical: 0, Length: 10, Dropping: 0, PhysOff: 0},
+		{Logical: 10, Length: 10, Dropping: 0, PhysOff: 10}, // contiguous: merges
+		{Logical: 20, Length: 10, Dropping: 0, PhysOff: 50}, // gap: new batch
+		{Logical: 30, Length: 10, Dropping: 1, PhysOff: 60}, // new dropping
+		{Logical: 40, Length: 10, Dropping: -1},             // hole
+		{Logical: 50, Length: 10, Dropping: 1, PhysOff: 70},
+	}
+	got := batchPieces(pieces)
+	want := []readBatch{
+		{drop: 0, phys: 0, length: 20},
+		{drop: 0, phys: 50, length: 10},
+		{drop: 1, phys: 60, length: 10},
+		{drop: -1, phys: 0, length: 10},
+		{drop: 1, phys: 70, length: 10},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batches = %+v, want %+v", got, want)
+	}
+}

@@ -35,7 +35,7 @@ type rig struct {
 // Mountish aliases to keep call sites short.
 type Mountish = plfs.Mount
 
-func newRig(t *testing.T, volumes int, opt plfs.Options) *rig {
+func newRig(t testing.TB, volumes int, opt plfs.Options) *rig {
 	t.Helper()
 	roots := make([]string, volumes)
 	for i := range roots {
@@ -60,7 +60,7 @@ func (r *rig) ctx(rank int, c comm.Comm) plfs.Ctx {
 }
 
 // runRanks drives n concurrent goroutine ranks through fn.
-func runRanks(t *testing.T, r *rig, n int, fn func(ctx plfs.Ctx, rank int)) {
+func runRanks(t testing.TB, r *rig, n int, fn func(ctx plfs.Ctx, rank int)) {
 	t.Helper()
 	comms := localcomm.New(n)
 	var wg sync.WaitGroup
@@ -76,7 +76,7 @@ func runRanks(t *testing.T, r *rig, n int, fn func(ctx plfs.Ctx, rank int)) {
 
 // writeN1 writes a strided N-1 pattern: rank i writes blocks at offsets
 // (k*n + i) * bs, contents pattern-tagged by rank.
-func writeN1(t *testing.T, m *plfs.Mount, ctx plfs.Ctx, rank, n, blocks int, bs int64, name string) {
+func writeN1(t testing.TB, m *plfs.Mount, ctx plfs.Ctx, rank, n, blocks int, bs int64, name string) {
 	t.Helper()
 	w, err := m.Create(ctx, name)
 	if err != nil {

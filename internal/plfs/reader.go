@@ -7,6 +7,7 @@ import (
 	"math"
 	"path"
 	"strings"
+	"sync/atomic"
 
 	"plfs/internal/payload"
 )
@@ -26,16 +27,28 @@ type Reader struct {
 
 	// Stats describes what this open did (for tests and the harness).
 	Stats OpenStats
+	// ReadStats accumulates what this reader's ReadAt calls did.
+	ReadStats ReadStats
 }
 
 // OpenStats reports the work an OpenReader performed.
 type OpenStats struct {
-	Mode       Mode  // effective aggregation mode
-	UsedGlobal bool  // served from a flattened global index
-	Droppings  int   // droppings in the container
-	RawEntries int   // raw index records aggregated
-	IndexReads int   // index files this process read
-	IndexBytes int64 // index bytes this process read
+	Mode          Mode  // effective aggregation mode
+	UsedGlobal    bool  // served from a flattened global index
+	Droppings     int   // droppings in the container
+	RawEntries    int   // raw index records aggregated
+	IndexReads    int   // index files this process read
+	IndexBytes    int64 // index bytes this process read
+	DecodeWorkers int   // worker-pool width used for decode/build
+}
+
+// ReadStats reports the work a reader's ReadAt calls performed.
+type ReadStats struct {
+	Ops     int // ReadAt calls served
+	Pieces  int // index pieces covered, including holes
+	Holes   int // hole pieces (zeros, no I/O)
+	Batches int // physical dropping reads issued after adjacency batching
+	Workers int // fan-out width of the last ReadAt (1 = serial)
 }
 
 // OpenReader opens the logical file rel for reading.  With a communicator
@@ -49,6 +62,7 @@ func (m *Mount) OpenReader(ctx Ctx, rel string) (*Reader, error) {
 		mode = Original
 	}
 	r.Stats.Mode = mode
+	r.Stats.DecodeWorkers = m.opt.decodeWorkers()
 
 	var err error
 	switch mode {
@@ -127,9 +141,126 @@ func (r *Reader) buildCached(shards [][]Entry, dataPaths []string) *Index {
 	if st.builtKey == key && st.built != nil {
 		return st.built
 	}
-	ix := BuildIndex(shards, dataPaths)
+	var ix *Index
+	if w := r.m.opt.decodeWorkers(); w > 1 && !r.m.opt.SerialResolve {
+		ix = BuildIndexParallel(shards, dataPaths, w)
+	} else {
+		ix = BuildIndex(shards, dataPaths)
+	}
 	st.builtKey, st.built = key, ix
 	return ix
+}
+
+// readShards reads and parses the given index droppings, collecting one
+// error per failed shard (joined) instead of failing on the first.  The
+// returned slice is aligned with refs.
+//
+// Two execution plans preserve the simulator's invariants.  When every
+// volume advertises ConcurrentIO, whole shards — open, read, decode —
+// fan out across the worker pool and the virtual-time parse charge is
+// applied once, summed, on the caller's goroutine.  Otherwise backend
+// calls and per-shard charges stay on the caller's goroutine (the
+// discrete-event engine requires blocking operations there) and only the
+// pure-CPU decode of uncached shards fans out.  Either way the total
+// virtual time charged is identical to the serial baseline.
+func (r *Reader) readShards(refs []shardRef) ([][]Entry, error) {
+	m, ctx := r.m, r.ctx
+	st := m.stateOf(r.rel)
+	w := m.opt.decodeWorkers()
+	out := make([][]Entry, len(refs))
+	errs := make([]error, len(refs))
+
+	if w > 1 && backendsConcurrent(ctx.Vols) {
+		var reads, bytes, entries int64
+		parallelFor(w, len(refs), func(i int) {
+			ref := refs[i]
+			f, err := ctx.Vols[ref.Ref.Vol].OpenRead(ref.Ref.Index)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
+				return
+			}
+			size := f.Size()
+			pl, err := f.ReadAt(0, size)
+			f.Close()
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
+				return
+			}
+			atomic.AddInt64(&reads, 1)
+			atomic.AddInt64(&bytes, size)
+			atomic.AddInt64(&entries, size/EntryBytes)
+			st.mu.Lock()
+			cached, ok := st.parsed[ref.Ref.Index]
+			st.mu.Unlock()
+			if ok {
+				out[i] = withDropping(cached, ref.ID)
+				return
+			}
+			es, err := decodeEntries(pl.Materialize(), ref.ID)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
+				return
+			}
+			st.mu.Lock()
+			st.parsed[ref.Ref.Index] = es
+			st.mu.Unlock()
+			out[i] = es
+		})
+		r.Stats.IndexReads += int(reads)
+		r.Stats.IndexBytes += bytes
+		ctx.sleep(m.opt.ParseCPUPerEntry * timeDuration(int(entries)))
+	} else {
+		raw := make([][]byte, len(refs))
+		for i, ref := range refs {
+			f, err := ctx.Vols[ref.Ref.Vol].OpenRead(ref.Ref.Index)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
+				continue
+			}
+			size := f.Size()
+			pl, err := f.ReadAt(0, size)
+			f.Close()
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
+				continue
+			}
+			r.Stats.IndexReads++
+			r.Stats.IndexBytes += size
+			ctx.sleep(m.opt.ParseCPUPerEntry * timeDuration(int(size/EntryBytes)))
+			st.mu.Lock()
+			cached, ok := st.parsed[ref.Ref.Index]
+			st.mu.Unlock()
+			if ok {
+				out[i] = withDropping(cached, ref.ID)
+				continue
+			}
+			if raw[i] = pl.Materialize(); raw[i] == nil {
+				raw[i] = []byte{}
+			}
+		}
+		parallelFor(w, len(refs), func(i int) {
+			if raw[i] == nil || errs[i] != nil {
+				return
+			}
+			es, err := decodeEntries(raw[i], refs[i].ID)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", refs[i].Ref.Index, err)
+				return
+			}
+			out[i] = es
+		})
+		st.mu.Lock()
+		for i, es := range out {
+			if es != nil && raw[i] != nil {
+				st.parsed[refs[i].Ref.Index] = es
+			}
+		}
+		st.mu.Unlock()
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // readShard reads and parses one index dropping, assigning it the
@@ -160,7 +291,8 @@ func (r *Reader) readShard(ref droppingRef, id int32) ([]Entry, error) {
 	}
 	entries, err := decodeEntries(pl.Materialize(), id)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", ref.Index, err)
+		// The sole caller (Check) prefixes the dropping path itself.
+		return nil, err
 	}
 	st.mu.Lock()
 	st.parsed[ref.Index] = entries
@@ -195,18 +327,18 @@ func (r *Reader) aggregateOriginal() error {
 	if err != nil {
 		return err
 	}
-	shards := make([][]Entry, 0, len(drops))
 	paths := make([]string, len(drops))
+	refs := make([]shardRef, 0, len(drops))
 	for i, d := range drops {
 		paths[i] = d.Data
 		if d.Index == "" {
 			continue
 		}
-		sh, err := r.readShard(d, int32(i))
-		if err != nil {
-			return err
-		}
-		shards = append(shards, sh)
+		refs = append(refs, shardRef{Ref: d, ID: int32(i)})
+	}
+	shards, err := r.readShards(refs)
+	if err != nil {
+		return err
 	}
 	r.ix = r.buildCached(shards, paths)
 	return nil
@@ -353,18 +485,22 @@ func (r *Reader) aggregateParallel() error {
 		assignment = group.Scatter(0, 32, nil).([]shardRef)
 	}
 
-	// Members read their assigned subindices.
-	var mine []shardMsg
-	var mineBytes int64
+	// Members read their assigned subindices through the worker pool.
+	refs := make([]shardRef, 0, len(assignment))
 	for _, a := range assignment {
 		if a.Ref.Index == "" {
 			continue
 		}
-		sh, err := r.readShard(a.Ref, a.ID)
-		if err != nil {
-			return err
-		}
-		mine = append(mine, shardMsg{ID: a.ID, Entries: sh})
+		refs = append(refs, a)
+	}
+	read, err := r.readShards(refs)
+	if err != nil {
+		return err
+	}
+	var mine []shardMsg
+	var mineBytes int64
+	for i, sh := range read {
+		mine = append(mine, shardMsg{ID: refs[i].ID, Entries: sh})
 		mineBytes += int64(len(sh)) * EntryBytes
 	}
 
@@ -413,7 +549,8 @@ type shardRef struct {
 }
 
 // chunk returns the indices [0,total) assigned to bucket b of nb buckets
-// (contiguous blocks, remainder to the low buckets).
+// (contiguous blocks, remainder to the low buckets).  Empty buckets get
+// nil, so assignment fan-out allocates nothing for idle members.
 func chunk(total, nb, b int) []int {
 	base := total / nb
 	rem := total % nb
@@ -421,6 +558,9 @@ func chunk(total, nb, b int) []int {
 	count := base
 	if b < rem {
 		count++
+	}
+	if count == 0 {
+		return nil
 	}
 	out := make([]int, 0, count)
 	for i := start; i < start+count; i++ {
@@ -453,27 +593,111 @@ func (r *Reader) handle(id int32) (File, error) {
 // as zeros.  When the read pattern matches the write pattern, each piece
 // is a sequential read of one log-structured dropping — the prefetch-
 // friendly pattern the paper credits for PLFS read speedups.
+//
+// Over backends that advertise ConcurrentIO, adjacent pieces of the same
+// dropping are batched into single reads, and the batches fan out across
+// the worker pool with order-preserving reassembly.  Under the simulator
+// (or with Options.NoReadFanout) the per-piece serial plan runs
+// unchanged, so simulated timings are unaffected.
 func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
 	if r.closed {
 		return nil, errors.New("plfs: reader closed")
 	}
-	var out payload.List
-	for _, piece := range r.ix.Lookup(off, n) {
-		if piece.Dropping < 0 {
-			out = out.Append(payload.Zeros(piece.Length))
+	pieces := r.ix.Lookup(off, n)
+	r.ReadStats.Ops++
+	r.ReadStats.Pieces += len(pieces)
+	w := r.m.opt.decodeWorkers()
+	if r.m.opt.NoReadFanout || w <= 1 || !backendsConcurrent(r.ctx.Vols) {
+		r.ReadStats.Workers = 1
+		var out payload.List
+		for _, piece := range pieces {
+			if piece.Dropping < 0 {
+				r.ReadStats.Holes++
+				out = out.Append(payload.Zeros(piece.Length))
+				continue
+			}
+			r.ReadStats.Batches++
+			f, err := r.handle(piece.Dropping)
+			if err != nil {
+				return nil, err
+			}
+			pl, err := f.ReadAt(piece.PhysOff, piece.Length)
+			if err != nil {
+				return nil, err
+			}
+			out = out.Concat(pl)
+		}
+		return out, nil
+	}
+
+	batches := batchPieces(pieces)
+	r.ReadStats.Workers = w
+	for _, b := range batches {
+		if b.drop < 0 {
+			r.ReadStats.Holes++
+		} else {
+			r.ReadStats.Batches++
+		}
+	}
+	// Open handles up front on this goroutine: the handle cache is not
+	// goroutine-safe, and backend File handles are reused across batches.
+	for _, b := range batches {
+		if b.drop < 0 {
 			continue
 		}
-		f, err := r.handle(piece.Dropping)
-		if err != nil {
+		if _, err := r.handle(b.drop); err != nil {
 			return nil, err
 		}
-		pl, err := f.ReadAt(piece.PhysOff, piece.Length)
-		if err != nil {
-			return nil, err
+	}
+	results := make([]payload.List, len(batches))
+	errs := make([]error, len(batches))
+	parallelFor(w, len(batches), func(i int) {
+		b := batches[i]
+		if b.drop < 0 {
+			var l payload.List
+			results[i] = l.Append(payload.Zeros(b.length))
+			return
 		}
+		pl, err := r.handles[b.drop].ReadAt(b.phys, b.length)
+		if err != nil {
+			errs[i] = fmt.Errorf("%s: %w", r.ix.Droppings()[b.drop], err)
+			return
+		}
+		results[i] = pl
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	var out payload.List
+	for _, pl := range results {
 		out = out.Concat(pl)
 	}
 	return out, nil
+}
+
+// readBatch is one physical read: length bytes at phys of dropping drop,
+// or a hole (drop < 0).
+type readBatch struct {
+	drop   int32
+	phys   int64
+	length int64
+}
+
+// batchPieces coalesces logically consecutive pieces that read physically
+// contiguous bytes of the same dropping into single backend reads; holes
+// stay their own batch.
+func batchPieces(pieces []Piece) []readBatch {
+	out := make([]readBatch, 0, len(pieces))
+	for _, p := range pieces {
+		if n := len(out); n > 0 && p.Dropping >= 0 &&
+			out[n-1].drop == p.Dropping &&
+			out[n-1].phys+out[n-1].length == p.PhysOff {
+			out[n-1].length += p.Length
+			continue
+		}
+		out = append(out, readBatch{drop: p.Dropping, phys: p.PhysOff, length: p.Length})
+	}
+	return out
 }
 
 // Close releases the reader's dropping handles.
@@ -493,18 +717,18 @@ func (r *Reader) Close() error {
 // record exists: an Original-style aggregation without a Reader.
 func (m *Mount) aggregateSerial(ctx Ctx, rel string, drops []droppingRef) (*Index, error) {
 	r := &Reader{m: m, ctx: ctx, rel: rel, handles: map[int32]File{}}
-	shards := make([][]Entry, 0, len(drops))
 	paths := make([]string, len(drops))
+	refs := make([]shardRef, 0, len(drops))
 	for i, d := range drops {
 		paths[i] = d.Data
 		if d.Index == "" {
 			continue
 		}
-		sh, err := r.readShard(d, int32(i))
-		if err != nil {
-			return nil, err
-		}
-		shards = append(shards, sh)
+		refs = append(refs, shardRef{Ref: d, ID: int32(i)})
+	}
+	shards, err := r.readShards(refs)
+	if err != nil {
+		return nil, err
 	}
 	return r.buildCached(shards, paths), nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	iofs "io/fs"
 	"path"
+	"sort"
 
 	"plfs/internal/payload"
 )
@@ -368,11 +369,9 @@ func (w *Writer) writeGlobalIndex(shardVals []any) error {
 	for i := range order {
 		order[i] = i
 	}
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && shards[order[j]].DataPath < shards[order[j-1]].DataPath; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
+	sort.Slice(order, func(i, j int) bool {
+		return shards[order[i]].DataPath < shards[order[j]].DataPath
+	})
 	paths := make([]string, len(order))
 	var all []Entry
 	var total int

@@ -19,7 +19,9 @@ import (
 	"strings"
 	"time"
 
+	"plfs/internal/fault"
 	"plfs/internal/harness"
+	"plfs/internal/plfs"
 )
 
 func main() {
@@ -31,6 +33,8 @@ func main() {
 		workers = flag.Int("workers", 0, "decode worker pool per mount (0 = GOMAXPROCS, 1 = serial)")
 		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
 		list    = flag.Bool("list", false, "list figures and exit")
+		faultS  = flag.String("fault", "", "fault injection spec applied to every run, e.g. 'seed=7,all=0.01'")
+		retryN  = flag.Int("retry", 1, "PLFS retry attempts for transient backend errors (1 = no retry)")
 	)
 	flag.Parse()
 
@@ -41,7 +45,18 @@ func main() {
 		return
 	}
 
-	opts := harness.Options{Reps: *reps, DecodeWorkers: *workers}
+	opts := harness.Options{
+		Reps: *reps, DecodeWorkers: *workers,
+		Retry: plfs.RetryPolicy{Attempts: *retryN},
+	}
+	if *faultS != "" {
+		spec, err := fault.ParseSpec(*faultS)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plfsbench:", err)
+			os.Exit(2)
+		}
+		opts.Fault = &spec
+	}
 	switch *scale {
 	case "quick":
 		opts.Scale = harness.Quick

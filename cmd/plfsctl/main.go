@@ -9,6 +9,7 @@
 //	plfsctl read <logical> -root ... -off N -len N    # dump logical bytes
 //	plfsctl flatten <logical> -root ...               # persist a global index
 //	plfsctl check <logical> -root ...                 # container integrity check
+//	plfsctl recover <logical> -root ...               # rebuild lost index droppings
 //	plfsctl rm   <logical> -root <volume-root> ...    # remove a container
 package main
 
@@ -75,6 +76,15 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	case "recover":
+		var rep plfs.RecoverReport
+		rep, err = m.Recover(ctx, logical)
+		if err == nil {
+			fmt.Println(rep)
+			if !rep.OK() {
+				os.Exit(1)
+			}
+		}
 	default:
 		usage()
 	}
@@ -85,7 +95,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: plfsctl {ls|stat|map|read|flatten|check|rm} [logical] -root DIR [-root DIR...] [-off N] [-len N]")
+	fmt.Fprintln(os.Stderr, "usage: plfsctl {ls|stat|map|read|flatten|check|recover|rm} [logical] -root DIR [-root DIR...] [-off N] [-len N]")
 	os.Exit(2)
 }
 

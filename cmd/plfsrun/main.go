@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"plfs/internal/adio"
+	"plfs/internal/fault"
 	"plfs/internal/harness"
 	"plfs/internal/mpi"
 	"plfs/internal/pfs"
@@ -43,6 +44,9 @@ func main() {
 		dropC   = flag.Bool("dropcaches", true, "invalidate caches between write and read phases")
 		traceF  = flag.String("trace", "", "write a resource time-series CSV to this file")
 		workers = flag.Int("workers", 0, "decode worker pool (0 = GOMAXPROCS, 1 = serial)")
+		faultS  = flag.String("fault", "", "fault injection spec, e.g. 'seed=7,all=0.05,torn=0.01,slow=0:2ms,lose=hostdir.3'")
+		retryN  = flag.Int("retry", 1, "PLFS retry attempts for transient backend errors (1 = no retry)")
+		partial = flag.Bool("allow-partial", false, "skip unreadable index shards on read open (degraded results)")
 	)
 	flag.Parse()
 
@@ -98,7 +102,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := plfs.Options{IndexMode: m, NumSubdirs: 32, DecodeWorkers: *workers}
+	opt := plfs.Options{
+		IndexMode: m, NumSubdirs: 32, DecodeWorkers: *workers,
+		Retry:        plfs.RetryPolicy{Attempts: *retryN},
+		AllowPartial: *partial,
+	}
 	if *volumes > 1 {
 		if nn {
 			opt.SpreadContainers = true
@@ -113,6 +121,14 @@ func main() {
 		Hints:  adio.Hints{CollectiveBuffering: *cb, ProcsPerNode: cfg.ProcsPerNode},
 		Kernel: k, UsePLFS: *usePLFS, ReadBack: !*noRead, Verify: *verify,
 		DropCaches: *dropC,
+	}
+	if *faultS != "" {
+		spec, err := fault.ParseSpec(*faultS)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plfsrun:", err)
+			os.Exit(2)
+		}
+		job.Fault = &spec
 	}
 	var traceFile *os.File
 	if *traceF != "" {

@@ -1,0 +1,529 @@
+// Package fault wraps plfs.Backend with a deterministic, seedable fault
+// injector — the test double for the paper's "challenges" half: one
+// logical file becomes N data + N index droppings, so a single slow or
+// failing OST object breaks or stalls the whole logical file.  The
+// injector models the failure classes middleware over an object store
+// must absorb:
+//
+//   - transient EIO-style errors with per-operation probabilities
+//     (retryable; see plfs.Options.Retry);
+//   - added latency on chosen volumes (a degraded OST), charged through
+//     the context's Sleeper so it rides the simulator's virtual clock in
+//     simulated mode and real time over osfs;
+//   - torn appends: a prefix of the payload lands before a permanent
+//     error, modeling a crash mid-write (plfs Recover repairs these);
+//   - permanent loss of named paths (a dead object).
+//
+// All randomness derives from the spec's seed and a global injection
+// sequence number, so a simulated run injects the identical fault
+// schedule every time.
+package fault
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	iofs "io/fs"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+// Op names one backend operation class for per-op fault probabilities.
+type Op string
+
+// Operation classes.  OpOpen covers OpenRead and OpenWrite; OpRead and
+// OpWrite/OpAppend fire on file handles, the rest on the backend.
+const (
+	OpMkdir   Op = "mkdir"
+	OpCreate  Op = "create"
+	OpOpen    Op = "open"
+	OpStat    Op = "stat"
+	OpReadDir Op = "readdir"
+	OpRemove  Op = "remove"
+	OpRename  Op = "rename"
+	OpRead    Op = "read"
+	OpWrite   Op = "write"
+	OpAppend  Op = "append"
+)
+
+var allOps = []Op{OpMkdir, OpCreate, OpOpen, OpStat, OpReadDir, OpRemove, OpRename, OpRead, OpWrite, OpAppend}
+
+// Spec describes the faults to inject.
+type Spec struct {
+	// Seed drives the deterministic pseudo-random fault schedule.
+	Seed int64
+	// P maps an operation class to its transient-error probability.
+	P map[Op]float64
+	// Torn is the probability that an Append lands only a prefix of its
+	// payload before failing permanently (a crash mid-write).
+	Torn float64
+	// Delay is added latency on every operation, on every volume.
+	Delay time.Duration
+	// SlowVol adds latency to every operation on specific volumes.
+	SlowVol map[int]time.Duration
+	// Lose marks paths as permanently lost: any operation on a path
+	// containing one of these substrings fails with ErrNotExist.
+	Lose []string
+}
+
+// ParseSpec parses the -fault flag syntax: comma-separated key=value
+// pairs.
+//
+//	seed=N        RNG seed (default 1)
+//	all=P         transient-error probability for every operation class
+//	<op>=P        per-op probability: mkdir create open stat readdir
+//	              remove rename read write append
+//	torn=P        torn-append probability
+//	delay=DUR     added latency on every volume (time.ParseDuration)
+//	slow=VOL:DUR  added latency on volume VOL (repeatable)
+//	lose=SUBSTR   paths containing SUBSTR are permanently lost (repeatable)
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{Seed: 1}
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	isOp := map[Op]bool{}
+	for _, op := range allOps {
+		isOp[op] = true
+	}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("fault: %q is not key=value", kv)
+		}
+		switch {
+		case k == "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("fault: seed %q: %v", v, err)
+			}
+			spec.Seed = n
+		case k == "all":
+			p, err := parseProb(k, v)
+			if err != nil {
+				return spec, err
+			}
+			if spec.P == nil {
+				spec.P = map[Op]float64{}
+			}
+			for _, op := range allOps {
+				spec.P[op] = p
+			}
+		case isOp[Op(k)]:
+			p, err := parseProb(k, v)
+			if err != nil {
+				return spec, err
+			}
+			if spec.P == nil {
+				spec.P = map[Op]float64{}
+			}
+			spec.P[Op(k)] = p
+		case k == "torn":
+			p, err := parseProb(k, v)
+			if err != nil {
+				return spec, err
+			}
+			spec.Torn = p
+		case k == "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return spec, fmt.Errorf("fault: delay %q: %v", v, err)
+			}
+			spec.Delay = d
+		case k == "slow":
+			vol, dur, ok := strings.Cut(v, ":")
+			if !ok {
+				return spec, fmt.Errorf("fault: slow %q is not VOL:DUR", v)
+			}
+			n, err := strconv.Atoi(vol)
+			if err != nil {
+				return spec, fmt.Errorf("fault: slow volume %q: %v", vol, err)
+			}
+			d, err := time.ParseDuration(dur)
+			if err != nil {
+				return spec, fmt.Errorf("fault: slow duration %q: %v", dur, err)
+			}
+			if spec.SlowVol == nil {
+				spec.SlowVol = map[int]time.Duration{}
+			}
+			spec.SlowVol[n] = d
+		case k == "lose":
+			spec.Lose = append(spec.Lose, v)
+		default:
+			return spec, fmt.Errorf("fault: unknown key %q", k)
+		}
+	}
+	return spec, nil
+}
+
+func parseProb(k, v string) (float64, error) {
+	p, err := strconv.ParseFloat(v, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("fault: %s %q is not a probability in [0,1]", k, v)
+	}
+	return p, nil
+}
+
+// String renders the spec back in ParseSpec syntax.
+func (s Spec) String() string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	ops := make([]string, 0, len(s.P))
+	for op := range s.P {
+		ops = append(ops, string(op))
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		parts = append(parts, fmt.Sprintf("%s=%g", op, s.P[Op(op)]))
+	}
+	if s.Torn > 0 {
+		parts = append(parts, fmt.Sprintf("torn=%g", s.Torn))
+	}
+	if s.Delay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%s", s.Delay))
+	}
+	vols := make([]int, 0, len(s.SlowVol))
+	for v := range s.SlowVol {
+		vols = append(vols, v)
+	}
+	sort.Ints(vols)
+	for _, v := range vols {
+		parts = append(parts, fmt.Sprintf("slow=%d:%s", v, s.SlowVol[v]))
+	}
+	for _, l := range s.Lose {
+		parts = append(parts, "lose="+l)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Kind classifies an injected error.
+type Kind int
+
+// Injected error classes.
+const (
+	// Transient is a retryable EIO-style failure: the operation did not
+	// happen and may be reissued.
+	Transient Kind = iota
+	// Torn is a permanent append failure after a prefix of the payload
+	// landed (crash damage; plfs Recover handles the aftermath).
+	Torn
+	// Lost is a permanently missing path (satisfies errors.Is ErrNotExist).
+	Lost
+)
+
+// Error is an injected fault.
+type Error struct {
+	Op   Op
+	Path string
+	Kind Kind
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	switch e.Kind {
+	case Torn:
+		return fmt.Sprintf("fault: torn %s %s", e.Op, e.Path)
+	case Lost:
+		return fmt.Sprintf("fault: lost path %s %s", e.Op, e.Path)
+	}
+	return fmt.Sprintf("fault: transient %s error on %s", e.Op, e.Path)
+}
+
+// Transient reports whether a retry may succeed; the plfs retry policy
+// honors it via errors.As.
+func (e *Error) Transient() bool { return e.Kind == Transient }
+
+// Unwrap maps lost paths onto ErrNotExist so backend users treat them
+// like any other missing file.
+func (e *Error) Unwrap() error {
+	if e.Kind == Lost {
+		return iofs.ErrNotExist
+	}
+	return nil
+}
+
+// Injector produces fault-wrapped backends from one shared schedule.
+// It is safe for concurrent use; under the discrete-event simulator
+// (where processes run one at a time) the schedule is fully
+// deterministic in the seed.
+type Injector struct {
+	spec Spec
+
+	mu     sync.Mutex
+	seq    uint64
+	counts map[Op]int
+}
+
+// New builds an injector for the spec.
+func New(spec Spec) *Injector {
+	return &Injector{spec: spec, counts: map[Op]int{}}
+}
+
+// Spec returns the injector's fault specification.
+func (in *Injector) Spec() Spec { return in.spec }
+
+// Injected returns how many faults of each op class have fired (torn
+// appends count under OpAppend).
+func (in *Injector) Injected() map[Op]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Op]int, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// roll returns a deterministic pseudo-random value in [0,1) for the next
+// injection decision on (op, path).
+func (in *Injector) roll(op Op, path string) float64 {
+	in.mu.Lock()
+	in.seq++
+	seq := in.seq
+	in.mu.Unlock()
+	h := fnv.New64a()
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(in.spec.Seed))
+	binary.LittleEndian.PutUint64(b[8:], seq)
+	h.Write(b[:])
+	h.Write([]byte(op))
+	h.Write([]byte(path))
+	x := h.Sum64()
+	// splitmix64 finalizer whitens the hash before mapping onto [0,1).
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+func (in *Injector) count(op Op) {
+	in.mu.Lock()
+	in.counts[op]++
+	in.mu.Unlock()
+}
+
+// fire decides whether a transient error hits this (op, path) call.
+func (in *Injector) fire(op Op, path string) bool {
+	p := in.spec.P[op]
+	if p <= 0 {
+		return false
+	}
+	if in.roll(op, path) >= p {
+		return false
+	}
+	in.count(op)
+	return true
+}
+
+func (in *Injector) fireTorn(path string) bool {
+	if in.spec.Torn <= 0 {
+		return false
+	}
+	if in.roll(OpAppend, "torn:"+path) >= in.spec.Torn {
+		return false
+	}
+	in.count(OpAppend)
+	return true
+}
+
+func (in *Injector) lost(path string) bool {
+	for _, sub := range in.spec.Lose {
+		if sub != "" && strings.Contains(path, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// latency charges the configured delay for volume vol through sleep;
+// a nil sleeper falls back to real time.
+func (in *Injector) latency(vol int, sleep plfs.Sleeper) {
+	d := in.spec.Delay + in.spec.SlowVol[vol]
+	if d <= 0 {
+		return
+	}
+	if sleep != nil {
+		sleep.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Wrap returns b with the injector's faults applied.  vol selects the
+// SlowVol latency entry; sleep is how injected latency is charged (use
+// the plfs.Ctx's Sleeper so simulated latency rides the virtual clock;
+// nil sleeps in real time).
+func (in *Injector) Wrap(b plfs.Backend, vol int, sleep plfs.Sleeper) plfs.Backend {
+	return &backend{b: b, in: in, vol: vol, sleep: sleep}
+}
+
+// WrapVols wraps a context's whole volume set (see Wrap).
+func (in *Injector) WrapVols(vols []plfs.Backend, sleep plfs.Sleeper) []plfs.Backend {
+	out := make([]plfs.Backend, len(vols))
+	for i, v := range vols {
+		out[i] = in.Wrap(v, i, sleep)
+	}
+	return out
+}
+
+type backend struct {
+	b     plfs.Backend
+	in    *Injector
+	vol   int
+	sleep plfs.Sleeper
+}
+
+// ConcurrentIO forwards the wrapped backend's advertisement: the
+// injector itself is goroutine-safe, so fan-out safety is whatever the
+// underlying store provides.
+func (f *backend) ConcurrentIO() bool {
+	c, ok := f.b.(plfs.ConcurrentIO)
+	return ok && c.ConcurrentIO()
+}
+
+// gate runs the injection decision that precedes every backend call.
+func (f *backend) gate(op Op, path string) error {
+	f.in.latency(f.vol, f.sleep)
+	if f.in.lost(path) {
+		return &Error{Op: op, Path: path, Kind: Lost}
+	}
+	if f.in.fire(op, path) {
+		return &Error{Op: op, Path: path, Kind: Transient}
+	}
+	return nil
+}
+
+// Mkdir implements plfs.Backend.
+func (f *backend) Mkdir(path string) error {
+	if err := f.gate(OpMkdir, path); err != nil {
+		return err
+	}
+	return f.b.Mkdir(path)
+}
+
+// Create implements plfs.Backend.
+func (f *backend) Create(path string) (plfs.File, error) {
+	if err := f.gate(OpCreate, path); err != nil {
+		return nil, err
+	}
+	fl, err := f.b.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: fl, path: path, b: f}, nil
+}
+
+// OpenRead implements plfs.Backend.
+func (f *backend) OpenRead(path string) (plfs.File, error) {
+	if err := f.gate(OpOpen, path); err != nil {
+		return nil, err
+	}
+	fl, err := f.b.OpenRead(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: fl, path: path, b: f}, nil
+}
+
+// OpenWrite implements plfs.Backend.
+func (f *backend) OpenWrite(path string) (plfs.File, error) {
+	if err := f.gate(OpOpen, path); err != nil {
+		return nil, err
+	}
+	fl, err := f.b.OpenWrite(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: fl, path: path, b: f}, nil
+}
+
+// Stat implements plfs.Backend.
+func (f *backend) Stat(path string) (plfs.Info, error) {
+	if err := f.gate(OpStat, path); err != nil {
+		return plfs.Info{}, err
+	}
+	return f.b.Stat(path)
+}
+
+// ReadDir implements plfs.Backend.
+func (f *backend) ReadDir(path string) ([]plfs.Info, error) {
+	if err := f.gate(OpReadDir, path); err != nil {
+		return nil, err
+	}
+	return f.b.ReadDir(path)
+}
+
+// Remove implements plfs.Backend.
+func (f *backend) Remove(path string) error {
+	if err := f.gate(OpRemove, path); err != nil {
+		return err
+	}
+	return f.b.Remove(path)
+}
+
+// Rename implements plfs.Backend.
+func (f *backend) Rename(oldPath, newPath string) error {
+	if err := f.gate(OpRename, oldPath); err != nil {
+		return err
+	}
+	if f.in.lost(newPath) {
+		return &Error{Op: OpRename, Path: newPath, Kind: Lost}
+	}
+	return f.b.Rename(oldPath, newPath)
+}
+
+type file struct {
+	f    plfs.File
+	path string
+	b    *backend
+}
+
+// WriteAt implements plfs.File.
+func (f *file) WriteAt(off int64, p payload.Payload) error {
+	if err := f.b.gate(OpWrite, f.path); err != nil {
+		return err
+	}
+	return f.f.WriteAt(off, p)
+}
+
+// Append implements plfs.File.  Transient errors fire before any byte
+// lands (so a retry reissues cleanly); torn errors land a prefix first
+// and are permanent.
+func (f *file) Append(p payload.Payload) (int64, error) {
+	if err := f.b.gate(OpAppend, f.path); err != nil {
+		return 0, err
+	}
+	if f.b.in.fireTorn(f.path) {
+		if half := p.Len() / 2; half > 0 {
+			f.f.Append(p.Slice(0, half))
+		}
+		return 0, &Error{Op: OpAppend, Path: f.path, Kind: Torn}
+	}
+	return f.f.Append(p)
+}
+
+// ReadAt implements plfs.File.
+func (f *file) ReadAt(off, n int64) (payload.List, error) {
+	if err := f.b.gate(OpRead, f.path); err != nil {
+		return nil, err
+	}
+	return f.f.ReadAt(off, n)
+}
+
+// Size implements plfs.File.
+func (f *file) Size() int64 { return f.f.Size() }
+
+// Close implements plfs.File.
+func (f *file) Close() error { return f.f.Close() }

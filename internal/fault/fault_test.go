@@ -1,0 +1,171 @@
+package fault_test
+
+import (
+	"errors"
+	iofs "io/fs"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"plfs/internal/fault"
+	"plfs/internal/osfs"
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"seed=7",
+		"seed=7,all=0.05",
+		"open=0.1,read=0.2,torn=0.01",
+		"delay=2ms,slow=0:5ms,slow=3:1ms",
+		"lose=hostdir.3,lose=dropping.index",
+	}
+	for _, s := range cases {
+		spec, err := fault.ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		// Re-parsing the canonical form must yield the same spec.
+		again, err := fault.ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q <- %q): %v", spec.String(), s, err)
+		}
+		if spec.String() != again.String() {
+			t.Errorf("round trip %q -> %q -> %q", s, spec.String(), again.String())
+		}
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, s := range []string{"bogus", "all=1.5", "all=-0.1", "seed=x", "delay=fast", "slow=0", "frob=0.5"} {
+		if _, err := fault.ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+// TestDeterminism: the same seed and call sequence must inject the same
+// faults; a different seed must (for this spec) differ.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := fault.New(fault.Spec{Seed: seed, P: map[fault.Op]float64{fault.OpStat: 0.5}})
+		b := in.Wrap(osfs.New(), 0, nil)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, err := b.Stat("/nonexistent")
+			var fe *fault.Error
+			out = append(out, errors.As(err, &fe))
+		}
+		return out
+	}
+	a, b, c := run(1), run(1), run(2)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Errorf("same seed produced different schedules")
+	}
+	if !diff {
+		t.Errorf("different seeds produced identical schedules")
+	}
+}
+
+// TestTornAppend: with torn=1 every append lands exactly half its
+// payload and fails permanently (not retryable).
+func TestTornAppend(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.New(fault.Spec{Seed: 1, Torn: 1})
+	b := in.Wrap(osfs.New(), 0, nil)
+	f, err := b.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, err = f.Append(payload.Synthetic(1, 0, 100))
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Kind != fault.Torn {
+		t.Fatalf("append error = %v, want torn fault", err)
+	}
+	if fe.Transient() {
+		t.Errorf("torn append claims to be transient")
+	}
+	if got := f.Size(); got != 50 {
+		t.Errorf("torn append landed %d bytes, want 50", got)
+	}
+}
+
+// TestLose: operations on lost paths fail with something that unwraps to
+// ErrNotExist; other paths are untouched.
+func TestLose(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.New(fault.Spec{Seed: 1, Lose: []string{"gone"}})
+	b := in.Wrap(osfs.New(), 0, nil)
+	if f, err := b.Create(filepath.Join(dir, "ok")); err != nil {
+		t.Fatalf("untouched path: %v", err)
+	} else {
+		f.Close()
+	}
+	_, err := b.Create(filepath.Join(dir, "gone"))
+	if !errors.Is(err, iofs.ErrNotExist) {
+		t.Fatalf("lost path error = %v, want ErrNotExist", err)
+	}
+	if plfs.Retryable(err) {
+		t.Errorf("lost-path error is retryable")
+	}
+}
+
+type recordSleeper struct{ total time.Duration }
+
+func (s *recordSleeper) Sleep(d time.Duration) { s.total += d }
+
+// TestLatency: Delay and SlowVol are charged through the provided
+// sleeper, not real time.
+func TestLatency(t *testing.T) {
+	in := fault.New(fault.Spec{
+		Seed:    1,
+		Delay:   2 * time.Millisecond,
+		SlowVol: map[int]time.Duration{1: 5 * time.Millisecond},
+	})
+	fast := &recordSleeper{}
+	slow := &recordSleeper{}
+	b0 := in.Wrap(osfs.New(), 0, fast)
+	b1 := in.Wrap(osfs.New(), 1, slow)
+	b0.Stat("/nonexistent")
+	b1.Stat("/nonexistent")
+	if fast.total != 2*time.Millisecond {
+		t.Errorf("vol 0 charged %v, want 2ms", fast.total)
+	}
+	if slow.total != 7*time.Millisecond {
+		t.Errorf("vol 1 charged %v, want 7ms", slow.total)
+	}
+}
+
+// TestTransientRetryable: injected transient errors advertise
+// themselves to the retry policy; counts are visible via Injected.
+func TestTransientRetryable(t *testing.T) {
+	in := fault.New(fault.Spec{Seed: 1, P: map[fault.Op]float64{fault.OpMkdir: 1}})
+	b := in.Wrap(osfs.New(), 0, nil)
+	err := b.Mkdir(filepath.Join(t.TempDir(), "d"))
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Kind != fault.Transient {
+		t.Fatalf("mkdir error = %v, want transient fault", err)
+	}
+	if !plfs.Retryable(err) {
+		t.Errorf("transient fault not retryable")
+	}
+	if got := in.Injected()[fault.OpMkdir]; got != 1 {
+		t.Errorf("Injected()[mkdir] = %d, want 1", got)
+	}
+}

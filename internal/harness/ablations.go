@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"plfs/internal/fault"
 	"plfs/internal/plfs"
 	"plfs/internal/stats"
 	"plfs/internal/workloads"
@@ -31,7 +32,7 @@ func AblationFlattenThreshold(o Options) ([]*stats.Table, error) {
 		for rep := 0; rep < o.Reps; rep++ {
 			opt := o.n1MountOpt(plfs.IndexFlatten, 1)
 			opt.FlattenThreshold = thr
-			res, err := Run(Job{
+			res, err := o.run(Job{
 				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
 				Opt: opt, Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
 			})
@@ -72,7 +73,7 @@ func AblationGroupCount(o Options) ([]*stats.Table, error) {
 		for rep := 0; rep < o.Reps; rep++ {
 			opt := o.n1MountOpt(plfs.ParallelIndexRead, 1)
 			opt.GroupSize = gs
-			res, err := Run(Job{
+			res, err := o.run(Job{
 				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
 				Opt: opt, Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
 			})
@@ -111,7 +112,7 @@ func AblationDecodeWorkers(o Options) ([]*stats.Table, error) {
 			wo := o
 			wo.DecodeWorkers = workers
 			start := time.Now()
-			res, err := Run(Job{
+			res, err := o.run(Job{
 				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
 				Opt:    wo.n1MountOpt(plfs.ParallelIndexRead, 1),
 				Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
@@ -156,7 +157,7 @@ func AblationLockUnit(o Options) ([]*stats.Table, error) {
 		for rep := 0; rep < o.Reps; rep++ {
 			cfg := o.small()
 			cfg.LockUnit = unit
-			res, err := Run(Job{
+			res, err := o.run(Job{
 				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: cfg, Net: defaultNet(),
 				Kernel: workloads.MPIIOTest(nb, op), UsePLFS: false,
 			})
@@ -202,7 +203,7 @@ func AblationSpread(o Options) ([]*stats.Table, error) {
 				IndexMode: plfs.ParallelIndexRead, NumSubdirs: 4,
 				SpreadContainers: v.containers, SpreadSubdirs: v.subdirs,
 			}
-			res, err := Run(Job{
+			res, err := o.run(Job{
 				Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: cfg, Net: defaultNet(),
 				Opt: opt, Kernel: workloads.CreateStorm{FilesPerRank: 1}, UsePLFS: true,
 			})
@@ -221,7 +222,10 @@ func AblationSpread(o Options) ([]*stats.Table, error) {
 // bandwidth, e.g. a rebuilding RAID set) and measures N-1 write bandwidth
 // through PLFS and direct.  Fair-share striping drags every large
 // transfer through the slow group, so both paths feel it; the ablation
-// quantifies how much of PLFS's advantage survives a sick disk.
+// quantifies how much of PLFS's advantage survives a sick disk.  The
+// degraded case also runs the fault injector: added per-op latency on
+// both paths, and — on the PLFS path only — transient errors absorbed by
+// the mount's retry policy, so the figure shows what resilience costs.
 func AblationDegradedOST(o Options) ([]*stats.Table, error) {
 	o = o.withDefaults()
 	tab := &stats.Table{
@@ -246,15 +250,30 @@ func AblationDegradedOST(o Options) ([]*stats.Table, error) {
 			var s stats.Sample
 			for rep := 0; rep < o.Reps; rep++ {
 				cfg := o.small()
-				if degraded {
-					cfg.DegradedGroup = 0
-					cfg.DegradedFactor = 0.25
-				}
-				res, err := Run(Job{
+				j := Job{
 					Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: cfg, Net: defaultNet(),
 					Opt:    o.n1MountOpt(plfs.ParallelIndexRead, 1),
 					Kernel: workloads.MPIIOTest(nb, op), UsePLFS: plfsOn,
-				})
+					Fault: o.Fault,
+				}
+				if degraded {
+					j.Cfg.DegradedGroup = 0
+					j.Cfg.DegradedFactor = 0.25
+					spec := fault.Spec{
+						Seed:  o.BaseSeed + int64(rep),
+						Delay: 200 * time.Microsecond,
+					}
+					if plfsOn {
+						// Only the PLFS path can absorb transient errors;
+						// direct I/O has no retry layer.
+						spec.P = map[fault.Op]float64{
+							fault.OpOpen: 0.02, fault.OpRead: 0.02, fault.OpAppend: 0.02,
+						}
+						j.Opt.Retry = plfs.RetryPolicy{Attempts: 5}
+					}
+					j.Fault = &spec
+				}
+				res, err := Run(j)
 				if err != nil {
 					return nil, fmt.Errorf("degraded-ost %s: %w", series, err)
 				}

@@ -77,12 +77,12 @@ func Fig2(o Options) ([]*stats.Table, error) {
 		var s stats.Sample
 		for rep := 0; rep < o.Reps; rep++ {
 			seed := o.BaseSeed + int64(rep)
-			dir, err := Run(Job{Seed: seed, Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
+			dir, err := o.run(Job{Seed: seed, Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
 				Kernel: k.k, Hints: k.hints, UsePLFS: false})
 			if err != nil {
 				return nil, fmt.Errorf("fig2 %s direct: %w", k.k.Name(), err)
 			}
-			pl, err := Run(Job{Seed: seed, Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
+			pl, err := o.run(Job{Seed: seed, Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
 				Opt: o.n1MountOpt(plfs.ParallelIndexRead, 1), Kernel: k.k, Hints: k.hints, UsePLFS: true})
 			if err != nil {
 				return nil, fmt.Errorf("fig2 %s plfs: %w", k.k.Name(), err)
@@ -137,7 +137,7 @@ func Fig4(o Options) ([]*stats.Table, error) {
 		for _, mode := range modes {
 			var sa, sb, sc, sd stats.Sample
 			for rep := 0; rep < o.repsFor(procs); rep++ {
-				res, err := Run(Job{
+				res, err := o.run(Job{
 					Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: o.small(), Net: defaultNet(),
 					Opt:    o.n1MountOpt(mode, 1),
 					Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
@@ -182,7 +182,7 @@ func fig5Kernel(id, name string) func(Options) ([]*stats.Table, error) {
 				}
 				var s stats.Sample
 				for rep := 0; rep < o.repsFor(procs); rep++ {
-					res, err := Run(Job{
+					res, err := o.run(Job{
 						Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: o.small(), Net: defaultNet(),
 						Opt:    o.n1MountOpt(plfs.ParallelIndexRead, 1),
 						Kernel: k, Hints: hints, UsePLFS: plfsOn, ReadBack: true,
@@ -262,7 +262,7 @@ func Fig7(o Options) ([]*stats.Table, error) {
 				if v.vols > 0 {
 					cfg.Volumes = v.vols
 				}
-				res, err := Run(Job{
+				res, err := o.run(Job{
 					Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: cfg, Net: defaultNet(),
 					Opt:    o.nnMountOpt(v.vols),
 					Kernel: workloads.CreateStorm{FilesPerRank: per}, UsePLFS: v.vols > 0,
@@ -315,7 +315,7 @@ func Fig8a(o Options) ([]*stats.Table, error) {
 				if v.opt != nil {
 					opt = v.opt()
 				}
-				res, err := Run(Job{
+				res, err := o.run(Job{
 					Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: cfg, Net: defaultNet(),
 					Opt: opt, Kernel: v.kernel(procs), UsePLFS: v.usePLFS, ReadBack: true,
 					DropCaches: true, // a restart reads from cold caches
@@ -338,7 +338,7 @@ func fig8Meta(o Options, procs, vols int, rep int) (workloads.Result, error) {
 	if vols > 0 {
 		cfg.Volumes = vols
 	}
-	return Run(Job{
+	return o.run(Job{
 		Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: cfg, Net: defaultNet(),
 		Opt:    o.nnMountOpt(vols),
 		Kernel: workloads.CreateStorm{FilesPerRank: 1}, UsePLFS: vols > 0,
@@ -379,7 +379,7 @@ func Fig8c(o Options) ([]*stats.Table, error) {
 			for rep := 0; rep < o.repsFor(procs); rep++ {
 				cfg := o.cielo()
 				cfg.Volumes = vols
-				res, err := Run(Job{
+				res, err := o.run(Job{
 					Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: cfg, Net: defaultNet(),
 					Opt:    o.n1MountOpt(plfs.ParallelIndexRead, vols),
 					Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true,

@@ -5,12 +5,14 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime/debug"
 	"time"
 
 	"plfs/internal/adio"
+	"plfs/internal/fault"
 	"plfs/internal/mpi"
 	"plfs/internal/pfs"
 	"plfs/internal/plfs"
@@ -41,6 +43,11 @@ type Job struct {
 	// the given virtual-time interval and writes the time series as CSV.
 	TraceEvery time.Duration
 	TraceTo    io.Writer
+	// Fault, if non-nil, routes every rank's backend calls through a
+	// deterministic fault injector built from the spec (one injector per
+	// job, shared across ranks).  Pair with Opt.Retry to study degraded
+	// storage; injected latency and backoff cost virtual time.
+	Fault *fault.Spec
 }
 
 // Run executes the job and returns the job-level result (identical on all
@@ -76,10 +83,14 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 			rec.Add(p.Name, p.Fn)
 		}
 	}
+	var inj *fault.Injector
+	if j.Fault != nil {
+		inj = fault.New(*j.Fault)
+	}
 	var res workloads.Result
 	var kerr error
 	world.SpawnAll(func(r *mpi.Rank) {
-		ctx := simfs.Ctx(fs, r.Node(), r.Proc(), r.Rank(), ppn)
+		ctx := simfs.FaultCtx(fs, r.Node(), r.Proc(), r.Rank(), ppn, inj)
 		ctx.Comm = r.Comm()
 		var drv adio.Driver
 		path := j.Kernel.Name()
@@ -109,6 +120,12 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 		rec.Start()
 	}
 	if err := eng.Run(); err != nil {
+		// A rank that died on an unabsorbed error leaves the others
+		// blocked at a collective; surface the root cause alongside the
+		// engine's deadlock verdict.
+		if kerr != nil {
+			err = errors.Join(kerr, err)
+		}
 		return res, fs.Report(), err
 	}
 	if rec != nil {
@@ -150,6 +167,12 @@ type Options struct {
 	// used for index decode and the index build.  Simulated results are
 	// identical for any value; only regeneration wall-clock changes.
 	DecodeWorkers int
+	// Fault, if non-nil, applies the fault spec to every job the figure
+	// suite runs (plfsbench -fault).
+	Fault *fault.Spec
+	// Retry is the PLFS retry policy applied to every mount the harness
+	// builds (plfsbench -retry).
+	Retry plfs.RetryPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -160,6 +183,13 @@ func (o Options) withDefaults() Options {
 		o.BaseSeed = 1000
 	}
 	return o
+}
+
+// run executes one job with the suite-wide fault spec applied, so every
+// figure and ablation can be regenerated against degraded storage.
+func (o Options) run(j Job) (workloads.Result, error) {
+	j.Fault = o.Fault
+	return Run(j)
 }
 
 func (o Options) log(format string, args ...any) {
@@ -232,6 +262,7 @@ func (o Options) n1MountOpt(mode plfs.Mode, volumes int) plfs.Options {
 		NumSubdirs:    32,
 		SpreadSubdirs: volumes > 1,
 		DecodeWorkers: o.DecodeWorkers,
+		Retry:         o.Retry,
 	}
 }
 
@@ -243,5 +274,6 @@ func (o Options) nnMountOpt(volumes int) plfs.Options {
 		NumSubdirs:       4,
 		SpreadContainers: volumes > 1,
 		DecodeWorkers:    o.DecodeWorkers,
+		Retry:            o.Retry,
 	}
 }

@@ -1,0 +1,83 @@
+package osfs_test
+
+import (
+	"errors"
+	iofs "io/fs"
+	"path/filepath"
+	"testing"
+
+	"plfs/internal/osfs"
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+// TestErrorClassification pins the error identities the retry policy and
+// the container protocol depend on: exclusive create reports ErrExist,
+// missing files report ErrNotExist, and neither is retryable.
+func TestErrorClassification(t *testing.T) {
+	dir := t.TempDir()
+	b := osfs.New()
+
+	p := filepath.Join(dir, "f")
+	f, err := b.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := b.Create(p); !errors.Is(err, iofs.ErrExist) {
+		t.Errorf("second create = %v, want ErrExist", err)
+	} else if plfs.Retryable(err) {
+		t.Errorf("ErrExist is retryable")
+	}
+	if _, err := b.OpenRead(filepath.Join(dir, "missing")); !errors.Is(err, iofs.ErrNotExist) {
+		t.Errorf("open missing = %v, want ErrNotExist", err)
+	} else if plfs.Retryable(err) {
+		t.Errorf("ErrNotExist is retryable")
+	}
+	if err := b.Mkdir(dir); !errors.Is(err, iofs.ErrExist) {
+		t.Errorf("mkdir existing = %v, want ErrExist", err)
+	}
+}
+
+// TestAppendReadRoundTrip covers the file surface the droppings use:
+// append-only writes, positional reads, sizes.
+func TestAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b := osfs.New()
+	f, err := b.Create(filepath.Join(dir, "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off1, err := f.Append(payload.Synthetic(1, 0, 100))
+	if err != nil || off1 != 0 {
+		t.Fatalf("first append = (%d, %v), want (0, nil)", off1, err)
+	}
+	off2, err := f.Append(payload.Synthetic(2, 100, 50))
+	if err != nil || off2 != 100 {
+		t.Fatalf("second append = (%d, %v), want (100, nil)", off2, err)
+	}
+	if got := f.Size(); got != 150 {
+		t.Fatalf("size = %d, want 150", got)
+	}
+	pl, err := f.ReadAt(100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload.List{}.Append(payload.Synthetic(2, 100, 50))
+	if !payload.ContentEqual(pl, want) {
+		t.Errorf("positional read returned wrong bytes")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentIOAdvertised: the reader's fan-out plans key off this
+// marker; losing it silently serializes every osfs read.
+func TestConcurrentIOAdvertised(t *testing.T) {
+	var b plfs.Backend = osfs.New()
+	c, ok := b.(plfs.ConcurrentIO)
+	if !ok || !c.ConcurrentIO() {
+		t.Fatalf("osfs does not advertise ConcurrentIO")
+	}
+}

@@ -3,7 +3,6 @@ package plfs
 import (
 	"fmt"
 	"path"
-	"strconv"
 	"strings"
 )
 
@@ -71,8 +70,12 @@ func (m *Mount) Check(ctx Ctx, rel string) (CheckReport, error) {
 		sizes[i] = fi.Size
 		if d.Index == "" {
 			if fi.Size > 0 {
+				note := "unreachable"
+				if _, _, ferr := m.readFrameFooter(ctx, d); ferr == nil {
+					note = "recoverable via plfsctl recover"
+				}
 				rep.Problems = append(rep.Problems,
-					fmt.Sprintf("data dropping with no index records: %s (%d bytes unreachable)", d.Data, fi.Size))
+					fmt.Sprintf("data dropping with no index records: %s (%d bytes %s)", d.Data, fi.Size, note))
 			}
 			continue
 		}
@@ -90,7 +93,9 @@ func (m *Mount) Check(ctx Ctx, rel string) (CheckReport, error) {
 			}
 			covered += e.Length
 		}
-		if covered != fi.Size {
+		// Framed droppings carry a recovery footer past the data extents,
+		// so the index legitimately covers size minus the footer.
+		if covered != fi.Size && covered+frameFooterLen(len(sh)) != fi.Size {
 			rep.Problems = append(rep.Problems, fmt.Sprintf(
 				"dropping coverage mismatch: %s: index covers %d of %d bytes", d.Data, covered, fi.Size))
 		}
@@ -105,14 +110,8 @@ func (m *Mount) Check(ctx Ctx, rel string) (CheckReport, error) {
 	cpath, vc := m.containerPath(rel)
 	ents, err := ctx.Vols[vc].ReadDir(path.Join(cpath, metaDir))
 	if err == nil {
-		for _, e := range ents {
-			if !strings.HasPrefix(e.Name, sizePrefix) {
-				continue
-			}
-			parts := strings.SplitN(strings.TrimPrefix(e.Name, sizePrefix), ".", 2)
-			if n, err := strconv.ParseInt(parts[0], 10, 64); err == nil && n > rep.MetaSize {
-				rep.MetaSize = n
-			}
+		if n, ok := cachedSize(ents); ok {
+			rep.MetaSize = n
 		}
 	}
 	if rep.MetaSize >= 0 && rep.MetaSize != rep.Logical {

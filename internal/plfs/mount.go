@@ -56,6 +56,7 @@ const (
 	dataPrefix    = "dropping.data."
 	indexPrefix   = "dropping.index."
 	sizePrefix    = "sz."
+	genPrefix     = "gen."
 )
 
 // Options configure a PLFS mount.
@@ -113,6 +114,20 @@ type Options struct {
 	// (A/B baseline for the harness).  Fan-out also disables itself on
 	// backends that don't advertise ConcurrentIO, such as the simulator.
 	NoReadFanout bool
+	// Retry reissues dropping opens/reads/appends that fail with
+	// transient errors, with exponential backoff charged through the
+	// context's Sleeper (virtual time under the simulator, real sleep
+	// over osfs).  The zero value disables retrying.
+	Retry RetryPolicy
+	// AllowPartial lets OpenReader skip index shards that stay unreadable
+	// after retries instead of failing the whole open; skipped shards are
+	// recorded in OpenStats.SkippedShards and their extents read as holes.
+	AllowPartial bool
+	// NoDataFraming disables the recovery footer each writer appends to
+	// its data dropping at close.  The footer is what lets Recover rebuild
+	// a lost or corrupt index dropping from the data alone; disable it
+	// only to produce byte-exact legacy (pre-framing) containers.
+	NoDataFraming bool
 }
 
 // decodeWorkers resolves DecodeWorkers to an effective pool size.
@@ -305,6 +320,63 @@ func (m *Mount) IsContainer(ctx Ctx, rel string) (bool, error) {
 	return true, nil
 }
 
+// metaGen returns a container's truncation generation: the highest
+// gen.<N> marker among the metadir entries (0 when none — a container
+// that was never truncated).  Size records from older generations are
+// stale leftovers of a partially failed truncation and are ignored.
+func metaGen(ents []Info) int64 {
+	var gen int64
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name, genPrefix) {
+			continue
+		}
+		if n, err := strconv.ParseInt(strings.TrimPrefix(e.Name, genPrefix), 10, 64); err == nil && n > gen {
+			gen = n
+		}
+	}
+	return gen
+}
+
+// parseSizeRecord parses a metadir size-record name.  Current records
+// are sz.<size>.<gen>.<rank>; legacy two-part sz.<size>.<rank> records
+// parse as generation 0.
+func parseSizeRecord(name string) (size, gen int64, ok bool) {
+	if !strings.HasPrefix(name, sizePrefix) {
+		return 0, 0, false
+	}
+	parts := strings.Split(strings.TrimPrefix(name, sizePrefix), ".")
+	if len(parts) != 2 && len(parts) != 3 {
+		return 0, 0, false
+	}
+	size, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil || size < 0 {
+		return 0, 0, false
+	}
+	if len(parts) == 3 {
+		if gen, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return 0, 0, false
+		}
+	}
+	return size, gen, true
+}
+
+// cachedSize extracts the logical size from metadir entries: the max
+// over size records of the current generation only.
+func cachedSize(ents []Info) (int64, bool) {
+	gen := metaGen(ents)
+	var size int64
+	found := false
+	for _, e := range ents {
+		if n, g, ok := parseSizeRecord(e.Name); ok && g == gen {
+			found = true
+			if n > size {
+				size = n
+			}
+		}
+	}
+	return size, found
+}
+
 // Stat returns the logical file info for a container: its name and the
 // logical size cached in the metadir by writers at close.
 func (m *Mount) Stat(ctx Ctx, rel string) (Info, error) {
@@ -317,19 +389,7 @@ func (m *Mount) Stat(ctx Ctx, rel string) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
-	var size int64
-	found := false
-	for _, e := range ents {
-		if strings.HasPrefix(e.Name, sizePrefix) {
-			parts := strings.SplitN(strings.TrimPrefix(e.Name, sizePrefix), ".", 2)
-			if n, err := strconv.ParseInt(parts[0], 10, 64); err == nil {
-				found = true
-				if n > size {
-					size = n
-				}
-			}
-		}
-	}
+	size, found := cachedSize(ents)
 	if !found {
 		// No cached size (e.g. writers died before close): aggregate the
 		// index the slow way.
@@ -408,6 +468,15 @@ func (m *Mount) Rename(ctx Ctx, oldRel, newRel string) error {
 	if m.containerVol(oldRel) != m.containerVol(newRel) {
 		return fmt.Errorf("plfs: rename %s -> %s: names hash to different metadata volumes", oldRel, newRel)
 	}
+	// A federated container spans volumes (canonical + shadows); the
+	// volume-by-volume rename is not atomic, so a mid-sequence failure
+	// must roll back the volumes already renamed or the container is left
+	// split across two logical names.
+	type renamedVol struct {
+		v          int
+		oldP, newP string
+	}
+	var done []renamedVol
 	for v, root := range m.roots {
 		oldP, newP := path.Join(root, oldRel), path.Join(root, newRel)
 		if _, err := ctx.Vols[v].Stat(oldP); err != nil {
@@ -417,8 +486,16 @@ func (m *Mount) Rename(ctx Ctx, oldRel, newRel string) error {
 			return err
 		}
 		if err := ctx.Vols[v].Rename(oldP, newP); err != nil {
-			return err
+			errs := []error{fmt.Errorf("plfs: rename %s -> %s: volume %d: %w", oldRel, newRel, v, err)}
+			for i := len(done) - 1; i >= 0; i-- {
+				d := done[i]
+				if rbErr := ctx.Vols[d.v].Rename(d.newP, d.oldP); rbErr != nil {
+					errs = append(errs, fmt.Errorf("plfs: rename rollback: volume %d: %w", d.v, rbErr))
+				}
+			}
+			return errors.Join(errs...)
 		}
+		done = append(done, renamedVol{v: v, oldP: oldP, newP: newP})
 	}
 	// A flattened global index records absolute dropping paths under the
 	// old name; drop it so readers re-aggregate from the moved droppings.
@@ -463,10 +540,24 @@ func (m *Mount) Truncate(ctx Ctx, rel string) error {
 	if err != nil {
 		return err
 	}
+	gen := metaGen(ents)
 	for _, e := range ents {
 		if err := ctx.Vols[vc].Remove(path.Join(meta, e.Name)); err != nil && !errors.Is(err, iofs.ErrNotExist) {
 			return err
 		}
+	}
+	// Bump the truncation generation so size records that escape the
+	// removals above (or race in from a closing writer of the previous
+	// session) are recognizably stale: writers stamp new records with the
+	// current generation, and Stat only believes the current one.
+	if err := ctx.retry(m.opt.Retry, func() error {
+		f, e := ctx.Vols[vc].Create(path.Join(meta, fmt.Sprintf("%s%d", genPrefix, gen+1)))
+		if e == nil {
+			f.Close()
+		}
+		return e
+	}); err != nil && !errors.Is(err, iofs.ErrExist) {
+		return err
 	}
 	st := m.stateOf(rel)
 	st.mu.Lock()

@@ -40,6 +40,10 @@ type OpenStats struct {
 	IndexReads    int   // index files this process read
 	IndexBytes    int64 // index bytes this process read
 	DecodeWorkers int   // worker-pool width used for decode/build
+	// SkippedShards lists index droppings this process could not read
+	// or parse and skipped under Options.AllowPartial; their extents
+	// read as holes.
+	SkippedShards []string
 }
 
 // ReadStats reports the work a reader's ReadAt calls performed.
@@ -100,17 +104,11 @@ func (r *Reader) tryGlobalIndex() (*Index, error) {
 	m, ctx := r.m, r.ctx
 	cpath, vc := m.containerPath(r.rel)
 	gp := path.Join(cpath, metaDir, globalIndex)
-	f, err := ctx.Vols[vc].OpenRead(gp)
+	pl, size, err := ctx.readAllRetried(ctx.Vols[vc], gp, m.opt.Retry)
 	if err != nil {
 		if errors.Is(err, iofs.ErrNotExist) {
 			return nil, nil
 		}
-		return nil, err
-	}
-	size := f.Size()
-	pl, err := f.ReadAt(0, size)
-	f.Close()
-	if err != nil {
 		return nil, err
 	}
 	r.Stats.IndexReads++
@@ -167,6 +165,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Entry, error) {
 	m, ctx := r.m, r.ctx
 	st := m.stateOf(r.rel)
 	w := m.opt.decodeWorkers()
+	pol := m.opt.Retry
 	out := make([][]Entry, len(refs))
 	errs := make([]error, len(refs))
 
@@ -174,14 +173,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Entry, error) {
 		var reads, bytes, entries int64
 		parallelFor(w, len(refs), func(i int) {
 			ref := refs[i]
-			f, err := ctx.Vols[ref.Ref.Vol].OpenRead(ref.Ref.Index)
-			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
-				return
-			}
-			size := f.Size()
-			pl, err := f.ReadAt(0, size)
-			f.Close()
+			pl, size, err := ctx.readAllRetried(ctx.Vols[ref.Ref.Vol], ref.Ref.Index, pol)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
 				return
@@ -212,14 +204,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Entry, error) {
 	} else {
 		raw := make([][]byte, len(refs))
 		for i, ref := range refs {
-			f, err := ctx.Vols[ref.Ref.Vol].OpenRead(ref.Ref.Index)
-			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
-				continue
-			}
-			size := f.Size()
-			pl, err := f.ReadAt(0, size)
-			f.Close()
+			pl, size, err := ctx.readAllRetried(ctx.Vols[ref.Ref.Vol], ref.Ref.Index, pol)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
 				continue
@@ -257,6 +242,18 @@ func (r *Reader) readShards(refs []shardRef) ([][]Entry, error) {
 		}
 		st.mu.Unlock()
 	}
+	if m.opt.AllowPartial {
+		// Graceful degradation: shards that stayed unreadable after
+		// retries are dropped from the aggregation — their extents read
+		// as holes — and recorded so callers can see what's missing.
+		for i, e := range errs {
+			if e == nil {
+				continue
+			}
+			r.Stats.SkippedShards = append(r.Stats.SkippedShards, refs[i].Ref.Index)
+			errs[i], out[i] = nil, nil
+		}
+	}
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
@@ -269,13 +266,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Entry, error) {
 func (r *Reader) readShard(ref droppingRef, id int32) ([]Entry, error) {
 	m, ctx := r.m, r.ctx
 	st := m.stateOf(r.rel)
-	f, err := ctx.Vols[ref.Vol].OpenRead(ref.Index)
-	if err != nil {
-		return nil, err
-	}
-	size := f.Size()
-	pl, err := f.ReadAt(0, size)
-	f.Close()
+	pl, size, err := ctx.readAllRetried(ctx.Vols[ref.Vol], ref.Index, m.opt.Retry)
 	if err != nil {
 		return nil, err
 	}
@@ -581,7 +572,7 @@ func (r *Reader) handle(id int32) (File, error) {
 		return f, nil
 	}
 	p := r.ix.Droppings()[id]
-	f, err := r.ctx.Vols[r.m.volOfPath(p)].OpenRead(p)
+	f, err := r.ctx.openReadRetried(r.ctx.Vols[r.m.volOfPath(p)], p, r.m.opt.Retry)
 	if err != nil {
 		return nil, err
 	}
@@ -621,7 +612,12 @@ func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
 			if err != nil {
 				return nil, err
 			}
-			pl, err := f.ReadAt(piece.PhysOff, piece.Length)
+			var pl payload.List
+			err = r.ctx.retry(r.m.opt.Retry, func() error {
+				var e error
+				pl, e = f.ReadAt(piece.PhysOff, piece.Length)
+				return e
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -658,7 +654,12 @@ func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
 			results[i] = l.Append(payload.Zeros(b.length))
 			return
 		}
-		pl, err := r.handles[b.drop].ReadAt(b.phys, b.length)
+		var pl payload.List
+		err := r.ctx.retry(r.m.opt.Retry, func() error {
+			var e error
+			pl, e = r.handles[b.drop].ReadAt(b.phys, b.length)
+			return e
+		})
 		if err != nil {
 			errs[i] = fmt.Errorf("%s: %w", r.ix.Droppings()[b.drop], err)
 			return
@@ -758,7 +759,12 @@ func (m *Mount) Flatten(ctx Ctx, rel string) error {
 	ctx.sleep(m.opt.ParseCPUPerEntry * timeDuration(len(entries)))
 	buf := encodeGlobalIndex(ix.Droppings(), entries)
 	cpath, vc := m.containerPath(rel)
-	f, err := ctx.Vols[vc].Create(path.Join(cpath, metaDir, globalIndex))
+	var f File
+	err = ctx.retry(m.opt.Retry, func() error {
+		var e error
+		f, e = ctx.Vols[vc].Create(path.Join(cpath, metaDir, globalIndex))
+		return e
+	})
 	if err != nil {
 		if errors.Is(err, iofs.ErrExist) {
 			return nil // raced with another flattener

@@ -1,0 +1,242 @@
+package plfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"path"
+	"strings"
+
+	"plfs/internal/payload"
+)
+
+// Data-dropping framing: at close, each writer appends a recovery footer
+// to its data dropping — a self-describing copy of its index entries —
+// so a lost or corrupt index dropping can be rebuilt from the data alone
+// (the plfs_recover tool).  Layout, little-endian:
+//
+//	[ data bytes ][ entries: n × EntryBytes ][ uint64 n ][ uint64 magic ]
+//
+// The footer sits past every data extent, so physical offsets in the
+// index are unaffected.  Writers that recorded no entries skip the
+// footer, keeping empty droppings zero bytes.
+const (
+	frameMagic      = uint64(0x504c46535f524543) // "CER_SFLP" backwards: "PLFS_REC"
+	frameTrailerLen = 16
+)
+
+// frameFooterLen returns the footer size for an index of n entries.
+func frameFooterLen(n int) int64 { return int64(n)*EntryBytes + frameTrailerLen }
+
+// encodeFrameFooter serializes the recovery footer.
+func encodeFrameFooter(entries []Entry) []byte {
+	buf := encodeEntries(entries)
+	out := make([]byte, len(buf)+frameTrailerLen)
+	copy(out, buf)
+	binary.LittleEndian.PutUint64(out[len(buf):], uint64(len(entries)))
+	binary.LittleEndian.PutUint64(out[len(buf)+8:], frameMagic)
+	return out
+}
+
+// readFrameFooter reads and validates the recovery footer of the data
+// dropping at ref, returning the reconstructed entries and the size of
+// the data region (the dropping minus its footer).
+func (m *Mount) readFrameFooter(ctx Ctx, ref droppingRef) ([]Entry, int64, error) {
+	pol := m.opt.Retry
+	b := ctx.Vols[ref.Vol]
+	var entries []Entry
+	var dataEnd int64
+	err := ctx.retry(pol, func() error {
+		f, e := b.OpenRead(ref.Data)
+		if e != nil {
+			return e
+		}
+		defer f.Close()
+		size := f.Size()
+		if size < frameTrailerLen {
+			return fmt.Errorf("plfs: %s: no recovery footer (%d bytes)", ref.Data, size)
+		}
+		pl, e := f.ReadAt(size-frameTrailerLen, frameTrailerLen)
+		if e != nil {
+			return e
+		}
+		tail := pl.Materialize()
+		if binary.LittleEndian.Uint64(tail[8:]) != frameMagic {
+			return fmt.Errorf("plfs: %s: no recovery footer (bad magic)", ref.Data)
+		}
+		n := binary.LittleEndian.Uint64(tail[:8])
+		flen := int64(n) * EntryBytes
+		if n > uint64(size/EntryBytes) || flen+frameTrailerLen > size {
+			return fmt.Errorf("plfs: %s: corrupt recovery footer (%d entries in %d bytes)", ref.Data, n, size)
+		}
+		pl, e = f.ReadAt(size-frameTrailerLen-flen, flen)
+		if e != nil {
+			return e
+		}
+		es, e := decodeEntries(pl.Materialize(), 0)
+		if e != nil {
+			return fmt.Errorf("plfs: %s: corrupt recovery footer: %w", ref.Data, e)
+		}
+		dataEnd = size - frameTrailerLen - flen
+		var covered int64
+		for _, ent := range es {
+			if ent.Length <= 0 || ent.PhysOff < 0 || ent.PhysOff+ent.Length > dataEnd {
+				return fmt.Errorf("plfs: %s: corrupt recovery footer (extent [%d,%d) outside %d data bytes)",
+					ref.Data, ent.PhysOff, ent.PhysOff+ent.Length, dataEnd)
+			}
+			covered += ent.Length
+		}
+		if covered != dataEnd {
+			return fmt.Errorf("plfs: %s: corrupt data framing (footer covers %d of %d data bytes)",
+				ref.Data, covered, dataEnd)
+		}
+		entries = es
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return entries, dataEnd, nil
+}
+
+// RecoverReport summarizes a Recover pass over one container.
+type RecoverReport struct {
+	Droppings     int      // droppings examined
+	Intact        int      // index present and consistent (or nothing to lose)
+	Rebuilt       []string // index droppings reconstructed from data framing
+	Unrecoverable []string // data droppings with neither index nor usable footer
+	DroppedGlobal bool     // a corrupt flattened global index was removed
+	Problems      []string // human-readable detail per unrecoverable dropping
+}
+
+// OK reports whether every dropping is now reachable through an index.
+func (r RecoverReport) OK() bool { return len(r.Unrecoverable) == 0 }
+
+// String renders a human-readable summary.
+func (r RecoverReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "droppings %d: intact %d, rebuilt %d, unrecoverable %d",
+		r.Droppings, r.Intact, len(r.Rebuilt), len(r.Unrecoverable))
+	if r.DroppedGlobal {
+		b.WriteString("\nremoved corrupt global index")
+	}
+	for _, p := range r.Rebuilt {
+		b.WriteString("\nREBUILT: " + p)
+	}
+	for _, p := range r.Problems {
+		b.WriteString("\nUNRECOVERABLE: " + p)
+	}
+	return b.String()
+}
+
+// Recover reconstructs lost or corrupt index droppings from their data
+// droppings' recovery footers — the plfs_recover administrative tool.
+// For every dropping whose index is missing or unreadable, the footer is
+// validated and an index dropping rewritten from it; droppings with
+// neither a parseable index nor a usable footer are reported
+// unrecoverable (their bytes stay unreachable).  A corrupt flattened
+// global index, which would keep masking the repaired per-writer
+// indexes, is removed.  Recover returns an error only when the container
+// itself cannot be examined; per-dropping failures land in the report.
+func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
+	rel = clean(rel)
+	rep := RecoverReport{}
+	if ok, err := m.IsContainer(ctx, rel); err != nil {
+		return rep, err
+	} else if !ok {
+		return rep, fmt.Errorf("plfs: recover %s: not a container: %w", rel, iofs.ErrNotExist)
+	}
+	pol := m.opt.Retry
+
+	// A corrupt global index hides the per-writer indexes in every read
+	// mode; validate it first and clear it if unreadable.
+	cpath, vc := m.containerPath(rel)
+	gp := path.Join(cpath, metaDir, globalIndex)
+	if pl, _, err := ctx.readAllRetried(ctx.Vols[vc], gp, pol); err == nil {
+		if _, _, derr := decodeGlobalIndex(pl.Materialize()); derr != nil {
+			if rmErr := ctx.Vols[vc].Remove(gp); rmErr != nil && !errors.Is(rmErr, iofs.ErrNotExist) {
+				return rep, rmErr
+			}
+			rep.DroppedGlobal = true
+		}
+	} else if !errors.Is(err, iofs.ErrNotExist) {
+		return rep, err
+	}
+
+	drops, err := m.listDroppings(ctx, rel)
+	if err != nil {
+		return rep, err
+	}
+	rep.Droppings = len(drops)
+	changed := rep.DroppedGlobal
+	for _, d := range drops {
+		indexOK, indexCount := false, -1
+		if d.Index != "" {
+			if pl, _, err := ctx.readAllRetried(ctx.Vols[d.Vol], d.Index, pol); err == nil {
+				if es, derr := decodeEntries(pl.Materialize(), 0); derr == nil {
+					indexOK, indexCount = true, len(es)
+				}
+			}
+		}
+		entries, _, footErr := m.readFrameFooter(ctx, d)
+		switch {
+		case footErr == nil && indexOK && indexCount == len(entries):
+			rep.Intact++
+		case footErr == nil:
+			ipath, err := m.rebuildIndex(ctx, d, entries)
+			if err != nil {
+				rep.Unrecoverable = append(rep.Unrecoverable, d.Data)
+				rep.Problems = append(rep.Problems, fmt.Sprintf("%s: rebuilding index: %v", d.Data, err))
+				continue
+			}
+			rep.Rebuilt = append(rep.Rebuilt, ipath)
+			changed = true
+		case indexOK:
+			// Legacy (unframed) dropping with a healthy index.
+			rep.Intact++
+		default:
+			if fi, err := ctx.Vols[d.Vol].Stat(d.Data); err == nil && fi.Size == 0 && d.Index == "" {
+				rep.Intact++ // an empty dropping has nothing to lose
+				continue
+			}
+			rep.Unrecoverable = append(rep.Unrecoverable, d.Data)
+			rep.Problems = append(rep.Problems, fmt.Sprintf("%s: %v", d.Data, footErr))
+		}
+	}
+	if changed {
+		st := m.stateOf(rel)
+		st.mu.Lock()
+		st.gen++
+		st.builtKey, st.built = "", nil
+		st.parsed = map[string][]Entry{}
+		st.mu.Unlock()
+	}
+	return rep, nil
+}
+
+// rebuildIndex replaces d's index dropping with one reconstructed from
+// footer entries, returning the index path written.
+func (m *Mount) rebuildIndex(ctx Ctx, d droppingRef, entries []Entry) (string, error) {
+	pol := m.opt.Retry
+	ipath := d.Index
+	if ipath == "" {
+		dir, base := path.Split(d.Data)
+		ipath = dir + indexPrefix + strings.TrimPrefix(base, dataPrefix)
+	} else if err := ctx.Vols[d.Vol].Remove(ipath); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+		return "", err
+	}
+	f, err := ctx.createRetried(ctx.Vols[d.Vol], ipath, pol)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	buf := payload.FromBytes(encodeEntries(entries))
+	if err := ctx.retry(pol, func() error {
+		_, e := f.Append(buf)
+		return e
+	}); err != nil {
+		return "", err
+	}
+	return ipath, nil
+}

@@ -1,0 +1,158 @@
+package plfs
+
+import (
+	"errors"
+	iofs "io/fs"
+	"time"
+
+	"plfs/internal/payload"
+)
+
+// RetryPolicy retries transient backend errors at the dropping
+// open/read/append call sites — the absorption layer for flaky backing
+// stores (a rebuilding OST, an object store surfacing per-object EIO).
+// Backoff grows exponentially with deterministic jitter and is charged
+// through the context's Sleeper, so simulated retries cost virtual time
+// while osfs deployments sleep for real.
+type RetryPolicy struct {
+	// Attempts is the total number of tries including the first;
+	// values <= 1 disable retrying.
+	Attempts int
+	// Backoff is the first retry's base delay (default 1ms).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 100ms).
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) enabled() bool { return p.Attempts > 1 }
+
+// delay returns the backoff before retry attempt k (1-based), jittered
+// deterministically by rank so a cohort of ranks retrying the same
+// failure doesn't reissue in lockstep.
+func (p RetryPolicy) delay(k, rank int) time.Duration {
+	base := p.Backoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxB := p.MaxBackoff
+	if maxB <= 0 {
+		maxB = 100 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < k && d < maxB; i++ {
+		d *= 2
+	}
+	if d > maxB {
+		d = maxB
+	}
+	// Deterministic jitter in [d/2, d): hash rank and attempt.
+	h := uint64(rank)*0x9e3779b97f4a7c15 + uint64(k)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	frac := float64(h>>11) / float64(1<<53)
+	return d/2 + time.Duration(float64(d/2)*frac)
+}
+
+// Retryable classifies an error for the retry policy: injected faults
+// declare themselves via Transient(); namespace verdicts (not-exist,
+// exist, permission, invalid) are permanent; anything else — the
+// EIO-shaped remainder — is worth retrying.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var tr interface{ Transient() bool }
+	if errors.As(err, &tr) {
+		return tr.Transient()
+	}
+	if errors.Is(err, iofs.ErrNotExist) || errors.Is(err, iofs.ErrExist) ||
+		errors.Is(err, iofs.ErrPermission) || errors.Is(err, iofs.ErrInvalid) {
+		return false
+	}
+	return true
+}
+
+// retry runs op under the policy, sleeping between attempts via the
+// context's Sleeper (virtual time under the simulator) or real time
+// when none is bound.
+func (c Ctx) retry(p RetryPolicy, op func() error) error {
+	err := op()
+	if !p.enabled() {
+		return err
+	}
+	for k := 1; k < p.Attempts && Retryable(err); k++ {
+		c.retrySleep(p.delay(k, c.Rank))
+		err = op()
+	}
+	return err
+}
+
+func (c Ctx) retrySleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if c.Sleep != nil {
+		c.Sleep.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// createRetried is Backend.Create under the retry policy.  If an earlier
+// attempt failed after the backend created the file (a post-create
+// transient), the retry would see ErrExist for a file this caller owns;
+// in that case the existing file is reopened instead.
+func (c Ctx) createRetried(b Backend, path string, p RetryPolicy) (File, error) {
+	var f File
+	failed := false
+	err := c.retry(p, func() error {
+		var e error
+		f, e = b.Create(path)
+		if e != nil && failed && errors.Is(e, iofs.ErrExist) {
+			f, e = b.OpenWrite(path)
+		}
+		if e != nil {
+			failed = true
+		}
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// openReadRetried is Backend.OpenRead under the retry policy.
+func (c Ctx) openReadRetried(b Backend, path string, p RetryPolicy) (File, error) {
+	var f File
+	err := c.retry(p, func() error {
+		var e error
+		f, e = b.OpenRead(path)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// readAllRetried opens path and reads its full contents, retrying the
+// open+read as a unit (a failed read reopens, so a handle poisoned by a
+// transient fault is not reused).
+func (c Ctx) readAllRetried(b Backend, path string, p RetryPolicy) (payload.List, int64, error) {
+	var pl payload.List
+	var size int64
+	err := c.retry(p, func() error {
+		f, e := b.OpenRead(path)
+		if e != nil {
+			return e
+		}
+		size = f.Size()
+		pl, e = f.ReadAt(0, size)
+		f.Close()
+		return e
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return pl, size, nil
+}

@@ -74,7 +74,7 @@ func (m *Mount) Create(ctx Ctx, rel string) (*Writer, error) {
 	if ctx.HostLeader {
 		// Register this host in openhosts (ignored if a sibling won).
 		cpath, _ := m.containerPath(rel)
-		f, err := ctx.Vols[w.vc].Create(path.Join(cpath, openHostsDir, fmt.Sprintf("host.%d", ctx.Host)))
+		f, err := ctx.createRetried(ctx.Vols[w.vc], path.Join(cpath, openHostsDir, fmt.Sprintf("host.%d", ctx.Host)), m.opt.Retry)
 		if err == nil {
 			f.Close()
 		} else if !errors.Is(err, iofs.ErrExist) {
@@ -87,7 +87,7 @@ func (m *Mount) Create(ctx Ctx, rel string) (*Writer, error) {
 	w.subVol = hv
 	w.dataPath = path.Join(hpath, dataPrefix+w.stamp)
 	w.indexPath = path.Join(hpath, indexPrefix+w.stamp)
-	df, err := ctx.Vols[hv].Create(w.dataPath)
+	df, err := ctx.createRetried(ctx.Vols[hv], w.dataPath, m.opt.Retry)
 	if err != nil {
 		return nil, err
 	}
@@ -110,9 +110,14 @@ func (m *Mount) createSkeleton(ctx Ctx, rel string) error {
 	if err := b.Mkdir(cpath); err != nil && !errors.Is(err, iofs.ErrExist) {
 		return err
 	}
-	if f, err := b.Create(path.Join(cpath, accessFile)); err == nil {
-		f.Close()
-	} else if !errors.Is(err, iofs.ErrExist) {
+	err := ctx.retry(m.opt.Retry, func() error {
+		f, e := b.Create(path.Join(cpath, accessFile))
+		if e == nil {
+			f.Close()
+		}
+		return e
+	})
+	if err != nil && !errors.Is(err, iofs.ErrExist) {
 		return err
 	}
 	for _, sub := range []string{metaDir, openHostsDir} {
@@ -143,9 +148,14 @@ func (w *Writer) ensureHostdir() error {
 			// container so uncoordinated readers can find the hostdir.
 			cpath, vc := m.containerPath(w.rel)
 			ml := path.Join(cpath, fmt.Sprintf("%s%d%s", hostdirPrefix, w.subdir, metalinkSufx))
-			if f, err := ctx.Vols[vc].Create(ml); err == nil {
-				f.Close()
-			} else if !errors.Is(err, iofs.ErrExist) {
+			err := ctx.retry(m.opt.Retry, func() error {
+				f, e := ctx.Vols[vc].Create(ml)
+				if e == nil {
+					f.Close()
+				}
+				return e
+			})
+			if err != nil && !errors.Is(err, iofs.ErrExist) {
 				return err
 			}
 		}
@@ -210,14 +220,25 @@ func (w *Writer) Write(off int64, p payload.Payload) error {
 	return nil
 }
 
-// flushData appends buffered payloads to the data dropping.
+// flushData appends buffered payloads to the data dropping.  Transient
+// append errors are retried (the injector guarantees a transiently
+// failed append landed no bytes, so a reissue is clean); torn writes
+// are permanent and surface immediately.
 func (w *Writer) flushData() error {
-	for _, p := range w.buf {
-		if _, err := w.dataFile.Append(p); err != nil {
+	pol := w.m.opt.Retry
+	for len(w.buf) > 0 {
+		p := w.buf[0]
+		err := w.ctx.retry(pol, func() error {
+			_, e := w.dataFile.Append(p)
+			return e
+		})
+		if err != nil {
 			return err
 		}
+		w.buf = w.buf[1:]
+		w.written += p.Len()
+		w.bufBytes -= p.Len()
 	}
-	w.written += w.bufBytes
 	w.buf, w.bufBytes = w.buf[:0], 0
 	return nil
 }
@@ -235,12 +256,17 @@ func (w *Writer) writeOwnIndex() error {
 	if w.spilledAll || len(w.entries) == 0 {
 		return nil
 	}
-	f, err := w.ctx.Vols[w.subVol].Create(w.indexPath)
+	pol := w.m.opt.Retry
+	f, err := w.ctx.createRetried(w.ctx.Vols[w.subVol], w.indexPath, pol)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if _, err := f.Append(payload.FromBytes(encodeEntries(w.entries))); err != nil {
+	buf := payload.FromBytes(encodeEntries(w.entries))
+	if err := w.ctx.retry(pol, func() error {
+		_, e := f.Append(buf)
+		return e
+	}); err != nil {
 		return err
 	}
 	w.spilledAll = true
@@ -260,24 +286,44 @@ type flattenShard struct {
 // host.  With a communicator it is collective; under IndexFlatten this is
 // where the global index is gathered and written — the cost visible in
 // the paper's Fig. 4c/4d.
+//
+// On the collective paths every rank reaches every collective call even
+// when its local I/O failed — a rank that bailed early would leave its
+// peers blocked in Gather/Barrier forever — and host deregistration is
+// always attempted, so a failed close cannot leak openhosts records.
+// All failures are collected and returned joined.
 func (w *Writer) Close() error {
 	if w.closed {
 		return errors.New("plfs: writer closed")
 	}
 	w.closed = true
-	if err := w.flushData(); err != nil {
-		return err
-	}
-	if err := w.dataFile.Close(); err != nil {
-		return err
-	}
-
 	m, ctx := w.m, w.ctx
-	flatten := m.opt.IndexMode == IndexFlatten && ctx.Comm != nil
+	var errs []error
+	fail := func(err error) {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
 
+	flushErr := w.flushData()
+	fail(flushErr)
+	if flushErr == nil && !m.opt.NoDataFraming && len(w.entries) > 0 {
+		// Recovery footer: a self-describing copy of this writer's index
+		// appended to the data dropping, written before the index dropping
+		// so a crash in between leaves a recoverable file (see Recover).
+		fail(w.writeFrameFooter())
+	}
+	fail(w.dataFile.Close())
+
+	flatten := m.opt.IndexMode == IndexFlatten && ctx.Comm != nil
 	if flatten {
 		sh := flattenShard{DataPath: w.dataPath, Entries: w.entries, Size: w.maxLogical, Overflow: w.overflowed}
-		shards := ctx.Comm.Gather(0, int64(len(w.entries))*EntryBytes+64, sh)
+		if flushErr != nil {
+			// Unflushed bytes must not enter the global index; contribute
+			// only the dropping path so the canonical ordering holds.
+			sh.Entries, sh.Size = nil, 0
+		}
+		shards := ctx.Comm.Gather(0, int64(len(sh.Entries))*EntryBytes+64, sh)
 		anyOverflow := false
 		var maxSize int64
 		if ctx.Comm.Rank() == 0 {
@@ -293,26 +339,26 @@ func (w *Writer) Close() error {
 		anyOverflow = st[0].(bool)
 		if anyOverflow {
 			// Threshold exceeded somewhere: everyone keeps a private index.
-			if err := w.writeOwnIndex(); err != nil {
-				return err
+			if flushErr == nil {
+				fail(w.writeOwnIndex())
 			}
 		} else if ctx.Comm.Rank() == 0 {
-			if err := w.writeGlobalIndex(shards); err != nil {
-				return err
-			}
+			fail(w.writeGlobalIndex(shards))
 		}
 		if ctx.Comm.Rank() == 0 {
-			if err := w.writeSizeRecord(st[1].(int64)); err != nil {
-				return err
-			}
+			fail(w.writeSizeRecord(st[1].(int64)))
 		}
 		ctx.Comm.Barrier()
 	} else {
-		if err := w.writeOwnIndex(); err != nil {
-			return err
+		if flushErr == nil {
+			fail(w.writeOwnIndex())
 		}
 		if ctx.Comm != nil {
-			sz := ctx.Comm.Allgather(8, w.maxLogical)
+			size := w.maxLogical
+			if flushErr != nil {
+				size = 0
+			}
+			sz := ctx.Comm.Allgather(8, size)
 			if ctx.Comm.Rank() == 0 {
 				var maxSize int64
 				for _, v := range sz {
@@ -320,40 +366,73 @@ func (w *Writer) Close() error {
 						maxSize = s
 					}
 				}
-				if err := w.writeSizeRecord(maxSize); err != nil {
-					return err
-				}
+				fail(w.writeSizeRecord(maxSize))
 			}
 			ctx.Comm.Barrier()
-		} else {
-			if err := w.writeSizeRecord(w.maxLogical); err != nil {
-				return err
-			}
+		} else if flushErr == nil {
+			fail(w.writeSizeRecord(w.maxLogical))
 		}
 	}
 
 	if ctx.HostLeader {
 		cpath, _ := m.containerPath(w.rel)
-		err := ctx.Vols[w.vc].Remove(path.Join(cpath, openHostsDir, fmt.Sprintf("host.%d", ctx.Host)))
+		hostRec := path.Join(cpath, openHostsDir, fmt.Sprintf("host.%d", ctx.Host))
+		err := ctx.retry(m.opt.Retry, func() error {
+			return ctx.Vols[w.vc].Remove(hostRec)
+		})
 		if err != nil && !errors.Is(err, iofs.ErrNotExist) {
-			return err
+			fail(err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
-// writeSizeRecord caches the logical size in the metadir.
+// writeFrameFooter appends the recovery footer to the data dropping:
+// this writer's index entries, an entry count, and a magic trailer.
+// Physical offsets are unaffected — the footer lands past every data
+// extent — and Recover can rebuild the index dropping from it.
+func (w *Writer) writeFrameFooter() error {
+	return w.ctx.retry(w.m.opt.Retry, func() error {
+		_, err := w.dataFile.Append(payload.FromBytes(encodeFrameFooter(w.entries)))
+		return err
+	})
+}
+
+// writeSizeRecord caches the logical size in the metadir, stamped with
+// the container's current truncation generation.  Records left behind
+// by earlier generations (a truncation whose removals partially failed)
+// are removed here — self-healing — so a stale larger size can never
+// win over the current one.
 func (w *Writer) writeSizeRecord(size int64) error {
 	cpath, vc := w.m.containerPath(w.rel)
-	name := path.Join(cpath, metaDir, fmt.Sprintf("%s%d.%d", sizePrefix, size, w.ctx.Rank))
-	f, err := w.ctx.Vols[vc].Create(name)
-	if err != nil {
-		if errors.Is(err, iofs.ErrExist) {
-			return nil
-		}
+	b := w.ctx.Vols[vc]
+	meta := path.Join(cpath, metaDir)
+	pol := w.m.opt.Retry
+	var ents []Info
+	if err := w.ctx.retry(pol, func() error {
+		var e error
+		ents, e = b.ReadDir(meta)
+		return e
+	}); err != nil {
 		return err
 	}
-	return f.Close()
+	gen := metaGen(ents)
+	var errs []error
+	for _, e := range ents {
+		if _, g, ok := parseSizeRecord(e.Name); ok && g != gen {
+			if err := b.Remove(path.Join(meta, e.Name)); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+				errs = append(errs, err)
+			}
+		}
+	}
+	name := path.Join(meta, fmt.Sprintf("%s%d.%d.%d", sizePrefix, size, gen, w.ctx.Rank))
+	f, err := w.ctx.createRetried(b, name, pol)
+	if err == nil {
+		errs = append(errs, f.Close())
+	} else if !errors.Is(err, iofs.ErrExist) {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // writeGlobalIndex persists the flattened global index to the metadir.
@@ -387,13 +466,16 @@ func (w *Writer) writeGlobalIndex(shardVals []any) error {
 		}
 	}
 	w.ctx.sleep(w.m.opt.ParseCPUPerEntry * timeDuration(len(all)))
-	buf := encodeGlobalIndex(paths, all)
+	buf := payload.FromBytes(encodeGlobalIndex(paths, all))
 	cpath, vc := w.m.containerPath(w.rel)
-	f, err := w.ctx.Vols[vc].Create(path.Join(cpath, metaDir, globalIndex))
+	pol := w.m.opt.Retry
+	f, err := w.ctx.createRetried(w.ctx.Vols[vc], path.Join(cpath, metaDir, globalIndex), pol)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	_, err = f.Append(payload.FromBytes(buf))
-	return err
+	return w.ctx.retry(pol, func() error {
+		_, e := f.Append(buf)
+		return e
+	})
 }

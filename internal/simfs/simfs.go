@@ -6,6 +6,7 @@ package simfs
 import (
 	"time"
 
+	"plfs/internal/fault"
 	"plfs/internal/payload"
 	"plfs/internal/pfs"
 	"plfs/internal/plfs"
@@ -43,6 +44,17 @@ func Ctx(fs *pfs.FS, node int, p *sim.Proc, rank, procsPerNode int) plfs.Ctx {
 		Clock:      plfs.ClockFunc(func() int64 { return int64(p.Now()) }),
 		Sleep:      procSleeper{p},
 	}
+}
+
+// FaultCtx is Ctx with every volume backend routed through the fault
+// injector; injected latency and retry backoff are charged to the
+// process's virtual clock.  A nil injector yields a plain Ctx.
+func FaultCtx(fs *pfs.FS, node int, p *sim.Proc, rank, procsPerNode int, inj *fault.Injector) plfs.Ctx {
+	ctx := Ctx(fs, node, p, rank, procsPerNode)
+	if inj != nil {
+		ctx.Vols = inj.WrapVols(ctx.Vols, ctx.Sleep)
+	}
+	return ctx
 }
 
 type procSleeper struct{ p *sim.Proc }

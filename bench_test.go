@@ -225,3 +225,10 @@ func Example() {
 func BenchmarkAblationDegradedOST(b *testing.B) {
 	runFigure(b, "ablation-degraded", nil)
 }
+
+// BenchmarkAblationChecksum measures the cost of checksummed framing
+// (Options.Checksum) on an N-1 write: CRC32C trailers on index metadata
+// plus per-extent data checksums in the recovery footer.
+func BenchmarkAblationChecksum(b *testing.B) {
+	runFigure(b, "ablation-checksum", nil)
+}

@@ -10,10 +10,16 @@
 //	plfsctl flatten <logical> -root ...               # persist a global index
 //	plfsctl check <logical> -root ...                 # container integrity check
 //	plfsctl recover <logical> -root ...               # rebuild lost index droppings
+//	plfsctl scrub <logical> -root ...                 # full integrity walk (checksums)
 //	plfsctl rm   <logical> -root <volume-root> ...    # remove a container
+//
+// check, recover, and scrub accept -json for machine-readable reports
+// and use disciplined exit codes: 0 clean, 1 problems found, 2 usage or
+// operational error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +38,7 @@ func main() {
 	fs.Var(&roots, "root", "volume root directory (repeat for federated mounts)")
 	off := fs.Int64("off", 0, "read offset")
 	length := fs.Int64("len", 256, "read length")
+	jsonOut := fs.Bool("json", false, "machine-readable JSON report (check/recover/scrub)")
 
 	var logical string
 	args := os.Args[2:]
@@ -67,24 +74,9 @@ func main() {
 		err = m.Unlink(ctx, logical)
 	case "flatten":
 		err = m.Flatten(ctx, logical)
-	case "check":
-		var rep plfs.CheckReport
-		rep, err = m.Check(ctx, logical)
-		if err == nil {
-			fmt.Println(rep)
-			if !rep.OK() {
-				os.Exit(1)
-			}
-		}
-	case "recover":
-		var rep plfs.RecoverReport
-		rep, err = m.Recover(ctx, logical)
-		if err == nil {
-			fmt.Println(rep)
-			if !rep.OK() {
-				os.Exit(1)
-			}
-		}
+	case "check", "recover", "scrub":
+		runReport(m, ctx, cmd, logical, *jsonOut)
+		return
 	default:
 		usage()
 	}
@@ -94,8 +86,43 @@ func main() {
 	}
 }
 
+// runReport runs one of the integrity commands with disciplined exit
+// codes: 0 clean, 1 problems found, 2 operational error.
+func runReport(m *plfs.Mount, ctx plfs.Ctx, cmd, logical string, jsonOut bool) {
+	var (
+		rep interface{ OK() bool }
+		err error
+	)
+	switch cmd {
+	case "check":
+		rep, err = m.Check(ctx, logical)
+	case "recover":
+		rep, err = m.Recover(ctx, logical)
+	case "scrub":
+		rep, err = m.Scrub(ctx, logical)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plfsctl:", err)
+		os.Exit(2)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "plfsctl:", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Println(rep)
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: plfsctl {ls|stat|map|read|flatten|check|recover|rm} [logical] -root DIR [-root DIR...] [-off N] [-len N]")
+	fmt.Fprintln(os.Stderr, "usage: plfsctl {ls|stat|map|read|flatten|check|recover|scrub|rm} [logical] -root DIR [-root DIR...] [-off N] [-len N] [-json]")
 	os.Exit(2)
 }
 

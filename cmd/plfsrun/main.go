@@ -47,6 +47,7 @@ func main() {
 		faultS  = flag.String("fault", "", "fault injection spec, e.g. 'seed=7,all=0.05,torn=0.01,slow=0:2ms,lose=hostdir.3'")
 		retryN  = flag.Int("retry", 1, "PLFS retry attempts for transient backend errors (1 = no retry)")
 		partial = flag.Bool("allow-partial", false, "skip unreadable index shards on read open (degraded results)")
+		cksum   = flag.Bool("checksum", false, "checksummed framing: CRC32C trailers on index metadata and per-extent data checksums")
 	)
 	flag.Parse()
 
@@ -106,6 +107,7 @@ func main() {
 		IndexMode: m, NumSubdirs: 32, DecodeWorkers: *workers,
 		Retry:        plfs.RetryPolicy{Attempts: *retryN},
 		AllowPartial: *partial,
+		Checksum:     *cksum,
 	}
 	if *volumes > 1 {
 		if nn {

@@ -12,7 +12,13 @@
 //     simulated mode and real time over osfs;
 //   - torn appends: a prefix of the payload lands before a permanent
 //     error, modeling a crash mid-write (plfs Recover repairs these);
-//   - permanent loss of named paths (a dead object).
+//   - permanent loss of named paths (a dead object);
+//   - deterministic crash points: crashat=K halts the whole wrapped
+//     backend at its K-th mutating operation (with torn-prefix semantics
+//     on an append in flight), freezing the backing store in exactly the
+//     state a crash there would leave.  Tests reopen the frozen state
+//     with fresh unwrapped backends and can therefore enumerate every
+//     crash boundary instead of sampling probabilistically.
 //
 // All randomness derives from the spec's seed and a global injection
 // sequence number, so a simulated run injects the identical fault
@@ -21,6 +27,7 @@ package fault
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	iofs "io/fs"
@@ -70,6 +77,14 @@ type Spec struct {
 	// Lose marks paths as permanently lost: any operation on a path
 	// containing one of these substrings fails with ErrNotExist.
 	Lose []string
+	// CrashAt, when > 0, crashes the wrapped backend at its CrashAt-th
+	// mutating operation (mkdir, create, remove, rename, write, append —
+	// counted across all wrapped volumes).  The crashing operation does
+	// not apply, except that an append in flight lands a torn prefix
+	// first; every operation after the crash point fails permanently.
+	// The backing store is left frozen in the post-crash state, to be
+	// reopened with fresh unwrapped backends.
+	CrashAt int64
 }
 
 // ParseSpec parses the -fault flag syntax: comma-separated key=value
@@ -83,6 +98,7 @@ type Spec struct {
 //	delay=DUR     added latency on every volume (time.ParseDuration)
 //	slow=VOL:DUR  added latency on volume VOL (repeatable)
 //	lose=SUBSTR   paths containing SUBSTR are permanently lost (repeatable)
+//	crashat=K     crash the backend at its K-th mutating operation (K >= 1)
 func ParseSpec(s string) (Spec, error) {
 	spec := Spec{Seed: 1}
 	if strings.TrimSpace(s) == "" {
@@ -159,6 +175,12 @@ func ParseSpec(s string) (Spec, error) {
 			spec.SlowVol[n] = d
 		case k == "lose":
 			spec.Lose = append(spec.Lose, v)
+		case k == "crashat":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 1 {
+				return spec, fmt.Errorf("fault: crashat %q is not a positive op index", v)
+			}
+			spec.CrashAt = n
 		default:
 			return spec, fmt.Errorf("fault: unknown key %q", k)
 		}
@@ -203,6 +225,9 @@ func (s Spec) String() string {
 	for _, l := range s.Lose {
 		parts = append(parts, "lose="+l)
 	}
+	if s.CrashAt > 0 {
+		parts = append(parts, fmt.Sprintf("crashat=%d", s.CrashAt))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -219,6 +244,9 @@ const (
 	Torn
 	// Lost is a permanently missing path (satisfies errors.Is ErrNotExist).
 	Lost
+	// Crashed means the backend hit its crash point: the whole store is
+	// frozen and every further operation fails permanently.
+	Crashed
 )
 
 // Error is an injected fault.
@@ -226,6 +254,10 @@ type Error struct {
 	Op   Op
 	Path string
 	Kind Kind
+	// inFlight marks the mutating operation that triggered the crash
+	// point itself (as opposed to operations after it): an append in
+	// flight lands a torn prefix before the error surfaces.
+	inFlight bool
 }
 
 // Error implements error.
@@ -235,13 +267,22 @@ func (e *Error) Error() string {
 		return fmt.Sprintf("fault: torn %s %s", e.Op, e.Path)
 	case Lost:
 		return fmt.Sprintf("fault: lost path %s %s", e.Op, e.Path)
+	case Crashed:
+		return fmt.Sprintf("fault: backend crashed (%s %s)", e.Op, e.Path)
 	}
 	return fmt.Sprintf("fault: transient %s error on %s", e.Op, e.Path)
 }
 
 // Transient reports whether a retry may succeed; the plfs retry policy
-// honors it via errors.As.
+// honors it via errors.As.  Crashed and Torn report false so retry loops
+// fail fast instead of hammering a dead store.
 func (e *Error) Transient() bool { return e.Kind == Transient }
+
+// TornWrite reports whether the failed operation may have applied a
+// prefix of its payload (torn appends, and the append in flight at a
+// crash point).  Atomic-commit writers use it to decide that retrying
+// onto a fresh temp file is safe while in-place retry is not.
+func (e *Error) TornWrite() bool { return e.Kind == Torn || (e.Kind == Crashed && e.inFlight) }
 
 // Unwrap maps lost paths onto ErrNotExist so backend users treat them
 // like any other missing file.
@@ -259,9 +300,11 @@ func (e *Error) Unwrap() error {
 type Injector struct {
 	spec Spec
 
-	mu     sync.Mutex
-	seq    uint64
-	counts map[Op]int
+	mu      sync.Mutex
+	seq     uint64
+	counts  map[Op]int
+	mutOps  int64
+	crashed bool
 }
 
 // New builds an injector for the spec.
@@ -282,6 +325,51 @@ func (in *Injector) Injected() map[Op]int {
 		out[k] = v
 	}
 	return out
+}
+
+// MutatingOps returns how many mutating operations (mkdir, create,
+// remove, rename, write, append) have reached the wrapped backends.
+// It counts even when no crash point is set, so a fault-free counting
+// run establishes the sweep bound for crashat enumeration.
+func (in *Injector) MutatingOps() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.mutOps
+}
+
+// Crashed reports whether the crash point has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+func mutating(op Op) bool {
+	switch op {
+	case OpMkdir, OpCreate, OpRemove, OpRename, OpWrite, OpAppend:
+		return true
+	}
+	return false
+}
+
+// crashCheck counts mutating ops and decides whether this call is at or
+// past the crash point.  It returns a nil error, or a Crashed error that
+// is inFlight exactly for the operation that tripped the crash.
+func (in *Injector) crashCheck(op Op, path string) *Error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return &Error{Op: op, Path: path, Kind: Crashed}
+	}
+	if !mutating(op) {
+		return nil
+	}
+	in.mutOps++
+	if in.spec.CrashAt > 0 && in.mutOps == in.spec.CrashAt {
+		in.crashed = true
+		return &Error{Op: op, Path: path, Kind: Crashed, inFlight: true}
+	}
+	return nil
 }
 
 // roll returns a deterministic pseudo-random value in [0,1) for the next
@@ -394,7 +482,12 @@ func (f *backend) ConcurrentIO() bool {
 }
 
 // gate runs the injection decision that precedes every backend call.
+// The crash check comes first: a crashed store charges no latency and
+// rolls no probabilistic faults, it is simply gone.
 func (f *backend) gate(op Op, path string) error {
+	if err := f.in.crashCheck(op, path); err != nil {
+		return err
+	}
 	f.in.latency(f.vol, f.sleep)
 	if f.in.lost(path) {
 		return &Error{Op: op, Path: path, Kind: Lost}
@@ -500,9 +593,17 @@ func (f *file) WriteAt(off int64, p payload.Payload) error {
 
 // Append implements plfs.File.  Transient errors fire before any byte
 // lands (so a retry reissues cleanly); torn errors land a prefix first
-// and are permanent.
+// and are permanent.  An append in flight at the crash point gets the
+// same torn-prefix treatment: half the payload is on disk when the
+// machine dies.
 func (f *file) Append(p payload.Payload) (int64, error) {
 	if err := f.b.gate(OpAppend, f.path); err != nil {
+		var fe *Error
+		if errors.As(err, &fe) && fe.Kind == Crashed && fe.inFlight {
+			if half := p.Len() / 2; half > 0 {
+				f.f.Append(p.Slice(0, half))
+			}
+		}
 		return 0, err
 	}
 	if f.b.in.fireTorn(f.path) {

@@ -169,3 +169,113 @@ func TestTransientRetryable(t *testing.T) {
 		t.Errorf("Injected()[mkdir] = %d, want 1", got)
 	}
 }
+
+// TestCrashAt: the crash point fires on exactly the K-th mutating
+// operation, tears the append in flight, and freezes the backend — every
+// later operation (mutating or not) fails, while the pre-crash on-disk
+// state stays reopenable through an unwrapped backend.
+func TestCrashAt(t *testing.T) {
+	dir := t.TempDir()
+	spec, err := fault.ParseSpec("crashat=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.CrashAt != 3 {
+		t.Fatalf("CrashAt = %d, want 3", spec.CrashAt)
+	}
+	if again, err := fault.ParseSpec(spec.String()); err != nil || again.CrashAt != 3 {
+		t.Fatalf("round trip %q: %v (crashat=%d)", spec.String(), err, again.CrashAt)
+	}
+	in := fault.New(spec)
+	b := in.Wrap(osfs.New(), 0, nil)
+
+	// Op 1: create.  Op 2: append (lands whole).
+	f, err := b.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatalf("op 1 create: %v", err)
+	}
+	if _, err := f.Append(payload.Synthetic(1, 0, 100)); err != nil {
+		t.Fatalf("op 2 append: %v", err)
+	}
+	if in.Crashed() {
+		t.Fatal("crashed before the crash point")
+	}
+	// Op 3: the crash point — a torn prefix lands, then the error.
+	_, err = f.Append(payload.Synthetic(1, 100, 100))
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Kind != fault.Crashed {
+		t.Fatalf("op 3 error = %v, want crashed fault", err)
+	}
+	if !fe.TornWrite() {
+		t.Error("in-flight crash op does not report TornWrite")
+	}
+	if fe.Transient() || plfs.Retryable(err) {
+		t.Error("crashed error must not be transient/retryable")
+	}
+	if !in.Crashed() || in.MutatingOps() != 3 {
+		t.Fatalf("crashed=%v mutOps=%d, want true/3", in.Crashed(), in.MutatingOps())
+	}
+
+	// Post-crash: everything fails, including reads and non-mutating ops.
+	if _, err := b.Stat(filepath.Join(dir, "x")); err == nil {
+		t.Error("stat succeeded after crash")
+	}
+	if _, err := b.Create(filepath.Join(dir, "y")); err == nil {
+		t.Error("create succeeded after crash")
+	}
+	var fe2 *fault.Error
+	_, err = b.OpenRead(filepath.Join(dir, "x"))
+	if !errors.As(err, &fe2) || fe2.Kind != fault.Crashed {
+		t.Fatalf("post-crash open error = %v, want crashed fault", err)
+	}
+	if fe2.TornWrite() {
+		t.Error("post-crash op (not in flight) claims TornWrite")
+	}
+	if errors.Is(err, iofs.ErrNotExist) {
+		t.Error("crashed error unwraps to ErrNotExist")
+	}
+
+	// The frozen on-disk state: the full op-2 append plus the op-3 torn
+	// prefix (half of 100 bytes).
+	fi, err := osfs.New().Stat(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatalf("unwrapped reopen: %v", err)
+	}
+	if fi.Size != 150 {
+		t.Fatalf("post-crash size %d, want 150 (100 committed + 50 torn)", fi.Size)
+	}
+}
+
+// TestCrashAtCountsOnlyMutatingOps: reads and stats never advance the
+// crash counter, so op indexes enumerate commit boundaries, not traffic.
+func TestCrashAtCountsOnlyMutatingOps(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.New(fault.Spec{CrashAt: 2})
+	b := in.Wrap(osfs.New(), 0, nil)
+	f, err := b.Create(filepath.Join(dir, "x")) // mutating op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for i := 0; i < 5; i++ { // non-mutating: must not trip the crash
+		if _, err := b.Stat(filepath.Join(dir, "x")); err != nil {
+			t.Fatalf("stat %d: %v", i, err)
+		}
+	}
+	if err := b.Mkdir(filepath.Join(dir, "d")); err == nil { // mutating op 2
+		t.Fatal("op 2 mkdir did not crash")
+	}
+	if in.MutatingOps() != 2 {
+		t.Fatalf("mutOps = %d, want 2", in.MutatingOps())
+	}
+}
+
+// TestParseSpecRejectsBadCrashAt: zero and negative crash points are
+// configuration errors, not no-ops.
+func TestParseSpecRejectsBadCrashAt(t *testing.T) {
+	for _, s := range []string{"crashat=0", "crashat=-1", "crashat=x"} {
+		if _, err := fault.ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}

@@ -286,3 +286,54 @@ func AblationDegradedOST(o Options) ([]*stats.Table, error) {
 	}
 	return []*stats.Table{tab}, nil
 }
+
+// AblationChecksum measures what checksummed framing (Options.Checksum)
+// costs an N-1 write: CRC32C trailers on index droppings, the global
+// index, and the recovery footer, plus one CRC32C per data extent.  The
+// hashing charge rides the virtual clock (Options.ChecksumCPUPerMB), so
+// the figure shows the end-to-end price of integrity — the resilience
+// counterpart to the degraded-OST figure.
+func AblationChecksum(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	bw := &stats.Table{
+		Title:  "Ablation: checksummed framing overhead (N-1 write)",
+		XLabel: "checksum (0=off,1=on)", YLabel: "MB/s",
+	}
+	cl := &stats.Table{
+		Title:  "Ablation: checksummed framing close cost",
+		XLabel: "checksum (0=off,1=on)", YLabel: "close seconds",
+	}
+	ranks := 256
+	if o.Scale == Quick {
+		ranks = 32
+	}
+	nb, op := o.n1Bytes()
+	for _, on := range []bool{false, true} {
+		x := 0.0
+		if on {
+			x = 1
+		}
+		var sBW, sCl stats.Sample
+		for rep := 0; rep < o.Reps; rep++ {
+			cfg := o.small()
+			j := Job{
+				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: cfg, Net: defaultNet(),
+				Opt:    o.n1MountOpt(plfs.IndexFlatten, 1),
+				Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true,
+				Fault: o.Fault,
+			}
+			j.Opt.Checksum = on
+			res, err := Run(j)
+			if err != nil {
+				return nil, fmt.Errorf("checksum on=%v: %w", on, err)
+			}
+			sBW.Add(res.WriteBW(ranks) / 1e6)
+			sCl.Add(res.WriteClose.Seconds())
+			o.log("ablation-checksum on=%v rep %d: writeBW %.1f MB/s close %.3fs",
+				on, rep, res.WriteBW(ranks)/1e6, res.WriteClose.Seconds())
+		}
+		bw.AddSample("plfs", x, &sBW)
+		cl.AddSample("plfs", x, &sCl)
+	}
+	return []*stats.Table{bw, cl}, nil
+}

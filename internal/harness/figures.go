@@ -39,6 +39,7 @@ func Figures() []Figure {
 		{"ablation-lockunit", "Ablation: direct N-1 write vs lock-unit size", AblationLockUnit},
 		{"ablation-spread", "Ablation: federation spread modes", AblationSpread},
 		{"ablation-degraded", "Ablation: one degraded OST group", AblationDegradedOST},
+		{"ablation-checksum", "Ablation: checksummed framing overhead", AblationChecksum},
 	}
 }
 

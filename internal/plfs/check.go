@@ -10,12 +10,12 @@ import (
 // administrative tool): structural problems found in the container's
 // droppings and metadata.
 type CheckReport struct {
-	Droppings  int
-	RawEntries int
-	Segments   int
-	Logical    int64 // logical size from the index
-	MetaSize   int64 // logical size cached in the metadir (-1 if absent)
-	Problems   []string
+	Droppings  int      `json:"droppings"`
+	RawEntries int      `json:"raw_entries"`
+	Segments   int      `json:"segments"`
+	Logical    int64    `json:"logical"`   // logical size from the index
+	MetaSize   int64    `json:"meta_size"` // logical size cached in the metadir (-1 if absent)
+	Problems   []string `json:"problems"`
 }
 
 // OK reports whether the container passed every check.
@@ -71,7 +71,7 @@ func (m *Mount) Check(ctx Ctx, rel string) (CheckReport, error) {
 		if d.Index == "" {
 			if fi.Size > 0 {
 				note := "unreachable"
-				if _, _, ferr := m.readFrameFooter(ctx, d); ferr == nil {
+				if _, _, _, ferr := m.readFrameFooter(ctx, d); ferr == nil {
 					note = "recoverable via plfsctl recover"
 				}
 				rep.Problems = append(rep.Problems,
@@ -94,8 +94,14 @@ func (m *Mount) Check(ctx Ctx, rel string) (CheckReport, error) {
 			covered += e.Length
 		}
 		// Framed droppings carry a recovery footer past the data extents,
-		// so the index legitimately covers size minus the footer.
-		if covered != fi.Size && covered+frameFooterLen(len(sh)) != fi.Size {
+		// so the index legitimately covers size minus the footer; a parsed
+		// footer gives the exact data region, legacy sizes are inferred.
+		expect := fi.Size
+		if _, _, dataEnd, ferr := m.readFrameFooter(ctx, d); ferr == nil {
+			expect = dataEnd
+		}
+		if covered != expect && covered != fi.Size &&
+			covered+frameFooterLen(len(sh)) != fi.Size && covered+frameFooterLen2(len(sh)) != fi.Size {
 			rep.Problems = append(rep.Problems, fmt.Sprintf(
 				"dropping coverage mismatch: %s: index covers %d of %d bytes", d.Data, covered, fi.Size))
 		}

@@ -1,0 +1,194 @@
+package plfs
+
+// Checksummed framing (Options.Checksum).  When enabled, every piece of
+// index metadata the reader trusts — per-rank index droppings, the
+// flattened global index, and the recovery footer — is written with a
+// CRC32C (Castagnoli) trailer, and the recovery footer additionally
+// carries one CRC32C per data extent so Scrub and Options.VerifyData can
+// detect silently corrupted data bytes, not just torn metadata.
+//
+// The trailers are self-describing: each has a distinct magic and a
+// length that cannot collide with the raw encodings (an index dropping
+// is a multiple of EntryBytes=40; the 16-byte trailer shifts it to
+// 16 mod 40), so readers accept checksummed and legacy files
+// interchangeably.  Options.Checksum therefore only controls what gets
+// written; verification always happens when a trailer is present.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"plfs/internal/payload"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	// sumTrailerLen is the length of the metadata checksum trailer:
+	// [uint32 crc32c][uint32 reserved=0][uint64 magic].
+	sumTrailerLen = 16
+	// idxSumMagic marks a checksummed index dropping ("PLFS_ICX").
+	idxSumMagic = uint64(0x504c46535f494358)
+	// gidxSumMagic marks a checksummed global index ("PLFS_GCX").
+	gidxSumMagic = uint64(0x504c46535f474358)
+)
+
+// appendSumTrailer appends the CRC32C trailer for body to body.
+func appendSumTrailer(body []byte, magic uint64) []byte {
+	crc := crc32.Checksum(body, castagnoli)
+	var tr [sumTrailerLen]byte
+	binary.LittleEndian.PutUint32(tr[0:], crc)
+	binary.LittleEndian.PutUint64(tr[8:], magic)
+	return append(body, tr[:]...)
+}
+
+// splitSumTrailer detects, verifies, and strips a checksum trailer.  It
+// returns the body (data itself when no trailer is present — legacy
+// files stay readable) and whether a trailer was found; a trailer whose
+// checksum does not match the body is a hard error.
+func splitSumTrailer(data []byte, magic uint64) ([]byte, bool, error) {
+	if len(data) < sumTrailerLen {
+		return data, false, nil
+	}
+	tr := data[len(data)-sumTrailerLen:]
+	if binary.LittleEndian.Uint64(tr[8:]) != magic {
+		return data, false, nil
+	}
+	body := data[:len(data)-sumTrailerLen]
+	if binary.LittleEndian.Uint32(tr[4:]) != 0 {
+		return nil, true, fmt.Errorf("checksum trailer corrupt (reserved field %08x)",
+			binary.LittleEndian.Uint32(tr[4:]))
+	}
+	want := binary.LittleEndian.Uint32(tr[0:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, true, fmt.Errorf("checksum mismatch (crc32c %08x, trailer says %08x)", got, want)
+	}
+	return body, true, nil
+}
+
+// decodeIndexDropping decodes one index dropping, verifying and
+// stripping its checksum trailer when present.
+func decodeIndexDropping(data []byte, droppingID int32) ([]Entry, error) {
+	body, _, err := splitSumTrailer(data, idxSumMagic)
+	if err != nil {
+		return nil, fmt.Errorf("index dropping %v", err)
+	}
+	return decodeEntries(body, droppingID)
+}
+
+// decodeGlobalIndexAuto decodes a global index, verifying and stripping
+// its checksum trailer when present.
+func decodeGlobalIndexAuto(data []byte) ([]string, []Entry, error) {
+	body, _, err := splitSumTrailer(data, gidxSumMagic)
+	if err != nil {
+		return nil, nil, fmt.Errorf("global index %v", err)
+	}
+	return decodeGlobalIndex(body)
+}
+
+// payloadCRC extends sum with the payload's content.  Synthetic and zero
+// payloads are streamed through a small pattern buffer rather than
+// materialized, so the writer-side cost is CPU only and the resulting
+// CRC matches what a reader computes from the stored bytes, whether the
+// backend materializes them (osfs) or replays the algebra (simfs).
+func payloadCRC(sum uint32, p payload.Payload) uint32 {
+	if p.Bytes != nil {
+		return crc32.Update(sum, castagnoli, p.Bytes)
+	}
+	const chunk = 32 << 10
+	n := p.Len()
+	buf := make([]byte, min64(chunk, n))
+	for off := int64(0); off < n; {
+		m := min64(chunk, n-off)
+		b := buf[:m]
+		if p.Tag == 0 {
+			for i := range b {
+				b[i] = 0
+			}
+		} else {
+			for i := range b {
+				b[i] = payload.PatternByte(p.Tag, p.Phase+off+int64(i))
+			}
+		}
+		sum = crc32.Update(sum, castagnoli, b)
+		off += m
+	}
+	return sum
+}
+
+// listCRC extends sum with every payload in the list, in order.
+func listCRC(sum uint32, pl payload.List) uint32 {
+	for _, p := range pl {
+		sum = payloadCRC(sum, p)
+	}
+	return sum
+}
+
+// extentSums caches one dropping's per-extent data checksums for
+// Options.VerifyData, with a verified bit per extent so each extent is
+// read and hashed at most once per reader.
+type extentSums struct {
+	entries  []Entry
+	sums     []uint32
+	verified []bool
+	absent   bool // no checksummed footer: nothing to verify
+}
+
+// loadSums lazily reads the checksummed recovery footer of dropping id.
+// Droppings without one (legacy, unframed, or unchecksummed) are marked
+// absent and served unverified.
+func (r *Reader) loadSums(id int32) *extentSums {
+	if es, ok := r.vsums[id]; ok {
+		return es
+	}
+	if r.vsums == nil {
+		r.vsums = map[int32]*extentSums{}
+	}
+	p := r.ix.Droppings()[id]
+	ref := droppingRef{Data: p, Vol: r.m.volOfPath(p)}
+	entries, sums, _, err := r.m.readFrameFooter(r.ctx, ref)
+	es := &extentSums{}
+	if err != nil || sums == nil {
+		es.absent = true
+	} else {
+		es.entries, es.sums, es.verified = entries, sums, make([]bool, len(entries))
+	}
+	r.vsums[id] = es
+	return es
+}
+
+// verifyPiece checks every footer extent overlapping the piece's
+// physical range against its recorded CRC32C, reading the extent's
+// stored bytes.  Extents are verified whole (the CRC covers the full
+// extent) and at most once per reader.
+func (r *Reader) verifyPiece(piece Piece) error {
+	es := r.loadSums(piece.Dropping)
+	if es.absent {
+		return nil
+	}
+	lo, hi := piece.PhysOff, piece.PhysOff+piece.Length
+	for i, e := range es.entries {
+		if e.PhysOff+e.Length <= lo || e.PhysOff >= hi || es.verified[i] {
+			continue
+		}
+		f, err := r.handle(piece.Dropping)
+		if err != nil {
+			return err
+		}
+		var pl payload.List
+		if err := r.ctx.retry(r.m.opt.Retry, func() error {
+			var e2 error
+			pl, e2 = f.ReadAt(e.PhysOff, e.Length)
+			return e2
+		}); err != nil {
+			return err
+		}
+		if got := listCRC(0, pl); got != es.sums[i] {
+			return fmt.Errorf("plfs: data checksum mismatch: %s extent [%d,%d) (crc32c %08x, footer says %08x)",
+				r.ix.Droppings()[piece.Dropping], e.PhysOff, e.PhysOff+e.Length, got, es.sums[i])
+		}
+		es.verified[i] = true
+	}
+	return nil
+}

@@ -329,8 +329,15 @@ func decodeGlobalIndex(data []byte) (paths []string, entries []Entry, err error)
 	if len(data) < 8 {
 		return nil, nil, bad
 	}
-	ne := int(binary.LittleEndian.Uint64(data))
+	ne64 := binary.LittleEndian.Uint64(data)
 	data = data[8:]
+	// Bound before multiplying: a forged count can otherwise overflow
+	// ne*EntryBytes into a value that passes the length check and then
+	// over-allocates (or panics) in make.
+	if ne64 > uint64(len(data))/EntryBytes {
+		return nil, nil, bad
+	}
+	ne := int(ne64)
 	if len(data) != ne*EntryBytes {
 		return nil, nil, bad
 	}

@@ -1,0 +1,345 @@
+package plfs_test
+
+// End-to-end integrity tests: checksummed framing detects silent
+// corruption that the unchecksummed container serves back without
+// complaint, VerifyData turns detection into read-time enforcement, and
+// the atomic-commit machinery (temp sweep, torn-append retry) keeps
+// metadata publication all-or-nothing.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"plfs/internal/fault"
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+// flipByte XORs one byte of an on-disk file.
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off >= int64(len(buf)) {
+		t.Fatalf("flip offset %d beyond %d bytes", off, len(buf))
+	}
+	buf[off] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// globOne returns the single match of a glob pattern.
+func globOne(t *testing.T, pattern string) string {
+	t.Helper()
+	matches, err := filepath.Glob(pattern)
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("glob %s: %v (%d matches)", pattern, err, len(matches))
+	}
+	return matches[0]
+}
+
+// writeIntegrityFile writes a small strided N-1 file and returns the rig.
+func writeIntegrityFile(t *testing.T, opt plfs.Options, name string) *rig {
+	t.Helper()
+	const n, blocks, bs = 2, 2, int64(256)
+	r := newRig(t, 1, opt)
+	runRanks(t, r, n, func(ctx plfs.Ctx, rank int) {
+		writeN1(t, r.m, ctx, rank, n, blocks, bs, name)
+	})
+	return r
+}
+
+// TestChecksumDetectsBitFlip is the acceptance A/B: a flipped data byte
+// is named by Scrub (with the dropping path and extent) when the
+// container was written with Options.Checksum, and served back silently
+// when it was not.
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	const n, blocks, bs = 2, 2, int64(256)
+	for _, checksum := range []bool{true, false} {
+		name := "abflip"
+		t.Run(map[bool]string{true: "on", false: "off"}[checksum], func(t *testing.T) {
+			r := writeIntegrityFile(t, plfs.Options{IndexMode: plfs.Original, Checksum: checksum}, name)
+			data := globOne(t, filepath.Join(r.roots[0], name, "hostdir.*", "dropping.data.*"))
+			flipByte(t, data, 0) // physical offset 0: inside the first extent
+
+			rep, err := r.m.Scrub(serialCtx(r, 0), name)
+			if err != nil {
+				t.Fatalf("scrub: %v", err)
+			}
+			if checksum {
+				found := false
+				for _, p := range rep.Problems {
+					if p.Kind == "checksum-data" && strings.Contains(p.Path, "dropping.data") && p.Extent != "" {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("scrub missed the flipped byte: %s", rep)
+				}
+			} else {
+				if !rep.OK() {
+					t.Fatalf("unchecksummed scrub reported: %s", rep)
+				}
+				// The corruption is served back without any error: silent.
+				rd, err := r.m.OpenReader(serialCtx(r, 0), name)
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				defer rd.Close()
+				got, err := rd.ReadAt(0, int64(n*blocks)*bs)
+				if err != nil {
+					t.Fatalf("read: %v", err)
+				}
+				clean := true
+				for k := 0; k < blocks && clean; k++ {
+					for i := 0; i < n; i++ {
+						off := int64(k*n+i) * bs
+						want := payload.List{payload.Synthetic(uint64(i+1), off, bs)}
+						if !payload.ContentEqual(got.Slice(off, bs), want) {
+							clean = false
+							break
+						}
+					}
+				}
+				if clean {
+					t.Fatal("flipped byte did not surface in the read — flip missed the data?")
+				}
+			}
+		})
+	}
+}
+
+// TestVerifyDataEnforcesChecksums turns read-time verification on
+// against a corrupted checksummed container: strict reads fail naming
+// the extent, AllowPartial reads substitute zeros and count the error.
+func TestVerifyDataEnforcesChecksums(t *testing.T) {
+	const n, blocks, bs = 2, 2, int64(256)
+	name := "verify"
+	r := writeIntegrityFile(t, plfs.Options{IndexMode: plfs.Original, Checksum: true}, name)
+	data := globOne(t, filepath.Join(r.roots[0], name, "hostdir.*", "dropping.data.*"))
+	flipByte(t, data, 0)
+	total := int64(n*blocks) * bs
+
+	strict := plfs.NewMount(r.roots, plfs.Options{IndexMode: plfs.Original, VerifyData: true})
+	rd, err := strict.OpenReader(serialCtx(r, 0), name)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := rd.ReadAt(0, total); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("strict read of corrupt data: err = %v, want checksum mismatch", err)
+	}
+	rd.Close()
+
+	part := plfs.NewMount(r.roots, plfs.Options{IndexMode: plfs.Original, VerifyData: true, AllowPartial: true})
+	rd, err = part.OpenReader(serialCtx(r, 0), name)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer rd.Close()
+	got, err := rd.ReadAt(0, total)
+	if err != nil {
+		t.Fatalf("partial read: %v", err)
+	}
+	if rd.ReadStats.ChecksumErrors == 0 {
+		t.Fatal("AllowPartial read did not count the checksum error")
+	}
+	zeros := payload.List{payload.Zeros(bs)}
+	sawZeros := false
+	for k := 0; k < blocks; k++ {
+		for i := 0; i < n; i++ {
+			off := int64(k*n+i) * bs
+			b := got.Slice(off, bs)
+			want := payload.List{payload.Synthetic(uint64(i+1), off, bs)}
+			switch {
+			case payload.ContentEqual(b, want):
+			case payload.ContentEqual(b, zeros):
+				sawZeros = true
+			default:
+				t.Errorf("block (k=%d, rank=%d): corrupt bytes leaked through AllowPartial", k, i)
+			}
+		}
+	}
+	if !sawZeros {
+		t.Fatal("no block was zero-substituted despite a checksum error")
+	}
+}
+
+// TestScrubDetectsCorruptIndexTrailer flips a byte inside a checksummed
+// index dropping: Scrub reports index-corrupt, and readers refuse the
+// shard.
+func TestScrubDetectsCorruptIndexTrailer(t *testing.T) {
+	name := "ixflip"
+	r := writeIntegrityFile(t, plfs.Options{IndexMode: plfs.Original, Checksum: true}, name)
+	ix := globOne(t, filepath.Join(r.roots[0], name, "hostdir.*", "dropping.index.*"))
+	flipByte(t, ix, 3)
+
+	rep, err := r.m.Scrub(serialCtx(r, 0), name)
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if p.Kind == "index-corrupt" && strings.Contains(p.Detail, "checksum mismatch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("scrub missed the corrupt index trailer: %s", rep)
+	}
+	if _, err := r.m.OpenReader(serialCtx(r, 0), name); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("open over corrupt index: err = %v, want checksum mismatch", err)
+	}
+}
+
+// TestScrubAndRecoverSweepOrphanTmp plants stranded atomic-commit temp
+// files (the residue of a crashed publish) and checks both Scrub and
+// Recover delete and report them.
+func TestScrubAndRecoverSweepOrphanTmp(t *testing.T) {
+	for _, tool := range []string{"scrub", "recover"} {
+		t.Run(tool, func(t *testing.T) {
+			name := "orphans"
+			r := writeIntegrityFile(t, plfs.Options{IndexMode: plfs.Original, Checksum: true}, name)
+			hostdir := filepath.Dir(globOne(t, filepath.Join(r.roots[0], name, "hostdir.*", "dropping.index.*")))
+			planted := []string{
+				filepath.Join(r.roots[0], name, "meta", "global.index.tmp.0"),
+				filepath.Join(hostdir, "dropping.index.9.9.tmp.3"),
+			}
+			for _, p := range planted {
+				if err := os.WriteFile(p, []byte("stranded"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var removed []string
+			switch tool {
+			case "scrub":
+				rep, err := r.m.Scrub(serialCtx(r, 0), name)
+				if err != nil {
+					t.Fatalf("scrub: %v", err)
+				}
+				removed = rep.RemovedTmp
+				orphans := 0
+				for _, p := range rep.Problems {
+					if p.Kind == "orphan-tmp" {
+						orphans++
+					}
+				}
+				if orphans != len(planted) {
+					t.Fatalf("scrub reported %d orphan-tmp problems, want %d: %s", orphans, len(planted), rep)
+				}
+			case "recover":
+				rep, err := r.m.Recover(serialCtx(r, 0), name)
+				if err != nil {
+					t.Fatalf("recover: %v", err)
+				}
+				removed = rep.RemovedTmp
+			}
+			if len(removed) != len(planted) {
+				t.Fatalf("%s removed %v, want %d temp files", tool, removed, len(planted))
+			}
+			for _, p := range planted {
+				if _, err := os.Stat(p); !os.IsNotExist(err) {
+					t.Errorf("%s left %s behind", tool, p)
+				}
+			}
+			// The container itself is untouched and clean afterwards.
+			rep, err := r.m.Scrub(serialCtx(r, 0), name)
+			if err != nil {
+				t.Fatalf("re-scrub: %v", err)
+			}
+			if !rep.OK() {
+				t.Fatalf("container dirty after %s sweep: %s", tool, rep)
+			}
+		})
+	}
+}
+
+// TestScrubCleanContainer asserts the no-findings path: a freshly
+// written checksummed container scrubs clean with every extent verified.
+func TestScrubCleanContainer(t *testing.T) {
+	const n, blocks, bs = 2, 2, int64(256)
+	name := "clean"
+	r := writeIntegrityFile(t, plfs.Options{IndexMode: plfs.Original, Checksum: true}, name)
+	rep, err := r.m.Scrub(serialCtx(r, 0), name)
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean container reported problems: %s", rep)
+	}
+	if rep.Droppings == 0 || rep.IndexesChecked == 0 || rep.ExtentsChecked == 0 {
+		t.Fatalf("scrub checked nothing: %+v", rep)
+	}
+	if want := int64(n*blocks) * bs; rep.BytesVerified != want {
+		t.Fatalf("verified %d bytes, want %d", rep.BytesVerified, want)
+	}
+}
+
+// tearingBackend tears the first Append to a file whose path contains
+// match: half the payload lands, then the write fails Torn.  This is the
+// regression harness for the writeGlobalIndex double-write bug — a
+// retried commit must start over on a fresh temp, never append to the
+// half-written one.
+type tearingBackend struct {
+	plfs.Backend
+	match string
+	fired atomic.Bool
+}
+
+func (b *tearingBackend) Create(p string) (plfs.File, error) {
+	f, err := b.Backend.Create(p)
+	if err == nil && strings.Contains(p, b.match) && b.fired.CompareAndSwap(false, true) {
+		return &tearingFile{File: f, path: p}, nil
+	}
+	return f, err
+}
+
+type tearingFile struct {
+	plfs.File
+	path string
+	torn bool
+}
+
+func (f *tearingFile) Append(p payload.Payload) (int64, error) {
+	if f.torn {
+		return 0, &fault.Error{Op: fault.OpAppend, Path: f.path, Kind: fault.Transient}
+	}
+	f.torn = true
+	f.File.Append(p.Slice(0, p.Len()/2))
+	return 0, &fault.Error{Op: fault.OpAppend, Path: f.path, Kind: fault.Torn}
+}
+
+// TestGlobalIndexTornAppendRetries injects one torn append on the
+// global-index commit path and asserts the retried publish produces a
+// complete, correctly sized global index (not a doubled or half file).
+func TestGlobalIndexTornAppendRetries(t *testing.T) {
+	const n, blocks, bs = 2, 3, int64(256)
+	name := "tornflat"
+	r := newRig(t, 1, plfs.Options{IndexMode: plfs.IndexFlatten, NumSubdirs: 2, Retry: fastRetry(3)})
+	tb := &tearingBackend{Backend: r.ctx(0, nil).Vols[0], match: "global.index" + ".tmp."}
+	runRanks(t, r, n, func(ctx plfs.Ctx, rank int) {
+		ctx.Vols = []plfs.Backend{tb}
+		writeN1(t, r.m, ctx, rank, n, blocks, bs, name)
+	})
+	if !tb.fired.Load() {
+		t.Fatal("torn append never fired: the regression is not exercised")
+	}
+	rd, err := r.m.OpenReader(serialCtx(r, 0), name)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer rd.Close()
+	if !rd.Stats.UsedGlobal {
+		t.Fatal("reader did not use the global index")
+	}
+	if got, want := rd.Index().RawEntries(), n*blocks; got != want {
+		t.Fatalf("global index has %d entries, want %d", got, want)
+	}
+	verifyN1(t, rd, n, blocks, bs)
+}

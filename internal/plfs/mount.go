@@ -128,6 +128,24 @@ type Options struct {
 	// a lost or corrupt index dropping from the data alone; disable it
 	// only to produce byte-exact legacy (pre-framing) containers.
 	NoDataFraming bool
+	// Checksum enables checksummed framing: index droppings, the global
+	// index, and the recovery footer are written with CRC32C trailers,
+	// and the footer carries one CRC32C per data extent.  Verification is
+	// automatic wherever a trailer is present (the formats are
+	// self-describing), so this only selects what gets written.
+	Checksum bool
+	// VerifyData makes ReadAt verify the per-extent data checksums
+	// recorded by Checksum writers before returning bytes (end-to-end
+	// read integrity).  A mismatched extent fails the read — or, under
+	// AllowPartial, reads as zeros and is counted in
+	// ReadStats.ChecksumErrors.  Droppings without checksummed footers
+	// are served unverified.
+	VerifyData bool
+	// ChecksumCPUPerMB charges CPU for checksumming written data
+	// (default 1ms/MB, roughly memory-bandwidth CRC32C) through the
+	// context's Sleeper, so the ablation figure sees the cost in
+	// simulated mode.
+	ChecksumCPUPerMB time.Duration
 }
 
 // decodeWorkers resolves DecodeWorkers to an effective pool size.
@@ -145,6 +163,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MergeCPUPerEntry <= 0 {
 		o.MergeCPUPerEntry = 2 * time.Microsecond
+	}
+	if o.ChecksumCPUPerMB <= 0 {
+		o.ChecksumCPUPerMB = time.Millisecond
 	}
 	return o
 }
@@ -549,14 +570,10 @@ func (m *Mount) Truncate(ctx Ctx, rel string) error {
 	// Bump the truncation generation so size records that escape the
 	// removals above (or race in from a closing writer of the previous
 	// session) are recognizably stale: writers stamp new records with the
-	// current generation, and Stat only believes the current one.
-	if err := ctx.retry(m.opt.Retry, func() error {
-		f, e := ctx.Vols[vc].Create(path.Join(meta, fmt.Sprintf("%s%d", genPrefix, gen+1)))
-		if e == nil {
-			f.Close()
-		}
-		return e
-	}); err != nil && !errors.Is(err, iofs.ErrExist) {
+	// current generation, and Stat only believes the current one.  The
+	// marker is published atomically so a crash here leaves either the
+	// old generation or the new one, never a torn marker.
+	if err := ctx.writeFileAtomic(ctx.Vols[vc], path.Join(meta, fmt.Sprintf("%s%d", genPrefix, gen+1)), nil, m.opt.Retry, false); err != nil {
 		return err
 	}
 	st := m.stateOf(rel)
@@ -639,10 +656,10 @@ type droppingRef struct {
 	Vol   int
 }
 
-// listDroppings enumerates the container's droppings in canonical (sorted
-// by data path) order, resolving spread hostdirs.  Cost: one readdir of
-// the canonical container plus one readdir per existing hostdir.
-func (m *Mount) listDroppings(ctx Ctx, rel string) ([]droppingRef, error) {
+// hostdirIDs enumerates the container's hostdir ids from one readdir of
+// the canonical container (hostdir directories plus metalink markers for
+// spread hostdirs), sorted ascending.
+func (m *Mount) hostdirIDs(ctx Ctx, rel string) ([]int, error) {
 	cpath, vc := m.containerPath(rel)
 	ents, err := ctx.Vols[vc].ReadDir(cpath)
 	if err != nil {
@@ -668,6 +685,20 @@ func (m *Mount) listDroppings(ctx Ctx, rel string) ([]droppingRef, error) {
 		ids = append(ids, i)
 	}
 	sort.Ints(ids)
+	return ids, nil
+}
+
+// listDroppings enumerates the container's droppings in canonical (sorted
+// by data path) order, resolving spread hostdirs.  Unpublished commit
+// temp files (".tmp.<rank>" names) are invisible here — an atomic commit
+// that crashed before its rename must never be consumed.  Cost: one
+// readdir of the canonical container plus one readdir per existing
+// hostdir.
+func (m *Mount) listDroppings(ctx Ctx, rel string) ([]droppingRef, error) {
+	ids, err := m.hostdirIDs(ctx, rel)
+	if err != nil {
+		return nil, err
+	}
 	var refs []droppingRef
 	for _, i := range ids {
 		hpath, hv := m.hostdirPath(rel, i)
@@ -681,6 +712,7 @@ func (m *Mount) listDroppings(ctx Ctx, rel string) ([]droppingRef, error) {
 		byStamp := map[string]*droppingRef{}
 		for _, e := range hents {
 			switch {
+			case isTmpName(e.Name):
 			case strings.HasPrefix(e.Name, dataPrefix):
 				stamp := strings.TrimPrefix(e.Name, dataPrefix)
 				r := byStamp[stamp]

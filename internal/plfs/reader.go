@@ -23,6 +23,7 @@ type Reader struct {
 
 	ix      *Index
 	handles map[int32]File
+	vsums   map[int32]*extentSums // lazy per-dropping checksums (VerifyData)
 	closed  bool
 
 	// Stats describes what this open did (for tests and the harness).
@@ -53,6 +54,9 @@ type ReadStats struct {
 	Holes   int // hole pieces (zeros, no I/O)
 	Batches int // physical dropping reads issued after adjacency batching
 	Workers int // fan-out width of the last ReadAt (1 = serial)
+	// ChecksumErrors counts extents whose data failed VerifyData
+	// verification and were served as zeros under Options.AllowPartial.
+	ChecksumErrors int
 }
 
 // OpenReader opens the logical file rel for reading.  With a communicator
@@ -113,7 +117,7 @@ func (r *Reader) tryGlobalIndex() (*Index, error) {
 	}
 	r.Stats.IndexReads++
 	r.Stats.IndexBytes += size
-	paths, entries, err := decodeGlobalIndex(pl.Materialize())
+	paths, entries, err := decodeGlobalIndexAuto(pl.Materialize())
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +192,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Entry, error) {
 				out[i] = withDropping(cached, ref.ID)
 				return
 			}
-			es, err := decodeEntries(pl.Materialize(), ref.ID)
+			es, err := decodeIndexDropping(pl.Materialize(), ref.ID)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
 				return
@@ -227,7 +231,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Entry, error) {
 			if raw[i] == nil || errs[i] != nil {
 				return
 			}
-			es, err := decodeEntries(raw[i], refs[i].ID)
+			es, err := decodeIndexDropping(raw[i], refs[i].ID)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", refs[i].Ref.Index, err)
 				return
@@ -280,7 +284,7 @@ func (r *Reader) readShard(ref droppingRef, id int32) ([]Entry, error) {
 	if ok {
 		return withDropping(cached, id), nil
 	}
-	entries, err := decodeEntries(pl.Materialize(), id)
+	entries, err := decodeIndexDropping(pl.Materialize(), id)
 	if err != nil {
 		// The sole caller (Check) prefixes the dropping path itself.
 		return nil, err
@@ -598,7 +602,7 @@ func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
 	r.ReadStats.Ops++
 	r.ReadStats.Pieces += len(pieces)
 	w := r.m.opt.decodeWorkers()
-	if r.m.opt.NoReadFanout || w <= 1 || !backendsConcurrent(r.ctx.Vols) {
+	if r.m.opt.NoReadFanout || r.m.opt.VerifyData || w <= 1 || !backendsConcurrent(r.ctx.Vols) {
 		r.ReadStats.Workers = 1
 		var out payload.List
 		for _, piece := range pieces {
@@ -606,6 +610,18 @@ func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
 				r.ReadStats.Holes++
 				out = out.Append(payload.Zeros(piece.Length))
 				continue
+			}
+			if r.m.opt.VerifyData {
+				if err := r.verifyPiece(piece); err != nil {
+					if !r.m.opt.AllowPartial {
+						return nil, err
+					}
+					// Graceful degradation: the corrupt extent reads as a
+					// hole rather than serving damaged bytes.
+					r.ReadStats.ChecksumErrors++
+					out = out.Append(payload.Zeros(piece.Length))
+					continue
+				}
 			}
 			r.ReadStats.Batches++
 			f, err := r.handle(piece.Dropping)
@@ -758,20 +774,11 @@ func (m *Mount) Flatten(ctx Ctx, rel string) error {
 	entries := flattenEntriesOf(ix)
 	ctx.sleep(m.opt.ParseCPUPerEntry * timeDuration(len(entries)))
 	buf := encodeGlobalIndex(ix.Droppings(), entries)
-	cpath, vc := m.containerPath(rel)
-	var f File
-	err = ctx.retry(m.opt.Retry, func() error {
-		var e error
-		f, e = ctx.Vols[vc].Create(path.Join(cpath, metaDir, globalIndex))
-		return e
-	})
-	if err != nil {
-		if errors.Is(err, iofs.ErrExist) {
-			return nil // raced with another flattener
-		}
-		return err
+	if m.opt.Checksum {
+		buf = appendSumTrailer(buf, gidxSumMagic)
 	}
-	defer f.Close()
-	_, err = f.Append(payload.FromBytes(buf))
-	return err
+	// Atomic commit; a rename refused because another flattener already
+	// published is fine — same container, same flattened content.
+	cpath, vc := m.containerPath(rel)
+	return ctx.writeFileAtomic(ctx.Vols[vc], path.Join(cpath, metaDir, globalIndex), buf, m.opt.Retry, false)
 }

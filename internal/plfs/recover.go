@@ -4,11 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	iofs "io/fs"
 	"path"
 	"strings"
-
-	"plfs/internal/payload"
 )
 
 // Data-dropping framing: at close, each writer appends a recovery footer
@@ -16,20 +15,30 @@ import (
 // so a lost or corrupt index dropping can be rebuilt from the data alone
 // (the plfs_recover tool).  Layout, little-endian:
 //
-//	[ data bytes ][ entries: n × EntryBytes ][ uint64 n ][ uint64 magic ]
+//	v1: [ data ][ entries: n × EntryBytes ][ uint64 n ][ uint64 magic ]
+//	v2: [ data ][ entries: n × EntryBytes ][ crcs: n × uint32 ]
+//	    [ uint32 footer crc32c ][ uint32 0 ][ uint64 n ][ uint64 magic2 ]
 //
-// The footer sits past every data extent, so physical offsets in the
-// index are unaffected.  Writers that recorded no entries skip the
-// footer, keeping empty droppings zero bytes.
+// v2 (written under Options.Checksum) adds one CRC32C per entry's data
+// extent — the end-to-end integrity record Scrub and Options.VerifyData
+// check — plus a CRC over the footer itself.  The footer sits past every
+// data extent, so physical offsets in the index are unaffected.  Writers
+// that recorded no entries skip the footer, keeping empty droppings zero
+// bytes.
 const (
-	frameMagic      = uint64(0x504c46535f524543) // "CER_SFLP" backwards: "PLFS_REC"
-	frameTrailerLen = 16
+	frameMagic       = uint64(0x504c46535f524543) // "CER_SFLP" backwards: "PLFS_REC"
+	frameMagic2      = uint64(0x504c46535f524332) // "PLFS_RC2"
+	frameTrailerLen  = 16
+	frameTrailer2Len = 24
 )
 
-// frameFooterLen returns the footer size for an index of n entries.
+// frameFooterLen returns the v1 footer size for an index of n entries.
 func frameFooterLen(n int) int64 { return int64(n)*EntryBytes + frameTrailerLen }
 
-// encodeFrameFooter serializes the recovery footer.
+// frameFooterLen2 returns the v2 footer size for an index of n entries.
+func frameFooterLen2(n int) int64 { return int64(n)*(EntryBytes+4) + frameTrailer2Len }
+
+// encodeFrameFooter serializes the v1 (unchecksummed) recovery footer.
 func encodeFrameFooter(entries []Entry) []byte {
 	buf := encodeEntries(entries)
 	out := make([]byte, len(buf)+frameTrailerLen)
@@ -39,13 +48,37 @@ func encodeFrameFooter(entries []Entry) []byte {
 	return out
 }
 
+// encodeFrameFooterSums serializes the v2 recovery footer with per-extent
+// data CRCs.
+func encodeFrameFooterSums(entries []Entry, sums []uint32) []byte {
+	if len(sums) != len(entries) {
+		panic("plfs: entry/checksum count mismatch")
+	}
+	body := encodeEntries(entries)
+	out := make([]byte, 0, frameFooterLen2(len(entries)))
+	out = append(out, body...)
+	var b4 [4]byte
+	for _, s := range sums {
+		binary.LittleEndian.PutUint32(b4[:], s)
+		out = append(out, b4[:]...)
+	}
+	crc := crc32.Checksum(out, castagnoli)
+	var tr [frameTrailer2Len]byte
+	binary.LittleEndian.PutUint32(tr[0:], crc)
+	binary.LittleEndian.PutUint64(tr[8:], uint64(len(entries)))
+	binary.LittleEndian.PutUint64(tr[16:], frameMagic2)
+	return append(out, tr[:]...)
+}
+
 // readFrameFooter reads and validates the recovery footer of the data
-// dropping at ref, returning the reconstructed entries and the size of
-// the data region (the dropping minus its footer).
-func (m *Mount) readFrameFooter(ctx Ctx, ref droppingRef) ([]Entry, int64, error) {
+// dropping at ref, returning the reconstructed entries, the per-extent
+// data CRCs (nil for a v1 footer), and the size of the data region (the
+// dropping minus its footer).
+func (m *Mount) readFrameFooter(ctx Ctx, ref droppingRef) ([]Entry, []uint32, int64, error) {
 	pol := m.opt.Retry
 	b := ctx.Vols[ref.Vol]
 	var entries []Entry
+	var sums []uint32
 	var dataEnd int64
 	err := ctx.retry(pol, func() error {
 		f, e := b.OpenRead(ref.Data)
@@ -57,28 +90,62 @@ func (m *Mount) readFrameFooter(ctx Ctx, ref droppingRef) ([]Entry, int64, error
 		if size < frameTrailerLen {
 			return fmt.Errorf("plfs: %s: no recovery footer (%d bytes)", ref.Data, size)
 		}
-		pl, e := f.ReadAt(size-frameTrailerLen, frameTrailerLen)
+		tn := int64(frameTrailer2Len)
+		if size < tn {
+			tn = frameTrailerLen
+		}
+		pl, e := f.ReadAt(size-tn, tn)
 		if e != nil {
 			return e
 		}
 		tail := pl.Materialize()
-		if binary.LittleEndian.Uint64(tail[8:]) != frameMagic {
+		magic := binary.LittleEndian.Uint64(tail[len(tail)-8:])
+		n := binary.LittleEndian.Uint64(tail[len(tail)-16 : len(tail)-8])
+		var flen, trailer int64
+		switch magic {
+		case frameMagic:
+			trailer = frameTrailerLen
+			if n > uint64(size/EntryBytes) {
+				return fmt.Errorf("plfs: %s: corrupt recovery footer (%d entries in %d bytes)", ref.Data, n, size)
+			}
+			flen = int64(n) * EntryBytes
+		case frameMagic2:
+			trailer = frameTrailer2Len
+			if size < frameTrailer2Len || n > uint64(size/(EntryBytes+4)) {
+				return fmt.Errorf("plfs: %s: corrupt recovery footer (%d entries in %d bytes)", ref.Data, n, size)
+			}
+			flen = int64(n) * (EntryBytes + 4)
+		default:
 			return fmt.Errorf("plfs: %s: no recovery footer (bad magic)", ref.Data)
 		}
-		n := binary.LittleEndian.Uint64(tail[:8])
-		flen := int64(n) * EntryBytes
-		if n > uint64(size/EntryBytes) || flen+frameTrailerLen > size {
+		if flen+trailer > size {
 			return fmt.Errorf("plfs: %s: corrupt recovery footer (%d entries in %d bytes)", ref.Data, n, size)
 		}
-		pl, e = f.ReadAt(size-frameTrailerLen-flen, flen)
+		pl, e = f.ReadAt(size-trailer-flen, flen)
 		if e != nil {
 			return e
 		}
-		es, e := decodeEntries(pl.Materialize(), 0)
+		body := pl.Materialize()
+		var ss []uint32
+		if magic == frameMagic2 {
+			if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(tail[len(tail)-24:len(tail)-20]); got != want {
+				return fmt.Errorf("plfs: %s: recovery footer checksum mismatch (crc32c %08x, trailer says %08x)", ref.Data, got, want)
+			}
+			if r := binary.LittleEndian.Uint32(tail[len(tail)-20 : len(tail)-16]); r != 0 {
+				return fmt.Errorf("plfs: %s: corrupt recovery footer (reserved field %08x)", ref.Data, r)
+			}
+			ss = make([]uint32, n)
+			sb := body[int64(n)*EntryBytes:]
+			for i := range ss {
+				ss[i] = binary.LittleEndian.Uint32(sb[i*4:])
+			}
+			body = body[:int64(n)*EntryBytes]
+		}
+		es, e := decodeEntries(body, 0)
 		if e != nil {
 			return fmt.Errorf("plfs: %s: corrupt recovery footer: %w", ref.Data, e)
 		}
-		dataEnd = size - frameTrailerLen - flen
+		dataEnd = size - trailer - flen
 		var covered int64
 		for _, ent := range es {
 			if ent.Length <= 0 || ent.PhysOff < 0 || ent.PhysOff+ent.Length > dataEnd {
@@ -91,23 +158,24 @@ func (m *Mount) readFrameFooter(ctx Ctx, ref droppingRef) ([]Entry, int64, error
 			return fmt.Errorf("plfs: %s: corrupt data framing (footer covers %d of %d data bytes)",
 				ref.Data, covered, dataEnd)
 		}
-		entries = es
+		entries, sums = es, ss
 		return nil
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
-	return entries, dataEnd, nil
+	return entries, sums, dataEnd, nil
 }
 
 // RecoverReport summarizes a Recover pass over one container.
 type RecoverReport struct {
-	Droppings     int      // droppings examined
-	Intact        int      // index present and consistent (or nothing to lose)
-	Rebuilt       []string // index droppings reconstructed from data framing
-	Unrecoverable []string // data droppings with neither index nor usable footer
-	DroppedGlobal bool     // a corrupt flattened global index was removed
-	Problems      []string // human-readable detail per unrecoverable dropping
+	Droppings     int      `json:"droppings"`      // droppings examined
+	Intact        int      `json:"intact"`         // index present and consistent (or nothing to lose)
+	Rebuilt       []string `json:"rebuilt"`        // index droppings reconstructed from data framing
+	Unrecoverable []string `json:"unrecoverable"`  // data droppings with neither index nor usable footer
+	DroppedGlobal bool     `json:"dropped_global"` // a corrupt flattened global index was removed
+	RemovedTmp    []string `json:"removed_tmp"`    // orphaned commit temp files deleted
+	Problems      []string `json:"problems"`       // human-readable detail per unrecoverable dropping
 }
 
 // OK reports whether every dropping is now reachable through an index.
@@ -120,6 +188,9 @@ func (r RecoverReport) String() string {
 		r.Droppings, r.Intact, len(r.Rebuilt), len(r.Unrecoverable))
 	if r.DroppedGlobal {
 		b.WriteString("\nremoved corrupt global index")
+	}
+	for _, p := range r.RemovedTmp {
+		b.WriteString("\nREMOVED TMP: " + p)
 	}
 	for _, p := range r.Rebuilt {
 		b.WriteString("\nREBUILT: " + p)
@@ -154,7 +225,7 @@ func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
 	cpath, vc := m.containerPath(rel)
 	gp := path.Join(cpath, metaDir, globalIndex)
 	if pl, _, err := ctx.readAllRetried(ctx.Vols[vc], gp, pol); err == nil {
-		if _, _, derr := decodeGlobalIndex(pl.Materialize()); derr != nil {
+		if _, _, derr := decodeGlobalIndexAuto(pl.Materialize()); derr != nil {
 			if rmErr := ctx.Vols[vc].Remove(gp); rmErr != nil && !errors.Is(rmErr, iofs.ErrNotExist) {
 				return rep, rmErr
 			}
@@ -163,6 +234,15 @@ func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
 	} else if !errors.Is(err, iofs.ErrNotExist) {
 		return rep, err
 	}
+
+	// Sweep orphaned commit temp files: a crash between create and
+	// rename leaves "<final>.tmp.<rank>" debris that no reader consumes
+	// but that would otherwise accumulate on the backing volumes.
+	removedTmp, err := m.sweepTmpFiles(ctx, rel)
+	if err != nil {
+		return rep, err
+	}
+	rep.RemovedTmp = removedTmp
 
 	drops, err := m.listDroppings(ctx, rel)
 	if err != nil {
@@ -174,12 +254,12 @@ func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
 		indexOK, indexCount := false, -1
 		if d.Index != "" {
 			if pl, _, err := ctx.readAllRetried(ctx.Vols[d.Vol], d.Index, pol); err == nil {
-				if es, derr := decodeEntries(pl.Materialize(), 0); derr == nil {
+				if es, derr := decodeIndexDropping(pl.Materialize(), 0); derr == nil {
 					indexOK, indexCount = true, len(es)
 				}
 			}
 		}
-		entries, _, footErr := m.readFrameFooter(ctx, d)
+		entries, _, _, footErr := m.readFrameFooter(ctx, d)
 		switch {
 		case footErr == nil && indexOK && indexCount == len(entries):
 			rep.Intact++
@@ -216,26 +296,21 @@ func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
 }
 
 // rebuildIndex replaces d's index dropping with one reconstructed from
-// footer entries, returning the index path written.
+// footer entries, returning the index path written.  The replacement is
+// committed atomically (temp + rename over the corrupt original), so a
+// crash mid-rebuild leaves either the old index or the new one — never a
+// torn rebuild — and the container stays recoverable from the footer.
 func (m *Mount) rebuildIndex(ctx Ctx, d droppingRef, entries []Entry) (string, error) {
-	pol := m.opt.Retry
 	ipath := d.Index
 	if ipath == "" {
 		dir, base := path.Split(d.Data)
 		ipath = dir + indexPrefix + strings.TrimPrefix(base, dataPrefix)
-	} else if err := ctx.Vols[d.Vol].Remove(ipath); err != nil && !errors.Is(err, iofs.ErrNotExist) {
-		return "", err
 	}
-	f, err := ctx.createRetried(ctx.Vols[d.Vol], ipath, pol)
-	if err != nil {
-		return "", err
+	buf := encodeEntries(entries)
+	if m.opt.Checksum {
+		buf = appendSumTrailer(buf, idxSumMagic)
 	}
-	defer f.Close()
-	buf := payload.FromBytes(encodeEntries(entries))
-	if err := ctx.retry(pol, func() error {
-		_, e := f.Append(buf)
-		return e
-	}); err != nil {
+	if err := ctx.writeFileAtomic(ctx.Vols[d.Vol], ipath, buf, m.opt.Retry, true); err != nil {
 		return "", err
 	}
 	return ipath, nil

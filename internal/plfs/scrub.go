@@ -1,0 +1,337 @@
+package plfs
+
+// Scrub is the full-container integrity walk (plfsctl scrub): it
+// verifies every checksum the container carries (global index, index
+// droppings, recovery footers, per-extent data CRCs), cross-checks each
+// index against its dropping's extents and coverage, sweeps orphaned
+// commit temp files, and flags stale openhosts records.  Unlike Check it
+// reads data bytes (when checksummed footers are present), so it is the
+// tool that catches silent corruption, not just structural damage.
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"path"
+	"sort"
+	"strings"
+)
+
+// ScrubProblem is one finding of a Scrub walk.
+type ScrubProblem struct {
+	// Kind is a machine-matchable class: "global-index", "orphan-tmp",
+	// "stale-openhost", "orphan-index", "index-corrupt", "extent-bounds",
+	// "coverage", "torn-tail", "index-footer-mismatch", "checksum-data",
+	// "unreachable".
+	Kind string `json:"kind"`
+	// Path is the backend path the problem was found at.
+	Path string `json:"path"`
+	// Extent is the physical byte range "[lo,hi)" for extent-scoped
+	// problems (checksum mismatches, out-of-bounds records).
+	Extent string `json:"extent,omitempty"`
+	// Detail is the human-readable description.
+	Detail string `json:"detail"`
+}
+
+// String renders one problem line.
+func (p ScrubProblem) String() string {
+	s := p.Kind + ": " + p.Path
+	if p.Extent != "" {
+		s += " extent " + p.Extent
+	}
+	if p.Detail != "" {
+		s += ": " + p.Detail
+	}
+	return s
+}
+
+// ScrubReport summarizes a Scrub walk over one container.
+type ScrubReport struct {
+	Droppings      int            `json:"droppings"`       // data droppings examined
+	IndexesChecked int            `json:"indexes_checked"` // index droppings decoded
+	ExtentsChecked int            `json:"extents_checked"` // data extents CRC-verified
+	BytesVerified  int64          `json:"bytes_verified"`  // data bytes CRC-verified
+	GlobalIndex    bool           `json:"global_index"`    // a flattened global index exists
+	RemovedTmp     []string       `json:"removed_tmp"`     // orphaned commit temp files deleted
+	StaleOpenHosts []string       `json:"stale_openhosts"` // openhosts records still present
+	Problems       []ScrubProblem `json:"problems"`
+}
+
+// OK reports whether the walk found nothing wrong.
+func (r ScrubReport) OK() bool { return len(r.Problems) == 0 }
+
+// String renders a human-readable summary.
+func (r ScrubReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "droppings %d, indexes %d, extents verified %d (%d bytes)",
+		r.Droppings, r.IndexesChecked, r.ExtentsChecked, r.BytesVerified)
+	if r.GlobalIndex {
+		b.WriteString(", global index present")
+	}
+	for _, p := range r.RemovedTmp {
+		b.WriteString("\nREMOVED TMP: " + p)
+	}
+	if r.OK() {
+		b.WriteString("\nOK")
+	} else {
+		for _, p := range r.Problems {
+			b.WriteString("\nPROBLEM: " + p.String())
+		}
+	}
+	return b.String()
+}
+
+func (r *ScrubReport) problem(kind, path, extent, format string, args ...any) {
+	r.Problems = append(r.Problems, ScrubProblem{
+		Kind: kind, Path: path, Extent: extent, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// sweepTmpFiles removes orphaned atomic-commit temp files ("<final>.tmp.<rank>")
+// from the container's metadir and hostdirs, returning the removed
+// paths.  Temp files are invisible to every reader, so removal is always
+// safe: any commit still in flight recreates its temp from scratch.
+func (m *Mount) sweepTmpFiles(ctx Ctx, rel string) ([]string, error) {
+	type dirRef struct {
+		b   Backend
+		dir string
+	}
+	cpath, vc := m.containerPath(rel)
+	dirs := []dirRef{{ctx.Vols[vc], path.Join(cpath, metaDir)}}
+	ids, err := m.hostdirIDs(ctx, rel)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range ids {
+		hpath, hv := m.hostdirPath(rel, i)
+		dirs = append(dirs, dirRef{ctx.Vols[hv], hpath})
+	}
+	var removed []string
+	for _, d := range dirs {
+		ents, err := d.b.ReadDir(d.dir)
+		if err != nil {
+			if errors.Is(err, iofs.ErrNotExist) {
+				continue
+			}
+			return removed, err
+		}
+		for _, e := range ents {
+			if e.Dir || !isTmpName(e.Name) {
+				continue
+			}
+			p := path.Join(d.dir, e.Name)
+			if err := d.b.Remove(p); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+				return removed, err
+			}
+			removed = append(removed, p)
+		}
+	}
+	sort.Strings(removed)
+	return removed, nil
+}
+
+// Scrub walks one container end to end and returns an integrity report.
+// It returns an error only when the container itself cannot be examined;
+// individual findings land in the report.  Scrub deletes orphaned commit
+// temp files as it goes (reported in RemovedTmp and as problems, since
+// they indicate a crashed commit).  It is an offline tool: openhosts
+// records are reported stale because no writer should be active while
+// scrubbing.
+func (m *Mount) Scrub(ctx Ctx, rel string) (ScrubReport, error) {
+	rel = clean(rel)
+	rep := ScrubReport{}
+	if ok, err := m.IsContainer(ctx, rel); err != nil {
+		return rep, err
+	} else if !ok {
+		return rep, fmt.Errorf("plfs: scrub %s: not a container: %w", rel, iofs.ErrNotExist)
+	}
+	pol := m.opt.Retry
+	cpath, vc := m.containerPath(rel)
+
+	// Flattened global index: decode (verifying its trailer if present).
+	gp := path.Join(cpath, metaDir, globalIndex)
+	if pl, _, err := ctx.readAllRetried(ctx.Vols[vc], gp, pol); err == nil {
+		rep.GlobalIndex = true
+		if _, _, derr := decodeGlobalIndexAuto(pl.Materialize()); derr != nil {
+			rep.problem("global-index", gp, "", "%v", derr)
+		}
+	} else if !errors.Is(err, iofs.ErrNotExist) {
+		return rep, err
+	}
+
+	// Orphaned commit temps: delete and report.
+	removed, err := m.sweepTmpFiles(ctx, rel)
+	if err != nil {
+		return rep, err
+	}
+	rep.RemovedTmp = removed
+	for _, p := range removed {
+		rep.problem("orphan-tmp", p, "", "orphaned commit temp file (removed)")
+	}
+
+	// Openhosts records left by writers that never deregistered.
+	if ents, err := ctx.Vols[vc].ReadDir(path.Join(cpath, openHostsDir)); err == nil {
+		for _, e := range ents {
+			p := path.Join(cpath, openHostsDir, e.Name)
+			rep.StaleOpenHosts = append(rep.StaleOpenHosts, p)
+			rep.problem("stale-openhost", p, "", "writer registered but never closed")
+		}
+	} else if !errors.Is(err, iofs.ErrNotExist) {
+		return rep, err
+	}
+
+	// Per-dropping walk: raw hostdir scan so orphan index droppings
+	// (index without data) are visible too.
+	ids, err := m.hostdirIDs(ctx, rel)
+	if err != nil {
+		return rep, err
+	}
+	for _, i := range ids {
+		hpath, hv := m.hostdirPath(rel, i)
+		hents, err := ctx.Vols[hv].ReadDir(hpath)
+		if err != nil {
+			if errors.Is(err, iofs.ErrNotExist) {
+				continue
+			}
+			return rep, err
+		}
+		byStamp := map[string]*droppingRef{}
+		for _, e := range hents {
+			switch {
+			case isTmpName(e.Name): // already swept above
+			case strings.HasPrefix(e.Name, dataPrefix):
+				stamp := strings.TrimPrefix(e.Name, dataPrefix)
+				r := byStamp[stamp]
+				if r == nil {
+					r = &droppingRef{Vol: hv}
+					byStamp[stamp] = r
+				}
+				r.Data = path.Join(hpath, e.Name)
+			case strings.HasPrefix(e.Name, indexPrefix):
+				stamp := strings.TrimPrefix(e.Name, indexPrefix)
+				r := byStamp[stamp]
+				if r == nil {
+					r = &droppingRef{Vol: hv}
+					byStamp[stamp] = r
+				}
+				r.Index = path.Join(hpath, e.Name)
+			}
+		}
+		stamps := make([]string, 0, len(byStamp))
+		for s := range byStamp {
+			stamps = append(stamps, s)
+		}
+		sort.Strings(stamps)
+		for _, s := range stamps {
+			d := byStamp[s]
+			if d.Data == "" {
+				rep.problem("orphan-index", d.Index, "", "index dropping with no data dropping")
+				continue
+			}
+			rep.Droppings++
+			m.scrubDropping(ctx, *d, &rep)
+		}
+	}
+	return rep, nil
+}
+
+// scrubDropping runs the per-dropping checks: footer parse, index
+// decode, extent bounds, coverage, index-vs-footer agreement, and (for
+// checksummed footers) a CRC verification of every data extent.
+func (m *Mount) scrubDropping(ctx Ctx, d droppingRef, rep *ScrubReport) {
+	pol := m.opt.Retry
+	fi, err := ctx.Vols[d.Vol].Stat(d.Data)
+	if err != nil {
+		rep.problem("unreachable", d.Data, "", "stat: %v", err)
+		return
+	}
+	fentries, sums, dataEnd, footErr := m.readFrameFooter(ctx, d)
+	if footErr != nil {
+		dataEnd = fi.Size
+	}
+
+	var ientries []Entry
+	indexOK := false
+	if d.Index != "" {
+		pl, _, err := ctx.readAllRetried(ctx.Vols[d.Vol], d.Index, pol)
+		if err != nil {
+			rep.problem("index-corrupt", d.Index, "", "read: %v", err)
+		} else if ientries, err = decodeIndexDropping(pl.Materialize(), 0); err != nil {
+			rep.problem("index-corrupt", d.Index, "", "%v", err)
+		} else {
+			indexOK = true
+			rep.IndexesChecked++
+		}
+	}
+
+	switch {
+	case indexOK:
+		var covered int64
+		for _, e := range ientries {
+			if e.Length <= 0 || e.PhysOff < 0 || e.PhysOff+e.Length > dataEnd {
+				rep.problem("extent-bounds", d.Index,
+					fmt.Sprintf("[%d,%d)", e.PhysOff, e.PhysOff+e.Length),
+					"index record outside %d data bytes", dataEnd)
+				continue
+			}
+			covered += e.Length
+		}
+		if covered != dataEnd {
+			if footErr != nil && covered < dataEnd {
+				// Without a footer, trailing bytes beyond indexed coverage
+				// are a torn append tail (e.g. a crash after Sync spilled
+				// the index): invisible to readers, but worth reporting.
+				rep.problem("torn-tail", d.Data, fmt.Sprintf("[%d,%d)", covered, dataEnd),
+					"%d data bytes beyond indexed coverage", dataEnd-covered)
+			} else {
+				rep.problem("coverage", d.Data, "", "index covers %d of %d data bytes", covered, dataEnd)
+			}
+		}
+		if footErr == nil && len(fentries) != len(ientries) {
+			rep.problem("index-footer-mismatch", d.Index, "",
+				"index has %d entries, recovery footer has %d", len(ientries), len(fentries))
+		}
+	case footErr == nil:
+		// No usable index, but the footer can rebuild it.
+		if fi.Size > 0 {
+			rep.problem("unreachable", d.Data, "",
+				"no index records (%d bytes; recoverable via plfsctl recover)", fi.Size)
+		}
+	default:
+		if fi.Size > 0 {
+			rep.problem("unreachable", d.Data, "", "no index records and no recovery footer (%d bytes)", fi.Size)
+		}
+	}
+
+	// End-to-end data verification from the checksummed footer.
+	if footErr != nil || sums == nil {
+		return
+	}
+	f, err := ctx.openReadRetried(ctx.Vols[d.Vol], d.Data, pol)
+	if err != nil {
+		rep.problem("unreachable", d.Data, "", "open: %v", err)
+		return
+	}
+	defer f.Close()
+	for i, e := range fentries {
+		var got uint32
+		readErr := ctx.retry(pol, func() error {
+			l, e2 := f.ReadAt(e.PhysOff, e.Length)
+			if e2 != nil {
+				return e2
+			}
+			got = listCRC(0, l)
+			return nil
+		})
+		extent := fmt.Sprintf("[%d,%d)", e.PhysOff, e.PhysOff+e.Length)
+		if readErr != nil {
+			rep.problem("unreachable", d.Data, extent, "read: %v", readErr)
+			continue
+		}
+		rep.ExtentsChecked++
+		rep.BytesVerified += e.Length
+		if got != sums[i] {
+			rep.problem("checksum-data", d.Data, extent, "data crc32c %08x, footer says %08x", got, sums[i])
+		}
+	}
+}

@@ -31,8 +31,9 @@ type Writer struct {
 	written  int64 // bytes flushed to the data dropping
 
 	entries    []Entry
-	spilledAll bool // entries already persisted to the index dropping
-	overflowed bool // exceeded the flatten threshold
+	sums       []uint32 // per-entry CRC32C of data extents (Options.Checksum)
+	spilledAll bool     // entries already persisted to the index dropping
+	overflowed bool     // exceeded the flatten threshold
 
 	maxLogical int64
 	closed     bool
@@ -185,6 +186,7 @@ func (w *Writer) Write(off int64, p payload.Payload) error {
 			// Index compression: the write continues the previous record.
 			e.Length += n
 			e.Timestamp = w.ctx.now()
+			w.noteChecksum(p, true)
 			w.buf = w.buf.Append(p)
 			w.bufBytes += n
 			if end := off + n; end > w.maxLogical {
@@ -203,6 +205,7 @@ func (w *Writer) Write(off int64, p payload.Payload) error {
 		Timestamp:  w.ctx.now(),
 		Rank:       int32(w.ctx.Rank),
 	})
+	w.noteChecksum(p, false)
 	w.buf = w.buf.Append(p)
 	w.bufBytes += n
 	if end := off + n; end > w.maxLogical {
@@ -218,6 +221,22 @@ func (w *Writer) Write(off int64, p payload.Payload) error {
 		w.overflowed = true
 	}
 	return nil
+}
+
+// noteChecksum maintains the per-entry data CRCs alongside w.entries:
+// a new entry starts a fresh CRC, a compression-extended entry rolls the
+// appended payload into the last one.  The hashing cost is charged to
+// the virtual clock so the ablation figure sees it.
+func (w *Writer) noteChecksum(p payload.Payload, extend bool) {
+	if !w.m.opt.Checksum {
+		return
+	}
+	if extend {
+		w.sums[len(w.sums)-1] = payloadCRC(w.sums[len(w.sums)-1], p)
+	} else {
+		w.sums = append(w.sums, payloadCRC(0, p))
+	}
+	w.ctx.sleep(w.m.opt.ChecksumCPUPerMB * timeDuration(int(p.Len())) / (1 << 20))
 }
 
 // flushData appends buffered payloads to the data dropping.  Transient
@@ -256,17 +275,11 @@ func (w *Writer) writeOwnIndex() error {
 	if w.spilledAll || len(w.entries) == 0 {
 		return nil
 	}
-	pol := w.m.opt.Retry
-	f, err := w.ctx.createRetried(w.ctx.Vols[w.subVol], w.indexPath, pol)
-	if err != nil {
-		return err
+	buf := encodeEntries(w.entries)
+	if w.m.opt.Checksum {
+		buf = appendSumTrailer(buf, idxSumMagic)
 	}
-	defer f.Close()
-	buf := payload.FromBytes(encodeEntries(w.entries))
-	if err := w.ctx.retry(pol, func() error {
-		_, e := f.Append(buf)
-		return e
-	}); err != nil {
+	if err := w.ctx.writeFileAtomic(w.ctx.Vols[w.subVol], w.indexPath, buf, w.m.opt.Retry, false); err != nil {
 		return err
 	}
 	w.spilledAll = true
@@ -392,8 +405,14 @@ func (w *Writer) Close() error {
 // Physical offsets are unaffected — the footer lands past every data
 // extent — and Recover can rebuild the index dropping from it.
 func (w *Writer) writeFrameFooter() error {
+	var buf []byte
+	if w.m.opt.Checksum {
+		buf = encodeFrameFooterSums(w.entries, w.sums)
+	} else {
+		buf = encodeFrameFooter(w.entries)
+	}
 	return w.ctx.retry(w.m.opt.Retry, func() error {
-		_, err := w.dataFile.Append(payload.FromBytes(encodeFrameFooter(w.entries)))
+		_, err := w.dataFile.Append(payload.FromBytes(buf))
 		return err
 	})
 }
@@ -425,11 +444,10 @@ func (w *Writer) writeSizeRecord(size int64) error {
 			}
 		}
 	}
+	// Atomic publish: the record appears under its final name or not at
+	// all, so a crash here cannot leave a half-created size record.
 	name := path.Join(meta, fmt.Sprintf("%s%d.%d.%d", sizePrefix, size, gen, w.ctx.Rank))
-	f, err := w.ctx.createRetried(b, name, pol)
-	if err == nil {
-		errs = append(errs, f.Close())
-	} else if !errors.Is(err, iofs.ErrExist) {
+	if err := w.ctx.writeFileAtomic(b, name, nil, pol, false); err != nil {
 		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
@@ -466,16 +484,13 @@ func (w *Writer) writeGlobalIndex(shardVals []any) error {
 		}
 	}
 	w.ctx.sleep(w.m.opt.ParseCPUPerEntry * timeDuration(len(all)))
-	buf := payload.FromBytes(encodeGlobalIndex(paths, all))
-	cpath, vc := w.m.containerPath(w.rel)
-	pol := w.m.opt.Retry
-	f, err := w.ctx.createRetried(w.ctx.Vols[vc], path.Join(cpath, metaDir, globalIndex), pol)
-	if err != nil {
-		return err
+	buf := encodeGlobalIndex(paths, all)
+	if w.m.opt.Checksum {
+		buf = appendSumTrailer(buf, gidxSumMagic)
 	}
-	defer f.Close()
-	return w.ctx.retry(pol, func() error {
-		_, e := f.Append(buf)
-		return e
-	})
+	// Atomic temp+rename commit: readers can never decode a half-written
+	// global index, and a retried append cannot duplicate entries (each
+	// attempt starts from a fresh temp file).
+	cpath, vc := w.m.containerPath(w.rel)
+	return w.ctx.writeFileAtomic(w.ctx.Vols[vc], path.Join(cpath, metaDir, globalIndex), buf, w.m.opt.Retry, false)
 }

@@ -21,20 +21,22 @@ import (
 
 	"plfs/internal/fault"
 	"plfs/internal/harness"
+	"plfs/internal/obs"
 	"plfs/internal/plfs"
 )
 
 func main() {
 	var (
-		figID   = flag.String("fig", "all", "figure id to run (see -list), or 'all'")
-		scale   = flag.String("scale", "quick", "experiment scale: quick | paper")
-		reps    = flag.Int("reps", 0, "repetitions per point (0 = default)")
-		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files into")
-		workers = flag.Int("workers", 0, "decode worker pool per mount (0 = GOMAXPROCS, 1 = serial)")
-		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
-		list    = flag.Bool("list", false, "list figures and exit")
-		faultS  = flag.String("fault", "", "fault injection spec applied to every run, e.g. 'seed=7,all=0.01'")
-		retryN  = flag.Int("retry", 1, "PLFS retry attempts for transient backend errors (1 = no retry)")
+		figID    = flag.String("fig", "all", "figure id to run (see -list), or 'all'")
+		scale    = flag.String("scale", "quick", "experiment scale: quick | paper")
+		reps     = flag.Int("reps", 0, "repetitions per point (0 = default)")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
+		workers  = flag.Int("workers", 0, "decode worker pool per mount (0 = GOMAXPROCS, 1 = serial)")
+		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
+		list     = flag.Bool("list", false, "list figures and exit")
+		faultS   = flag.String("fault", "", "fault injection spec applied to every run, e.g. 'seed=7,all=0.01'")
+		retryN   = flag.Int("retry", 1, "PLFS retry attempts for transient backend errors (1 = no retry)")
+		metricsF = flag.String("metrics", "", "accumulate op metrics across every run and write them as JSON to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,14 @@ func main() {
 	}
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+	var reg *obs.Registry
+	if *metricsF != "" {
+		// One registry across the whole suite: spans are not retained (a
+		// figure sweep would produce millions), histograms and counters are.
+		reg = obs.New()
+		reg.SetSpanLimit(0)
+		opts.Obs = reg
 	}
 
 	var figs []harness.Figure
@@ -111,5 +121,21 @@ func main() {
 			}
 		}
 		fmt.Printf("-- %s done in %.1fs\n\n", f.ID, time.Since(start).Seconds())
+	}
+	if reg != nil {
+		out := os.Stdout
+		if *metricsF != "-" {
+			f, err := os.Create(*metricsF)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "plfsbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := reg.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "plfsbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -12,18 +12,23 @@
 //	plfsctl recover <logical> -root ...               # rebuild lost index droppings
 //	plfsctl scrub <logical> -root ...                 # full integrity walk (checksums)
 //	plfsctl rm   <logical> -root <volume-root> ...    # remove a container
+//	plfsctl top  <metrics.json>                       # summarise a -metrics dump
 //
 // check, recover, and scrub accept -json for machine-readable reports
 // and use disciplined exit codes: 0 clean, 1 problems found, 2 usage or
-// operational error.
+// operational error.  top takes the JSON written by plfsrun/plfsbench
+// -metrics ('-' = stdin) and renders timers by total time descending.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
+	"plfs/internal/obs"
 	"plfs/internal/osfs"
 	"plfs/internal/plfs"
 )
@@ -48,6 +53,18 @@ func main() {
 	}
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+	if cmd == "top" {
+		// top reads a metrics JSON file, not a container: no -root needed.
+		if logical == "" {
+			fmt.Fprintln(os.Stderr, "plfsctl: top requires a metrics JSON file (from plfsrun/plfsbench -metrics)")
+			os.Exit(2)
+		}
+		if err := doTop(logical); err != nil {
+			fmt.Fprintln(os.Stderr, "plfsctl:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if cmd == "ls" && len(roots) == 0 {
 		roots = fs.Args()
@@ -123,6 +140,7 @@ func runReport(m *plfs.Mount, ctx plfs.Ctx, cmd, logical string, jsonOut bool) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: plfsctl {ls|stat|map|read|flatten|check|recover|scrub|rm} [logical] -root DIR [-root DIR...] [-off N] [-len N] [-json]")
+	fmt.Fprintln(os.Stderr, "       plfsctl top <metrics.json>   (JSON from plfsrun/plfsbench -metrics; '-' = stdin)")
 	os.Exit(2)
 }
 
@@ -179,6 +197,72 @@ func doMap(m *plfs.Mount, ctx plfs.Ctx, logical string) error {
 		}
 		fmt.Printf("%12d +%-10d rank %-6d phys %-12d %s\n",
 			p.Logical, p.Length, p.Rank, p.PhysOff, ix.Droppings()[p.Dropping])
+	}
+	return nil
+}
+
+// doTop summarises a metrics dump (the JSON written by plfsrun or
+// plfsbench -metrics): timers sorted by total time descending, then
+// counters and gauges alphabetically.
+func doTop(path string) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(in).Decode(&snap); err != nil {
+		return fmt.Errorf("parsing metrics JSON: %w", err)
+	}
+
+	if len(snap.Histograms) > 0 {
+		names := make([]string, 0, len(snap.Histograms))
+		for name := range snap.Histograms {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			a, b := snap.Histograms[names[i]], snap.Histograms[names[j]]
+			if a.SumSeconds != b.SumSeconds {
+				return a.SumSeconds > b.SumSeconds
+			}
+			return names[i] < names[j]
+		})
+		fmt.Printf("%-32s %10s %12s %10s %10s %10s %10s\n",
+			"TIMER", "COUNT", "TOTAL(s)", "P50(s)", "P95(s)", "P99(s)", "MAX(s)")
+		for _, name := range names {
+			h := snap.Histograms[name]
+			fmt.Printf("%-32s %10d %12.6f %10.6f %10.6f %10.6f %10.6f\n",
+				name, h.Count, h.SumSeconds, h.P50Seconds, h.P95Seconds, h.P99Seconds, h.MaxSeconds)
+		}
+	}
+	if len(snap.Counters) > 0 {
+		names := make([]string, 0, len(snap.Counters))
+		for name := range snap.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("\n%-32s %14s\n", "COUNTER", "VALUE")
+		for _, name := range names {
+			fmt.Printf("%-32s %14d\n", name, snap.Counters[name])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		names := make([]string, 0, len(snap.Gauges))
+		for name := range snap.Gauges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("\n%-32s %14s\n", "GAUGE", "VALUE")
+		for _, name := range names {
+			fmt.Printf("%-32s %14.3f\n", name, snap.Gauges[name])
+		}
+	}
+	if snap.SpansDropped > 0 {
+		fmt.Printf("\n(%d spans dropped by the retention limit)\n", snap.SpansDropped)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"plfs/internal/fault"
 	"plfs/internal/harness"
 	"plfs/internal/mpi"
+	"plfs/internal/obs"
 	"plfs/internal/pfs"
 	"plfs/internal/plfs"
 	"plfs/internal/workloads"
@@ -27,27 +29,29 @@ import (
 
 func main() {
 	var (
-		kernel  = flag.String("kernel", "mpi-io-test", "workload: mpi-io-test | ior | madbench | pixie3d | aramco | lanl1 | lanl2 | lanl3 | n-n | create-storm")
-		ranks   = flag.Int("ranks", 64, "number of MPI ranks")
-		bytesMB = flag.Int64("mb", 50, "MB per rank (or total for strong-scaling kernels)")
-		opKB    = flag.Int64("opkb", 50, "operation size in KiB (where applicable)")
-		files   = flag.Int("files", 1, "files per rank (create-storm)")
-		usePLFS = flag.Bool("plfs", false, "route through PLFS (default: direct access)")
-		mode    = flag.String("mode", "parallel", "PLFS index mode: original | flatten | parallel")
-		volumes = flag.Int("volumes", 1, "metadata volumes (federation)")
-		profile = flag.String("profile", "small", "cluster profile: small | cielo")
-		cb      = flag.Bool("cb", false, "enable collective buffering")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		noRead  = flag.Bool("w", false, "write phase only")
-		verify  = flag.Bool("verify", true, "verify read contents")
-		stats   = flag.Bool("stats", false, "print the simulated file system's resource report")
-		dropC   = flag.Bool("dropcaches", true, "invalidate caches between write and read phases")
-		traceF  = flag.String("trace", "", "write a resource time-series CSV to this file")
-		workers = flag.Int("workers", 0, "decode worker pool (0 = GOMAXPROCS, 1 = serial)")
-		faultS  = flag.String("fault", "", "fault injection spec, e.g. 'seed=7,all=0.05,torn=0.01,slow=0:2ms,lose=hostdir.3'")
-		retryN  = flag.Int("retry", 1, "PLFS retry attempts for transient backend errors (1 = no retry)")
-		partial = flag.Bool("allow-partial", false, "skip unreadable index shards on read open (degraded results)")
-		cksum   = flag.Bool("checksum", false, "checksummed framing: CRC32C trailers on index metadata and per-extent data checksums")
+		kernel   = flag.String("kernel", "mpi-io-test", "workload: mpi-io-test | ior | madbench | pixie3d | aramco | lanl1 | lanl2 | lanl3 | n-n | create-storm")
+		ranks    = flag.Int("ranks", 64, "number of MPI ranks")
+		bytesMB  = flag.Int64("mb", 50, "MB per rank (or total for strong-scaling kernels)")
+		opKB     = flag.Int64("opkb", 50, "operation size in KiB (where applicable)")
+		files    = flag.Int("files", 1, "files per rank (create-storm)")
+		usePLFS  = flag.Bool("plfs", false, "route through PLFS (default: direct access)")
+		mode     = flag.String("mode", "parallel", "PLFS index mode: original | flatten | parallel")
+		volumes  = flag.Int("volumes", 1, "metadata volumes (federation)")
+		profile  = flag.String("profile", "small", "cluster profile: small | cielo")
+		cb       = flag.Bool("cb", false, "enable collective buffering")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		noRead   = flag.Bool("w", false, "write phase only")
+		verify   = flag.Bool("verify", true, "verify read contents")
+		stats    = flag.Bool("stats", false, "print the simulated file system's resource report")
+		dropC    = flag.Bool("dropcaches", true, "invalidate caches between write and read phases")
+		traceF   = flag.String("trace", "", "write a resource time-series CSV to this file")
+		workers  = flag.Int("workers", 0, "decode worker pool (0 = GOMAXPROCS, 1 = serial)")
+		faultS   = flag.String("fault", "", "fault injection spec, e.g. 'seed=7,all=0.05,torn=0.01,slow=0:2ms,lose=hostdir.3'")
+		metricsF = flag.String("metrics", "", "write op metrics as JSON to this file ('-' = stdout) and print the phase breakdown")
+		spansF   = flag.String("spans", "", "write phase spans as CSV to this file ('-' = stdout)")
+		retryN   = flag.Int("retry", 1, "PLFS retry attempts for transient backend errors (1 = no retry)")
+		partial  = flag.Bool("allow-partial", false, "skip unreadable index shards on read open (degraded results)")
+		cksum    = flag.Bool("checksum", false, "checksummed framing: CRC32C trailers on index metadata and per-extent data checksums")
 	)
 	flag.Parse()
 
@@ -132,6 +136,11 @@ func main() {
 		}
 		job.Fault = &spec
 	}
+	var reg *obs.Registry
+	if *metricsF != "" || *spansF != "" {
+		reg = obs.New()
+		job.Obs = reg
+	}
 	var traceFile *os.File
 	if *traceF != "" {
 		var err error
@@ -165,4 +174,43 @@ func main() {
 	if *stats {
 		fmt.Println("  " + rep.String())
 	}
+	if reg != nil {
+		if err := writeMetrics(reg, *metricsF, *spansF); err != nil {
+			fmt.Fprintln(os.Stderr, "plfsrun:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics emits the registry's snapshot (JSON) and spans (CSV) to
+// the requested destinations ("-" = stdout, "" = skip) and prints the
+// phase breakdown whenever metrics were requested.
+func writeMetrics(reg *obs.Registry, metricsF, spansF string) error {
+	emit := func(dst string, write func(io.Writer) error) error {
+		if dst == "" {
+			return nil
+		}
+		if dst == "-" {
+			return write(os.Stdout)
+		}
+		f, err := os.Create(dst)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := emit(metricsF, reg.WriteJSON); err != nil {
+		return err
+	}
+	if err := emit(spansF, reg.WriteSpansCSV); err != nil {
+		return err
+	}
+	if metricsF != "" {
+		fmt.Print(obs.RenderBreakdown(reg.Breakdown()))
+	}
+	return nil
 }

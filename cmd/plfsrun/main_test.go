@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"plfs/internal/harness"
+	"plfs/internal/mpi"
+	"plfs/internal/obs"
+	"plfs/internal/pfs"
+	"plfs/internal/plfs"
+	"plfs/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenJob is the fixed workload behind the -metrics golden file:
+// everything that feeds the registry runs on the simulator's virtual
+// clock, so the snapshot must be bit-identical across runs and hosts.
+// DecodeWorkers is pinned to 1 so decode scheduling cannot depend on
+// GOMAXPROCS.
+func goldenJob(reg *obs.Registry) harness.Job {
+	return harness.Job{
+		Seed: 1, Ranks: 4, Cfg: pfs.SmallCluster(), Net: mpi.DefaultNet(),
+		Opt: plfs.Options{
+			IndexMode: plfs.ParallelIndexRead, NumSubdirs: 32, DecodeWorkers: 1,
+			Retry: plfs.RetryPolicy{Attempts: 1},
+		},
+		Kernel:  workloads.IOR(2<<20, 1<<19),
+		UsePLFS: true, ReadBack: true, Verify: true, DropCaches: true,
+		Obs: reg,
+	}
+}
+
+// TestMetricsGolden locks down the -metrics JSON for a fixed job.  Any
+// change to counter names, histogram bucketing, JSON field order, or
+// the instrumented code paths shows up as a diff here; regenerate with
+// `go test ./cmd/plfsrun -run TestMetricsGolden -update` and review it.
+func TestMetricsGolden(t *testing.T) {
+	reg := obs.New()
+	if _, err := harness.Run(goldenJob(reg)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("metrics JSON drifted from %s (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,42 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links: [text](target).  Images and
+// reference-style links are out of scope — the repo docs use inline
+// links only.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocLinks verifies that every relative link in the top-level docs
+// points at a file or directory that exists, so the cross-references
+// between README, DESIGN, and EXPERIMENTS cannot silently rot.
+func TestDocLinks(t *testing.T) {
+	docs := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md"}
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			// Drop any #fragment; a bare fragment links within the file.
+			path, _, _ := strings.Cut(target, "#")
+			if path == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Clean(path)); err != nil {
+				t.Errorf("%s: broken link %q: %v", doc, target, err)
+			}
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"plfs/internal/obs"
 	"plfs/internal/payload"
 	"plfs/internal/plfs"
 )
@@ -251,8 +252,11 @@ const (
 
 // Error is an injected fault.
 type Error struct {
-	Op   Op
+	// Op is the operation class the fault fired on.
+	Op Op
+	// Path is the backend path the operation targeted.
 	Path string
+	// Kind classifies the injected failure.
 	Kind Kind
 	// inFlight marks the mutating operation that triggered the crash
 	// point itself (as opposed to operations after it): an append in
@@ -299,6 +303,12 @@ func (e *Error) Unwrap() error {
 // deterministic in the seed.
 type Injector struct {
 	spec Spec
+
+	// Obs, when non-nil, receives live fault counters: one
+	// "fault.injected.<op>" counter per op class and "fault.crashed" when
+	// the crash point fires (see internal/obs and DESIGN.md §11).  Set it
+	// before wrapping backends; nil disables publication.
+	Obs *obs.Registry
 
 	mu      sync.Mutex
 	seq     uint64
@@ -367,6 +377,9 @@ func (in *Injector) crashCheck(op Op, path string) *Error {
 	in.mutOps++
 	if in.spec.CrashAt > 0 && in.mutOps == in.spec.CrashAt {
 		in.crashed = true
+		if in.Obs != nil {
+			in.Obs.Counter("fault.crashed").Add(1)
+		}
 		return &Error{Op: op, Path: path, Kind: Crashed, inFlight: true}
 	}
 	return nil
@@ -400,6 +413,9 @@ func (in *Injector) count(op Op) {
 	in.mu.Lock()
 	in.counts[op]++
 	in.mu.Unlock()
+	if in.Obs != nil {
+		in.Obs.Counter("fault.injected." + string(op)).Add(1)
+	}
 }
 
 // fire decides whether a transient error hits this (op, path) call.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"plfs/internal/fault"
+	"plfs/internal/obs"
 	"plfs/internal/plfs"
 	"plfs/internal/stats"
 	"plfs/internal/workloads"
@@ -336,4 +337,53 @@ func AblationChecksum(o Options) ([]*stats.Table, error) {
 		cl.AddSample("plfs", x, &sCl)
 	}
 	return []*stats.Table{bw, cl}, nil
+}
+
+// AblationPhases decomposes the Fig. 5 read-open into its span phases —
+// list (container listing / global-index probe), decode (shard read +
+// parse), merge (index resolve), exchange (collective transport) — using
+// the observability registry (DESIGN.md §11).  Each phase value is the
+// slowest rank's span for that phase (spans ride the virtual clock, so
+// the maximum is the phase's contribution to critical-path open time).
+func AblationPhases(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	tab := &stats.Table{
+		Title:  "Ablation: read-open phase breakdown (Fig. 5 IOR kernel)",
+		XLabel: "procs", YLabel: "seconds",
+	}
+	phases := []string{"open", "list", "decode", "merge", "exchange"}
+	for _, procs := range o.kernelProcCounts() {
+		samples := make(map[string]*stats.Sample, len(phases))
+		for _, ph := range phases {
+			samples[ph] = &stats.Sample{}
+		}
+		for rep := 0; rep < o.repsFor(procs); rep++ {
+			reg := obs.New()
+			k, hints := fig5Instance(o, "ior", procs)
+			res, err := Run(Job{
+				Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: o.small(), Net: defaultNet(),
+				Opt:    o.n1MountOpt(plfs.ParallelIndexRead, 1),
+				Kernel: k, Hints: hints, UsePLFS: true, ReadBack: true,
+				DropCaches: true, Fault: o.Fault, Obs: reg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("ablation-phases@%d: %w", procs, err)
+			}
+			for _, ph := range phases {
+				samples[ph].Add(reg.Histogram("span." + ph).Max().Seconds())
+			}
+			o.log("ablation-phases procs=%-5d rep %d: open %.3fs = list %.3f + decode %.3f + merge %.3f + exchange %.3f (read-open %.3fs)",
+				procs, rep,
+				reg.Histogram("span.open").Max().Seconds(),
+				reg.Histogram("span.list").Max().Seconds(),
+				reg.Histogram("span.decode").Max().Seconds(),
+				reg.Histogram("span.merge").Max().Seconds(),
+				reg.Histogram("span.exchange").Max().Seconds(),
+				res.ReadOpen.Seconds())
+		}
+		for _, ph := range phases {
+			tab.AddSample(ph, float64(procs), samples[ph])
+		}
+	}
+	return []*stats.Table{tab}, nil
 }

@@ -40,6 +40,7 @@ func Figures() []Figure {
 		{"ablation-spread", "Ablation: federation spread modes", AblationSpread},
 		{"ablation-degraded", "Ablation: one degraded OST group", AblationDegradedOST},
 		{"ablation-checksum", "Ablation: checksummed framing overhead", AblationChecksum},
+		{"ablation-phases", "Ablation: read-open phase breakdown (list/decode/merge/exchange)", AblationPhases},
 	}
 }
 

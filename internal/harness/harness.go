@@ -14,6 +14,7 @@ import (
 	"plfs/internal/adio"
 	"plfs/internal/fault"
 	"plfs/internal/mpi"
+	"plfs/internal/obs"
 	"plfs/internal/pfs"
 	"plfs/internal/plfs"
 	"plfs/internal/sim"
@@ -48,6 +49,11 @@ type Job struct {
 	// job, shared across ranks).  Pair with Opt.Retry to study degraded
 	// storage; injected latency and backoff cost virtual time.
 	Fault *fault.Spec
+	// Obs, if non-nil, collects op metrics and phase spans from every
+	// rank (plfsrun -metrics/-spans).  The harness rebinds the registry's
+	// clock to the engine's virtual time, so span durations and latency
+	// histograms report simulated seconds; see DESIGN.md §11.
+	Obs *obs.Registry
 }
 
 // Run executes the job and returns the job-level result (identical on all
@@ -61,6 +67,9 @@ func Run(j Job) (workloads.Result, error) {
 // report, for bottleneck analysis.
 func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 	eng := sim.NewEngine(j.Seed)
+	// Metrics ride the virtual clock: a span covering a simulated phase
+	// reports simulated time, deterministic in the seed.
+	j.Obs.SetClock(func() int64 { return int64(eng.Now()) })
 	// Oversubscribe cores when the job exceeds the machine (the paper runs
 	// 2048 concurrent I/O streams on its 1024-core cluster).
 	ppn := j.Cfg.ProcsPerNode
@@ -86,12 +95,14 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 	var inj *fault.Injector
 	if j.Fault != nil {
 		inj = fault.New(*j.Fault)
+		inj.Obs = j.Obs
 	}
 	var res workloads.Result
 	var kerr error
 	world.SpawnAll(func(r *mpi.Rank) {
 		ctx := simfs.FaultCtx(fs, r.Node(), r.Proc(), r.Rank(), ppn, inj)
 		ctx.Comm = r.Comm()
+		ctx.Obs = j.Obs
 		var drv adio.Driver
 		path := j.Kernel.Name()
 		if j.UsePLFS {
@@ -117,7 +128,9 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 		}
 	})
 	if rec != nil {
-		rec.Start()
+		if err := rec.Start(); err != nil {
+			return res, fs.Report(), err
+		}
 	}
 	if err := eng.Run(); err != nil {
 		// A rank that died on an unabsorbed error leaves the others
@@ -126,6 +139,7 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 		if kerr != nil {
 			err = errors.Join(kerr, err)
 		}
+		fs.PublishObs(j.Obs)
 		return res, fs.Report(), err
 	}
 	if rec != nil {
@@ -133,6 +147,7 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 			return res, fs.Report(), err
 		}
 	}
+	fs.PublishObs(j.Obs)
 	rep := fs.Report()
 	// Large runs (tens of thousands of simulated processes) leave big
 	// heaps behind; return the memory before the next repetition so
@@ -173,6 +188,10 @@ type Options struct {
 	// Retry is the PLFS retry policy applied to every mount the harness
 	// builds (plfsbench -retry).
 	Retry plfs.RetryPolicy
+	// Obs, if non-nil, is attached to every job the figure suite runs
+	// (plfsbench -metrics): one registry accumulates metrics across the
+	// whole suite.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -189,6 +208,7 @@ func (o Options) withDefaults() Options {
 // figure and ablation can be regenerated against degraded storage.
 func (o Options) run(j Job) (workloads.Result, error) {
 	j.Fault = o.Fault
+	j.Obs = o.Obs
 	return Run(j)
 }
 

@@ -1,0 +1,116 @@
+package harness_test
+
+import (
+	"testing"
+
+	"plfs/internal/harness"
+	"plfs/internal/mpi"
+	"plfs/internal/obs"
+	"plfs/internal/pfs"
+	"plfs/internal/plfs"
+	"plfs/internal/workloads"
+)
+
+// fig5Job is the Quick-scale Fig. 5 IOR read job with an observability
+// registry attached.
+func fig5Job(reg *obs.Registry, ranks int) harness.Job {
+	return harness.Job{
+		Seed: 7, Ranks: ranks, Cfg: pfs.SmallCluster(), Net: mpi.DefaultNet(),
+		UsePLFS: true, ReadBack: true,
+		DropCaches: true,
+		Opt: plfs.Options{
+			IndexMode:  plfs.ParallelIndexRead,
+			NumSubdirs: 32,
+		},
+		Kernel: workloads.IOR(4<<20, 1<<20),
+		Obs:    reg,
+	}
+}
+
+// TestOpenSpanMatchesReadOpen is the observability acceptance check: the
+// open phase is barrier-bracketed, so the slowest rank's "open" span must
+// account for the reported read-open time within 5%.
+func TestOpenSpanMatchesReadOpen(t *testing.T) {
+	reg := obs.New()
+	res, err := harness.Run(fig5Job(reg, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	openMax := reg.Histogram("span.open").Max()
+	got, want := openMax.Seconds(), res.ReadOpen.Seconds()
+	if want <= 0 {
+		t.Fatalf("read-open time = %v, want > 0", res.ReadOpen)
+	}
+	if diff := got - want; diff < -0.05*want || diff > 0.05*want {
+		t.Fatalf("max span.open = %.6fs, read-open = %.6fs: off by more than 5%%", got, want)
+	}
+	if n := reg.Histogram("span.open").Count(); n != 16 {
+		t.Fatalf("open spans = %d, want one per rank (16)", n)
+	}
+	// The child phases must nest inside "open" and be nonzero overall.
+	rows := reg.Breakdown()
+	byPath := map[string]bool{}
+	for _, r := range rows {
+		byPath[r.Path] = true
+	}
+	for _, p := range []string{"open", "open/decode", "open/merge"} {
+		if !byPath[p] {
+			t.Errorf("breakdown missing path %q (have %v)", p, rows)
+		}
+	}
+}
+
+// TestMetricsDeterministicAcrossRuns: two identical jobs with the
+// virtual-clock registry must produce identical snapshots — the property
+// the plfsrun golden-file test relies on.
+func TestMetricsDeterministicAcrossRuns(t *testing.T) {
+	snap := func() obs.Snapshot {
+		reg := obs.New()
+		if _, err := harness.Run(fig5Job(reg, 8)); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Snapshot()
+	}
+	a, b := snap(), snap()
+	if len(a.Counters) == 0 || len(a.Histograms) == 0 {
+		t.Fatalf("empty snapshot: %+v", a)
+	}
+	for k, v := range a.Counters {
+		if b.Counters[k] != v {
+			t.Errorf("counter %s: %d vs %d", k, v, b.Counters[k])
+		}
+	}
+	for k, v := range a.Histograms {
+		if b.Histograms[k] != v {
+			t.Errorf("histogram %s: %+v vs %+v", k, v, b.Histograms[k])
+		}
+	}
+}
+
+// TestObsCountsOps sanity-checks the wiring: a run with N ranks opening
+// one shared file must report N opens, N creates, and the written bytes.
+func TestObsCountsOps(t *testing.T) {
+	reg := obs.New()
+	if _, err := harness.Run(fig5Job(reg, 8)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["plfs.open.ops"]; got != 8 {
+		t.Errorf("plfs.open.ops = %d, want 8", got)
+	}
+	if got := snap.Counters["plfs.create.ops"]; got != 8 {
+		t.Errorf("plfs.create.ops = %d, want 8", got)
+	}
+	if got := snap.Counters["plfs.write.bytes"]; got != 8*(4<<20) {
+		t.Errorf("plfs.write.bytes = %d, want %d", got, 8*(4<<20))
+	}
+	if got := snap.Counters["plfs.read.bytes"]; got <= 0 {
+		t.Errorf("plfs.read.bytes = %d, want > 0", got)
+	}
+	if _, ok := snap.Gauges["pfs.vol0.mds_busy_seconds"]; !ok {
+		t.Error("missing pfs.vol0.mds_busy_seconds gauge")
+	}
+	if _, ok := snap.Gauges["pfs.ost0.bytes_moved"]; !ok {
+		t.Error("missing pfs.ost0.bytes_moved gauge")
+	}
+}

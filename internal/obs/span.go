@@ -1,0 +1,55 @@
+package obs
+
+import "sync/atomic"
+
+// Span is one in-flight timed operation.  Spans form explicit trees:
+// create roots with Registry.StartSpan and nest with Span.Child — there
+// is no ambient (goroutine-local) current span, so concurrent ranks and
+// worker pools can not corrupt each other's ancestry.  A nil *Span is
+// fully usable: Child returns nil and End does nothing, which is how the
+// disabled fast path stays allocation-free.
+type Span struct {
+	r      *Registry
+	name   string
+	id     uint64
+	parent uint64
+	start  int64
+}
+
+// StartSpan opens a root span (nil-safe: returns nil on a nil registry).
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, name: name, id: atomic.AddUint64(&r.lastID, 1), start: r.now()}
+}
+
+// Child opens a sub-span of s (nil-safe: returns nil on a nil span).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.r.StartSpan(name)
+	c.parent = s.id
+	return c
+}
+
+// End closes the span: its duration feeds the "span.<name>" histogram
+// and, retention permitting, a SpanRecord is kept for breakdowns.  End
+// a span exactly once.  Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.r.now()
+	s.r.Histogram("span." + s.name).ObserveNanos(end - s.start)
+	s.r.mu.Lock()
+	if len(s.r.spans) < s.r.spanLimit {
+		s.r.spans = append(s.r.spans, SpanRecord{
+			Name: s.name, ID: s.id, Parent: s.parent, Start: s.start, End: end,
+		})
+	} else {
+		s.r.dropped++
+	}
+	s.r.mu.Unlock()
+}

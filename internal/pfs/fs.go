@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"plfs/internal/obs"
 	"plfs/internal/payload"
 	"plfs/internal/sim"
 )
@@ -310,6 +311,31 @@ func (n *fnode) sortedChildren() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// PublishObs copies the file system's cumulative service metrics into
+// reg as gauges — aggregate op counters plus per-volume MDS busy time
+// and per-OST-group bytes moved (see internal/obs and DESIGN.md §11).
+// It snapshots current totals; call it after the workload completes (or
+// periodically) rather than once up front.  Nil-safe.
+func (fs *FS) PublishObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r := fs.Report()
+	reg.Gauge("pfs.meta_ops").Set(float64(r.MetaOps))
+	reg.Gauge("pfs.lock_rpcs").Set(float64(r.LockOps))
+	reg.Gauge("pfs.seeks").Set(float64(r.SeekOps))
+	reg.Gauge("pfs.net_bytes").Set(float64(r.NetBytes))
+	reg.Gauge("pfs.disk_bytes").Set(float64(r.DiskBytes))
+	reg.Gauge("pfs.cache_hit_pct").Set(r.CacheHitPct)
+	for i, v := range fs.vols {
+		reg.Gauge(fmt.Sprintf("pfs.vol%d.mds_busy_seconds", i)).Set(v.mds.Busy.Seconds())
+		reg.Gauge(fmt.Sprintf("pfs.vol%d.mdsread_busy_seconds", i)).Set(v.mdsRead.Busy.Seconds())
+	}
+	for i, g := range fs.groups {
+		reg.Gauge(fmt.Sprintf("pfs.ost%d.bytes_moved", i)).Set(float64(g.Moved))
+	}
 }
 
 // TraceProbes exposes the file system's shared resources as trace probes

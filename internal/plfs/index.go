@@ -14,12 +14,18 @@ import (
 // belong at LogicalOff; they physically live at PhysOff of dropping
 // Dropping; resolved against other writes by Timestamp".
 type Entry struct {
+	// LogicalOff is the write's offset in the logical file.
 	LogicalOff int64
-	Length     int64
-	PhysOff    int64
-	Timestamp  int64
-	Dropping   int32 // id into the container's canonical dropping order
-	Rank       int32
+	// Length is the write's byte count.
+	Length int64
+	// PhysOff is the offset within the data dropping.
+	PhysOff int64
+	// Timestamp orders overlapping writes (last writer wins).
+	Timestamp int64
+	// Dropping is an id into the container's canonical dropping order.
+	Dropping int32
+	// Rank is the writing process, the deterministic timestamp tiebreak.
+	Rank int32
 }
 
 // EntryBytes is the serialized size of one Entry.
@@ -233,11 +239,16 @@ func (ix *Index) Droppings() []string { return ix.droppings }
 // Piece is one contiguous portion of a logical read, mapped to physical
 // storage.  A negative Dropping means a hole (read as zeros).
 type Piece struct {
-	Logical  int64
-	Length   int64
+	// Logical is the piece's offset in the logical file.
+	Logical int64
+	// Length is the piece's byte count.
+	Length int64
+	// Dropping indexes the container's dropping order; negative = hole.
 	Dropping int32
-	PhysOff  int64
-	Rank     int32
+	// PhysOff is the offset within that dropping's data file.
+	PhysOff int64
+	// Rank is the rank whose write this piece resolves to.
+	Rank int32
 }
 
 // Lookup maps the logical range [off, off+n) to physical pieces, including

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"plfs/internal/comm"
+	"plfs/internal/obs"
 )
 
 // Mode selects the index aggregation strategy (§IV of the paper).
@@ -189,6 +190,11 @@ type Ctx struct {
 	// Comm enables the collective optimizations; nil means serial mode
 	// (the FUSE-style interface), which always uses Original aggregation.
 	Comm comm.Comm
+	// Obs, when non-nil, receives op-level metrics and spans (see
+	// internal/obs and DESIGN.md §11): open/close/recover/scrub phase
+	// spans, per-op latency histograms, and retry counters.  Nil disables
+	// all instrumentation at zero cost.
+	Obs *obs.Registry
 }
 
 func (c Ctx) now() int64 {

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"plfs/internal/obs"
 	"plfs/internal/payload"
 )
 
@@ -25,6 +26,7 @@ type Reader struct {
 	handles map[int32]File
 	vsums   map[int32]*extentSums // lazy per-dropping checksums (VerifyData)
 	closed  bool
+	sp      *obs.Span // the enclosing "open" span (nil when obs is off)
 
 	// Stats describes what this open did (for tests and the harness).
 	Stats OpenStats
@@ -72,6 +74,8 @@ func (m *Mount) OpenReader(ctx Ctx, rel string) (*Reader, error) {
 	r.Stats.Mode = mode
 	r.Stats.DecodeWorkers = m.opt.decodeWorkers()
 
+	r.sp = ctx.Obs.StartSpan("open")
+	defer r.sp.End()
 	var err error
 	switch mode {
 	case Original:
@@ -80,6 +84,14 @@ func (m *Mount) OpenReader(ctx Ctx, rel string) (*Reader, error) {
 		err = r.aggregateFlatten()
 	case ParallelIndexRead:
 		err = r.aggregateParallel()
+	}
+	if ctx.Obs != nil {
+		ctx.Obs.Counter("plfs.open.ops").Add(1)
+		ctx.Obs.Counter("plfs.open.index_reads").Add(int64(r.Stats.IndexReads))
+		ctx.Obs.Counter("plfs.open.index_bytes").Add(r.Stats.IndexBytes)
+		if err != nil {
+			ctx.Obs.Counter("plfs.open.errors").Add(1)
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -127,6 +139,8 @@ func (r *Reader) tryGlobalIndex() (*Index, error) {
 
 // indexOf builds (with caching) the resolved index from raw shards.
 func (r *Reader) buildCached(shards [][]Entry, dataPaths []string) *Index {
+	msp := r.sp.Child("merge")
+	defer msp.End()
 	st := r.m.stateOf(r.rel)
 	total := 0
 	for _, s := range shards {
@@ -166,6 +180,8 @@ func (r *Reader) buildCached(shards [][]Entry, dataPaths []string) *Index {
 // pure-CPU decode of uncached shards fans out.  Either way the total
 // virtual time charged is identical to the serial baseline.
 func (r *Reader) readShards(refs []shardRef) ([][]Entry, error) {
+	dsp := r.sp.Child("decode")
+	defer dsp.End()
 	m, ctx := r.m, r.ctx
 	st := m.stateOf(r.rel)
 	w := m.opt.decodeWorkers()
@@ -313,12 +329,15 @@ func withDropping(entries []Entry, id int32) []Entry {
 // lists the container and reads every index dropping (N readers each
 // doing this produce the N² open storm of Fig. 3a).
 func (r *Reader) aggregateOriginal() error {
+	lsp := r.sp.Child("list")
 	if ix, err := r.tryGlobalIndex(); err != nil || ix != nil {
+		lsp.End()
 		r.ix = ix
 		r.Stats.UsedGlobal = ix != nil
 		return err
 	}
 	drops, err := r.m.listDroppings(r.ctx, r.rel)
+	lsp.End()
 	if err != nil {
 		return err
 	}
@@ -355,6 +374,7 @@ func (r *Reader) aggregateFlatten() error {
 		entries []Entry
 	}
 	var hv, mv any
+	lsp := r.sp.Child("list")
 	if c.Rank() == 0 {
 		ix, err := r.tryGlobalIndex()
 		switch {
@@ -368,16 +388,21 @@ func (r *Reader) aggregateFlatten() error {
 			mv = material{paths: ix.Droppings(), entries: entries}
 		}
 	}
+	lsp.End()
+	xsp := r.sp.Child("exchange")
 	h := c.Bcast(0, 24, hv).(hdr)
 	if h.errs != "" {
+		xsp.End()
 		return errors.New(h.errs)
 	}
 	if h.missing {
+		xsp.End()
 		r.Stats.Mode = ParallelIndexRead
 		return r.aggregateParallel()
 	}
 	r.Stats.UsedGlobal = true
 	got := c.Bcast(0, h.nbytes, mv).(material)
+	xsp.End()
 	r.ix = r.buildCached([][]Entry{got.entries}, got.paths)
 	return nil
 }
@@ -417,6 +442,7 @@ func (r *Reader) aggregateParallel() error {
 		ndrops int
 	}
 	var hv, dv any
+	lsp := r.sp.Child("list")
 	if c.Rank() == 0 {
 		if ix, err := r.tryGlobalIndex(); err != nil {
 			hv = hdr{errs: err.Error()}
@@ -429,16 +455,21 @@ func (r *Reader) aggregateParallel() error {
 			dv = drops
 		}
 	}
+	lsp.End()
+	xsp := r.sp.Child("exchange")
 	first := c.Bcast(0, 24, hv).(hdr)
 	if first.errs != "" {
+		xsp.End()
 		return errors.New(first.errs)
 	}
 	if first.global {
+		xsp.End()
 		// A flattened index exists: serve everyone from it.
 		r.Stats.Mode = IndexFlatten
 		return r.aggregateFlatten()
 	}
 	drops, _ := c.Bcast(0, int64(first.ndrops)*96, dv).([]droppingRef)
+	xsp.End()
 
 	n := c.Size()
 	groupSize := m.opt.GroupSize
@@ -462,6 +493,7 @@ func (r *Reader) aggregateParallel() error {
 	leaders := c.Split(leaderColor, c.Rank())
 
 	// Leader assigns members their subset of this group's droppings.
+	xsp = r.sp.Child("exchange")
 	var assignment []shardRef
 	if isLeader {
 		mine := chunk(len(drops), numGroups, myGroup)
@@ -479,6 +511,7 @@ func (r *Reader) aggregateParallel() error {
 	} else {
 		assignment = group.Scatter(0, 32, nil).([]shardRef)
 	}
+	xsp.End()
 
 	// Members read their assigned subindices through the worker pool.
 	refs := make([]shardRef, 0, len(assignment))
@@ -501,6 +534,7 @@ func (r *Reader) aggregateParallel() error {
 
 	// Members return subindices to their leader; leaders exchange and
 	// broadcast the merged global set within their groups.
+	xsp = r.sp.Child("exchange")
 	gathered := group.Gather(0, mineBytes+32, mine)
 	var all []shardMsg
 	if isLeader {
@@ -525,6 +559,7 @@ func (r *Reader) aggregateParallel() error {
 	}
 	allBytes = group.Bcast(0, 8, allBytes).(int64)
 	all = group.Bcast(0, allBytes, all).([]shardMsg)
+	xsp.End()
 
 	shards := make([][]Entry, 0, len(all))
 	paths := make([]string, len(drops))
@@ -597,6 +632,11 @@ func (r *Reader) handle(id int32) (File, error) {
 func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
 	if r.closed {
 		return nil, errors.New("plfs: reader closed")
+	}
+	if obs := r.ctx.Obs; obs != nil {
+		defer obs.Timer("plfs.readat")()
+		obs.Counter("plfs.read.ops").Add(1)
+		obs.Counter("plfs.read.bytes").Add(n)
 	}
 	pieces := r.ix.Lookup(off, n)
 	r.ReadStats.Ops++

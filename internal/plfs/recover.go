@@ -219,31 +219,41 @@ func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
 		return rep, fmt.Errorf("plfs: recover %s: not a container: %w", rel, iofs.ErrNotExist)
 	}
 	pol := m.opt.Retry
+	sp := ctx.Obs.StartSpan("recover")
+	defer sp.End()
 
 	// A corrupt global index hides the per-writer indexes in every read
 	// mode; validate it first and clear it if unreadable.
+	gsp := sp.Child("global-index")
 	cpath, vc := m.containerPath(rel)
 	gp := path.Join(cpath, metaDir, globalIndex)
 	if pl, _, err := ctx.readAllRetried(ctx.Vols[vc], gp, pol); err == nil {
 		if _, _, derr := decodeGlobalIndexAuto(pl.Materialize()); derr != nil {
 			if rmErr := ctx.Vols[vc].Remove(gp); rmErr != nil && !errors.Is(rmErr, iofs.ErrNotExist) {
+				gsp.End()
 				return rep, rmErr
 			}
 			rep.DroppedGlobal = true
 		}
 	} else if !errors.Is(err, iofs.ErrNotExist) {
+		gsp.End()
 		return rep, err
 	}
+	gsp.End()
 
 	// Sweep orphaned commit temp files: a crash between create and
 	// rename leaves "<final>.tmp.<rank>" debris that no reader consumes
 	// but that would otherwise accumulate on the backing volumes.
+	ssp := sp.Child("sweep")
 	removedTmp, err := m.sweepTmpFiles(ctx, rel)
+	ssp.End()
 	if err != nil {
 		return rep, err
 	}
 	rep.RemovedTmp = removedTmp
 
+	wsp := sp.Child("walk")
+	defer wsp.End()
 	drops, err := m.listDroppings(ctx, rel)
 	if err != nil {
 		return rep, err
@@ -291,6 +301,11 @@ func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
 		st.builtKey, st.built = "", nil
 		st.parsed = map[string][]Entry{}
 		st.mu.Unlock()
+	}
+	if ctx.Obs != nil {
+		ctx.Obs.Counter("plfs.recover.ops").Add(1)
+		ctx.Obs.Counter("plfs.recover.rebuilt").Add(int64(len(rep.Rebuilt)))
+		ctx.Obs.Counter("plfs.recover.unrecoverable").Add(int64(len(rep.Unrecoverable)))
 	}
 	return rep, nil
 }

@@ -80,8 +80,15 @@ func (c Ctx) retry(p RetryPolicy, op func() error) error {
 		return err
 	}
 	for k := 1; k < p.Attempts && Retryable(err); k++ {
+		if c.Obs != nil {
+			c.Obs.Counter("plfs.retry.attempts").Add(1)
+		}
 		c.retrySleep(p.delay(k, c.Rank))
 		err = op()
+	}
+	if err != nil && Retryable(err) && c.Obs != nil {
+		// A transient error survived every attempt.
+		c.Obs.Counter("plfs.retry.exhausted").Add(1)
 	}
 	return err
 }

@@ -147,6 +147,15 @@ func (m *Mount) Scrub(ctx Ctx, rel string) (ScrubReport, error) {
 	}
 	pol := m.opt.Retry
 	cpath, vc := m.containerPath(rel)
+	sp := ctx.Obs.StartSpan("scrub")
+	defer sp.End()
+	defer func() {
+		if ctx.Obs != nil {
+			ctx.Obs.Counter("plfs.scrub.ops").Add(1)
+			ctx.Obs.Counter("plfs.scrub.problems").Add(int64(len(rep.Problems)))
+			ctx.Obs.Counter("plfs.scrub.bytes_verified").Add(rep.BytesVerified)
+		}
+	}()
 
 	// Flattened global index: decode (verifying its trailer if present).
 	gp := path.Join(cpath, metaDir, globalIndex)
@@ -182,6 +191,8 @@ func (m *Mount) Scrub(ctx Ctx, rel string) (ScrubReport, error) {
 
 	// Per-dropping walk: raw hostdir scan so orphan index droppings
 	// (index without data) are visible too.
+	wsp := sp.Child("walk")
+	defer wsp.End()
 	ids, err := m.hostdirIDs(ctx, rel)
 	if err != nil {
 		return rep, err

@@ -46,6 +46,11 @@ type Writer struct {
 // EEXIST tolerated), as through FUSE.
 func (m *Mount) Create(ctx Ctx, rel string) (*Writer, error) {
 	rel = clean(rel)
+	csp := ctx.Obs.StartSpan("create")
+	defer csp.End()
+	if ctx.Obs != nil {
+		ctx.Obs.Counter("plfs.create.ops").Add(1)
+	}
 	if ctx.Comm != nil {
 		var res any
 		if ctx.Comm.Rank() == 0 {
@@ -179,6 +184,11 @@ func (w *Writer) Write(off int64, p payload.Payload) error {
 	if n == 0 {
 		return nil
 	}
+	if obs := w.ctx.Obs; obs != nil {
+		defer obs.Timer("plfs.write.append")()
+		obs.Counter("plfs.write.ops").Add(1)
+		obs.Counter("plfs.write.bytes").Add(n)
+	}
 	phys := w.written + w.bufBytes
 	if last := len(w.entries) - 1; last >= 0 && !w.m.opt.NoIndexCompression {
 		e := &w.entries[last]
@@ -311,6 +321,11 @@ func (w *Writer) Close() error {
 	}
 	w.closed = true
 	m, ctx := w.m, w.ctx
+	sp := ctx.Obs.StartSpan("close")
+	defer sp.End()
+	if ctx.Obs != nil {
+		ctx.Obs.Counter("plfs.close.ops").Add(1)
+	}
 	var errs []error
 	fail := func(err error) {
 		if err != nil {
@@ -318,18 +333,23 @@ func (w *Writer) Close() error {
 		}
 	}
 
+	fsp := sp.Child("flush")
 	flushErr := w.flushData()
+	fsp.End()
 	fail(flushErr)
 	if flushErr == nil && !m.opt.NoDataFraming && len(w.entries) > 0 {
 		// Recovery footer: a self-describing copy of this writer's index
 		// appended to the data dropping, written before the index dropping
 		// so a crash in between leaves a recoverable file (see Recover).
+		ftsp := sp.Child("footer")
 		fail(w.writeFrameFooter())
+		ftsp.End()
 	}
 	fail(w.dataFile.Close())
 
 	flatten := m.opt.IndexMode == IndexFlatten && ctx.Comm != nil
 	if flatten {
+		isp := sp.Child("index")
 		sh := flattenShard{DataPath: w.dataPath, Entries: w.entries, Size: w.maxLogical, Overflow: w.overflowed}
 		if flushErr != nil {
 			// Unflushed bytes must not enter the global index; contribute
@@ -358,14 +378,20 @@ func (w *Writer) Close() error {
 		} else if ctx.Comm.Rank() == 0 {
 			fail(w.writeGlobalIndex(shards))
 		}
+		isp.End()
+		csp := sp.Child("commit")
 		if ctx.Comm.Rank() == 0 {
 			fail(w.writeSizeRecord(st[1].(int64)))
 		}
 		ctx.Comm.Barrier()
+		csp.End()
 	} else {
+		isp := sp.Child("index")
 		if flushErr == nil {
 			fail(w.writeOwnIndex())
 		}
+		isp.End()
+		csp := sp.Child("commit")
 		if ctx.Comm != nil {
 			size := w.maxLogical
 			if flushErr != nil {
@@ -385,6 +411,7 @@ func (w *Writer) Close() error {
 		} else if flushErr == nil {
 			fail(w.writeSizeRecord(w.maxLogical))
 		}
+		csp.End()
 	}
 
 	if ctx.HostLeader {

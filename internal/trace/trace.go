@@ -7,12 +7,21 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"time"
 
 	"plfs/internal/sim"
+)
+
+// Errors reported by Recorder misuse.
+var (
+	// ErrStarted is returned by Start when the recorder is already armed,
+	// and by Add/AddProbes after Start: a probe registered mid-run would
+	// make earlier rows shorter than the header, corrupting the CSV.
+	ErrStarted = errors.New("trace: recorder already started")
 )
 
 // Probe reads one instantaneous metric.
@@ -39,26 +48,38 @@ func NewRecorder(eng *sim.Engine, interval time.Duration) *Recorder {
 	return &Recorder{eng: eng, interval: interval}
 }
 
-// Add registers a probe.  All probes must be added before Start.
-func (r *Recorder) Add(name string, fn func() float64) {
+// Add registers a probe.  All probes must be added before Start; a late
+// registration returns ErrStarted and is not recorded.
+func (r *Recorder) Add(name string, fn func() float64) error {
+	if r.started {
+		return ErrStarted
+	}
 	r.probes = append(r.probes, Probe{name, fn})
+	return nil
 }
 
-// AddProbes registers a batch of probes.
-func (r *Recorder) AddProbes(ps []Probe) {
+// AddProbes registers a batch of probes (same contract as Add).
+func (r *Recorder) AddProbes(ps []Probe) error {
+	if r.started {
+		return ErrStarted
+	}
 	r.probes = append(r.probes, ps...)
+	return nil
 }
 
 // Start arms the sampler.  It must be called after the simulation's
 // processes are spawned (the recorder stops itself once no processes
-// remain, letting the event queue drain).
-func (r *Recorder) Start() {
+// remain, letting the event queue drain).  Starting an already-started
+// recorder returns ErrStarted — a silent second arm would double the
+// sampling rate and interleave duplicate rows.
+func (r *Recorder) Start() error {
 	if r.started {
-		return
+		return ErrStarted
 	}
 	r.started = true
 	r.sample()
 	r.schedule()
+	return nil
 }
 
 func (r *Recorder) schedule() {

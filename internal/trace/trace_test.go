@@ -57,6 +57,51 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+func TestStartTwiceFails(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := NewRecorder(eng, time.Millisecond)
+	if err := r.Add("x", func() float64 { return 1 }); err != nil {
+		t.Fatalf("Add before Start: %v", err)
+	}
+	eng.Spawn("p", func(p *sim.Proc) { p.Sleep(5 * time.Millisecond) })
+	if err := r.Start(); err != nil {
+		t.Fatalf("first Start: %v", err)
+	}
+	if err := r.Start(); err != ErrStarted {
+		t.Fatalf("second Start = %v, want ErrStarted", err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The rejected Start must not have armed a second sampling schedule.
+	if r.Samples() < 5 || r.Samples() > 8 {
+		t.Fatalf("samples = %d, want ~6 (double-Start would double it)", r.Samples())
+	}
+}
+
+func TestAddAfterStartFails(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := NewRecorder(eng, time.Millisecond)
+	r.Add("x", func() float64 { return 1 })
+	eng.Spawn("p", func(p *sim.Proc) { p.Sleep(2 * time.Millisecond) })
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("late", func() float64 { return 2 }); err != ErrStarted {
+		t.Fatalf("Add after Start = %v, want ErrStarted", err)
+	}
+	if err := r.AddProbes([]Probe{{"late2", func() float64 { return 3 }}}); err != ErrStarted {
+		t.Fatalf("AddProbes after Start = %v, want ErrStarted", err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The late probes must not appear in the output.
+	if r.Series("late") != nil || r.Series("late2") != nil {
+		t.Fatal("late probe was recorded despite ErrStarted")
+	}
+}
+
 func TestRateProbe(t *testing.T) {
 	var c int64
 	p := Rate("r", time.Second, func() int64 { return c })

@@ -232,3 +232,31 @@ func BenchmarkAblationDegradedOST(b *testing.B) {
 func BenchmarkAblationChecksum(b *testing.B) {
 	runFigure(b, "ablation-checksum", nil)
 }
+
+// BenchmarkAblationIndexCompress A/Bs run-compressed index records,
+// reporting the index-byte shrink factor the compression buys.
+func BenchmarkAblationIndexCompress(b *testing.B) {
+	runFigure(b, "ablation-index-compress", func(b *testing.B, tabs []*stats.Table) {
+		_, off := lastX(tabs[1], "index-bytes") // x=1 is compression on
+		if p, ok := tabs[1].Lookup("index-bytes", 0); ok && off > 0 {
+			b.ReportMetric(p.Mean/off, "index-shrink-x")
+		}
+	})
+}
+
+// BenchmarkAblationIndexCache A/Bs the cross-open index cache on the
+// reopen kernel, reporting the total-open-time speedup.
+func BenchmarkAblationIndexCache(b *testing.B) {
+	runFigure(b, "ablation-index-cache", func(b *testing.B, tabs []*stats.Table) {
+		_, on := lastX(tabs[0], "read-open-total")
+		if p, ok := tabs[0].Lookup("read-open-total", 0); ok && on > 0 {
+			b.ReportMetric(p.Mean/on, "reopen-speedup-x")
+		}
+	})
+}
+
+// BenchmarkAblationSieveGap sweeps the sieving read-coalescing gap on
+// the checkpoint-restart kernel.
+func BenchmarkAblationSieveGap(b *testing.B) {
+	runFigure(b, "ablation-sieve-gap", nil)
+}

@@ -188,8 +188,8 @@ func doMap(m *plfs.Mount, ctx plfs.Ctx, logical string) error {
 	}
 	defer r.Close()
 	ix := r.Index()
-	fmt.Printf("# %s: %d droppings, %d raw entries, %d resolved segments, logical size %d\n",
-		logical, len(ix.Droppings()), ix.RawEntries(), ix.Segments(), ix.Size())
+	fmt.Printf("# %s: %d droppings, %d raw entries, %d resolved segments, %d runs, logical size %d\n",
+		logical, len(ix.Droppings()), ix.RawEntries(), ix.Segments(), ix.Runs(), ix.Size())
 	for _, p := range ix.Lookup(0, ix.Size()) {
 		if p.Dropping < 0 {
 			fmt.Printf("%12d +%-10d hole\n", p.Logical, p.Length)

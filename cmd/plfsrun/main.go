@@ -52,6 +52,9 @@ func main() {
 		retryN   = flag.Int("retry", 1, "PLFS retry attempts for transient backend errors (1 = no retry)")
 		partial  = flag.Bool("allow-partial", false, "skip unreadable index shards on read open (degraded results)")
 		cksum    = flag.Bool("checksum", false, "checksummed framing: CRC32C trailers on index metadata and per-extent data checksums")
+		compress = flag.Bool("index-compress", true, "run-compress index records at writer flush")
+		ixCache  = flag.Bool("index-cache", true, "cache aggregated indexes across opens of an unchanged container")
+		sieveKB  = flag.Int64("sieve-gap", 0, "sieving read coalescing: merge near-adjacent pieces up to this gap in KiB")
 	)
 	flag.Parse()
 
@@ -109,9 +112,12 @@ func main() {
 
 	opt := plfs.Options{
 		IndexMode: m, NumSubdirs: 32, DecodeWorkers: *workers,
-		Retry:        plfs.RetryPolicy{Attempts: *retryN},
-		AllowPartial: *partial,
-		Checksum:     *cksum,
+		Retry:            plfs.RetryPolicy{Attempts: *retryN},
+		AllowPartial:     *partial,
+		Checksum:         *cksum,
+		NoRunCompression: !*compress,
+		NoIndexCache:     !*ixCache,
+		SieveGap:         *sieveKB << 10,
 	}
 	if *volumes > 1 {
 		if nn {

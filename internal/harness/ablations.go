@@ -339,6 +339,165 @@ func AblationChecksum(o Options) ([]*stats.Table, error) {
 	return []*stats.Table{bw, cl}, nil
 }
 
+// AblationIndexCompress A/Bs run-compressed index records on the strided
+// MPI-IO Test through Index Flatten: the same workload with and without
+// run detection at flush, reporting the modeled read-open time and the
+// index bytes the open actually read (plfs.open.index_bytes).  Strided
+// N-1 is the best case — each writer's whole checkpoint collapses to one
+// run record — so the bytes column shows the O(1)-per-writer property.
+func AblationIndexCompress(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	open := &stats.Table{
+		Title:  "Ablation: run-compressed index (read open)",
+		XLabel: "compress (0=off,1=on)", YLabel: "seconds",
+	}
+	bytes := &stats.Table{
+		Title:  "Ablation: run-compressed index (index bytes read at open)",
+		XLabel: "compress (0=off,1=on)", YLabel: "KiB",
+	}
+	ranks := 256
+	if o.Scale == Quick {
+		ranks = 32
+	}
+	nb, op := o.n1Bytes()
+	for _, compress := range []bool{false, true} {
+		x := 0.0
+		if compress {
+			x = 1
+		}
+		var sOpen, sBytes stats.Sample
+		for rep := 0; rep < o.Reps; rep++ {
+			reg := obs.New()
+			opt := o.n1MountOpt(plfs.IndexFlatten, 1)
+			opt.NoRunCompression = !compress
+			res, err := Run(Job{
+				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
+				Opt: opt, Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
+				Fault: o.Fault, Obs: reg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("index-compress on=%v: %w", compress, err)
+			}
+			ib := reg.Counter("plfs.open.index_bytes").Value()
+			sOpen.Add(res.ReadOpen.Seconds())
+			sBytes.Add(float64(ib) / 1024)
+			o.log("ablation-index-compress on=%v rep %d: read-open %.3fs index bytes %d",
+				compress, rep, res.ReadOpen.Seconds(), ib)
+		}
+		open.AddSample("read-open", x, &sOpen)
+		bytes.AddSample("index-bytes", x, &sBytes)
+	}
+	return []*stats.Table{open, bytes}, nil
+}
+
+// AblationIndexCache A/Bs the cross-open index cache on the reopen
+// kernel: one strided checkpoint, then repeated open/read/close cycles
+// against the unchanged container — the pattern of analysis tools that
+// revisit a file.  With the cache, every open after the first skips
+// aggregation entirely (plfs.index.cache.hit counts them); without it,
+// each open pays the full index read.
+func AblationIndexCache(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	open := &stats.Table{
+		Title:  "Ablation: cross-open index cache (total open time, 8 reopens)",
+		XLabel: "cache (0=off,1=on)", YLabel: "seconds",
+	}
+	reads := &stats.Table{
+		Title:  "Ablation: cross-open index cache (index dropping reads)",
+		XLabel: "cache (0=off,1=on)", YLabel: "reads",
+	}
+	ranks := 256
+	if o.Scale == Quick {
+		ranks = 32
+	}
+	const reopens = 8
+	nb, op := o.n1Bytes()
+	for _, cache := range []bool{false, true} {
+		x := 0.0
+		if cache {
+			x = 1
+		}
+		var sOpen, sReads stats.Sample
+		for rep := 0; rep < o.Reps; rep++ {
+			reg := obs.New()
+			opt := o.n1MountOpt(plfs.ParallelIndexRead, 1)
+			opt.NoIndexCache = !cache
+			res, err := Run(Job{
+				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
+				Opt: opt, Kernel: workloads.ReopenN1(nb, op, reopens), UsePLFS: true,
+				ReadBack: true, DropCaches: true, Fault: o.Fault, Obs: reg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("index-cache on=%v: %w", cache, err)
+			}
+			ir := reg.Counter("plfs.open.index_reads").Value()
+			hits := reg.Counter("plfs.index.cache.hit").Value()
+			if cache && hits == 0 {
+				return nil, fmt.Errorf("index-cache on: no cache hits across %d reopens", reopens)
+			}
+			sOpen.Add(res.ReadOpen.Seconds())
+			sReads.Add(float64(ir))
+			o.log("ablation-index-cache on=%v rep %d: total read-open %.3fs index reads %d cache hits %d",
+				cache, rep, res.ReadOpen.Seconds(), ir, hits)
+		}
+		open.AddSample("read-open-total", x, &sOpen)
+		reads.AddSample("index-reads", x, &sReads)
+	}
+	return []*stats.Table{open, reads}, nil
+}
+
+// AblationSieveGap sweeps the sieving read-coalescing gap on the
+// checkpoint-restart kernel, whose overwrite round leaves op-sized dead
+// gaps between each dropping's live extents.  A gap at or above the op
+// size merges neighbours into one large read per dropping; the second
+// table reports the price — physical read amplification
+// (plfs.read.phys_bytes over plfs.read.bytes).
+func AblationSieveGap(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	rd := &stats.Table{
+		Title:  "Ablation: sieving read coalescing (restart read time)",
+		XLabel: "gap KiB", YLabel: "seconds",
+	}
+	amp := &stats.Table{
+		Title:  "Ablation: sieving read coalescing (read amplification)",
+		XLabel: "gap KiB", YLabel: "phys bytes / logical bytes",
+	}
+	ranks := 256
+	if o.Scale == Quick {
+		ranks = 32
+	}
+	nb, op := o.n1Bytes()
+	for _, gap := range []int64{0, op / 2, op, 8 * op} {
+		var sRead, sAmp stats.Sample
+		for rep := 0; rep < o.Reps; rep++ {
+			reg := obs.New()
+			opt := o.n1MountOpt(plfs.ParallelIndexRead, 1)
+			opt.SieveGap = gap
+			res, err := Run(Job{
+				Seed: o.BaseSeed + int64(rep), Ranks: ranks, Cfg: o.small(), Net: defaultNet(),
+				Opt: opt, Kernel: workloads.RestartN1(nb, op), UsePLFS: true,
+				ReadBack: true, DropCaches: true, Fault: o.Fault, Obs: reg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sieve-gap %d: %w", gap, err)
+			}
+			phys := reg.Counter("plfs.read.phys_bytes").Value()
+			logical := reg.Counter("plfs.read.bytes").Value()
+			a := 1.0
+			if logical > 0 {
+				a = float64(phys) / float64(logical)
+			}
+			sRead.Add(res.Read.Seconds())
+			sAmp.Add(a)
+			o.log("ablation-sieve-gap gap=%-8d rep %d: read %.3fs amplification %.3f",
+				gap, rep, res.Read.Seconds(), a)
+		}
+		rd.AddSample("read", float64(gap>>10), &sRead)
+		amp.AddSample("amplification", float64(gap>>10), &sAmp)
+	}
+	return []*stats.Table{rd, amp}, nil
+}
+
 // AblationPhases decomposes the Fig. 5 read-open into its span phases —
 // list (container listing / global-index probe), decode (shard read +
 // parse), merge (index resolve), exchange (collective transport) — using

@@ -41,6 +41,9 @@ func Figures() []Figure {
 		{"ablation-degraded", "Ablation: one degraded OST group", AblationDegradedOST},
 		{"ablation-checksum", "Ablation: checksummed framing overhead", AblationChecksum},
 		{"ablation-phases", "Ablation: read-open phase breakdown (list/decode/merge/exchange)", AblationPhases},
+		{"ablation-index-compress", "Ablation: run-compressed index records", AblationIndexCompress},
+		{"ablation-index-cache", "Ablation: cross-open index cache (reopen kernel)", AblationIndexCache},
+		{"ablation-sieve-gap", "Ablation: sieving read coalescing gap", AblationSieveGap},
 	}
 }
 

@@ -114,7 +114,10 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 		env := &workloads.Env{Ctx: ctx, Driver: drv, Hints: j.Hints, Path: path, Verify: j.Verify}
 		if j.DropCaches {
 			if r.Rank() == 0 {
-				env.InvalidateCaches = fs.DropCaches
+				env.InvalidateCaches = func() {
+					fs.DropCaches()
+					mount.DropIndexCache()
+				}
 			} else {
 				env.InvalidateCaches = func() {} // participate in the barrier only
 			}

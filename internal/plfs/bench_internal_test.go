@@ -1,6 +1,7 @@
 package plfs
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -41,6 +42,91 @@ func BenchmarkDecodeEntries(b *testing.B) {
 	}
 	b.Run("serial", func(b *testing.B) { decode(b, 1) })
 	b.Run("parallel", func(b *testing.B) { decode(b, benchWorkers()) })
+}
+
+// stridedShards models an N-1 strided checkpoint: rank r's k-th block
+// lands at logical (k*nShards+r)*bs, physically log-appended — the
+// pattern run detection collapses to one record per writer.
+func stridedShards(nShards, perShard int, bs int64) ([][]Entry, []string) {
+	shards := make([][]Entry, nShards)
+	paths := make([]string, nShards)
+	for r := range shards {
+		paths[r] = fmt.Sprintf("d%d", r)
+		es := make([]Entry, perShard)
+		for k := range es {
+			es[k] = Entry{
+				LogicalOff: (int64(k)*int64(nShards) + int64(r)) * bs,
+				Length:     bs,
+				PhysOff:    int64(k) * bs,
+				Timestamp:  int64(k),
+				Dropping:   int32(r),
+				Rank:       int32(r),
+			}
+		}
+		shards[r] = es
+	}
+	return shards, paths
+}
+
+// BenchmarkIndexBuild compares resolved-index construction from expanded
+// per-entry records against run-compressed records for a strided N-1
+// workload (where compression is maximal: one record per writer).
+func BenchmarkIndexBuild(b *testing.B) {
+	const nShards, perShard = 64, 2048
+	shards, paths := stridedShards(nShards, perShard, 512)
+	expanded := make([][]Rec, nShards)
+	compressed := make([][]Rec, nShards)
+	for i, s := range shards {
+		expanded[i] = recsOf(s)
+		compressed[i] = compressRecs(s)
+	}
+	b.Run("expanded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ix := BuildIndexRecs(expanded, paths, 1); ix.RawEntries() != nShards*perShard {
+				b.Fatal("bad build")
+			}
+		}
+	})
+	b.Run("run-compressed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ix := BuildIndexRecs(compressed, paths, 1); ix.RawEntries() != nShards*perShard {
+				b.Fatal("bad build")
+			}
+		}
+	})
+}
+
+// BenchmarkIndexLookup measures resolved-index range lookups through a
+// reused piece buffer.  Both paths must report 0 allocs/op (enforced by
+// TestLookupAllocFree): the run table via phase arithmetic, the segment
+// table via binary search.
+func BenchmarkIndexLookup(b *testing.B) {
+	const nShards, perShard, bs = 64, 2048, int64(512)
+	run := func(b *testing.B, ix *Index) {
+		b.ReportAllocs()
+		span := ix.Size()
+		buf := make([]Piece, 0, 256)
+		var off int64
+		b.ResetTimer() // exclude the one-time index build and buffer alloc
+		for i := 0; i < b.N; i++ {
+			buf = ix.AppendPieces(buf[:0], off%span, 16*bs)
+			off += 7 * bs
+		}
+	}
+	shards, paths := stridedShards(nShards, perShard, bs)
+	compressed := make([][]Rec, nShards)
+	for i, s := range shards {
+		compressed[i] = compressRecs(s)
+	}
+	b.Run("runs", func(b *testing.B) {
+		run(b, BuildIndexRecs(compressed, paths, 1))
+	})
+	rnd, rpaths := randomShards(rand.New(rand.NewSource(3)), nShards, perShard)
+	b.Run("segments", func(b *testing.B) {
+		run(b, BuildIndex(rnd, rpaths))
+	})
 }
 
 // BenchmarkBuildIndex measures global-index construction from raw shards:

@@ -79,11 +79,15 @@ func (m *Mount) Check(ctx Ctx, rel string) (CheckReport, error) {
 			}
 			continue
 		}
-		sh, err := r.readShard(d, int32(i))
+		recs, err := r.readShard(d, int32(i))
 		if err != nil {
 			rep.Problems = append(rep.Problems, fmt.Sprintf("index dropping corrupt: %s: %v", d.Index, err))
 			continue
 		}
+		// Per-entry structural checks: expand run records so every element
+		// is bounds-checked, and so the footer-length arithmetic below sees
+		// the same entry count the recovery footer records.
+		sh := expandRecs(recs)
 		var covered int64
 		for _, e := range sh {
 			if e.Length < 0 || e.PhysOff < 0 || e.PhysOff+e.Length > fi.Size {

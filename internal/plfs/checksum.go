@@ -67,24 +67,24 @@ func splitSumTrailer(data []byte, magic uint64) ([]byte, bool, error) {
 	return body, true, nil
 }
 
-// decodeIndexDropping decodes one index dropping, verifying and
-// stripping its checksum trailer when present.
-func decodeIndexDropping(data []byte, droppingID int32) ([]Entry, error) {
+// decodeIndexDropping decodes one index dropping (either record-format
+// generation), verifying and stripping its checksum trailer when present.
+func decodeIndexDropping(data []byte, droppingID int32) ([]Rec, error) {
 	body, _, err := splitSumTrailer(data, idxSumMagic)
 	if err != nil {
 		return nil, fmt.Errorf("index dropping %v", err)
 	}
-	return decodeEntries(body, droppingID)
+	return decodeRecs(body, droppingID)
 }
 
-// decodeGlobalIndexAuto decodes a global index, verifying and stripping
-// its checksum trailer when present.
-func decodeGlobalIndexAuto(data []byte) ([]string, []Entry, error) {
+// decodeGlobalIndexAuto decodes a global index (either record-format
+// generation), verifying and stripping its checksum trailer when present.
+func decodeGlobalIndexAuto(data []byte) ([]string, []Rec, error) {
 	body, _, err := splitSumTrailer(data, gidxSumMagic)
 	if err != nil {
 		return nil, nil, fmt.Errorf("global index %v", err)
 	}
-	return decodeGlobalIndex(body)
+	return decodeGlobalIndexRecs(body)
 }
 
 // payloadCRC extends sum with the payload's content.  Synthetic and zero

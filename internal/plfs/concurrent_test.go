@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"plfs/internal/payload"
 	"plfs/internal/plfs"
 )
 
@@ -148,4 +149,64 @@ func BenchmarkReadAtFanout(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) {
 		run(b, plfs.Options{IndexMode: plfs.Original, DecodeWorkers: workers})
 	})
+}
+
+// BenchmarkReadAtStrided measures a contiguous read over a container
+// whose live extents alternate between two droppings (a checkpoint plus
+// a partial overwrite), so each dropping's surviving pieces sit one
+// block apart physically.  gap0 issues one read per live piece run;
+// sieve coalesces each dropping into a single large read that spans the
+// dead bytes in between.
+func BenchmarkReadAtStrided(b *testing.B) {
+	const blocks = 64
+	bs := int64(8 << 10)
+	total := int64(blocks) * bs
+	r := newRig(b, 1, plfs.Options{IndexMode: plfs.Original})
+	ctx := r.ctx(0, nil)
+	w, err := r.m.Create(ctx, "strided")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < blocks; k++ {
+		if err := w.Write(int64(k)*bs, payload.Synthetic(1, int64(k)*bs, bs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	w, err = r.m.Create(ctx, "strided") // overwrite every other block
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < blocks; k += 2 {
+		if err := w.Write(int64(k)*bs, payload.Synthetic(2, int64(k)*bs, bs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, gap int64) {
+		m := plfs.NewMount(r.roots, plfs.Options{IndexMode: plfs.Original, SieveGap: gap})
+		rd, err := m.OpenReader(r.ctx(0, nil), "strided")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rd.Close()
+		b.ReportAllocs()
+		b.SetBytes(total)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pl, err := rd.ReadAt(0, total)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := pl.Len(); got != total {
+				b.Fatalf("read %d bytes, want %d", got, total)
+			}
+		}
+	}
+	b.Run("gap0", func(b *testing.B) { run(b, 0) })
+	b.Run("sieve", func(b *testing.B) { run(b, bs) })
 }

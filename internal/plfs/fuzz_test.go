@@ -103,6 +103,15 @@ func fuzzEntries() []Entry {
 	}
 }
 
+// fuzzRecs is a mixed record set — a plain entry plus a strided run — so
+// the seeds exercise the v2 run-record framing.
+func fuzzRecs() []Rec {
+	return []Rec{
+		{Entry: Entry{LogicalOff: 0, Length: 64, PhysOff: 0, Timestamp: 1}},
+		{Entry: Entry{LogicalOff: 1 << 10, Length: 64, PhysOff: 64, Timestamp: 2}, Count: 8, Stride: 512},
+	}
+}
+
 func flipped(b []byte, i int) []byte {
 	out := append([]byte(nil), b...)
 	out[i%len(out)] ^= 0x40
@@ -112,23 +121,31 @@ func flipped(b []byte, i int) []byte {
 func FuzzDecodeIndexDropping(f *testing.F) {
 	raw := encodeEntries(fuzzEntries())
 	sum := appendSumTrailer(raw, idxSumMagic)
+	v2 := encodeRecs(fuzzRecs())
+	v2sum := appendSumTrailer(v2, idxSumMagic)
 	f.Add([]byte{})
 	f.Add(raw)
 	f.Add(sum)
+	f.Add(v2)
+	f.Add(v2sum)
 	f.Add(flipped(sum, 3))
+	f.Add(flipped(v2, 11))
 	f.Add(raw[:len(raw)-1])
 	f.Add(sum[:len(sum)-8])
+	f.Add(v2[:len(v2)-2])
 	f.Fuzz(func(t *testing.T, data []byte) {
-		entries, err := decodeIndexDropping(data, 7)
+		recs, err := decodeIndexDropping(data, 7)
 		if err != nil {
 			return
 		}
-		if len(entries)*EntryBytes > len(data) {
-			t.Fatalf("%d entries from %d bytes: over-allocated", len(entries), len(data))
+		// Every record costs at least EntryBytes on the wire in either
+		// format generation, so this bounds allocation from forged counts.
+		if len(recs)*EntryBytes > len(data) {
+			t.Fatalf("%d records from %d bytes: over-allocated", len(recs), len(data))
 		}
-		for _, e := range entries {
-			if e.Dropping != 7 {
-				t.Fatalf("dropping id not rewritten: %d", e.Dropping)
+		for _, rec := range recs {
+			if rec.Dropping != 7 {
+				t.Fatalf("dropping id not rewritten: %d", rec.Dropping)
 			}
 		}
 	})
@@ -137,6 +154,8 @@ func FuzzDecodeIndexDropping(f *testing.F) {
 func FuzzDecodeGlobalIndex(f *testing.F) {
 	raw := encodeGlobalIndex([]string{"hostdir.0/dropping.data.1.0"}, fuzzEntries())
 	sum := appendSumTrailer(raw, gidxSumMagic)
+	v2 := encodeGlobalIndexV2([]string{"hostdir.0/dropping.data.1.0"}, fuzzRecs())
+	v2sum := appendSumTrailer(v2, gidxSumMagic)
 	// Regression: a forged entry count of 2^63 made ne*EntryBytes wrap to
 	// 0, pass the length check, and panic in make.
 	forged := make([]byte, 12)
@@ -144,22 +163,33 @@ func FuzzDecodeGlobalIndex(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(raw)
 	f.Add(sum)
+	f.Add(v2)
+	f.Add(v2sum)
 	f.Add(forged)
 	f.Add(flipped(sum, 9))
+	f.Add(flipped(v2, 17))
 	f.Add(raw[:len(raw)-5])
+	f.Add(v2[:len(v2)-7])
 	f.Fuzz(func(t *testing.T, data []byte) {
-		paths, entries, err := decodeGlobalIndexAuto(data)
+		paths, recs, err := decodeGlobalIndexAuto(data)
 		if err != nil {
 			return
 		}
-		if len(entries)*EntryBytes > len(data) || len(paths) > len(data) {
-			t.Fatalf("%d entries, %d paths from %d bytes: over-allocated",
-				len(entries), len(paths), len(data))
+		if len(recs)*EntryBytes > len(data) || len(paths) > len(data) {
+			t.Fatalf("%d records, %d paths from %d bytes: over-allocated",
+				len(recs), len(paths), len(data))
 		}
 		// Successful decodes must round-trip bit-exactly: anything else
-		// means the parser silently reinterpreted mangled input.
+		// means the parser silently reinterpreted mangled input.  Re-encode
+		// in whichever format generation the input was framed as.
 		body, _, _ := splitSumTrailer(data, gidxSumMagic)
-		if !bytes.Equal(encodeGlobalIndex(paths, entries), body) {
+		var re []byte
+		if len(body) >= 8 && binary.LittleEndian.Uint64(body) == gidxV2Magic {
+			re = encodeGlobalIndexV2(paths, recs)
+		} else {
+			re = encodeGlobalIndex(paths, expandRecs(recs))
+		}
+		if !bytes.Equal(re, body) {
 			t.Fatal("decode/encode round trip changed the global index")
 		}
 	})

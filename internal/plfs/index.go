@@ -76,21 +76,299 @@ func decodeEntries(data []byte, droppingID int32) ([]Entry, error) {
 	return out, nil
 }
 
+// Rec is one index record in run-compressed form.  Count <= 1 makes it a
+// plain Entry.  Count >= 2 makes it an arithmetic run: Count writes of
+// Length bytes each, the k-th at logical LogicalOff+k*Stride and physical
+// PhysOff+k*Length (sequential appends), all by Rank.  Every element
+// shares the run's first Timestamp; run detection requires monotone
+// nondecreasing timestamps within the run, so this quantization can only
+// reorder writes inside one writer's run window — the paper's note that
+// checkpoints don't overwrite in practice (see DESIGN.md §12).
+type Rec struct {
+	Entry
+	Count  int32
+	Stride int64
+}
+
+// recsOf wraps raw entries as single-element records.
+func recsOf(entries []Entry) []Rec {
+	out := make([]Rec, len(entries))
+	for i, e := range entries {
+		out[i] = Rec{Entry: e, Count: 1}
+	}
+	return out
+}
+
+// expandedCount returns the raw-entry count a record list represents.
+func expandedCount(recs []Rec) int {
+	n := 0
+	for _, r := range recs {
+		if r.Count <= 1 {
+			n++
+		} else {
+			n += int(r.Count)
+		}
+	}
+	return n
+}
+
+// expandRecs expands records to raw entries (runs into their elements).
+func expandRecs(recs []Rec) []Entry {
+	out := make([]Entry, 0, expandedCount(recs))
+	for _, r := range recs {
+		if r.Count <= 1 {
+			out = append(out, r.Entry)
+			continue
+		}
+		e := r.Entry
+		for k := int32(0); k < r.Count; k++ {
+			out = append(out, e)
+			e.LogicalOff += r.Stride
+			e.PhysOff += r.Length
+		}
+	}
+	return out
+}
+
+// compressRecs detects arithmetic runs in one writer's entries (in write
+// order): equal Length and Rank, physical offsets advancing by exactly
+// Length, logical offsets advancing by a constant stride >= Length (so
+// run elements are disjoint), timestamps monotone nondecreasing.  Runs of
+// at least two entries become one Rec; everything else passes through.
+func compressRecs(entries []Entry) []Rec {
+	recs := make([]Rec, 0, 8)
+	i := 0
+	for i < len(entries) {
+		e := entries[i]
+		j := i + 1
+		var stride int64
+		for e.Length > 0 && j < len(entries) {
+			p, c := entries[j-1], entries[j]
+			if c.Length != e.Length || c.Rank != e.Rank || c.Dropping != e.Dropping ||
+				c.PhysOff != p.PhysOff+e.Length || c.Timestamp < p.Timestamp {
+				break
+			}
+			s := c.LogicalOff - p.LogicalOff
+			if s < e.Length {
+				break
+			}
+			if j == i+1 {
+				stride = s
+			} else if s != stride {
+				break
+			}
+			j++
+		}
+		if j-i >= 2 {
+			recs = append(recs, Rec{Entry: e, Count: int32(j - i), Stride: stride})
+		} else {
+			recs = append(recs, Rec{Entry: e, Count: 1})
+			j = i + 1
+		}
+		i = j
+	}
+	return recs
+}
+
+// v2 record framing.  An index dropping is either v1 — raw entries,
+// EntryBytes each, byte-identical to the legacy format — or v2:
+//
+//	[ uint64 magic "PLFS_IX2" ][ uint32 nrecs ][ records ]
+//
+// where each record is a tag byte (1 = entry, 2 = run) followed by an
+// EntryBytes entry, and tag-2 records append [uint32 count][int64 stride].
+// The global index has the same two generations ("PLFS_GX2" for v2) with
+// the dropping-path header in front of the record section.  Encoders emit
+// v1 whenever every record is a single, so compression-off output stays
+// byte-identical to the legacy format and the simulator models the same
+// volumes.
+const (
+	ixV2Magic   = uint64(0x504c46535f495832) // "PLFS_IX2"
+	gidxV2Magic = uint64(0x504c46535f475832) // "PLFS_GX2"
+	recHdrLen   = 12                         // magic + record count
+	recRunExtra = 12                         // count + stride
+)
+
+// allSingles reports whether no record is a run.
+func allSingles(recs []Rec) bool {
+	for _, r := range recs {
+		if r.Count > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// recsWireLen returns exactly how many bytes encodeRecs(recs) produces —
+// the figure the simulator charges for index transport.
+func recsWireLen(recs []Rec) int64 {
+	if allSingles(recs) {
+		return int64(len(recs)) * EntryBytes
+	}
+	n := int64(recHdrLen)
+	for _, r := range recs {
+		n += 1 + EntryBytes
+		if r.Count > 1 {
+			n += recRunExtra
+		}
+	}
+	return n
+}
+
+func appendEntry(buf []byte, e Entry) []byte {
+	var b [EntryBytes]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(e.LogicalOff))
+	binary.LittleEndian.PutUint64(b[8:], uint64(e.Length))
+	binary.LittleEndian.PutUint64(b[16:], uint64(e.PhysOff))
+	binary.LittleEndian.PutUint64(b[24:], uint64(e.Timestamp))
+	binary.LittleEndian.PutUint32(b[32:], uint32(e.Dropping))
+	binary.LittleEndian.PutUint32(b[36:], uint32(e.Rank))
+	return append(buf, b[:]...)
+}
+
+func getEntry(b []byte) Entry {
+	return Entry{
+		LogicalOff: int64(binary.LittleEndian.Uint64(b[0:])),
+		Length:     int64(binary.LittleEndian.Uint64(b[8:])),
+		PhysOff:    int64(binary.LittleEndian.Uint64(b[16:])),
+		Timestamp:  int64(binary.LittleEndian.Uint64(b[24:])),
+		Dropping:   int32(binary.LittleEndian.Uint32(b[32:])),
+		Rank:       int32(binary.LittleEndian.Uint32(b[36:])),
+	}
+}
+
+// appendRecList serializes the v2 record section (no header).
+func appendRecList(buf []byte, recs []Rec) []byte {
+	var tmp [recRunExtra]byte
+	for _, r := range recs {
+		if r.Count <= 1 {
+			buf = append(buf, 1)
+			buf = appendEntry(buf, r.Entry)
+			continue
+		}
+		buf = append(buf, 2)
+		buf = appendEntry(buf, r.Entry)
+		binary.LittleEndian.PutUint32(tmp[0:], uint32(r.Count))
+		binary.LittleEndian.PutUint64(tmp[4:], uint64(r.Stride))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// decodeRecList parses n records from data, requiring exact consumption.
+func decodeRecList(data []byte, n int) ([]Rec, error) {
+	bad := fmt.Errorf("plfs: corrupt v2 index records")
+	out := make([]Rec, 0, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 1+EntryBytes {
+			return nil, bad
+		}
+		tag := data[0]
+		e := getEntry(data[1:])
+		data = data[1+EntryBytes:]
+		switch tag {
+		case 1:
+			out = append(out, Rec{Entry: e, Count: 1})
+		case 2:
+			if len(data) < recRunExtra {
+				return nil, bad
+			}
+			cnt := int32(binary.LittleEndian.Uint32(data[0:]))
+			stride := int64(binary.LittleEndian.Uint64(data[4:]))
+			data = data[recRunExtra:]
+			// Run sanity: counts and strides that could overflow the
+			// expansion arithmetic (or describe overlapping elements) are
+			// corruption, not data.
+			if cnt < 2 || cnt > 1<<30 || e.Length < 0 || e.LogicalOff < 0 ||
+				stride < e.Length || (stride > 0 && int64(cnt) > (1<<62)/stride) {
+				return nil, bad
+			}
+			out = append(out, Rec{Entry: e, Count: cnt, Stride: stride})
+		default:
+			return nil, bad
+		}
+	}
+	if len(data) != 0 {
+		return nil, bad
+	}
+	return out, nil
+}
+
+// encodeRecs serializes an index dropping's records: legacy v1 bytes when
+// every record is a single, the v2 framing otherwise.
+func encodeRecs(recs []Rec) []byte {
+	if allSingles(recs) {
+		entries := make([]Entry, len(recs))
+		for i, r := range recs {
+			entries[i] = r.Entry
+		}
+		return encodeEntries(entries)
+	}
+	buf := make([]byte, 0, recsWireLen(recs))
+	var tmp [recHdrLen]byte
+	binary.LittleEndian.PutUint64(tmp[0:], ixV2Magic)
+	binary.LittleEndian.PutUint32(tmp[8:], uint32(len(recs)))
+	buf = append(buf, tmp[:]...)
+	return appendRecList(buf, recs)
+}
+
+// decodeRecs parses an index dropping in either generation, rewriting
+// dropping ids to droppingID (ids belong to the reader's canonical
+// ordering, as in decodeEntries).
+func decodeRecs(data []byte, droppingID int32) ([]Rec, error) {
+	if len(data) >= recHdrLen && binary.LittleEndian.Uint64(data) == ixV2Magic {
+		nr := uint64(binary.LittleEndian.Uint32(data[8:]))
+		rest := data[recHdrLen:]
+		// Bound before allocating: the smallest record is 1+EntryBytes.
+		if nr > uint64(len(rest))/(1+EntryBytes) {
+			return nil, fmt.Errorf("plfs: corrupt v2 index dropping (%d records in %d bytes)", nr, len(data))
+		}
+		recs, err := decodeRecList(rest, int(nr))
+		if err != nil {
+			return nil, err
+		}
+		for i := range recs {
+			recs[i].Dropping = droppingID
+		}
+		return recs, nil
+	}
+	entries, err := decodeEntries(data, droppingID)
+	if err != nil {
+		return nil, err
+	}
+	return recsOf(entries), nil
+}
+
 // Index is a resolved global offset map: a sorted, disjoint cover of the
 // logical file mapping every byte to (dropping, physical offset).
+//
+// The representation is columnar (structure of arrays) with two parts:
+// an irregular segment table, sorted by logical offset, and an optional
+// run table holding same-stride arithmetic runs that survived resolution
+// intact.  A K-element run costs one row instead of K segment rows, and
+// Lookup expands run elements lazily, so strided checkpoints stay O(runs)
+// resident instead of O(writes).
 type Index struct {
-	segs      []indexSeg
+	// Segment table: disjoint resolved extents sorted by segLog.
+	segLog, segLen, segPhys []int64
+	segDrop, segRank        []int32
+
+	// Run table: every run shares stride runStride (0 = no run table) and
+	// is keyed by its phase — LogicalOff mod runStride — with phase
+	// intervals [runPhase[j], runPhase[j]+runLen[j]) sorted and pairwise
+	// disjoint, so at most one run covers any logical position.  Run j's
+	// k-th element spans [runLog[j]+k*S, +runLen[j]) at physical
+	// runPhys[j]+k*runLen[j].  Runs never overlap the segment table
+	// (buildRunTable falls back to full expansion otherwise).
+	runStride                         int64
+	runPhase, runLog, runLen, runPhys []int64
+	runCount                          []int32
+	runDrop, runRank                  []int32
+	runMin, runMax                    int64 // logical bounds of run coverage
+
 	droppings []string // dropping data-file paths, indexed by Entry.Dropping
 	rawCount  int      // total raw entries aggregated (cost accounting)
 	size      int64    // logical file size
-}
-
-type indexSeg struct {
-	logical int64
-	length  int64
-	physOff int64
-	drop    int32
-	rank    int32
 }
 
 // BuildIndex resolves raw entry shards (one per index dropping, any order)
@@ -137,20 +415,208 @@ func buildIndex(shards [][]Entry, droppings []string, workers int) *Index {
 	}
 
 	ix := &Index{droppings: droppings, rawCount: total}
+	ix.appendResolved(res, flat)
+	return ix
+}
+
+// appendResolved converts resolved spans to segment-table rows.
+func (ix *Index) appendResolved(res []payload.Span, flat []Entry) {
+	ix.segLog = make([]int64, 0, len(res))
+	ix.segLen = make([]int64, 0, len(res))
+	ix.segPhys = make([]int64, 0, len(res))
+	ix.segDrop = make([]int32, 0, len(res))
+	ix.segRank = make([]int32, 0, len(res))
 	for _, s := range res {
 		e := flat[s.Ref]
-		ix.segs = append(ix.segs, indexSeg{
-			logical: s.Start,
-			length:  s.End - s.Start,
-			physOff: e.PhysOff + (s.Start - e.LogicalOff),
-			drop:    e.Dropping,
-			rank:    e.Rank,
-		})
+		ix.segLog = append(ix.segLog, s.Start)
+		ix.segLen = append(ix.segLen, s.End-s.Start)
+		ix.segPhys = append(ix.segPhys, e.PhysOff+(s.Start-e.LogicalOff))
+		ix.segDrop = append(ix.segDrop, e.Dropping)
+		ix.segRank = append(ix.segRank, e.Rank)
 		if s.End > ix.size {
 			ix.size = s.End
 		}
 	}
+}
+
+// BuildIndexRecs resolves run-compressed record shards into a global
+// index.  When every run shares one stride and nothing overlaps, the runs
+// go straight into the run table without expansion; any irregularity
+// (mixed strides, overlapping writes, runs colliding with singles) falls
+// back to expanding the runs and resolving raw entries — the always-
+// correct path BuildIndex provides.
+func BuildIndexRecs(shards [][]Rec, droppings []string, workers int) *Index {
+	hasRun := false
+	for _, sh := range shards {
+		for _, r := range sh {
+			if r.Count > 1 {
+				hasRun = true
+				break
+			}
+		}
+		if hasRun {
+			break
+		}
+	}
+	if !hasRun {
+		entryShards := make([][]Entry, len(shards))
+		for k, sh := range shards {
+			es := make([]Entry, len(sh))
+			for i, r := range sh {
+				es[i] = r.Entry
+			}
+			entryShards[k] = es
+		}
+		return buildIndex(entryShards, droppings, workers)
+	}
+	if ix := buildRunTable(shards, droppings, workers); ix != nil {
+		return ix
+	}
+	entryShards := make([][]Entry, len(shards))
+	for k, sh := range shards {
+		entryShards[k] = expandRecs(sh)
+	}
+	return buildIndex(entryShards, droppings, workers)
+}
+
+// buildRunTable attempts the compact run-table representation.  It
+// returns nil — caller falls back to full expansion — unless every run
+// shares one stride, run phase intervals are pairwise disjoint (no run
+// overlaps another), and no resolved single overlaps run coverage.
+func buildRunTable(shards [][]Rec, droppings []string, workers int) *Index {
+	var runs []Rec
+	singles := make([][]Entry, len(shards))
+	total := 0
+	for k, sh := range shards {
+		var es []Entry
+		for _, r := range sh {
+			if r.Count > 1 {
+				runs = append(runs, r)
+				total += int(r.Count)
+			} else {
+				es = append(es, r.Entry)
+				total++
+			}
+		}
+		singles[k] = es
+	}
+	s := runs[0].Stride
+	if s <= 0 {
+		return nil
+	}
+	for _, r := range runs {
+		if r.Stride != s || r.Length <= 0 || r.Length > s || r.LogicalOff < 0 ||
+			(r.LogicalOff%s)+r.Length > s {
+			return nil
+		}
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].LogicalOff%s < runs[j].LogicalOff%s })
+	for i := 1; i < len(runs); i++ {
+		if runs[i-1].LogicalOff%s+runs[i-1].Length > runs[i].LogicalOff%s {
+			return nil
+		}
+	}
+
+	base := buildIndex(singles, droppings, workers)
+	ix := &Index{
+		droppings: droppings, rawCount: total, size: base.size,
+		segLog: base.segLog, segLen: base.segLen, segPhys: base.segPhys,
+		segDrop: base.segDrop, segRank: base.segRank,
+		runStride: s, runMin: int64(1)<<62 - 1,
+	}
+	ix.runPhase = make([]int64, len(runs))
+	ix.runLog = make([]int64, len(runs))
+	ix.runLen = make([]int64, len(runs))
+	ix.runPhys = make([]int64, len(runs))
+	ix.runCount = make([]int32, len(runs))
+	ix.runDrop = make([]int32, len(runs))
+	ix.runRank = make([]int32, len(runs))
+	for j, r := range runs {
+		ix.runPhase[j] = r.LogicalOff % s
+		ix.runLog[j] = r.LogicalOff
+		ix.runLen[j] = r.Length
+		ix.runPhys[j] = r.PhysOff
+		ix.runCount[j] = r.Count
+		ix.runDrop[j] = r.Dropping
+		ix.runRank[j] = r.Rank
+		if r.LogicalOff < ix.runMin {
+			ix.runMin = r.LogicalOff
+		}
+		end := r.LogicalOff + int64(r.Count-1)*r.Stride + r.Length
+		if end > ix.runMax {
+			ix.runMax = end
+		}
+		if end > ix.size {
+			ix.size = end
+		}
+	}
+	// Every resolved single must be disjoint from run coverage, or
+	// last-writer-wins resolution would be needed between them.
+	for i := range ix.segLog {
+		if _, ok := ix.runNext(ix.segLog[i], ix.segLog[i]+ix.segLen[i]); ok {
+			return nil
+		}
+	}
 	return ix
+}
+
+// runNext returns the first run-covered piece at or after cur and before
+// end, walking phases within the run period.  The piece's Length runs to
+// its element's end; callers clip to their range.  Allocation-free.
+func (ix *Index) runNext(cur, end int64) (Piece, bool) {
+	if ix.runStride == 0 {
+		return Piece{}, false
+	}
+	if cur < ix.runMin {
+		cur = ix.runMin
+	}
+	if end > ix.runMax {
+		end = ix.runMax
+	}
+	s := ix.runStride
+	for cur < end {
+		phi := cur % s
+		// First run whose phase interval ends past phi.
+		lo, hi := 0, len(ix.runPhase)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ix.runPhase[mid]+ix.runLen[mid] > phi {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		j := lo
+		if j == len(ix.runPhase) {
+			cur += s - phi // no phase left this period
+			continue
+		}
+		if phi < ix.runPhase[j] {
+			cur += ix.runPhase[j] - phi
+			phi = ix.runPhase[j]
+			if cur >= end {
+				break
+			}
+		}
+		if cur < ix.runLog[j] {
+			cur += ix.runPhase[j] + ix.runLen[j] - phi // run starts in a later period
+			continue
+		}
+		k := (cur - ix.runLog[j]) / s
+		if k >= int64(ix.runCount[j]) {
+			cur += ix.runPhase[j] + ix.runLen[j] - phi // run ended in an earlier period
+			continue
+		}
+		elem := ix.runLog[j] + k*s
+		return Piece{
+			Logical:  cur,
+			Length:   elem + ix.runLen[j] - cur,
+			Dropping: ix.runDrop[j],
+			PhysOff:  ix.runPhys[j] + k*ix.runLen[j] + (cur - elem),
+			Rank:     ix.runRank[j],
+		}, true
+	}
+	return Piece{}, false
 }
 
 // mergeShardSpans builds one span per entry (Ref = position in the
@@ -230,11 +696,31 @@ func (ix *Index) Size() int64 { return ix.size }
 // RawEntries returns how many raw index records were aggregated.
 func (ix *Index) RawEntries() int { return ix.rawCount }
 
-// Segments returns the number of resolved segments.
-func (ix *Index) Segments() int { return len(ix.segs) }
+// Segments returns the number of resolved segments, counting each run
+// element (a run of K writes contributes K segments).
+func (ix *Index) Segments() int {
+	n := len(ix.segLog)
+	for _, c := range ix.runCount {
+		n += int(c)
+	}
+	return n
+}
+
+// Runs returns the number of run-table rows (0 when the index is purely
+// segment-mapped).
+func (ix *Index) Runs() int { return len(ix.runPhase) }
 
 // Droppings returns the dropping data-file paths.
 func (ix *Index) Droppings() []string { return ix.droppings }
+
+// residentBytes estimates the in-memory footprint (cache accounting).
+func (ix *Index) residentBytes() int64 {
+	b := int64(len(ix.segLog))*(3*8+2*4) + int64(len(ix.runPhase))*(4*8+3*4)
+	for _, d := range ix.droppings {
+		b += int64(len(d)) + 16
+	}
+	return b + 160
+}
 
 // Piece is one contiguous portion of a logical read, mapped to physical
 // storage.  A negative Dropping means a hole (read as zeros).
@@ -254,36 +740,85 @@ type Piece struct {
 // Lookup maps the logical range [off, off+n) to physical pieces, including
 // hole pieces for unwritten gaps.
 func (ix *Index) Lookup(off, n int64) []Piece {
+	return ix.AppendPieces(nil, off, n)
+}
+
+// AppendPieces appends the pieces covering [off, off+n) to dst and
+// returns it.  The hot read path reuses dst across calls, so a lookup
+// whose result fits the buffer performs no allocation; the segment cursor
+// and run walk are binary searches over the columnar arrays.
+func (ix *Index) AppendPieces(dst []Piece, off, n int64) []Piece {
 	if n <= 0 {
-		return nil
+		return dst
 	}
 	end := off + n
-	var out []Piece
-	i := sort.Search(len(ix.segs), func(i int) bool {
-		s := ix.segs[i]
-		return s.logical+s.length > off
-	})
-	cur := off
-	for ; i < len(ix.segs) && cur < end; i++ {
-		s := ix.segs[i]
-		if s.logical > cur {
-			gap := min64(s.logical, end) - cur
-			out = append(out, Piece{Logical: cur, Length: gap, Dropping: -1})
-			cur += gap
-			if cur >= end {
-				break
-			}
+	// First segment whose end is past off (hand-rolled: no closure).
+	lo, hi := 0, len(ix.segLog)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.segLog[mid]+ix.segLen[mid] > off {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
-		lo := cur - s.logical
-		take := min64(s.length-lo, end-cur)
-		out = append(out, Piece{
-			Logical: cur, Length: take,
-			Dropping: s.drop, PhysOff: s.physOff + lo, Rank: s.rank,
-		})
-		cur += take
 	}
-	if cur < end {
-		out = append(out, Piece{Logical: cur, Length: end - cur, Dropping: -1})
+	si := lo
+	cur := off
+	for cur < end {
+		segOK := si < len(ix.segLog) && ix.segLog[si] < end
+		segStart := cur
+		if segOK && ix.segLog[si] > cur {
+			segStart = ix.segLog[si]
+		}
+		rp, runOK := ix.runNext(cur, end)
+		switch {
+		case runOK && (!segOK || rp.Logical < segStart):
+			if rp.Logical > cur {
+				dst = append(dst, Piece{Logical: cur, Length: rp.Logical - cur, Dropping: -1})
+				cur = rp.Logical
+			}
+			take := min64(rp.Length, end-cur)
+			rp.Length = take
+			dst = append(dst, rp)
+			cur += take
+		case segOK:
+			if segStart > cur {
+				dst = append(dst, Piece{Logical: cur, Length: segStart - cur, Dropping: -1})
+				cur = segStart
+			}
+			rel := cur - ix.segLog[si]
+			take := min64(ix.segLen[si]-rel, end-cur)
+			dst = append(dst, Piece{
+				Logical: cur, Length: take,
+				Dropping: ix.segDrop[si], PhysOff: ix.segPhys[si] + rel, Rank: ix.segRank[si],
+			})
+			cur += take
+			si++
+		default:
+			dst = append(dst, Piece{Logical: cur, Length: end - cur, Dropping: -1})
+			cur = end
+		}
+	}
+	return dst
+}
+
+// flattenRecsOf reconstructs record form from a built index (used to
+// transport or persist the global index without the original bytes):
+// segment rows become singles, run rows become run records.  Resolution
+// already happened, so timestamps are zero and nothing overlaps.
+func flattenRecsOf(ix *Index) []Rec {
+	out := make([]Rec, 0, len(ix.segLog)+len(ix.runPhase))
+	for i := range ix.segLog {
+		out = append(out, Rec{Entry: Entry{
+			LogicalOff: ix.segLog[i], Length: ix.segLen[i], PhysOff: ix.segPhys[i],
+			Dropping: ix.segDrop[i], Rank: ix.segRank[i],
+		}, Count: 1})
+	}
+	for j := range ix.runPhase {
+		out = append(out, Rec{Entry: Entry{
+			LogicalOff: ix.runLog[j], Length: ix.runLen[j], PhysOff: ix.runPhys[j],
+			Dropping: ix.runDrop[j], Rank: ix.runRank[j],
+		}, Count: ix.runCount[j], Stride: ix.runStride})
 	}
 	return out
 }
@@ -315,6 +850,101 @@ func encodeGlobalIndex(paths []string, entries []Entry) []byte {
 	buf = append(buf, tmp[:]...)
 	// encodeEntries already serialized the canonical Dropping ids.
 	return append(buf, encodeEntries(entries)...)
+}
+
+// encodeGlobalIndexRecs serializes a global index in record form: legacy
+// v1 bytes when every record is a single, the v2 framing otherwise.
+func encodeGlobalIndexRecs(paths []string, recs []Rec) []byte {
+	if allSingles(recs) {
+		entries := make([]Entry, len(recs))
+		for i, r := range recs {
+			entries[i] = r.Entry
+		}
+		return encodeGlobalIndex(paths, entries)
+	}
+	return encodeGlobalIndexV2(paths, recs)
+}
+
+// encodeGlobalIndexV2 always emits the v2 framing:
+// [magic][uint32 npaths][paths][uint32 nrecs][records].
+func encodeGlobalIndexV2(paths []string, recs []Rec) []byte {
+	var buf []byte
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], gidxV2Magic)
+	buf = append(buf, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(paths)))
+	buf = append(buf, tmp[:4]...)
+	for _, p := range paths {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(p)))
+		buf = append(buf, tmp[:4]...)
+		buf = append(buf, p...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(recs)))
+	buf = append(buf, tmp[:4]...)
+	return appendRecList(buf, recs)
+}
+
+// globalIndexWireLen returns len(encodeGlobalIndexRecs(paths, recs)).
+func globalIndexWireLen(paths []string, recs []Rec) int64 {
+	var n int64
+	if allSingles(recs) {
+		n = 4 + 8 + int64(len(recs))*EntryBytes
+	} else {
+		n = 8 + 4 + 4
+		for _, r := range recs {
+			n += 1 + EntryBytes
+			if r.Count > 1 {
+				n += recRunExtra
+			}
+		}
+	}
+	for _, p := range paths {
+		n += 4 + int64(len(p))
+	}
+	return n
+}
+
+// decodeGlobalIndexRecs parses a global index in either generation.
+func decodeGlobalIndexRecs(data []byte) (paths []string, recs []Rec, err error) {
+	if len(data) >= 8 && binary.LittleEndian.Uint64(data) == gidxV2Magic {
+		bad := fmt.Errorf("plfs: corrupt global index")
+		data = data[8:]
+		if len(data) < 4 {
+			return nil, nil, bad
+		}
+		np := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		for i := 0; i < np; i++ {
+			if len(data) < 4 {
+				return nil, nil, bad
+			}
+			l := int(binary.LittleEndian.Uint32(data))
+			data = data[4:]
+			if len(data) < l {
+				return nil, nil, bad
+			}
+			paths = append(paths, string(data[:l]))
+			data = data[l:]
+		}
+		if len(data) < 4 {
+			return nil, nil, bad
+		}
+		nr := uint64(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if nr > uint64(len(data))/(1+EntryBytes) {
+			return nil, nil, bad
+		}
+		recs, err = decodeRecList(data, int(nr))
+		if err != nil {
+			return nil, nil, err
+		}
+		return paths, recs, nil
+	}
+	ps, entries, err := decodeGlobalIndex(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ps, recsOf(entries), nil
 }
 
 // decodeGlobalIndex parses the output of encodeGlobalIndex.

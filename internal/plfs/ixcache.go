@@ -1,0 +1,120 @@
+package plfs
+
+import "sync"
+
+// indexCache is the mount's cross-open index cache: recently built global
+// indexes keyed by container path, valid only at the exact generation
+// they were built from.  The generation (containerState.gen) advances on
+// every mutation — write open, write close, truncate, rename, recover —
+// so a cached aggregation can never describe anything but the container's
+// current content.  A byte budget (Options.IndexCacheBytes) bounds the
+// resident cost, with least-recently-used eviction.
+//
+// The cache is deliberately conservative about who publishes: see
+// Reader.maybeCachePut.  Lookups and inserts are cheap (one small mutex),
+// and a miss costs one map probe on top of the full aggregation it fails
+// to avoid.
+type indexCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	tick   uint64 // monotone LRU clock
+	ents   map[string]*ixCacheEnt
+}
+
+type ixCacheEnt struct {
+	gen   uint64
+	ix    *Index
+	bytes int64
+	last  uint64 // tick of last hit/insert
+}
+
+func newIndexCache(budget int64) *indexCache {
+	return &indexCache{budget: budget, ents: map[string]*ixCacheEnt{}}
+}
+
+// get returns the cached index for rel iff it was built at exactly gen.
+// An entry from an older generation is deleted on sight — it can never
+// become valid again (generations only advance).
+func (c *indexCache) get(rel string, gen uint64) *Index {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.ents[rel]
+	if !ok {
+		return nil
+	}
+	if e.gen != gen {
+		if e.gen < gen {
+			c.evict(rel, e)
+		}
+		return nil
+	}
+	c.tick++
+	e.last = c.tick
+	return e.ix
+}
+
+// put caches ix for rel at gen, returning how many entries were evicted
+// to make room.  An existing entry at a newer generation wins; an index
+// larger than the whole budget is not cached at all.
+func (c *indexCache) put(rel string, gen uint64, ix *Index) int {
+	if ix == nil {
+		return 0
+	}
+	size := ix.residentBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		return 0
+	}
+	if e, ok := c.ents[rel]; ok {
+		if e.gen > gen {
+			return 0
+		}
+		c.evict(rel, e)
+	}
+	evicted := 0
+	for c.used+size > c.budget {
+		var (
+			lruRel string
+			lru    *ixCacheEnt
+		)
+		for r, e := range c.ents {
+			if lru == nil || e.last < lru.last {
+				lruRel, lru = r, e
+			}
+		}
+		if lru == nil {
+			break
+		}
+		c.evict(lruRel, lru)
+		evicted++
+	}
+	c.tick++
+	c.ents[rel] = &ixCacheEnt{gen: gen, ix: ix, bytes: size, last: c.tick}
+	c.used += size
+	return evicted
+}
+
+// evict removes e (which must be c.ents[rel]) under c.mu.
+func (c *indexCache) evict(rel string, e *ixCacheEnt) {
+	c.used -= e.bytes
+	delete(c.ents, rel)
+}
+
+// drop invalidates rel's entry, if any.
+func (c *indexCache) drop(rel string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.ents[rel]; ok {
+		c.evict(rel, e)
+	}
+}
+
+// clear empties the cache.
+func (c *indexCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ents = map[string]*ixCacheEnt{}
+	c.used = 0
+}

@@ -93,6 +93,30 @@ type Options struct {
 	// appending a new record, so segmented writers produce tiny indexes
 	// while strided writers keep one record per operation.
 	NoIndexCompression bool
+	// NoRunCompression disables run detection at index flush.  By default
+	// a writer's arithmetic runs — constant-stride sequences of entries
+	// with equal lengths and contiguous physical placement, the shape of
+	// strided checkpoints — are persisted as single run records, so a
+	// K-operation strided phase costs O(1) index bytes instead of 40·K
+	// (see DESIGN.md §12).  Disabling emits one v1-style record per entry.
+	NoRunCompression bool
+	// NoIndexCache disables the cross-open index cache.  By default each
+	// Mount keeps recently built global indexes keyed by container
+	// generation, so re-opening an unchanged container skips listing,
+	// reading, and merging index droppings entirely; any mutation (write
+	// open, write close, truncate, rename, recover) advances the
+	// generation and the stale aggregation can never be served.
+	NoIndexCache bool
+	// IndexCacheBytes bounds the resident bytes of the cross-open index
+	// cache (default 64 MiB); least-recently-used containers are evicted
+	// to stay under budget.
+	IndexCacheBytes int64
+	// SieveGap is the data-sieving threshold for ReadAt coalescing: two
+	// pieces of the same dropping whose physical extents are within this
+	// many bytes merge into one backend read, trading wasted gap bytes
+	// (tracked in ReadStats.SieveWasted) for fewer I/Os.  0, the default,
+	// still merges exactly-adjacent pieces.
+	SieveGap int64
 	// ParseCPUPerEntry charges CPU for decoding index records from their
 	// droppings (default 500ns/entry); MergeCPUPerEntry charges CPU for
 	// resolving raw records into the global offset map (default 2µs/entry,
@@ -168,6 +192,9 @@ func (o Options) withDefaults() Options {
 	if o.ChecksumCPUPerMB <= 0 {
 		o.ChecksumCPUPerMB = time.Millisecond
 	}
+	if o.IndexCacheBytes <= 0 {
+		o.IndexCacheBytes = 64 << 20
+	}
 	return o
 }
 
@@ -217,6 +244,8 @@ type Mount struct {
 	roots []string
 	opt   Options
 
+	ixc *indexCache // cross-open index cache (see ixcache.go)
+
 	mu    sync.Mutex
 	state map[string]*containerState
 }
@@ -228,9 +257,16 @@ type Mount struct {
 type containerState struct {
 	mu       sync.Mutex
 	gen      uint64
-	parsed   map[string][]Entry
+	parsed   map[string][]Rec
 	builtKey string
 	built    *Index
+}
+
+// curGen returns the container's current in-memory generation.
+func (st *containerState) curGen() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.gen
 }
 
 // NewMount creates a mount over the given per-volume backend root paths.
@@ -238,8 +274,18 @@ func NewMount(roots []string, opt Options) *Mount {
 	if len(roots) == 0 {
 		panic("plfs: mount needs at least one volume root")
 	}
-	return &Mount{roots: roots, opt: opt.withDefaults(), state: map[string]*containerState{}}
+	opt = opt.withDefaults()
+	return &Mount{
+		roots: roots,
+		opt:   opt,
+		ixc:   newIndexCache(opt.IndexCacheBytes),
+		state: map[string]*containerState{},
+	}
 }
+
+// DropIndexCache empties the mount's cross-open index cache (harness
+// cold-start control; the next open of any container re-aggregates).
+func (m *Mount) DropIndexCache() { m.ixc.clear() }
 
 // Volumes returns the number of metadata volumes behind the mount.
 func (m *Mount) Volumes() int { return len(m.roots) }
@@ -255,7 +301,7 @@ func (m *Mount) stateOf(rel string) *containerState {
 	defer m.mu.Unlock()
 	st, ok := m.state[rel]
 	if !ok {
-		st = &containerState{parsed: map[string][]Entry{}}
+		st = &containerState{parsed: map[string][]Rec{}}
 		m.state[rel] = st
 	}
 	return st
@@ -533,6 +579,8 @@ func (m *Mount) Rename(ctx Ctx, oldRel, newRel string) error {
 	}
 	m.dropState(oldRel)
 	m.dropState(newRel)
+	m.ixc.drop(oldRel)
+	m.ixc.drop(newRel)
 	return nil
 }
 
@@ -586,8 +634,9 @@ func (m *Mount) Truncate(ctx Ctx, rel string) error {
 	st.mu.Lock()
 	st.gen++
 	st.builtKey, st.built = "", nil
-	st.parsed = map[string][]Entry{}
+	st.parsed = map[string][]Rec{}
 	st.mu.Unlock()
+	m.ixc.drop(rel)
 	return nil
 }
 
@@ -624,6 +673,7 @@ func (m *Mount) Unlink(ctx Ctx, rel string) error {
 		return err
 	}
 	m.dropState(rel)
+	m.ixc.drop(rel)
 	return nil
 }
 

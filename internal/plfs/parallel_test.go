@@ -148,24 +148,92 @@ func TestGlobalIndexPreservesDroppingIDs(t *testing.T) {
 	}
 }
 
-func TestBatchPieces(t *testing.T) {
+func TestPlanBatches(t *testing.T) {
 	pieces := []Piece{
 		{Logical: 0, Length: 10, Dropping: 0, PhysOff: 0},
 		{Logical: 10, Length: 10, Dropping: 0, PhysOff: 10}, // contiguous: merges
 		{Logical: 20, Length: 10, Dropping: 0, PhysOff: 50}, // gap: new batch
 		{Logical: 30, Length: 10, Dropping: 1, PhysOff: 60}, // new dropping
-		{Logical: 40, Length: 10, Dropping: -1},             // hole
-		{Logical: 50, Length: 10, Dropping: 1, PhysOff: 70},
+		{Logical: 40, Length: 10, Dropping: -1},             // hole: excluded
+		{Logical: 50, Length: 10, Dropping: 1, PhysOff: 70}, // adjacent to piece 3
 	}
-	got := batchPieces(pieces)
+	got := planBatches(pieces, 0)
 	want := []readBatch{
-		{drop: 0, phys: 0, length: 20},
-		{drop: 0, phys: 50, length: 10},
-		{drop: 1, phys: 60, length: 10},
-		{drop: -1, phys: 0, length: 10},
-		{drop: 1, phys: 70, length: 10},
+		{drop: 0, phys: 0, length: 20, pieces: []int32{0, 1}},
+		{drop: 0, phys: 50, length: 10, pieces: []int32{2}},
+		{drop: 1, phys: 60, length: 20, pieces: []int32{3, 5}},
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("batches = %+v, want %+v", got, want)
+	}
+}
+
+func TestPlanBatchesEdgeCases(t *testing.T) {
+	if got := planBatches(nil, 0); len(got) != 0 {
+		t.Fatalf("empty lookup planned %d batches", len(got))
+	}
+	if got := planBatches([]Piece{{Logical: 3, Length: 7, Dropping: -1}}, 1<<20); len(got) != 0 {
+		t.Fatalf("all-hole lookup planned %d batches", len(got))
+	}
+	single := []Piece{{Logical: 5, Length: 9, Dropping: 2, PhysOff: 100}}
+	got := planBatches(single, 0)
+	want := []readBatch{{drop: 2, phys: 100, length: 9, pieces: []int32{0}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("single piece: %+v, want %+v", got, want)
+	}
+
+	// Exactly-adjacent pieces of the same dropping merge at gap 0 even
+	// when they arrive out of physical order and are logically far apart
+	// (a lookup split across segment boundaries).
+	split := []Piece{
+		{Logical: 9000, Length: 10, Dropping: 0, PhysOff: 10},
+		{Logical: 0, Length: 10, Dropping: 0, PhysOff: 0},
+	}
+	got = planBatches(split, 0)
+	want = []readBatch{{drop: 0, phys: 0, length: 20, pieces: []int32{1, 0}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cross-segment adjacency: %+v, want %+v", got, want)
+	}
+
+	// A piece overlapping the current batch boundary must extend to the
+	// max end, not shrink the batch (overlap comes from overwrites whose
+	// resolved pieces share physical bytes).
+	overlap := []Piece{
+		{Logical: 0, Length: 20, Dropping: 0, PhysOff: 0},
+		{Logical: 20, Length: 5, Dropping: 0, PhysOff: 10}, // ends inside batch
+		{Logical: 25, Length: 10, Dropping: 0, PhysOff: 18},
+	}
+	got = planBatches(overlap, 0)
+	want = []readBatch{{drop: 0, phys: 0, length: 28, pieces: []int32{0, 1, 2}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("overlap at boundary: %+v, want %+v", got, want)
+	}
+}
+
+func TestPlanBatchesGapSweep(t *testing.T) {
+	// Pieces 100 bytes apart in the same dropping: gap below 100 keeps
+	// them separate, gap >= 100 sieves them into one read whose length
+	// covers the holes between them.
+	pieces := []Piece{
+		{Logical: 0, Length: 10, Dropping: 0, PhysOff: 0},
+		{Logical: 10, Length: 10, Dropping: 0, PhysOff: 110},
+		{Logical: 20, Length: 10, Dropping: 0, PhysOff: 220},
+	}
+	for _, tc := range []struct {
+		gap     int64
+		batches int
+		total   int64
+	}{
+		{0, 3, 30}, {99, 3, 30}, {100, 1, 230}, {1 << 20, 1, 230},
+	} {
+		got := planBatches(pieces, tc.gap)
+		var total int64
+		for _, b := range got {
+			total += b.length
+		}
+		if len(got) != tc.batches || total != tc.total {
+			t.Fatalf("gap %d: %d batches totalling %d bytes, want %d/%d",
+				tc.gap, len(got), total, tc.batches, tc.total)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	iofs "io/fs"
 	"math"
 	"path"
+	"sort"
 	"strings"
 	"sync/atomic"
 
@@ -22,11 +23,14 @@ type Reader struct {
 	ctx Ctx
 	rel string
 
-	ix      *Index
-	handles map[int32]File
-	vsums   map[int32]*extentSums // lazy per-dropping checksums (VerifyData)
-	closed  bool
-	sp      *obs.Span // the enclosing "open" span (nil when obs is off)
+	ix        *Index
+	gen       uint64 // container generation captured at open
+	skipCache bool   // index cache already consulted this open
+	handles   map[int32]File
+	vsums     map[int32]*extentSums // lazy per-dropping checksums (VerifyData)
+	pbuf      []Piece               // reused Lookup buffer (alloc-free ReadAt)
+	closed    bool
+	sp        *obs.Span // the enclosing "open" span (nil when obs is off)
 
 	// Stats describes what this open did (for tests and the harness).
 	Stats OpenStats
@@ -38,6 +42,7 @@ type Reader struct {
 type OpenStats struct {
 	Mode          Mode  // effective aggregation mode
 	UsedGlobal    bool  // served from a flattened global index
+	CacheHit      bool  // served from the cross-open index cache
 	Droppings     int   // droppings in the container
 	RawEntries    int   // raw index records aggregated
 	IndexReads    int   // index files this process read
@@ -54,8 +59,14 @@ type ReadStats struct {
 	Ops     int // ReadAt calls served
 	Pieces  int // index pieces covered, including holes
 	Holes   int // hole pieces (zeros, no I/O)
-	Batches int // physical dropping reads issued after adjacency batching
+	Batches int // physical dropping reads issued after sieving coalescing
 	Workers int // fan-out width of the last ReadAt (1 = serial)
+	// PhysBytes counts bytes fetched from droppings, including sieving
+	// gap bytes; SieveWasted is the gap-only portion (PhysBytes minus the
+	// bytes callers asked for), the read-amplification cost of
+	// Options.SieveGap.
+	PhysBytes   int64
+	SieveWasted int64
 	// ChecksumErrors counts extents whose data failed VerifyData
 	// verification and were served as zeros under Options.AllowPartial.
 	ChecksumErrors int
@@ -67,6 +78,7 @@ type ReadStats struct {
 func (m *Mount) OpenReader(ctx Ctx, rel string) (*Reader, error) {
 	rel = clean(rel)
 	r := &Reader{m: m, ctx: ctx, rel: rel, handles: map[int32]File{}}
+	r.gen = m.stateOf(rel).curGen()
 	mode := m.opt.IndexMode
 	if ctx.Comm == nil {
 		mode = Original
@@ -98,7 +110,53 @@ func (m *Mount) OpenReader(ctx Ctx, rel string) (*Reader, error) {
 	}
 	r.Stats.Droppings = len(r.ix.Droppings())
 	r.Stats.RawEntries = r.ix.RawEntries()
+	r.maybeCachePut()
 	return r, nil
+}
+
+// cacheGet consults the mount's cross-open index cache at the generation
+// captured when this open started.  Exactly one hit or miss is counted
+// per open regardless of how many aggregation strategies consult the
+// cache on the way (flatten falling back to parallel, parallel deferring
+// to flatten).
+func (r *Reader) cacheGet() *Index {
+	if r.m.ixc == nil || r.m.opt.NoIndexCache {
+		return nil
+	}
+	count := !r.skipCache
+	r.skipCache = true
+	ix := r.m.ixc.get(r.rel, r.gen)
+	if count && r.ctx.Obs != nil {
+		if ix != nil {
+			r.ctx.Obs.Counter("plfs.index.cache.hit").Add(1)
+		} else {
+			r.ctx.Obs.Counter("plfs.index.cache.miss").Add(1)
+		}
+	}
+	if ix != nil {
+		r.Stats.CacheHit = true
+	}
+	return ix
+}
+
+// maybeCachePut publishes the built index to the mount's cross-open
+// cache.  Only the process that aggregated publishes — a serial opener,
+// or rank 0 of a collective flatten/parallel open.  Collective Original
+// opens stay entirely cache-free (every rank aggregates independently;
+// the N² baseline must keep its uncoordinated cost), and partial opens
+// are never published: their skipped shards read as holes, which is not
+// the container's true content.
+func (r *Reader) maybeCachePut() {
+	m := r.m
+	if m.ixc == nil || m.opt.NoIndexCache || m.opt.AllowPartial || r.Stats.CacheHit {
+		return
+	}
+	if r.ctx.Comm != nil && (r.Stats.Mode == Original || r.ctx.Comm.Rank() != 0) {
+		return
+	}
+	if ev := m.ixc.put(r.rel, r.gen, r.ix); ev > 0 && r.ctx.Obs != nil {
+		r.ctx.Obs.Counter("plfs.index.cache.evict").Add(int64(ev))
+	}
 }
 
 // volOfPath maps a backend path to its volume by root prefix.
@@ -129,16 +187,16 @@ func (r *Reader) tryGlobalIndex() (*Index, error) {
 	}
 	r.Stats.IndexReads++
 	r.Stats.IndexBytes += size
-	paths, entries, err := decodeGlobalIndexAuto(pl.Materialize())
+	paths, recs, err := decodeGlobalIndexAuto(pl.Materialize())
 	if err != nil {
 		return nil, err
 	}
-	ctx.sleep(m.opt.ParseCPUPerEntry * timeDuration(len(entries)))
-	return r.buildCached([][]Entry{entries}, paths), nil
+	ctx.sleep(m.opt.ParseCPUPerEntry * timeDuration(len(recs)))
+	return r.buildCached([][]Rec{recs}, paths), nil
 }
 
 // indexOf builds (with caching) the resolved index from raw shards.
-func (r *Reader) buildCached(shards [][]Entry, dataPaths []string) *Index {
+func (r *Reader) buildCached(shards [][]Rec, dataPaths []string) *Index {
 	msp := r.sp.Child("merge")
 	defer msp.End()
 	st := r.m.stateOf(r.rel)
@@ -150,19 +208,18 @@ func (r *Reader) buildCached(shards [][]Entry, dataPaths []string) *Index {
 	if len(dataPaths) > 0 {
 		last = dataPaths[len(dataPaths)-1]
 	}
-	key := fmt.Sprintf("%d/%d/%d/%s", st.gen, len(dataPaths), total, last)
 	r.ctx.sleep(r.m.opt.MergeCPUPerEntry * timeDuration(total))
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	key := fmt.Sprintf("%d/%d/%d/%s", st.gen, len(dataPaths), total, last)
 	if st.builtKey == key && st.built != nil {
 		return st.built
 	}
-	var ix *Index
-	if w := r.m.opt.decodeWorkers(); w > 1 && !r.m.opt.SerialResolve {
-		ix = BuildIndexParallel(shards, dataPaths, w)
-	} else {
-		ix = BuildIndex(shards, dataPaths)
+	w := r.m.opt.decodeWorkers()
+	if r.m.opt.SerialResolve {
+		w = 1
 	}
+	ix := BuildIndexRecs(shards, dataPaths, w)
 	st.builtKey, st.built = key, ix
 	return ix
 }
@@ -179,14 +236,14 @@ func (r *Reader) buildCached(shards [][]Entry, dataPaths []string) *Index {
 // discrete-event engine requires blocking operations there) and only the
 // pure-CPU decode of uncached shards fans out.  Either way the total
 // virtual time charged is identical to the serial baseline.
-func (r *Reader) readShards(refs []shardRef) ([][]Entry, error) {
+func (r *Reader) readShards(refs []shardRef) ([][]Rec, error) {
 	dsp := r.sp.Child("decode")
 	defer dsp.End()
 	m, ctx := r.m, r.ctx
 	st := m.stateOf(r.rel)
 	w := m.opt.decodeWorkers()
 	pol := m.opt.Retry
-	out := make([][]Entry, len(refs))
+	out := make([][]Rec, len(refs))
 	errs := make([]error, len(refs))
 
 	if w > 1 && backendsConcurrent(ctx.Vols) {
@@ -281,9 +338,9 @@ func (r *Reader) readShards(refs []shardRef) ([][]Entry, error) {
 }
 
 // readShard reads and parses one index dropping, assigning it the
-// canonical dropping id.  Parsed entries are cached per path (droppings
+// canonical dropping id.  Parsed records are cached per path (droppings
 // are immutable), so repeated opens decode once per process group.
-func (r *Reader) readShard(ref droppingRef, id int32) ([]Entry, error) {
+func (r *Reader) readShard(ref droppingRef, id int32) ([]Rec, error) {
 	m, ctx := r.m, r.ctx
 	st := m.stateOf(r.rel)
 	pl, size, err := ctx.readAllRetried(ctx.Vols[ref.Vol], ref.Index, m.opt.Retry)
@@ -300,25 +357,25 @@ func (r *Reader) readShard(ref droppingRef, id int32) ([]Entry, error) {
 	if ok {
 		return withDropping(cached, id), nil
 	}
-	entries, err := decodeIndexDropping(pl.Materialize(), id)
+	recs, err := decodeIndexDropping(pl.Materialize(), id)
 	if err != nil {
 		// The sole caller (Check) prefixes the dropping path itself.
 		return nil, err
 	}
 	st.mu.Lock()
-	st.parsed[ref.Index] = entries
+	st.parsed[ref.Index] = recs
 	st.mu.Unlock()
-	return entries, nil
+	return recs, nil
 }
 
-// withDropping returns entries with the given dropping id (copying only
+// withDropping returns records with the given dropping id (copying only
 // when the cached id differs).
-func withDropping(entries []Entry, id int32) []Entry {
-	if len(entries) == 0 || entries[0].Dropping == id {
-		return entries
+func withDropping(recs []Rec, id int32) []Rec {
+	if len(recs) == 0 || recs[0].Dropping == id {
+		return recs
 	}
-	out := make([]Entry, len(entries))
-	copy(out, entries)
+	out := make([]Rec, len(recs))
+	copy(out, recs)
 	for i := range out {
 		out[i].Dropping = id
 	}
@@ -327,8 +384,17 @@ func withDropping(entries []Entry, id int32) []Entry {
 
 // aggregateOriginal is the paper's original design: this process alone
 // lists the container and reads every index dropping (N readers each
-// doing this produce the N² open storm of Fig. 3a).
+// doing this produce the N² open storm of Fig. 3a).  Only the serial
+// (no-communicator) path consults the cross-open cache; collective
+// Original opens model the paper's uncoordinated baseline and must not
+// share state between ranks.
 func (r *Reader) aggregateOriginal() error {
+	if r.ctx.Comm == nil {
+		if ix := r.cacheGet(); ix != nil {
+			r.ix = ix
+			return nil
+		}
+	}
 	lsp := r.sp.Child("list")
 	if ix, err := r.tryGlobalIndex(); err != nil || ix != nil {
 		lsp.End()
@@ -361,31 +427,38 @@ func (r *Reader) aggregateOriginal() error {
 // aggregateFlatten reads the global index at rank 0 and broadcasts it
 // (Fig. 3b).  If no global index exists (a writer overflowed the
 // threshold, or the file was written without flattening), it falls back
-// to Parallel Index Read.
+// to Parallel Index Read.  A rank-0 hit in the cross-open cache rides
+// the existing header broadcast: the mount cache is process-shared
+// memory, so handing peers the pointer costs no modeled transport.
 func (r *Reader) aggregateFlatten() error {
 	c := r.ctx.Comm
 	type hdr struct {
 		errs    string
 		missing bool
 		nbytes  int64
+		cached  *Index
 	}
 	type material struct {
-		paths   []string
-		entries []Entry
+		paths []string
+		recs  []Rec
 	}
 	var hv, mv any
 	lsp := r.sp.Child("list")
 	if c.Rank() == 0 {
-		ix, err := r.tryGlobalIndex()
-		switch {
-		case err != nil:
-			hv = hdr{errs: err.Error()}
-		case ix == nil:
-			hv = hdr{missing: true}
-		default:
-			entries := flattenEntriesOf(ix)
-			hv = hdr{nbytes: int64(len(entries)) * EntryBytes}
-			mv = material{paths: ix.Droppings(), entries: entries}
+		if ix := r.cacheGet(); ix != nil {
+			hv = hdr{cached: ix}
+		} else {
+			ix, err := r.tryGlobalIndex()
+			switch {
+			case err != nil:
+				hv = hdr{errs: err.Error()}
+			case ix == nil:
+				hv = hdr{missing: true}
+			default:
+				recs := flattenRecsOf(ix)
+				hv = hdr{nbytes: recsWireLen(recs)}
+				mv = material{paths: ix.Droppings(), recs: recs}
+			}
 		}
 	}
 	lsp.End()
@@ -395,6 +468,12 @@ func (r *Reader) aggregateFlatten() error {
 		xsp.End()
 		return errors.New(h.errs)
 	}
+	if h.cached != nil {
+		xsp.End()
+		r.ix = h.cached
+		r.Stats.CacheHit = true
+		return nil
+	}
 	if h.missing {
 		xsp.End()
 		r.Stats.Mode = ParallelIndexRead
@@ -403,27 +482,14 @@ func (r *Reader) aggregateFlatten() error {
 	r.Stats.UsedGlobal = true
 	got := c.Bcast(0, h.nbytes, mv).(material)
 	xsp.End()
-	r.ix = r.buildCached([][]Entry{got.entries}, got.paths)
+	r.ix = r.buildCached([][]Rec{got.recs}, got.paths)
 	return nil
-}
-
-// flattenEntriesOf reconstructs raw-entry form from a built index (used
-// to transport the global index without keeping the original bytes).
-func flattenEntriesOf(ix *Index) []Entry {
-	out := make([]Entry, len(ix.segs))
-	for i, s := range ix.segs {
-		out[i] = Entry{
-			LogicalOff: s.logical, Length: s.length, PhysOff: s.physOff,
-			Dropping: s.drop, Rank: s.rank,
-		}
-	}
-	return out
 }
 
 // parallel-read shard transport.
 type shardMsg struct {
-	ID      int32
-	Entries []Entry
+	ID   int32
+	Recs []Rec
 }
 
 // aggregateParallel implements Parallel Index Read (Fig. 3c): ranks are
@@ -435,16 +501,20 @@ func (r *Reader) aggregateParallel() error {
 	m, ctx := r.m, r.ctx
 	c := ctx.Comm
 
-	// Rank 0 lists the container (and checks for a flattened index).
+	// Rank 0 lists the container (and checks the cross-open cache and
+	// for a flattened index).
 	type hdr struct {
 		global bool
 		errs   string
 		ndrops int
+		cached *Index
 	}
 	var hv, dv any
 	lsp := r.sp.Child("list")
 	if c.Rank() == 0 {
-		if ix, err := r.tryGlobalIndex(); err != nil {
+		if ix := r.cacheGet(); ix != nil {
+			hv = hdr{cached: ix}
+		} else if ix, err := r.tryGlobalIndex(); err != nil {
 			hv = hdr{errs: err.Error()}
 		} else if ix != nil {
 			hv = hdr{global: true}
@@ -461,6 +531,12 @@ func (r *Reader) aggregateParallel() error {
 	if first.errs != "" {
 		xsp.End()
 		return errors.New(first.errs)
+	}
+	if first.cached != nil {
+		xsp.End()
+		r.ix = first.cached
+		r.Stats.CacheHit = true
+		return nil
 	}
 	if first.global {
 		xsp.End()
@@ -528,8 +604,8 @@ func (r *Reader) aggregateParallel() error {
 	var mine []shardMsg
 	var mineBytes int64
 	for i, sh := range read {
-		mine = append(mine, shardMsg{ID: refs[i].ID, Entries: sh})
-		mineBytes += int64(len(sh)) * EntryBytes
+		mine = append(mine, shardMsg{ID: refs[i].ID, Recs: sh})
+		mineBytes += recsWireLen(sh)
 	}
 
 	// Members return subindices to their leader; leaders exchange and
@@ -543,7 +619,7 @@ func (r *Reader) aggregateParallel() error {
 		for _, gv := range gathered {
 			for _, sm := range gv.([]shardMsg) {
 				groupShards = append(groupShards, sm)
-				groupBytes += int64(len(sm.Entries)) * EntryBytes
+				groupBytes += recsWireLen(sm.Recs)
 			}
 		}
 		exchanged := leaders.Allgather(groupBytes+32, groupShards)
@@ -555,19 +631,19 @@ func (r *Reader) aggregateParallel() error {
 	// the broadcast tree charges the true volume.
 	var allBytes int64
 	for _, sm := range all {
-		allBytes += int64(len(sm.Entries)) * EntryBytes
+		allBytes += recsWireLen(sm.Recs)
 	}
 	allBytes = group.Bcast(0, 8, allBytes).(int64)
 	all = group.Bcast(0, allBytes, all).([]shardMsg)
 	xsp.End()
 
-	shards := make([][]Entry, 0, len(all))
+	shards := make([][]Rec, 0, len(all))
 	paths := make([]string, len(drops))
 	for i, d := range drops {
 		paths[i] = d.Data
 	}
 	for _, sm := range all {
-		shards = append(shards, sm.Entries)
+		shards = append(shards, sm.Recs)
 	}
 	r.ix = r.buildCached(shards, paths)
 	return nil
@@ -624,11 +700,14 @@ func (r *Reader) handle(id int32) (File, error) {
 // is a sequential read of one log-structured dropping — the prefetch-
 // friendly pattern the paper credits for PLFS read speedups.
 //
-// Over backends that advertise ConcurrentIO, adjacent pieces of the same
-// dropping are batched into single reads, and the batches fan out across
-// the worker pool with order-preserving reassembly.  Under the simulator
-// (or with Options.NoReadFanout) the per-piece serial plan runs
-// unchanged, so simulated timings are unaffected.
+// The physical reads are planned by sieving coalescing (planBatches):
+// per dropping, pieces within Options.SieveGap bytes of each other merge
+// into one backend read, and each piece's bytes are sliced back out of
+// its batch during reassembly.  Over backends that advertise
+// ConcurrentIO the batches fan out across the worker pool; under the
+// simulator (or with Options.NoReadFanout) they issue serially on the
+// caller's goroutine, as the discrete-event engine requires.  The plan
+// itself is identical either way.
 func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
 	if r.closed {
 		return nil, errors.New("plfs: reader closed")
@@ -638,78 +717,49 @@ func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
 		obs.Counter("plfs.read.ops").Add(1)
 		obs.Counter("plfs.read.bytes").Add(n)
 	}
-	pieces := r.ix.Lookup(off, n)
+	r.pbuf = r.ix.AppendPieces(r.pbuf[:0], off, n)
+	pieces := r.pbuf
 	r.ReadStats.Ops++
 	r.ReadStats.Pieces += len(pieces)
-	w := r.m.opt.decodeWorkers()
-	if r.m.opt.NoReadFanout || r.m.opt.VerifyData || w <= 1 || !backendsConcurrent(r.ctx.Vols) {
-		r.ReadStats.Workers = 1
-		var out payload.List
-		for _, piece := range pieces {
-			if piece.Dropping < 0 {
-				r.ReadStats.Holes++
-				out = out.Append(payload.Zeros(piece.Length))
-				continue
-			}
-			if r.m.opt.VerifyData {
-				if err := r.verifyPiece(piece); err != nil {
-					if !r.m.opt.AllowPartial {
-						return nil, err
-					}
-					// Graceful degradation: the corrupt extent reads as a
-					// hole rather than serving damaged bytes.
-					r.ReadStats.ChecksumErrors++
-					out = out.Append(payload.Zeros(piece.Length))
-					continue
-				}
-			}
-			r.ReadStats.Batches++
-			f, err := r.handle(piece.Dropping)
-			if err != nil {
-				return nil, err
-			}
-			var pl payload.List
-			err = r.ctx.retry(r.m.opt.Retry, func() error {
-				var e error
-				pl, e = f.ReadAt(piece.PhysOff, piece.Length)
-				return e
-			})
-			if err != nil {
-				return nil, err
-			}
-			out = out.Concat(pl)
+	for _, p := range pieces {
+		if p.Dropping < 0 {
+			r.ReadStats.Holes++
 		}
-		return out, nil
+	}
+	if r.m.opt.VerifyData {
+		// Verification reads each piece's extent individually (the footer
+		// CRCs cover whole extents, not sieving batches).
+		return r.readVerified(pieces)
 	}
 
-	batches := batchPieces(pieces)
-	r.ReadStats.Workers = w
-	for _, b := range batches {
-		if b.drop < 0 {
-			r.ReadStats.Holes++
-		} else {
-			r.ReadStats.Batches++
+	batches := planBatches(pieces, r.m.opt.SieveGap)
+	r.ReadStats.Batches += len(batches)
+	var want, phys int64
+	for _, p := range pieces {
+		if p.Dropping >= 0 {
+			want += p.Length
 		}
 	}
+	for _, b := range batches {
+		phys += b.length
+	}
+	r.ReadStats.PhysBytes += phys
+	r.ReadStats.SieveWasted += phys - want
+	if obs := r.ctx.Obs; obs != nil {
+		obs.Counter("plfs.read.phys_bytes").Add(phys)
+		obs.Counter("plfs.read.sieve_wasted").Add(phys - want)
+	}
+
 	// Open handles up front on this goroutine: the handle cache is not
 	// goroutine-safe, and backend File handles are reused across batches.
 	for _, b := range batches {
-		if b.drop < 0 {
-			continue
-		}
 		if _, err := r.handle(b.drop); err != nil {
 			return nil, err
 		}
 	}
-	results := make([]payload.List, len(batches))
-	errs := make([]error, len(batches))
-	parallelFor(w, len(batches), func(i int) {
+	parts := make([]payload.List, len(batches))
+	readBatchAt := func(i int) error {
 		b := batches[i]
-		if b.drop < 0 {
-			var l payload.List
-			results[i] = l.Append(payload.Zeros(b.length))
-			return
-		}
 		var pl payload.List
 		err := r.ctx.retry(r.m.opt.Retry, func() error {
 			var e error
@@ -717,42 +767,136 @@ func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
 			return e
 		})
 		if err != nil {
-			errs[i] = fmt.Errorf("%s: %w", r.ix.Droppings()[b.drop], err)
-			return
+			return fmt.Errorf("%s: %w", r.ix.Droppings()[b.drop], err)
 		}
-		results[i] = pl
-	})
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+		parts[i] = pl
+		return nil
+	}
+	w := r.m.opt.decodeWorkers()
+	if r.m.opt.NoReadFanout || w <= 1 || !backendsConcurrent(r.ctx.Vols) {
+		r.ReadStats.Workers = 1
+		for i := range batches {
+			if err := readBatchAt(i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		r.ReadStats.Workers = w
+		errs := make([]error, len(batches))
+		parallelFor(w, len(batches), func(i int) { errs[i] = readBatchAt(i) })
+		if err := errors.Join(errs...); err != nil {
+			return nil, err
+		}
+	}
+
+	// Reassemble in logical order, slicing each piece out of its batch.
+	batchOf := make(map[int32]int32, len(pieces))
+	for bi, b := range batches {
+		for _, pi := range b.pieces {
+			batchOf[pi] = int32(bi)
+		}
 	}
 	var out payload.List
-	for _, pl := range results {
+	for pi, p := range pieces {
+		if p.Dropping < 0 {
+			out = out.Append(payload.Zeros(p.Length))
+			continue
+		}
+		bi := batchOf[int32(pi)]
+		b := batches[bi]
+		out = out.Concat(parts[bi].Slice(p.PhysOff-b.phys, p.Length))
+	}
+	return out, nil
+}
+
+// readVerified is the Options.VerifyData read plan: strictly serial,
+// one backend read per piece, each verified against the checksummed
+// recovery footer before its bytes are returned.
+func (r *Reader) readVerified(pieces []Piece) (payload.List, error) {
+	r.ReadStats.Workers = 1
+	var out payload.List
+	for _, piece := range pieces {
+		if piece.Dropping < 0 {
+			out = out.Append(payload.Zeros(piece.Length))
+			continue
+		}
+		if err := r.verifyPiece(piece); err != nil {
+			if !r.m.opt.AllowPartial {
+				return nil, err
+			}
+			// Graceful degradation: the corrupt extent reads as a
+			// hole rather than serving damaged bytes.
+			r.ReadStats.ChecksumErrors++
+			out = out.Append(payload.Zeros(piece.Length))
+			continue
+		}
+		r.ReadStats.Batches++
+		r.ReadStats.PhysBytes += piece.Length
+		f, err := r.handle(piece.Dropping)
+		if err != nil {
+			return nil, err
+		}
+		var pl payload.List
+		err = r.ctx.retry(r.m.opt.Retry, func() error {
+			var e error
+			pl, e = f.ReadAt(piece.PhysOff, piece.Length)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
 		out = out.Concat(pl)
 	}
 	return out, nil
 }
 
-// readBatch is one physical read: length bytes at phys of dropping drop,
-// or a hole (drop < 0).
+// readBatch is one planned physical read: length bytes at phys of
+// dropping drop, covering the piece indices in pieces (ascending, into
+// the Lookup result that produced the plan).
 type readBatch struct {
 	drop   int32
 	phys   int64
 	length int64
+	pieces []int32
 }
 
-// batchPieces coalesces logically consecutive pieces that read physically
-// contiguous bytes of the same dropping into single backend reads; holes
-// stay their own batch.
-func batchPieces(pieces []Piece) []readBatch {
-	out := make([]readBatch, 0, len(pieces))
-	for _, p := range pieces {
-		if n := len(out); n > 0 && p.Dropping >= 0 &&
-			out[n-1].drop == p.Dropping &&
-			out[n-1].phys+out[n-1].length == p.PhysOff {
-			out[n-1].length += p.Length
+// planBatches coalesces the data pieces of one lookup into physical
+// reads: per dropping, pieces sorted by physical offset merge into a
+// single read whenever the gap between them is at most gap bytes — the
+// data-sieving optimization of Thakur et al.  gap 0 still merges
+// exactly-adjacent pieces (including logically distant ones that landed
+// physically back-to-back in the same dropping).  Holes are excluded;
+// assembly synthesizes their zeros.
+func planBatches(pieces []Piece, gap int64) []readBatch {
+	idx := make([]int32, 0, len(pieces))
+	for i, p := range pieces {
+		if p.Dropping >= 0 {
+			idx = append(idx, int32(i))
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pieces[idx[a]], pieces[idx[b]]
+		if pa.Dropping != pb.Dropping {
+			return pa.Dropping < pb.Dropping
+		}
+		if pa.PhysOff != pb.PhysOff {
+			return pa.PhysOff < pb.PhysOff
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]readBatch, 0, len(idx))
+	for _, pi := range idx {
+		p := pieces[pi]
+		if n := len(out); n > 0 && out[n-1].drop == p.Dropping &&
+			p.PhysOff <= out[n-1].phys+out[n-1].length+gap {
+			b := &out[n-1]
+			if end := p.PhysOff + p.Length; end > b.phys+b.length {
+				b.length = end - b.phys
+			}
+			b.pieces = append(b.pieces, pi)
 			continue
 		}
-		out = append(out, readBatch{drop: p.Dropping, phys: p.PhysOff, length: p.Length})
+		out = append(out, readBatch{drop: p.Dropping, phys: p.PhysOff, length: p.Length, pieces: []int32{pi}})
 	}
 	return out
 }
@@ -811,14 +955,20 @@ func (m *Mount) Flatten(ctx Ctx, rel string) error {
 	if err != nil {
 		return err
 	}
-	entries := flattenEntriesOf(ix)
-	ctx.sleep(m.opt.ParseCPUPerEntry * timeDuration(len(entries)))
-	buf := encodeGlobalIndex(ix.Droppings(), entries)
+	recs := flattenRecsOf(ix)
+	ctx.sleep(m.opt.ParseCPUPerEntry * timeDuration(len(recs)))
+	buf := encodeGlobalIndexRecs(ix.Droppings(), recs)
 	if m.opt.Checksum {
 		buf = appendSumTrailer(buf, gidxSumMagic)
 	}
 	// Atomic commit; a rename refused because another flattener already
 	// published is fine — same container, same flattened content.
 	cpath, vc := m.containerPath(rel)
-	return ctx.writeFileAtomic(ctx.Vols[vc], path.Join(cpath, metaDir, globalIndex), buf, m.opt.Retry, false)
+	if err := ctx.writeFileAtomic(ctx.Vols[vc], path.Join(cpath, metaDir, globalIndex), buf, m.opt.Retry, false); err != nil {
+		return err
+	}
+	// The flattened index changes what future opens should report
+	// (UsedGlobal); drop any cached pre-flatten aggregation.
+	m.ixc.drop(rel)
+	return nil
 }

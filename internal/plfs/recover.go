@@ -264,8 +264,10 @@ func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
 		indexOK, indexCount := false, -1
 		if d.Index != "" {
 			if pl, _, err := ctx.readAllRetried(ctx.Vols[d.Vol], d.Index, pol); err == nil {
-				if es, derr := decodeIndexDropping(pl.Materialize(), 0); derr == nil {
-					indexOK, indexCount = true, len(es)
+				if recs, derr := decodeIndexDropping(pl.Materialize(), 0); derr == nil {
+					// The footer stays per-entry; compare expanded counts so a
+					// run-compressed index matches its uncompressed footer.
+					indexOK, indexCount = true, expandedCount(recs)
 				}
 			}
 		}
@@ -299,8 +301,9 @@ func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
 		st.mu.Lock()
 		st.gen++
 		st.builtKey, st.built = "", nil
-		st.parsed = map[string][]Entry{}
+		st.parsed = map[string][]Rec{}
 		st.mu.Unlock()
+		m.ixc.drop(rel)
 	}
 	if ctx.Obs != nil {
 		ctx.Obs.Counter("plfs.recover.ops").Add(1)
@@ -321,7 +324,11 @@ func (m *Mount) rebuildIndex(ctx Ctx, d droppingRef, entries []Entry) (string, e
 		dir, base := path.Split(d.Data)
 		ipath = dir + indexPrefix + strings.TrimPrefix(base, dataPrefix)
 	}
-	buf := encodeEntries(entries)
+	recs := compressRecs(entries)
+	if m.opt.NoRunCompression {
+		recs = recsOf(entries)
+	}
+	buf := encodeRecs(recs)
 	if m.opt.Checksum {
 		buf = appendSumTrailer(buf, idxSumMagic)
 	}

@@ -267,9 +267,12 @@ func (m *Mount) scrubDropping(ctx Ctx, d droppingRef, rep *ScrubReport) {
 		pl, _, err := ctx.readAllRetried(ctx.Vols[d.Vol], d.Index, pol)
 		if err != nil {
 			rep.problem("index-corrupt", d.Index, "", "read: %v", err)
-		} else if ientries, err = decodeIndexDropping(pl.Materialize(), 0); err != nil {
-			rep.problem("index-corrupt", d.Index, "", "%v", err)
+		} else if irecs, derr := decodeIndexDropping(pl.Materialize(), 0); derr != nil {
+			rep.problem("index-corrupt", d.Index, "", "%v", derr)
 		} else {
+			// Bounds, coverage, and footer checks work per entry; expand
+			// run records so each element is checked individually.
+			ientries = expandRecs(irecs)
 			indexOK = true
 			rep.IndexesChecked++
 		}

@@ -280,12 +280,23 @@ func (w *Writer) Sync() error {
 	return w.flushData()
 }
 
+// ownRecs is this writer's index in record form: run-compressed unless
+// Options.NoRunCompression.  Run detection happens here, at flush time,
+// where the writer's entries are still in append order — the order run
+// structure appears in.
+func (w *Writer) ownRecs() []Rec {
+	if w.m.opt.NoRunCompression {
+		return recsOf(w.entries)
+	}
+	return compressRecs(w.entries)
+}
+
 // writeOwnIndex persists this writer's index dropping.
 func (w *Writer) writeOwnIndex() error {
 	if w.spilledAll || len(w.entries) == 0 {
 		return nil
 	}
-	buf := encodeEntries(w.entries)
+	buf := encodeRecs(w.ownRecs())
 	if w.m.opt.Checksum {
 		buf = appendSumTrailer(buf, idxSumMagic)
 	}
@@ -299,7 +310,7 @@ func (w *Writer) writeOwnIndex() error {
 // flattenShard is what each writer contributes to Index Flatten at close.
 type flattenShard struct {
 	DataPath string
-	Entries  []Entry
+	Recs     []Rec
 	Size     int64
 	Overflow bool
 }
@@ -350,13 +361,13 @@ func (w *Writer) Close() error {
 	flatten := m.opt.IndexMode == IndexFlatten && ctx.Comm != nil
 	if flatten {
 		isp := sp.Child("index")
-		sh := flattenShard{DataPath: w.dataPath, Entries: w.entries, Size: w.maxLogical, Overflow: w.overflowed}
+		sh := flattenShard{DataPath: w.dataPath, Recs: w.ownRecs(), Size: w.maxLogical, Overflow: w.overflowed}
 		if flushErr != nil {
 			// Unflushed bytes must not enter the global index; contribute
 			// only the dropping path so the canonical ordering holds.
-			sh.Entries, sh.Size = nil, 0
+			sh.Recs, sh.Size = nil, 0
 		}
-		shards := ctx.Comm.Gather(0, int64(len(sh.Entries))*EntryBytes+64, sh)
+		shards := ctx.Comm.Gather(0, recsWireLen(sh.Recs)+64, sh)
 		anyOverflow := false
 		var maxSize int64
 		if ctx.Comm.Rank() == 0 {
@@ -424,6 +435,17 @@ func (w *Writer) Close() error {
 			fail(err)
 		}
 	}
+
+	// The container's content just changed: advance its generation so the
+	// cross-open index cache can never serve a pre-close aggregation, and
+	// drop the per-container built-index memo.  This runs after the
+	// collective barrier, so by the time any opener observes the new
+	// generation every rank's droppings are durable.
+	st := m.stateOf(w.rel)
+	st.mu.Lock()
+	st.gen++
+	st.builtKey, st.built = "", nil
+	st.mu.Unlock()
 	return errors.Join(errs...)
 }
 
@@ -482,7 +504,7 @@ func (w *Writer) writeSizeRecord(size int64) error {
 
 // writeGlobalIndex persists the flattened global index to the metadir.
 // Format: header with the canonical dropping paths, then every shard's
-// entries with dropping ids rewritten to the canonical order.
+// records with dropping ids rewritten to the canonical order.
 func (w *Writer) writeGlobalIndex(shardVals []any) error {
 	shards := make([]flattenShard, 0, len(shardVals))
 	for _, v := range shardVals {
@@ -497,21 +519,21 @@ func (w *Writer) writeGlobalIndex(shardVals []any) error {
 		return shards[order[i]].DataPath < shards[order[j]].DataPath
 	})
 	paths := make([]string, len(order))
-	var all []Entry
+	var all []Rec
 	var total int
 	for _, s := range shards {
-		total += len(s.Entries)
+		total += len(s.Recs)
 	}
-	all = make([]Entry, 0, total)
+	all = make([]Rec, 0, total)
 	for id, si := range order {
 		paths[id] = shards[si].DataPath
-		for _, e := range shards[si].Entries {
-			e.Dropping = int32(id)
-			all = append(all, e)
+		for _, rec := range shards[si].Recs {
+			rec.Dropping = int32(id)
+			all = append(all, rec)
 		}
 	}
 	w.ctx.sleep(w.m.opt.ParseCPUPerEntry * timeDuration(len(all)))
-	buf := encodeGlobalIndex(paths, all)
+	buf := encodeGlobalIndexRecs(paths, all)
 	if w.m.opt.Checksum {
 		buf = appendSumTrailer(buf, gidxSumMagic)
 	}

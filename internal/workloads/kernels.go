@@ -1,6 +1,10 @@
 package workloads
 
-import "plfs/internal/payload"
+import (
+	"time"
+
+	"plfs/internal/payload"
+)
 
 func min64(a, b int64) int64 {
 	if a < b {
@@ -154,6 +158,185 @@ func (s segmentedN1) Run(env *Env, readBack bool) (Result, error) {
 	}
 	res.ReadClose, err = env.closeFile(r)
 	return res, err
+}
+
+// restartN1 models a checkpoint-restart cycle: a segmented N-1
+// checkpoint (each rank writes one contiguous slab, so its data dropping
+// is physically dense) plus a partial overwrite round that rewrites
+// every other block into a second dropping.  The survivors of the first
+// dropping are then one block apart physically — exactly the
+// near-adjacent gaps read sieving coalesces across when the restart read
+// pulls a slab back in large chunks.
+type restartN1 struct {
+	opSize     int64
+	opsPerRank int
+}
+
+func (restartN1) Name() string { return "restart-n1" }
+
+// Run implements Kernel.
+func (s restartN1) Run(env *Env, readBack bool) (Result, error) {
+	rank := env.Rank()
+	res := Result{BytesPerRank: s.opSize * int64(s.opsPerRank)}
+	slab := s.opSize * int64(s.opsPerRank)
+	base := int64(rank) * slab
+
+	writeRound := func(every int) (time.Duration, time.Duration, time.Duration, error) {
+		f, od, err := env.openWrite()
+		if err != nil {
+			return od, 0, 0, err
+		}
+		wd, err := env.phase(func() error {
+			for k := 0; k < s.opsPerRank; k += every {
+				off := base + int64(k)*s.opSize
+				if err := f.WriteAt(off, payload.Synthetic(tag(rank), off, s.opSize)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return od, wd, 0, err
+		}
+		cd, err := env.closeFile(f)
+		return od, wd, cd, err
+	}
+	od, wd, cd, err := writeRound(1) // the checkpoint
+	res.WriteOpen, res.Write, res.WriteClose = od, wd, cd
+	if err != nil {
+		return res, err
+	}
+	od, wd, cd, err = writeRound(2) // overwrite every other block
+	res.WriteOpen += od
+	res.Write += wd
+	res.WriteClose += cd
+	if err != nil {
+		return res, err
+	}
+	if !readBack {
+		return res, nil
+	}
+	env.dropCaches()
+
+	r, d, err := env.openRead()
+	res.ReadOpen = d
+	if err != nil {
+		return res, err
+	}
+	// Restart read: each rank pulls its neighbor's slab in large chunks,
+	// so one ReadAt resolves to many pieces alternating between that
+	// writer's two droppings — the lookup shape read sieving coalesces.
+	// Each opSize piece inside a chunk belongs to writer off/slab.
+	n := env.Ranks()
+	base = int64((rank+1)%n) * slab
+	chunk := 16 * s.opSize
+	res.Read, err = env.phase(func() error {
+		for o := int64(0); o < slab; o += chunk {
+			sz := min64(chunk, slab-o)
+			got, rerr := r.ReadAt(base+o, sz)
+			if rerr != nil {
+				return rerr
+			}
+			for p := int64(0); p < sz; p += s.opSize {
+				off := base + o + p
+				owner := int(off / slab)
+				piece := got.Slice(p, min64(s.opSize, sz-p))
+				if err := verifyPiece(env, piece, tag(owner), off, piece.Len()); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ReadClose, err = env.closeFile(r)
+	return res, err
+}
+
+// RestartN1 builds the checkpoint-restart kernel: bytesPerRank written
+// as one contiguous slab per rank in opSize increments, half of it
+// overwritten into a second dropping, then read back in large chunks.
+func RestartN1(bytesPerRank, opSize int64) Kernel {
+	return restartN1{opSize: opSize, opsPerRank: int(bytesPerRank / opSize)}
+}
+
+// reopenN1 writes one strided N-1 checkpoint and then opens it for read
+// `reopens` times, touching one block per open.  Open cost dominates
+// by design: the kernel isolates what the cross-open index cache
+// eliminates for analysis tools that revisit an unchanged file.
+type reopenN1 struct {
+	opSize     int64
+	opsPerRank int
+	reopens    int
+}
+
+func (reopenN1) Name() string { return "reopen-n1" }
+
+// Run implements Kernel.
+func (s reopenN1) Run(env *Env, readBack bool) (Result, error) {
+	n := env.Ranks()
+	rank := env.Rank()
+	res := Result{BytesPerRank: s.opSize * int64(s.opsPerRank)}
+
+	f, d, err := env.openWrite()
+	res.WriteOpen = d
+	if err != nil {
+		return res, err
+	}
+	res.Write, err = env.phase(func() error {
+		for k := 0; k < s.opsPerRank; k++ {
+			off := int64(k*n+rank) * s.opSize
+			if err := f.WriteAt(off, payload.Synthetic(tag(rank), off, s.opSize)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if res.WriteClose, err = env.closeFile(f); err != nil {
+		return res, err
+	}
+	if !readBack {
+		return res, nil
+	}
+	// One cache drop after the write — the reopen cycles that follow are
+	// exactly the repeated-open pattern the index cache exists for.
+	env.dropCaches()
+	for c := 0; c < s.reopens; c++ {
+		r, d, err := env.openRead()
+		res.ReadOpen += d
+		if err != nil {
+			return res, err
+		}
+		off := int64(rank) * s.opSize
+		rd, err := env.phase(func() error {
+			got, rerr := r.ReadAt(off, s.opSize)
+			if rerr != nil {
+				return rerr
+			}
+			return verifyPiece(env, got, tag(rank), off, s.opSize)
+		})
+		res.Read += rd
+		if err != nil {
+			return res, err
+		}
+		cd, err := env.closeFile(r)
+		res.ReadClose += cd
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// ReopenN1 builds the repeated-open kernel: one strided checkpoint, then
+// `reopens` open/read-one-block/close cycles against the unchanged file.
+func ReopenN1(bytesPerRank, opSize int64, reopens int) Kernel {
+	return reopenN1{opSize: opSize, opsPerRank: int(bytesPerRank / opSize), reopens: reopens}
 }
 
 // MPIIOTest reproduces the LANL MPI-IO Test configuration of §IV.C: each

@@ -7,6 +7,7 @@
 //	plfsrun -kernel ior -ranks 256 -plfs
 //	plfsrun -kernel mpi-io-test -ranks 1024 -plfs -mode flatten -volumes 10
 //	plfsrun -kernel lanl3 -ranks 512 -plfs -cb
+//	plfsrun -kernel noncontig -access strided -io-method sieve -ranks 64
 //	plfsrun -kernel create-storm -ranks 2048 -files 4 -profile cielo -volumes 10 -plfs
 package main
 
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		kernel   = flag.String("kernel", "mpi-io-test", "workload: mpi-io-test | ior | madbench | pixie3d | aramco | lanl1 | lanl2 | lanl3 | n-n | create-storm")
+		kernel   = flag.String("kernel", "mpi-io-test", "workload: mpi-io-test | ior | madbench | pixie3d | aramco | lanl1 | lanl2 | lanl3 | noncontig | n-n | create-storm")
 		ranks    = flag.Int("ranks", 64, "number of MPI ranks")
 		bytesMB  = flag.Int64("mb", 50, "MB per rank (or total for strong-scaling kernels)")
 		opKB     = flag.Int64("opkb", 50, "operation size in KiB (where applicable)")
@@ -55,6 +56,8 @@ func main() {
 		compress = flag.Bool("index-compress", true, "run-compress index records at writer flush")
 		ixCache  = flag.Bool("index-cache", true, "cache aggregated indexes across opens of an unchanged container")
 		sieveKB  = flag.Int64("sieve-gap", 0, "sieving read coalescing: merge near-adjacent pieces up to this gap in KiB")
+		access   = flag.String("access", "strided", "noncontig kernel file pattern: contig | strided | irregular")
+		ioMethod = flag.String("io-method", "auto", "noncontiguous I/O method: auto | naive | sieve | list | twophase")
 	)
 	flag.Parse()
 
@@ -99,6 +102,20 @@ func main() {
 	case "lanl3":
 		k = workloads.LANL3(bytes*int64(*ranks), *ranks)
 		*cb = true
+	case "noncontig":
+		acc, err := workloads.ParseAccess(*access)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plfsrun:", err)
+			os.Exit(2)
+		}
+		blocks := int(bytes / op / 2)
+		if blocks < 1 {
+			blocks = 1
+		}
+		k = workloads.Noncontig{
+			Access: acc, BlockSize: op, BlocksPerRank: blocks,
+			Steps: 2, MemContig: true, Seed: *seed,
+		}
 	case "n-n":
 		k = workloads.NNFiles{BytesPerRank: bytes, OpSize: op}
 		nn = true
@@ -127,10 +144,15 @@ func main() {
 			opt.SpreadSubdirs = true
 		}
 	}
+	meth, err := adio.ParseIOMethod(*ioMethod)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plfsrun:", err)
+		os.Exit(2)
+	}
 	job := harness.Job{
 		Seed: *seed, Ranks: *ranks, Cfg: cfg, Net: mpi.DefaultNet(),
 		Opt:    opt,
-		Hints:  adio.Hints{CollectiveBuffering: *cb, ProcsPerNode: cfg.ProcsPerNode},
+		Hints:  adio.Hints{CollectiveBuffering: *cb, ProcsPerNode: cfg.ProcsPerNode, IOMethod: meth},
 		Kernel: k, UsePLFS: *usePLFS, ReadBack: !*noRead, Verify: *verify,
 		DropCaches: *dropC,
 	}

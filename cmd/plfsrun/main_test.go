@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"plfs/internal/adio"
 	"plfs/internal/harness"
 	"plfs/internal/mpi"
 	"plfs/internal/obs"
@@ -35,20 +36,47 @@ func goldenJob(reg *obs.Registry) harness.Job {
 	}
 }
 
+// goldenNoncontigJob drives the write-sieving path (-kernel noncontig
+// -access strided -io-method sieve, direct driver): the snapshot pins
+// the plfs.write.sieve_* amplification counters alongside the base set.
+func goldenNoncontigJob(reg *obs.Registry) harness.Job {
+	return harness.Job{
+		Seed: 1, Ranks: 4, Cfg: pfs.SmallCluster(), Net: mpi.DefaultNet(),
+		Kernel: workloads.Noncontig{
+			Access: workloads.AccessStrided, BlockSize: 4 << 10,
+			BlocksPerRank: 8, Steps: 2, MemContig: true, Seed: 1,
+		},
+		Hints:   adio.Hints{IOMethod: adio.MethodSieve},
+		UsePLFS: false, ReadBack: true, Verify: true, DropCaches: true,
+		Obs: reg,
+	}
+}
+
 // TestMetricsGolden locks down the -metrics JSON for a fixed job.  Any
 // change to counter names, histogram bucketing, JSON field order, or
 // the instrumented code paths shows up as a diff here; regenerate with
 // `go test ./cmd/plfsrun -run TestMetricsGolden -update` and review it.
 func TestMetricsGolden(t *testing.T) {
+	checkGolden(t, goldenJob, filepath.Join("testdata", "metrics.golden.json"))
+}
+
+// TestMetricsGoldenNoncontig locks down the -metrics JSON for the
+// noncontiguous sieve job, pinning the new counter names (sieve RMW,
+// amplification bytes) the same way.
+func TestMetricsGoldenNoncontig(t *testing.T) {
+	checkGolden(t, goldenNoncontigJob, filepath.Join("testdata", "metrics.noncontig.golden.json"))
+}
+
+func checkGolden(t *testing.T, mk func(*obs.Registry) harness.Job, golden string) {
+	t.Helper()
 	reg := obs.New()
-	if _, err := harness.Run(goldenJob(reg)); err != nil {
+	if _, err := harness.Run(mk(reg)); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
 	if err := reg.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	golden := filepath.Join("testdata", "metrics.golden.json")
 	if *update {
 		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
 			t.Fatal(err)

@@ -19,9 +19,9 @@ package adio
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"plfs/internal/comm"
+	"plfs/internal/extent"
 	"plfs/internal/payload"
 	"plfs/internal/plfs"
 )
@@ -41,20 +41,49 @@ const (
 // Hints mirror the MPI-IO info keys the paper's experiments use.
 type Hints struct {
 	// CollectiveBuffering enables two-phase I/O on the *AtAll calls.
+	// It is normalized against IOMethod by withDefaults; after opening,
+	// it is true exactly when the effective method is MethodTwoPhase.
 	CollectiveBuffering bool
 	// CBBufferSize caps each aggregator's per-round buffer (default 16 MiB).
 	CBBufferSize int64
 	// ProcsPerNode tells the layer how ranks map to nodes so aggregators
 	// can be placed one per node (default 16).
 	ProcsPerNode int
+	// IOMethod picks the noncontiguous transformation (default MethodAuto:
+	// two-phase when CollectiveBuffering is set, list I/O otherwise).
+	IOMethod IOMethod
+	// SieveGap is the largest gap (bytes) data sieving bridges when
+	// coalescing segments into one RMW window (default 64 KiB).
+	SieveGap int64
+	// SieveBuf caps a sieving window's covering extent (default 4 MiB).
+	SieveBuf int64
 }
 
+// withDefaults is the single place hints are normalized — every driver
+// calls it exactly once at Open, so no other code may reinterpret raw
+// hint values.  Resolution order: explicit IOMethod wins; MethodAuto
+// derives from CollectiveBuffering; then CollectiveBuffering is rewritten
+// to agree with the method, which is what maybeCB keys on.
 func (h Hints) withDefaults() Hints {
 	if h.CBBufferSize <= 0 {
 		h.CBBufferSize = 16 << 20
 	}
 	if h.ProcsPerNode <= 0 {
 		h.ProcsPerNode = 16
+	}
+	if h.IOMethod == MethodAuto {
+		if h.CollectiveBuffering {
+			h.IOMethod = MethodTwoPhase
+		} else {
+			h.IOMethod = MethodList
+		}
+	}
+	h.CollectiveBuffering = h.IOMethod == MethodTwoPhase
+	if h.SieveGap <= 0 {
+		h.SieveGap = 64 << 10
+	}
+	if h.SieveBuf <= 0 {
+		h.SieveBuf = 4 << 20
 	}
 	return h
 }
@@ -64,10 +93,21 @@ type File interface {
 	// WriteAt / ReadAt are independent (non-collective) operations.
 	WriteAt(off int64, p payload.Payload) error
 	ReadAt(off, n int64) (payload.List, error)
+	// WriteAtv / ReadAtv are independent vectored operations: a whole
+	// flattened access in one call, transformed per Hints.IOMethod.
+	// data carries the segments' bytes concatenated in segment order;
+	// ReadAtv returns them the same way (holes as zeros).
+	WriteAtv(segs []Seg, data payload.List) error
+	ReadAtv(segs []Seg) (payload.List, error)
 	// WriteAtAll / ReadAtAll are collective: every rank of the opening
 	// communicator must call them together.
 	WriteAtAll(off int64, p payload.Payload) error
 	ReadAtAll(off, n int64) (payload.List, error)
+	// WriteAll / ReadAll are the collective datatype-driven forms: each
+	// rank describes its whole access pattern (t placed at base) in one
+	// call, enabling the two-phase exchange across pattern pieces.
+	WriteAll(base int64, t *Datatype, data payload.List) error
+	ReadAll(base int64, t *Datatype) (payload.List, error)
 	// Size returns the file size (write handles report bytes seen so far).
 	Size() int64
 	// Close releases the file; collective when opened with a communicator.
@@ -124,7 +164,7 @@ func (u UFS) Open(ctx plfs.Ctx, path string, mode Mode, hints Hints) (File, erro
 	if err != nil {
 		return nil, err
 	}
-	base := &ufsFile{ctx: ctx, f: f, writable: mode == WriteCreate}
+	base := &ufsFile{ctx: ctx, f: f, hints: hints, writable: mode == WriteCreate}
 	return maybeCB(ctx, base, hints), nil
 }
 
@@ -135,16 +175,24 @@ func errString(err error) any {
 	return err.Error()
 }
 
+var (
+	errNotWritable  = errors.New("adio: file opened read-only")
+	errNotWriteOpen = errors.New("adio: PLFS file not open for write")
+	errNotReadOpen  = errors.New("adio: PLFS file not open for read")
+)
+
 type ufsFile struct {
 	ctx      plfs.Ctx
 	f        plfs.File
+	hints    Hints
+	stats    IOStats
 	writable bool
 	closed   bool
 }
 
 func (u *ufsFile) WriteAt(off int64, p payload.Payload) error {
 	if !u.writable {
-		return errors.New("adio: file opened read-only")
+		return errNotWritable
 	}
 	return u.f.WriteAt(off, p)
 }
@@ -202,13 +250,13 @@ func (d PLFS) Open(ctx plfs.Ctx, path string, mode Mode, hints Hints) (File, err
 		if err != nil {
 			return nil, err
 		}
-		return maybeCB(ctx, &plfsFile{ctx: ctx, r: r}, hints), nil
+		return maybeCB(ctx, &plfsFile{ctx: ctx, r: r, hints: hints}, hints), nil
 	case WriteCreate:
 		w, err := d.Mount.Create(ctx, path)
 		if err != nil {
 			return nil, err
 		}
-		return maybeCB(ctx, &plfsFile{ctx: ctx, w: w}, hints), nil
+		return maybeCB(ctx, &plfsFile{ctx: ctx, w: w, hints: hints}, hints), nil
 	}
 	return nil, fmt.Errorf("adio: bad mode %d", mode)
 }
@@ -217,13 +265,15 @@ type plfsFile struct {
 	ctx    plfs.Ctx
 	w      *plfs.Writer
 	r      *plfs.Reader
+	hints  Hints
+	stats  IOStats
 	size   int64
 	closed bool
 }
 
 func (p *plfsFile) WriteAt(off int64, pl payload.Payload) error {
 	if p.w == nil {
-		return errors.New("adio: PLFS file not open for write")
+		return errNotWriteOpen
 	}
 	if end := off + pl.Len(); end > p.size {
 		p.size = end
@@ -234,7 +284,7 @@ func (p *plfsFile) WriteAt(off int64, pl payload.Payload) error {
 func (p *plfsFile) ReadAt(off, n int64) (payload.List, error) {
 	if p.r == nil {
 		// PLFS does not support read-write mode on shared files (§IV.C.3).
-		return nil, errors.New("adio: PLFS file not open for read")
+		return nil, errNotReadOpen
 	}
 	return p.r.ReadAt(off, n)
 }
@@ -335,28 +385,40 @@ func domains(lo, hi int64, n int) []int64 {
 func (f *cbFile) WriteAt(off int64, p payload.Payload) error { return f.inner.WriteAt(off, p) }
 func (f *cbFile) ReadAt(off, n int64) (payload.List, error)  { return f.inner.ReadAt(off, n) }
 
-// WriteAtAll performs a two-phase collective write.
+// WriteAtAll performs a two-phase collective write of one contiguous
+// piece per rank.
 func (f *cbFile) WriteAtAll(off int64, p payload.Payload) error {
 	if end := off + p.Len(); end > f.size {
 		f.size = end
 	}
+	return f.writeAllPieces([]cbPiece{{off, p}})
+}
+
+// writeAllPieces is the two-phase collective write over each rank's
+// (possibly noncontiguous) piece list.
+func (f *cbFile) writeAllPieces(rankPieces []cbPiece) error {
+	var sendBytes int64 = 16
+	for _, pc := range rankPieces {
+		sendBytes += pc.P.Len() + 16
+	}
 	// Phase 0: node-local gather of pieces to the node aggregator.
-	pieces := f.nodeComm.Gather(0, p.Len()+16, cbPiece{off, p})
+	pieces := f.nodeComm.Gather(0, sendBytes, rankPieces)
 	if !f.isAgg {
 		f.nodeComm.Barrier() // wait for aggregators to finish the round
 		return nil
 	}
 	// Compute the global extent among aggregators.
 	var lo, hi int64 = 1 << 62, -1
-	mine := make([]cbPiece, 0, len(pieces))
+	var mine []cbPiece
 	for _, v := range pieces {
-		pc := v.(cbPiece)
-		mine = append(mine, pc)
-		if pc.Off < lo {
-			lo = pc.Off
-		}
-		if end := pc.Off + pc.P.Len(); end > hi {
-			hi = end
+		for _, pc := range v.([]cbPiece) {
+			mine = append(mine, pc)
+			if pc.Off < lo {
+				lo = pc.Off
+			}
+			if end := pc.Off + pc.P.Len(); end > hi {
+				hi = end
+			}
 		}
 	}
 	exts := f.aggComm.Allgather(16, [2]int64{lo, hi})
@@ -405,53 +467,53 @@ func (f *cbFile) WriteAtAll(off int64, p payload.Payload) error {
 	return nil
 }
 
-// writeCoalesced sorts the domain's pieces and issues them as maximal
-// contiguous runs, respecting the CB buffer size.
+// writeCoalesced plans the domain's pieces into maximal contiguous runs
+// (extent.Plan with gap 0, capped at the CB buffer size) and issues each
+// run as one vectored write to the base file.  Overlapping pieces stay
+// in one run and resolve through the overlay in ascending gather order.
 func (f *cbFile) writeCoalesced(pieces []cbPiece) error {
-	sort.Slice(pieces, func(i, j int) bool { return pieces[i].Off < pieces[j].Off })
-	var runStart int64
-	var run payload.List
-	flush := func() error {
-		if run.Len() == 0 {
-			return nil
-		}
-		for _, seg := range run {
-			if err := f.inner.WriteAt(runStart, seg); err != nil {
-				return err
-			}
-			runStart += seg.Len()
-		}
-		run = nil
-		return nil
+	ext := func(i int) extent.Ext {
+		return extent.Ext{Off: pieces[i].Off, Len: pieces[i].P.Len()}
 	}
-	for _, pc := range pieces {
-		end := runStart + run.Len()
-		if run.Len() == 0 || pc.Off != end || run.Len()+pc.P.Len() > f.hints.CBBufferSize {
-			if err := flush(); err != nil {
-				return err
-			}
-			runStart = pc.Off
+	for _, b := range extent.Plan(len(pieces), nil, ext, 0, f.hints.CBBufferSize) {
+		var win payload.File
+		for _, it := range b.Items {
+			win.WriteAt(pieces[it].Off, pieces[it].P)
 		}
-		run = run.Append(pc.P)
+		if err := f.inner.WriteAtv([]Seg{{Off: b.Off, Len: b.Len}}, win.ReadAt(b.Off, b.Len)); err != nil {
+			return err
+		}
 	}
-	return flush()
+	return nil
 }
 
-// ReadAtAll performs a two-phase collective read.
+// ReadAtAll performs a two-phase collective read of one contiguous
+// extent per rank.
 func (f *cbFile) ReadAtAll(off, n int64) (payload.List, error) {
+	return f.readAllSegs([]Seg{{Off: off, Len: n}})
+}
+
+// readAllSegs is the two-phase collective read over each rank's
+// (possibly noncontiguous) segment list; the result concatenates the
+// rank's segments in order, holes as zeros.
+func (f *cbFile) readAllSegs(segs []Seg) (payload.List, error) {
 	// Phase 0: gather requests at the node aggregator.
-	reqs := f.nodeComm.Gather(0, 16, [2]int64{off, n})
+	reqs := f.nodeComm.Gather(0, int64(len(segs))*16+16, segs)
 	var err error
 	if f.isAgg {
 		// Aggregators compute the global extent.
 		var lo, hi int64 = 1 << 62, -1
 		for _, v := range reqs {
-			r := v.([2]int64)
-			if r[0] < lo {
-				lo = r[0]
-			}
-			if end := r[0] + r[1]; end > hi {
-				hi = end
+			for _, e := range v.([]Seg) {
+				if e.Len <= 0 {
+					continue
+				}
+				if e.Off < lo {
+					lo = e.Off
+				}
+				if e.End() > hi {
+					hi = e.End()
+				}
 			}
 		}
 		exts := f.aggComm.Allgather(16, [2]int64{lo, hi})
@@ -490,19 +552,17 @@ func (f *cbFile) ReadAtAll(off, n int64) (payload.List, error) {
 				nb[i] = domain.Len()
 			}
 			recv := f.aggComm.Alltoall(nb, vs)
-			// Assemble the file range needed by my node's ranks.
-			assembled := make(map[int]payload.List, len(reqs))
-			for ri, v := range reqs {
-				r := v.([2]int64)
+			// Assemble each segment a rank asked for from the domains.
+			assemble := func(e Seg) payload.List {
 				var out payload.List
-				cur := r[0]
-				for cur < r[0]+r[1] {
+				cur := e.Off
+				for cur < e.End() {
 					found := false
 					for _, dv := range recv {
 						dc := dv.(domainChunk)
 						dEnd := dc.Lo + dc.Pl.Len()
 						if cur >= dc.Lo && cur < dEnd {
-							take := min64(dEnd-cur, r[0]+r[1]-cur)
+							take := min64(dEnd-cur, e.End()-cur)
 							out = out.Concat(dc.Pl.Slice(cur-dc.Lo, take))
 							cur += take
 							found = true
@@ -510,9 +570,20 @@ func (f *cbFile) ReadAtAll(off, n int64) (payload.List, error) {
 						}
 					}
 					if !found {
-						out = out.Append(payload.Zeros(r[0] + r[1] - cur))
-						cur = r[0] + r[1]
+						out = out.Append(payload.Zeros(e.End() - cur))
+						cur = e.End()
 					}
+				}
+				return out
+			}
+			assembled := make(map[int]payload.List, len(reqs))
+			for ri, v := range reqs {
+				var out payload.List
+				for _, e := range v.([]Seg) {
+					if e.Len <= 0 {
+						continue
+					}
+					out = out.Concat(assemble(e))
 				}
 				assembled[ri] = out
 			}
@@ -528,7 +599,7 @@ func (f *cbFile) ReadAtAll(off, n int64) (payload.List, error) {
 		}
 	}
 	if !f.isAgg {
-		got := f.nodeComm.Scatter(0, n, nil)
+		got := f.nodeComm.Scatter(0, segTotal(segs), nil)
 		return got.(payload.List), nil
 	}
 	// Degenerate empty extent.
@@ -556,22 +627,10 @@ func min64(a, b int64) int64 {
 	return b
 }
 
-// splitPieceByDomain cuts a piece at domain boundaries.
+// splitPieceByDomain cuts a piece at domain boundaries (extent.Split
+// carries the clamping semantics; this only slices the payload along).
 func splitPieceByDomain(pc cbPiece, bounds []int64, emit func(d int, sub cbPiece)) {
-	off, p := pc.Off, pc.P
-	for p.Len() > 0 {
-		// Find the domain containing off.
-		d := sort.Search(len(bounds)-1, func(i int) bool { return bounds[i+1] > off })
-		if d >= len(bounds)-1 {
-			d = len(bounds) - 2
-		}
-		end := bounds[d+1]
-		take := p.Len()
-		if off+take > end && end > off {
-			take = end - off
-		}
-		emit(d, cbPiece{off, p.Slice(0, take)})
-		p = p.Slice(take, p.Len()-take)
-		off += take
-	}
+	extent.Split(extent.Ext{Off: pc.Off, Len: pc.P.Len()}, bounds, func(d int, sub extent.Ext) {
+		emit(d, cbPiece{sub.Off, pc.P.Slice(sub.Off-pc.Off, sub.Len)})
+	})
 }

@@ -1,0 +1,193 @@
+package adio
+
+import (
+	"fmt"
+
+	"plfs/internal/extent"
+)
+
+// Seg is one contiguous (offset, length) extent of a flattened access —
+// the currency of list I/O.  It aliases extent.Ext so adio, plfs, and the
+// backends exchange segment lists without conversion.
+type Seg = extent.Ext
+
+// Datatype describes a (possibly noncontiguous) file access pattern, after
+// MPI derived datatypes: a tree of contiguous runs, strided vectors, and
+// irregular indexed blocks, nestable to any depth.  Callers hand a whole
+// pattern to WriteAll/ReadAll in one call; the layer flattens it once and
+// chooses a transformation (naive, data sieving, list I/O, two-phase)
+// according to the open hints.
+//
+// A Datatype is immutable after construction and safe to share between
+// ranks and goroutines.
+type Datatype struct {
+	kind   dtKind
+	length int64     // contig: byte count; vector/indexed blocklen when elem == nil
+	count  int64     // vector: replication count
+	stride int64     // vector: displacement between consecutive blocks
+	elem   *Datatype // vector/indexed element type (nil = raw bytes)
+	segs   []Seg     // indexed: displacements (+ lengths when elem == nil)
+
+	size    int64 // total data bytes
+	extent  int64 // span from relative offset 0 to the last byte + 1
+	maxSegs int   // flattened segment count before adjacency merging
+}
+
+type dtKind uint8
+
+const (
+	dtContig dtKind = iota
+	dtVector
+	dtIndexed
+)
+
+// Contig describes n contiguous bytes.
+func Contig(n int64) *Datatype {
+	if n < 0 {
+		panic("adio: negative datatype length")
+	}
+	return &Datatype{kind: dtContig, length: n, size: n, extent: n, maxSegs: 1}
+}
+
+// Vector describes count blocks of blocklen bytes whose starts are stride
+// bytes apart — the strided access of row/column-decomposed arrays.
+// stride may equal blocklen (degenerating to a contiguous run) but must
+// not be negative.
+func Vector(count int, blocklen, stride int64) *Datatype {
+	return VectorOf(count, Contig(blocklen), stride)
+}
+
+// VectorOf is Vector with an arbitrary element type: count copies of elem
+// placed stride bytes apart.  Nesting VectorOf builds multi-dimensional
+// block decompositions.
+func VectorOf(count int, elem *Datatype, stride int64) *Datatype {
+	if count < 0 || stride < 0 {
+		panic("adio: negative vector count or stride")
+	}
+	if elem == nil {
+		elem = Contig(0)
+	}
+	t := &Datatype{kind: dtVector, count: int64(count), stride: stride, elem: elem}
+	t.size = int64(count) * elem.size
+	if count > 0 {
+		t.extent = int64(count-1)*stride + elem.extent
+	}
+	t.maxSegs = count * elem.maxSegs
+	return t
+}
+
+// Indexed describes an irregular pattern: explicit (displacement, length)
+// blocks of raw bytes, in the order given.  Blocks may appear in any
+// offset order and may overlap; flattening preserves the given order, so
+// overlap semantics match issuing the blocks as successive writes.
+func Indexed(blocks []Seg) *Datatype {
+	t := &Datatype{kind: dtIndexed, segs: append([]Seg(nil), blocks...)}
+	for _, s := range blocks {
+		if s.Off < 0 || s.Len < 0 {
+			panic("adio: negative indexed block")
+		}
+		t.size += s.Len
+		if end := s.End(); end > t.extent {
+			t.extent = end
+		}
+		t.maxSegs++
+	}
+	return t
+}
+
+// IndexedOf places one copy of elem at each displacement, in the order
+// given — an irregular pattern of structured elements.
+func IndexedOf(disps []int64, elem *Datatype) *Datatype {
+	if elem == nil {
+		elem = Contig(0)
+	}
+	t := &Datatype{kind: dtIndexed, elem: elem, segs: make([]Seg, len(disps))}
+	for i, d := range disps {
+		if d < 0 {
+			panic("adio: negative indexed displacement")
+		}
+		t.segs[i] = Seg{Off: d}
+		t.size += elem.size
+		if end := d + elem.extent; end > t.extent {
+			t.extent = end
+		}
+		t.maxSegs += elem.maxSegs
+	}
+	return t
+}
+
+// Size returns the number of data bytes the datatype selects.
+func (t *Datatype) Size() int64 { return t.size }
+
+// Extent returns the span the datatype covers, from relative offset 0 to
+// one past its last byte — the placement footprint, gaps included.
+func (t *Datatype) Extent() int64 { return t.extent }
+
+// MaxSegs bounds the flattened segment count (before adjacency merging);
+// callers preallocate AppendSegs buffers with it.
+func (t *Datatype) MaxSegs() int { return t.maxSegs }
+
+// Contiguous reports whether the datatype selects one gap-free run — the
+// (contig file) half of the four-quadrant taxonomy.  It is a hint: the
+// flattened form of a contiguous datatype is a single segment either way.
+func (t *Datatype) Contiguous() bool { return t.size == t.extent }
+
+// AppendSegs appends the datatype's flattened (offset, length) segments,
+// each displaced by base, to dst and returns it.  Exactly-adjacent
+// neighbors merge as they are emitted, so a contiguous datatype flattens
+// to one segment.  The append order is the datatype's definition order —
+// the order the equivalent naive per-block accesses would issue in.
+//
+// The flattener allocates nothing when dst has capacity (callers reuse
+// buffers across calls; see BenchmarkFlatten).
+func (t *Datatype) AppendSegs(dst []Seg, base int64) []Seg {
+	switch t.kind {
+	case dtContig:
+		dst = appendSeg(dst, base, t.length)
+	case dtVector:
+		off := base
+		for i := int64(0); i < t.count; i++ {
+			dst = t.elem.AppendSegs(dst, off)
+			off += t.stride
+		}
+	case dtIndexed:
+		for _, s := range t.segs {
+			if t.elem != nil {
+				dst = t.elem.AppendSegs(dst, base+s.Off)
+			} else {
+				dst = appendSeg(dst, base+s.Off, s.Len)
+			}
+		}
+	}
+	return dst
+}
+
+// Segs is AppendSegs into a fresh, rightsized buffer.
+func (t *Datatype) Segs(base int64) []Seg {
+	return t.AppendSegs(make([]Seg, 0, t.maxSegs), base)
+}
+
+// appendSeg appends one segment, merging it into the previous segment
+// when exactly adjacent.
+func appendSeg(dst []Seg, off, n int64) []Seg {
+	if n <= 0 {
+		return dst
+	}
+	if k := len(dst) - 1; k >= 0 && dst[k].Off+dst[k].Len == off {
+		dst[k].Len += n
+		return dst
+	}
+	return append(dst, Seg{Off: off, Len: n})
+}
+
+// String renders a compact description for diagnostics.
+func (t *Datatype) String() string {
+	switch t.kind {
+	case dtContig:
+		return fmt.Sprintf("contig(%d)", t.length)
+	case dtVector:
+		return fmt.Sprintf("vector(%d x %s @ %d)", t.count, t.elem, t.stride)
+	default:
+		return fmt.Sprintf("indexed(%d blocks, %dB over %dB)", t.maxSegs, t.size, t.extent)
+	}
+}

@@ -1,0 +1,139 @@
+package adio_test
+
+import (
+	"reflect"
+	"testing"
+
+	"plfs/internal/adio"
+)
+
+func TestDatatypeFlatten(t *testing.T) {
+	cases := []struct {
+		name string
+		t    *adio.Datatype
+		base int64
+		want []adio.Seg
+		size int64
+		ext  int64
+	}{
+		{
+			name: "contig",
+			t:    adio.Contig(10), base: 5,
+			want: []adio.Seg{{Off: 5, Len: 10}}, size: 10, ext: 10,
+		},
+		{
+			name: "vector strided",
+			t:    adio.Vector(3, 4, 10),
+			want: []adio.Seg{{Off: 0, Len: 4}, {Off: 10, Len: 4}, {Off: 20, Len: 4}},
+			size: 12, ext: 24,
+		},
+		{
+			name: "vector stride==blocklen merges to one run",
+			t:    adio.Vector(3, 4, 4), base: 100,
+			want: []adio.Seg{{Off: 100, Len: 12}}, size: 12, ext: 12,
+		},
+		{
+			name: "nested vector (2-D tile)",
+			t:    adio.VectorOf(2, adio.Vector(2, 2, 6), 24),
+			want: []adio.Seg{{Off: 0, Len: 2}, {Off: 6, Len: 2}, {Off: 24, Len: 2}, {Off: 30, Len: 2}},
+			size: 8, ext: 32,
+		},
+		{
+			name: "indexed preserves definition order",
+			t:    adio.Indexed([]adio.Seg{{Off: 10, Len: 4}, {Off: 0, Len: 4}, {Off: 12, Len: 4}}),
+			want: []adio.Seg{{Off: 10, Len: 4}, {Off: 0, Len: 4}, {Off: 12, Len: 4}},
+			size: 12, ext: 16,
+		},
+		{
+			name: "indexed merges exact adjacency",
+			t:    adio.Indexed([]adio.Seg{{Off: 0, Len: 4}, {Off: 4, Len: 4}, {Off: 16, Len: 4}}),
+			want: []adio.Seg{{Off: 0, Len: 8}, {Off: 16, Len: 4}},
+			size: 12, ext: 20,
+		},
+		{
+			name: "indexed of structured elements",
+			t:    adio.IndexedOf([]int64{32, 0}, adio.Vector(2, 2, 4)),
+			want: []adio.Seg{{Off: 32, Len: 2}, {Off: 36, Len: 2}, {Off: 0, Len: 2}, {Off: 4, Len: 2}},
+			size: 8, ext: 38,
+		},
+		{
+			name: "empty contig flattens to nothing",
+			t:    adio.Contig(0),
+			want: []adio.Seg{}, size: 0, ext: 0,
+		},
+		{
+			name: "empty vector",
+			t:    adio.Vector(0, 8, 16),
+			want: []adio.Seg{}, size: 0, ext: 0,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got := c.t.Segs(c.base)
+			if len(got) != 0 || len(c.want) != 0 {
+				if !reflect.DeepEqual(got, c.want) {
+					t.Errorf("Segs(%d) = %v, want %v", c.base, got, c.want)
+				}
+			}
+			if c.t.Size() != c.size {
+				t.Errorf("Size = %d, want %d", c.t.Size(), c.size)
+			}
+			if c.t.Extent() != c.ext {
+				t.Errorf("Extent = %d, want %d", c.t.Extent(), c.ext)
+			}
+			if len(got) > c.t.MaxSegs() {
+				t.Errorf("MaxSegs = %d but flattened to %d segments", c.t.MaxSegs(), len(got))
+			}
+			if want := c.size == c.ext; c.t.Contiguous() != want {
+				t.Errorf("Contiguous = %v, want %v", c.t.Contiguous(), want)
+			}
+		})
+	}
+}
+
+func TestDatatypePanicsOnNegative(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"contig":  func() { adio.Contig(-1) },
+		"vector":  func() { adio.Vector(2, 4, -1) },
+		"indexed": func() { adio.Indexed([]adio.Seg{{Off: -1, Len: 4}}) },
+		"of":      func() { adio.IndexedOf([]int64{-2}, adio.Contig(4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on negative geometry", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFlattenZeroAlloc pins the flattener's zero-allocation contract:
+// AppendSegs into a buffer with capacity must not allocate (ranks reuse
+// one buffer per open across every collective call).
+func TestFlattenZeroAlloc(t *testing.T) {
+	dt := adio.VectorOf(64, adio.Vector(4, 512, 4096), 1<<20)
+	buf := make([]adio.Seg, 0, dt.MaxSegs())
+	if n := testing.AllocsPerRun(100, func() {
+		buf = dt.AppendSegs(buf[:0], 0)
+	}); n != 0 {
+		t.Errorf("AppendSegs allocated %.1f times per run, want 0", n)
+	}
+}
+
+// BenchmarkFlatten is the CI allocation guard (0 allocs/op) and measures
+// flattening throughput for a nested 256-segment pattern.
+func BenchmarkFlatten(b *testing.B) {
+	dt := adio.VectorOf(64, adio.Vector(4, 512, 4096), 1<<20)
+	buf := make([]adio.Seg, 0, dt.MaxSegs())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = dt.AppendSegs(buf[:0], 0)
+	}
+	if len(buf) == 0 {
+		b.Fatal("no segments")
+	}
+}

@@ -1,0 +1,142 @@
+// Package extent provides the byte-extent arithmetic shared by the I/O
+// transformation layers: coalescing many (offset, length) pairs into
+// covering batches (data sieving and list-I/O planning, two-phase run
+// detection) and splitting extents at aggregator-domain boundaries.
+//
+// It is the single implementation behind adio's collective-buffering
+// coalescer, adio's write-side sieve planner, and plfs's read-side
+// sieving coalescer (planBatches), so gap and adjacency semantics cannot
+// drift between layers.
+package extent
+
+import "sort"
+
+// Ext is one contiguous byte extent.
+type Ext struct {
+	Off int64
+	Len int64
+}
+
+// End returns the first offset past the extent.
+func (e Ext) End() int64 { return e.Off + e.Len }
+
+// Batch is one coalesced group of input extents: the covering extent,
+// the partition key its members share, and the input indices that were
+// merged into it, sorted by (Off, input order).
+type Batch struct {
+	Ext
+	Key   int64
+	Items []int32
+}
+
+// Plan coalesces n extents into covering batches — the extent-merge at
+// the heart of data sieving and list-I/O planning.
+//
+//   - ext(i) returns the i-th extent; key(i) partitions the inputs
+//     (extents with different keys never merge; nil means one partition).
+//   - Extents are sorted by (key, offset, input order) and two neighbors
+//     merge when the gap between them is at most gap bytes.  gap 0 still
+//     merges exactly-adjacent extents, and overlapping extents always
+//     merge.
+//   - maxSpan > 0 starts a new batch rather than let a covering extent
+//     exceed maxSpan bytes — except across an overlap, which must stay in
+//     one batch (splitting inside an overlap would reorder the writes it
+//     carries).
+//
+// Batches are returned in (key, offset) order.  Item indices let callers
+// carry per-extent payloads or piece metadata through the plan.
+func Plan(n int, key func(int) int64, ext func(int) Ext, gap, maxSpan int64) []Batch {
+	if n == 0 {
+		return nil
+	}
+	k := func(int) int64 { return 0 }
+	if key != nil {
+		k = key
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := int(idx[a]), int(idx[b])
+		ka, kb := k(ia), k(ib)
+		if ka != kb {
+			return ka < kb
+		}
+		ea, eb := ext(ia), ext(ib)
+		if ea.Off != eb.Off {
+			return ea.Off < eb.Off
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]Batch, 0, n)
+	for _, i := range idx {
+		e := ext(int(i))
+		ky := k(int(i))
+		if len(out) > 0 {
+			b := &out[len(out)-1]
+			if b.Key == ky && e.Off <= b.End()+gap {
+				overlap := e.Off < b.End()
+				newEnd := b.End()
+				if e.End() > newEnd {
+					newEnd = e.End()
+				}
+				if overlap || maxSpan <= 0 || newEnd-b.Off <= maxSpan {
+					b.Len = newEnd - b.Off
+					b.Items = append(b.Items, i)
+					continue
+				}
+			}
+		}
+		out = append(out, Batch{Ext: e, Key: ky, Items: []int32{i}})
+	}
+	return out
+}
+
+// Span returns the extent covering all of b's live bytes plus its gaps —
+// identical to b.Ext; exposed for symmetry in callers that track waste.
+// Live returns the byte count the batch's members actually cover,
+// counting overlapping bytes once; Len minus Live is the gap (sieving
+// waste) the covering extent carries.
+func (b Batch) Live(ext func(int) Ext) int64 {
+	var live, end int64
+	start := true
+	for _, i := range b.Items {
+		e := ext(int(i))
+		if start || e.Off > end {
+			live += e.Len
+			end = e.End()
+			start = false
+			continue
+		}
+		if e.End() > end {
+			live += e.End() - end
+			end = e.End()
+		}
+	}
+	return live
+}
+
+// Split cuts extent e at the domain boundaries in bounds (ascending;
+// [bounds[d], bounds[d+1]) is domain d) and emits each sub-extent with
+// its domain index.  Bytes past the last boundary clamp into the last
+// domain, bytes before the first into domain 0 — the aggregator-domain
+// assignment two-phase collective buffering uses.
+func Split(e Ext, bounds []int64, emit func(d int, sub Ext)) {
+	off, n := e.Off, e.Len
+	for n > 0 {
+		// Find the domain containing off.
+		d := sort.Search(len(bounds)-1, func(i int) bool { return bounds[i+1] > off })
+		if d >= len(bounds)-1 {
+			d = len(bounds) - 2
+		}
+		end := bounds[d+1]
+		take := n
+		if off+take > end && end > off {
+			take = end - off
+		}
+		emit(d, Ext{Off: off, Len: take})
+		off += take
+		n -= take
+	}
+}

@@ -1,0 +1,142 @@
+package extent
+
+import (
+	"reflect"
+	"testing"
+)
+
+func plan(t *testing.T, exts []Ext, gap, maxSpan int64) []Batch {
+	t.Helper()
+	return Plan(len(exts), nil, func(i int) Ext { return exts[i] }, gap, maxSpan)
+}
+
+func TestPlanExactAdjacency(t *testing.T) {
+	// gap 0 merges extents that touch exactly, and nothing else.
+	bs := plan(t, []Ext{{0, 10}, {10, 5}, {16, 4}}, 0, 0)
+	if len(bs) != 2 {
+		t.Fatalf("batches = %d, want 2: %+v", len(bs), bs)
+	}
+	if bs[0].Off != 0 || bs[0].Len != 15 {
+		t.Errorf("batch 0 = [%d,%d), want [0,15)", bs[0].Off, bs[0].End())
+	}
+	if !reflect.DeepEqual(bs[0].Items, []int32{0, 1}) {
+		t.Errorf("batch 0 items = %v", bs[0].Items)
+	}
+	if bs[1].Off != 16 || bs[1].Len != 4 {
+		t.Errorf("batch 1 = [%d,%d), want [16,20)", bs[1].Off, bs[1].End())
+	}
+}
+
+func TestPlanGapBoundary(t *testing.T) {
+	// A gap of exactly `gap` bytes merges; gap+1 does not.
+	bs := plan(t, []Ext{{0, 10}, {14, 6}}, 4, 0)
+	if len(bs) != 1 || bs[0].Len != 20 {
+		t.Fatalf("gap==4 at distance 4: batches %+v, want one [0,20)", bs)
+	}
+	bs = plan(t, []Ext{{0, 10}, {15, 5}}, 4, 0)
+	if len(bs) != 2 {
+		t.Fatalf("gap==4 at distance 5: batches %+v, want two", bs)
+	}
+}
+
+func TestPlanSortsAndKeys(t *testing.T) {
+	exts := []Ext{{100, 10}, {0, 10}, {10, 10}}
+	keys := []int64{2, 1, 1}
+	bs := Plan(len(exts), func(i int) int64 { return keys[i] }, func(i int) Ext { return exts[i] }, 0, 0)
+	if len(bs) != 2 {
+		t.Fatalf("batches = %+v, want 2 (key partition)", bs)
+	}
+	if bs[0].Key != 1 || bs[0].Off != 0 || bs[0].Len != 20 {
+		t.Errorf("batch 0 = %+v, want key 1 [0,20)", bs[0])
+	}
+	if !reflect.DeepEqual(bs[0].Items, []int32{1, 2}) {
+		t.Errorf("batch 0 items = %v", bs[0].Items)
+	}
+	if bs[1].Key != 2 || bs[1].Off != 100 {
+		t.Errorf("batch 1 = %+v, want key 2 at 100", bs[1])
+	}
+}
+
+func TestPlanMaxSpan(t *testing.T) {
+	// Four adjacent 10-byte extents under a 20-byte cap split into two
+	// batches of exactly the cap.
+	bs := plan(t, []Ext{{0, 10}, {10, 10}, {20, 10}, {30, 10}}, 0, 20)
+	if len(bs) != 2 || bs[0].Len != 20 || bs[1].Len != 20 {
+		t.Fatalf("batches = %+v, want two of 20", bs)
+	}
+	// An overlap may not be split even when it exceeds the cap.
+	bs = plan(t, []Ext{{0, 20}, {15, 20}}, 0, 20)
+	if len(bs) != 1 || bs[0].Len != 35 {
+		t.Fatalf("overlap under cap: batches = %+v, want one [0,35)", bs)
+	}
+}
+
+func TestPlanStableTies(t *testing.T) {
+	// Equal offsets keep input order, so last-writer-wins semantics are
+	// deterministic for callers replaying items in Items order.
+	bs := plan(t, []Ext{{5, 5}, {5, 5}, {5, 5}}, 0, 0)
+	if len(bs) != 1 || !reflect.DeepEqual(bs[0].Items, []int32{0, 1, 2}) {
+		t.Fatalf("batches = %+v, want one batch with items in input order", bs)
+	}
+}
+
+func TestLive(t *testing.T) {
+	exts := []Ext{{0, 10}, {20, 10}, {25, 10}}
+	bs := plan(t, exts, 100, 0)
+	if len(bs) != 1 {
+		t.Fatalf("batches = %+v", bs)
+	}
+	// [0,10) + [20,35) = 25 live bytes of a 35-byte covering extent.
+	if live := bs[0].Live(func(i int) Ext { return exts[i] }); live != 25 {
+		t.Errorf("live = %d, want 25", live)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	bounds := []int64{0, 10, 20, 30}
+	var got []struct {
+		d int
+		e Ext
+	}
+	Split(Ext{5, 20}, bounds, func(d int, sub Ext) {
+		got = append(got, struct {
+			d int
+			e Ext
+		}{d, sub})
+	})
+	want := []struct {
+		d int
+		e Ext
+	}{{0, Ext{5, 5}}, {1, Ext{10, 10}}, {2, Ext{20, 5}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("split = %+v, want %+v", got, want)
+	}
+
+	// A boundary-exact extent stays in one domain.
+	got = nil
+	Split(Ext{10, 10}, bounds, func(d int, sub Ext) {
+		got = append(got, struct {
+			d int
+			e Ext
+		}{d, sub})
+	})
+	if len(got) != 1 || got[0].d != 1 || got[0].e != (Ext{10, 10}) {
+		t.Errorf("boundary-exact split = %+v", got)
+	}
+
+	// Bytes past the last boundary clamp into the last domain.
+	got = nil
+	Split(Ext{25, 10}, bounds, func(d int, sub Ext) {
+		got = append(got, struct {
+			d int
+			e Ext
+		}{d, sub})
+	})
+	want = []struct {
+		d int
+		e Ext
+	}{{2, Ext{25, 5}}, {2, Ext{30, 5}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("clamped split = %+v, want %+v", got, want)
+	}
+}

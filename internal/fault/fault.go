@@ -644,3 +644,30 @@ func (f *file) Size() int64 { return f.f.Size() }
 
 // Close implements plfs.File.
 func (f *file) Close() error { return f.f.Close() }
+
+// The wrapper deliberately does NOT forward plfs.VectoredIO or
+// plfs.BatchAppender: a batched request would roll one fault die for K
+// extents, weakening coverage, and a torn batch has no defined prefix
+// semantics.  Under fault injection callers fall back to per-extent
+// loops, so every sub-operation faces its own injection decision and the
+// existing retry/torn contracts hold unchanged.
+
+// LockRange implements plfs.RangeLocker by forwarding to the wrapped
+// handle; the lock itself is not a faultable backend operation (it
+// guards middleware-level RMW windows, not stored bytes), so no gate.
+// A handle without the capability makes this a no-op, keeping sieving
+// correct-but-unserialized tests explicit about their backend choice.
+func (f *file) LockRange(off, n int64) error {
+	if rl, ok := f.f.(plfs.RangeLocker); ok {
+		return rl.LockRange(off, n)
+	}
+	return nil
+}
+
+// UnlockRange implements plfs.RangeLocker (see LockRange).
+func (f *file) UnlockRange(off, n int64) error {
+	if rl, ok := f.f.(plfs.RangeLocker); ok {
+		return rl.UnlockRange(off, n)
+	}
+	return nil
+}

@@ -44,6 +44,7 @@ func Figures() []Figure {
 		{"ablation-index-compress", "Ablation: run-compressed index records", AblationIndexCompress},
 		{"ablation-index-cache", "Ablation: cross-open index cache (reopen kernel)", AblationIndexCache},
 		{"ablation-sieve-gap", "Ablation: sieving read coalescing gap", AblationSieveGap},
+		{"ablation-noncontig", "Ablation: noncontiguous I/O method (naive/sieve/list/twophase)", AblationNoncontig},
 	}
 }
 

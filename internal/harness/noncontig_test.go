@@ -1,0 +1,65 @@
+package harness_test
+
+import (
+	"testing"
+
+	"plfs/internal/harness"
+)
+
+// TestNoncontigThakurOrdering checks the ablation reproduces the classic
+// noncontiguous-access results (Thakur et al.) on the direct driver —
+// naive < sieve < list <= two-phase for small strided writes — and the
+// paper's transformative claim on the PLFS driver: list I/O through the
+// log-structured container stays within ~10% of the contiguous append
+// baseline.  The simulation is deterministic in the seed, so these are
+// exact assertions, not flaky performance tests.
+func TestNoncontigThakurOrdering(t *testing.T) {
+	tabs, err := harness.AblationNoncontig(harness.Options{Scale: harness.Quick, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := tabs[0]
+	get := func(series string, x float64) float64 {
+		p, ok := bw.Lookup(series, x)
+		if !ok {
+			t.Fatalf("missing point %s@%v", series, x)
+		}
+		return p.Mean
+	}
+	naive, sieve := get("ufs", 0), get("ufs", 1)
+	list, twophase := get("ufs", 2), get("ufs", 3)
+	if !(naive < sieve && sieve < list) {
+		t.Errorf("ufs ordering broken: naive %.1f < sieve %.1f < list %.1f MB/s expected",
+			naive, sieve, list)
+	}
+	if list > twophase*1.05 {
+		t.Errorf("ufs list %.1f MB/s should not beat two-phase %.1f MB/s", list, twophase)
+	}
+	plList, plContig := get("plfs", 2), get("plfs", 4)
+	if plList < 0.9*plContig {
+		t.Errorf("plfs list %.1f MB/s more than 10%% below contiguous baseline %.1f MB/s",
+			plList, plContig)
+	}
+	// The log structure should also collapse the method spread: on the
+	// direct driver the access method is worth an order of magnitude
+	// (list vs naive), while on PLFS every independent-writer method
+	// lands within a few percent of the others — there is nothing left
+	// for the method to optimize.
+	if list < 5*naive {
+		t.Errorf("ufs method spread too small to matter: naive %.1f, list %.1f MB/s", naive, list)
+	}
+	plNaive, plSieve := get("plfs", 0), get("plfs", 1)
+	lo, hi := plNaive, plNaive
+	for _, v := range []float64{plSieve, plList} {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > 1.1*lo {
+		t.Errorf("plfs method spread should collapse: naive %.1f sieve %.1f list %.1f MB/s",
+			plNaive, plSieve, plList)
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 
+	"plfs/internal/extent"
 	"plfs/internal/payload"
 	"plfs/internal/plfs"
 )
@@ -37,7 +39,7 @@ func (FS) Create(path string) (plfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &file{f: f}, nil
+	return &file{f: f, path: path}, nil
 }
 
 // OpenRead implements plfs.Backend.
@@ -46,7 +48,7 @@ func (FS) OpenRead(path string) (plfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &file{f: f, ro: true}, nil
+	return &file{f: f, path: path, ro: true}, nil
 }
 
 // OpenWrite implements plfs.Backend: open an existing file for writing
@@ -56,7 +58,7 @@ func (FS) OpenWrite(path string) (plfs.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &file{f: f}, nil
+	return &file{f: f, path: path}, nil
 }
 
 // Stat implements plfs.Backend.
@@ -95,8 +97,9 @@ func (FS) Remove(path string) error { return os.Remove(path) }
 func (FS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
 
 type file struct {
-	f  *os.File
-	ro bool
+	f    *os.File
+	path string
+	ro   bool
 }
 
 func (f *file) WriteAt(off int64, p payload.Payload) error {
@@ -138,3 +141,88 @@ func (f *file) Size() int64 {
 }
 
 func (f *file) Close() error { return f.f.Close() }
+
+// WritevAt implements plfs.VectoredIO: the host kernel has no listio
+// syscall, so the batch degrades to a pwrite per extent — the win here is
+// the single middleware call, not fewer syscalls.
+func (f *file) WritevAt(segs []extent.Ext, data payload.List) error {
+	var pos int64
+	for _, e := range segs {
+		off := e.Off
+		for _, p := range data.Slice(pos, e.Len) {
+			if _, err := f.f.WriteAt(p.Materialize(), off); err != nil {
+				return err
+			}
+			off += p.Len()
+		}
+		pos += e.Len
+	}
+	return nil
+}
+
+// ReadvAt implements plfs.VectoredIO.
+func (f *file) ReadvAt(segs []extent.Ext) (payload.List, error) {
+	var out payload.List
+	for _, e := range segs {
+		if e.Len <= 0 {
+			continue
+		}
+		pl, err := f.ReadAt(e.Off, e.Len)
+		if err != nil {
+			return nil, err
+		}
+		out = out.Concat(pl)
+	}
+	return out, nil
+}
+
+// Appendv implements plfs.BatchAppender: one seek to EOF and one write of
+// the concatenated pieces.
+func (f *file) Appendv(pl payload.List) (int64, error) {
+	off, err := f.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 0, pl.Len())
+	for _, p := range pl {
+		buf = append(buf, p.Materialize()...)
+	}
+	_, err = f.f.Write(buf)
+	return off, err
+}
+
+// pathLocks serializes RMW windows among this process's writers, keyed by
+// path — the stand-in for fcntl byte-range locks when all writers are
+// goroutines of one process (fcntl locks are per-process, so they would
+// not exclude our own goroutines anyway).
+var pathLocks struct {
+	mu sync.Mutex
+	m  map[string]*sync.Mutex
+}
+
+func pathLock(path string) *sync.Mutex {
+	pathLocks.mu.Lock()
+	defer pathLocks.mu.Unlock()
+	if pathLocks.m == nil {
+		pathLocks.m = make(map[string]*sync.Mutex)
+	}
+	l := pathLocks.m[path]
+	if l == nil {
+		l = new(sync.Mutex)
+		pathLocks.m[path] = l
+	}
+	return l
+}
+
+// LockRange implements plfs.RangeLocker.  The grant is conservative:
+// whole-file, ignoring off/n.
+func (f *file) LockRange(off, n int64) error {
+	pathLock(f.path).Lock()
+	return nil
+}
+
+// UnlockRange implements plfs.RangeLocker.
+func (f *file) UnlockRange(off, n int64) error {
+	pathLock(f.path).Unlock()
+	return nil
+}

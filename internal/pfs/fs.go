@@ -74,6 +74,10 @@ type fnode struct {
 	writeOpeners int
 	lockMgr      *sim.Resource
 	locks        lockTable
+	// fileMu is the advisory whole-file write lock behind
+	// Handle.LockRange — real mutual exclusion for RMW writers, distinct
+	// from the lockTable, which only *costs* lock traffic.
+	fileMu *sim.Mutex
 
 	// streams is the object's readahead/allocation stream table: the file
 	// positions of the most recent access streams (LRU order, bounded by
@@ -281,6 +285,7 @@ func (fs *FS) newFile(parent *fnode, name string) *fnode {
 	f := &fnode{
 		name: name, parent: parent, vol: parent.vol,
 		obj: fs.nextObj, lockMgr: sim.NewResource(fs.Eng, 1),
+		fileMu: sim.NewMutex(fs.Eng),
 	}
 	parent.children[name] = f
 	return f

@@ -31,6 +31,7 @@ package plfs
 import (
 	"time"
 
+	"plfs/internal/extent"
 	"plfs/internal/payload"
 )
 
@@ -63,6 +64,33 @@ type File interface {
 	Size() int64
 	// Close releases the file.
 	Close() error
+}
+
+// VectoredIO is an optional File capability: many (offset, length)
+// extents shipped as one backend request — list I/O.  data carries the
+// bytes concatenated in segment order (piece boundaries need not align
+// with segments); ReadvAt returns the extents' bytes concatenated the
+// same way.  Callers fall back to per-extent WriteAt/ReadAt loops when a
+// handle does not advertise it.
+type VectoredIO interface {
+	WritevAt(segs []extent.Ext, data payload.List) error
+	ReadvAt(segs []extent.Ext) (payload.List, error)
+}
+
+// BatchAppender is an optional File capability: append many payload
+// pieces in one backend operation.  PLFS data droppings use it to land a
+// vectored write's K extents with a single append.
+type BatchAppender interface {
+	Appendv(pl payload.List) (int64, error)
+}
+
+// RangeLocker is an optional File capability: an advisory write lock for
+// read-modify-write windows (the fcntl byte-range lock of ROMIO's data
+// sieving contract).  Implementations may be conservative — whole-file —
+// but must provide real mutual exclusion among the backend's writers.
+type RangeLocker interface {
+	LockRange(off, n int64) error
+	UnlockRange(off, n int64) error
 }
 
 // Info describes a backend namespace entry.

@@ -6,10 +6,10 @@ import (
 	iofs "io/fs"
 	"math"
 	"path"
-	"sort"
 	"strings"
 	"sync/atomic"
 
+	"plfs/internal/extent"
 	"plfs/internal/obs"
 	"plfs/internal/payload"
 )
@@ -57,6 +57,8 @@ type OpenStats struct {
 // ReadStats reports the work a reader's ReadAt calls performed.
 type ReadStats struct {
 	Ops     int // ReadAt calls served
+	VecOps  int // ReadAtv calls served
+	VecSegs int // logical extents covered across all ReadAtv calls
 	Pieces  int // index pieces covered, including holes
 	Holes   int // hole pieces (zeros, no I/O)
 	Batches int // physical dropping reads issued after sieving coalescing
@@ -718,8 +720,43 @@ func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
 		obs.Counter("plfs.read.bytes").Add(n)
 	}
 	r.pbuf = r.ix.AppendPieces(r.pbuf[:0], off, n)
-	pieces := r.pbuf
 	r.ReadStats.Ops++
+	return r.readPieces(r.pbuf)
+}
+
+// ReadAtv reads many logical extents in one call, returning their bytes
+// concatenated in segment order (holes as zeros).  All segments' index
+// pieces enter one sieving/coalescing plan, so extents that resolve to
+// nearby bytes of the same dropping share a physical read even across
+// segment boundaries — the list-I/O read path.
+func (r *Reader) ReadAtv(segs []extent.Ext) (payload.List, error) {
+	if r.closed {
+		return nil, errors.New("plfs: reader closed")
+	}
+	var total int64
+	r.pbuf = r.pbuf[:0]
+	for _, e := range segs {
+		if e.Len <= 0 {
+			continue
+		}
+		total += e.Len
+		r.pbuf = r.ix.AppendPieces(r.pbuf, e.Off, e.Len)
+		r.ReadStats.VecSegs++
+	}
+	if obs := r.ctx.Obs; obs != nil {
+		defer obs.Timer("plfs.readat")()
+		obs.Counter("plfs.read.vec_ops").Add(1)
+		obs.Counter("plfs.read.vec_segs").Add(int64(len(segs)))
+		obs.Counter("plfs.read.bytes").Add(total)
+	}
+	r.ReadStats.VecOps++
+	return r.readPieces(r.pbuf)
+}
+
+// readPieces executes the lookup result of one ReadAt/ReadAtv call:
+// plans physical batches, issues them (fanned out when the backend
+// allows), and reassembles the pieces in order.
+func (r *Reader) readPieces(pieces []Piece) (payload.List, error) {
 	r.ReadStats.Pieces += len(pieces)
 	for _, p := range pieces {
 		if p.Dropping < 0 {
@@ -775,10 +812,43 @@ func (r *Reader) ReadAt(off, n int64) (payload.List, error) {
 	w := r.m.opt.decodeWorkers()
 	if r.m.opt.NoReadFanout || w <= 1 || !backendsConcurrent(r.ctx.Vols) {
 		r.ReadStats.Workers = 1
-		for i := range batches {
-			if err := readBatchAt(i); err != nil {
-				return nil, err
+		// Serial plan: consecutive batches against the same dropping (the
+		// planner emits them sorted) collapse into one vectored backend
+		// read when the handle supports it — list I/O on the read side.
+		for i := 0; i < len(batches); {
+			j := i + 1
+			for j < len(batches) && batches[j].drop == batches[i].drop {
+				j++
 			}
+			vio, ok := r.handles[batches[i].drop].(VectoredIO)
+			if !ok || j-i == 1 {
+				for k := i; k < j; k++ {
+					if err := readBatchAt(k); err != nil {
+						return nil, err
+					}
+				}
+				i = j
+				continue
+			}
+			segs := make([]extent.Ext, j-i)
+			for k := i; k < j; k++ {
+				segs[k-i] = extent.Ext{Off: batches[k].phys, Len: batches[k].length}
+			}
+			var pl payload.List
+			err := r.ctx.retry(r.m.opt.Retry, func() error {
+				var e error
+				pl, e = vio.ReadvAt(segs)
+				return e
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", r.ix.Droppings()[batches[i].drop], err)
+			}
+			var pos int64
+			for k := i; k < j; k++ {
+				parts[k] = pl.Slice(pos, batches[k].length)
+				pos += batches[k].length
+			}
+			i = j
 		}
 	} else {
 		r.ReadStats.Workers = w
@@ -866,7 +936,8 @@ type readBatch struct {
 // data-sieving optimization of Thakur et al.  gap 0 still merges
 // exactly-adjacent pieces (including logically distant ones that landed
 // physically back-to-back in the same dropping).  Holes are excluded;
-// assembly synthesizes their zeros.
+// assembly synthesizes their zeros.  The merge itself is extent.Plan,
+// shared with adio's write-side sieve and collective coalescer.
 func planBatches(pieces []Piece, gap int64) []readBatch {
 	idx := make([]int32, 0, len(pieces))
 	for i, p := range pieces {
@@ -874,29 +945,20 @@ func planBatches(pieces []Piece, gap int64) []readBatch {
 			idx = append(idx, int32(i))
 		}
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		pa, pb := pieces[idx[a]], pieces[idx[b]]
-		if pa.Dropping != pb.Dropping {
-			return pa.Dropping < pb.Dropping
+	bs := extent.Plan(len(idx),
+		func(i int) int64 { return int64(pieces[idx[i]].Dropping) },
+		func(i int) extent.Ext {
+			p := pieces[idx[i]]
+			return extent.Ext{Off: p.PhysOff, Len: p.Length}
+		},
+		gap, 0)
+	out := make([]readBatch, len(bs))
+	for bi, b := range bs {
+		rb := readBatch{drop: int32(b.Key), phys: b.Off, length: b.Len, pieces: make([]int32, len(b.Items))}
+		for k, it := range b.Items {
+			rb.pieces[k] = idx[it]
 		}
-		if pa.PhysOff != pb.PhysOff {
-			return pa.PhysOff < pb.PhysOff
-		}
-		return idx[a] < idx[b]
-	})
-	out := make([]readBatch, 0, len(idx))
-	for _, pi := range idx {
-		p := pieces[pi]
-		if n := len(out); n > 0 && out[n-1].drop == p.Dropping &&
-			p.PhysOff <= out[n-1].phys+out[n-1].length+gap {
-			b := &out[n-1]
-			if end := p.PhysOff + p.Length; end > b.phys+b.length {
-				b.length = end - b.phys
-			}
-			b.pieces = append(b.pieces, pi)
-			continue
-		}
-		out = append(out, readBatch{drop: p.Dropping, phys: p.PhysOff, length: p.Length, pieces: []int32{pi}})
+		out[bi] = rb
 	}
 	return out
 }

@@ -1,0 +1,131 @@
+package plfs_test
+
+import (
+	"testing"
+
+	"plfs/internal/extent"
+	"plfs/internal/localcomm"
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+// TestWritevSingleBackendAppend pins the O(1)-backend-ops property of
+// list I/O through PLFS: one Writev call with K strided extents must land
+// as ONE data-dropping append (osfs implements BatchAppender) and K index
+// entries — not K appends.  This is the whole point of pushing the
+// vectored call down the stack instead of looping at the top.
+func TestWritevSingleBackendAppend(t *testing.T) {
+	const n, k = 4, 16
+	const bs = int64(512)
+	r := newRig(t, 1, plfs.Options{IndexMode: plfs.ParallelIndexRead, NumSubdirs: 4})
+	runRanks(t, r, n, func(ctx plfs.Ctx, rank int) {
+		w, err := r.m.Create(ctx, "vec")
+		if err != nil {
+			t.Errorf("rank %d create: %v", rank, err)
+			return
+		}
+		segs := make([]extent.Ext, k)
+		var data payload.List
+		for i := 0; i < k; i++ {
+			off := int64(i*n+rank) * bs
+			segs[i] = extent.Ext{Off: off, Len: bs}
+			data = data.Append(payload.Synthetic(uint64(rank+1), off, bs))
+		}
+		if err := w.Writev(segs, data); err != nil {
+			t.Errorf("rank %d writev: %v", rank, err)
+		}
+		if w.Stats.VecOps != 1 || w.Stats.Segs != k {
+			t.Errorf("rank %d: VecOps=%d Segs=%d, want 1/%d", rank, w.Stats.VecOps, w.Stats.Segs, k)
+		}
+		if err := w.Close(); err != nil {
+			t.Errorf("rank %d close: %v", rank, err)
+		}
+		// The acceptance criterion: K extents, one physical append.
+		if w.Stats.Appends != 1 {
+			t.Errorf("rank %d: %d backend appends for one Writev, want 1", rank, w.Stats.Appends)
+		}
+	})
+
+	// Read side: one ReadAtv over the rank's extents is one vectored call,
+	// content-verified per segment.
+	runRanks(t, r, n, func(ctx plfs.Ctx, rank int) {
+		rd, err := r.m.OpenReader(ctx, "vec")
+		if err != nil {
+			t.Errorf("rank %d open: %v", rank, err)
+			return
+		}
+		defer rd.Close()
+		segs := make([]extent.Ext, k)
+		var want payload.List
+		for i := 0; i < k; i++ {
+			off := int64(i*n+rank) * bs
+			segs[i] = extent.Ext{Off: off, Len: bs}
+			want = want.Append(payload.Synthetic(uint64(rank+1), off, bs))
+		}
+		got, err := rd.ReadAtv(segs)
+		if err != nil {
+			t.Errorf("rank %d readv: %v", rank, err)
+			return
+		}
+		if !payload.ContentEqual(got, want) {
+			t.Errorf("rank %d: ReadAtv content mismatch", rank)
+		}
+		if rd.ReadStats.VecOps != 1 || rd.ReadStats.VecSegs != k {
+			t.Errorf("rank %d: VecOps=%d VecSegs=%d, want 1/%d",
+				rank, rd.ReadStats.VecOps, rd.ReadStats.VecSegs, k)
+		}
+	})
+}
+
+// TestWritevMatchesWriteLoop checks that a vectored write produces a file
+// byte-identical to the same extents written one at a time.
+func TestWritevMatchesWriteLoop(t *testing.T) {
+	const n, k = 2, 8
+	const bs = int64(256)
+	r := newRig(t, 1, plfs.Options{IndexMode: plfs.ParallelIndexRead, NumSubdirs: 4})
+	runRanks(t, r, n, func(ctx plfs.Ctx, rank int) {
+		// Loop file.
+		w, err := r.m.Create(ctx, "loop")
+		if err != nil {
+			t.Errorf("rank %d create: %v", rank, err)
+			return
+		}
+		for i := 0; i < k; i++ {
+			off := int64(i*n+rank) * bs
+			if err := w.Write(off, payload.Synthetic(uint64(rank+1), off, bs)); err != nil {
+				t.Errorf("rank %d write: %v", rank, err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Errorf("rank %d close: %v", rank, err)
+		}
+		// Vectored file, same extents in one call.
+		wv, err := r.m.Create(ctx, "vec")
+		if err != nil {
+			t.Errorf("rank %d create: %v", rank, err)
+			return
+		}
+		segs := make([]extent.Ext, k)
+		var data payload.List
+		for i := 0; i < k; i++ {
+			off := int64(i*n+rank) * bs
+			segs[i] = extent.Ext{Off: off, Len: bs}
+			data = data.Append(payload.Synthetic(uint64(rank+1), off, bs))
+		}
+		if err := wv.Writev(segs, data); err != nil {
+			t.Errorf("rank %d writev: %v", rank, err)
+		}
+		if err := wv.Close(); err != nil {
+			t.Errorf("rank %d close: %v", rank, err)
+		}
+	})
+	ctx := r.ctx(0, localcomm.New(1)[0])
+	for _, name := range []string{"loop", "vec"} {
+		rd, err := r.m.OpenReader(ctx, name)
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		verifyN1(t, rd, n, k, bs)
+		rd.Close()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path"
 	"sort"
 
+	"plfs/internal/extent"
 	"plfs/internal/payload"
 )
 
@@ -37,6 +38,19 @@ type Writer struct {
 
 	maxLogical int64
 	closed     bool
+
+	// Stats accumulates what this writer's Write/Writev calls did (for
+	// tests and the harness).
+	Stats WriteStats
+}
+
+// WriteStats reports the work a writer performed.
+type WriteStats struct {
+	Ops     int   // Write calls
+	VecOps  int   // Writev calls
+	Segs    int   // extents logged across all Writev calls
+	Bytes   int64 // logical bytes written
+	Appends int   // backend append operations issued for data
 }
 
 // Create opens the logical file rel for writing, creating the container
@@ -189,40 +203,90 @@ func (w *Writer) Write(off int64, p payload.Payload) error {
 		obs.Counter("plfs.write.ops").Add(1)
 		obs.Counter("plfs.write.bytes").Add(n)
 	}
+	w.Stats.Ops++
+	w.Stats.Bytes += n
+	w.record(off, p)
+	return w.afterRecord()
+}
+
+// Writev records every extent of a flattened access in one call: segs[i]
+// gets the next segs[i].Len bytes of data.  K extents cost K index
+// entries (run-compressed like everything else) but the data is buffered
+// as one batch and lands with a single backend append — the O(1)
+// backend-operation contract list I/O buys on a log-structured driver,
+// versus the K appends a per-extent loop would issue.
+func (w *Writer) Writev(segs []extent.Ext, data payload.List) error {
+	if w.closed {
+		return errors.New("plfs: writer closed")
+	}
+	var total int64
+	for _, e := range segs {
+		total += e.Len
+	}
+	if total == 0 {
+		return nil
+	}
+	if obs := w.ctx.Obs; obs != nil {
+		defer obs.Timer("plfs.write.append")()
+		obs.Counter("plfs.write.vec_ops").Add(1)
+		obs.Counter("plfs.write.vec_segs").Add(int64(len(segs)))
+		obs.Counter("plfs.write.bytes").Add(total)
+	}
+	w.Stats.VecOps++
+	w.Stats.Bytes += total
+	var pos int64
+	for _, e := range segs {
+		if e.Len == 0 {
+			continue
+		}
+		w.Stats.Segs++
+		off := e.Off
+		for _, p := range data.Slice(pos, e.Len) {
+			w.record(off, p)
+			off += p.Len()
+		}
+		pos += e.Len
+	}
+	return w.afterRecord()
+}
+
+// record books one logical extent: an index entry (extended in place when
+// index compression applies) and the payload appended to the data buffer.
+func (w *Writer) record(off int64, p payload.Payload) {
+	n := p.Len()
 	phys := w.written + w.bufBytes
+	extend := false
 	if last := len(w.entries) - 1; last >= 0 && !w.m.opt.NoIndexCompression {
 		e := &w.entries[last]
 		if e.LogicalOff+e.Length == off && e.PhysOff+e.Length == phys {
 			// Index compression: the write continues the previous record.
 			e.Length += n
 			e.Timestamp = w.ctx.now()
-			w.noteChecksum(p, true)
-			w.buf = w.buf.Append(p)
-			w.bufBytes += n
-			if end := off + n; end > w.maxLogical {
-				w.maxLogical = end
-			}
-			if w.bufBytes >= w.m.opt.DataFlushBytes {
-				return w.flushData()
-			}
-			return nil
+			extend = true
 		}
 	}
-	w.entries = append(w.entries, Entry{
-		LogicalOff: off,
-		Length:     n,
-		PhysOff:    phys,
-		Timestamp:  w.ctx.now(),
-		Rank:       int32(w.ctx.Rank),
-	})
-	w.noteChecksum(p, false)
+	if !extend {
+		w.entries = append(w.entries, Entry{
+			LogicalOff: off,
+			Length:     n,
+			PhysOff:    phys,
+			Timestamp:  w.ctx.now(),
+			Rank:       int32(w.ctx.Rank),
+		})
+	}
+	w.noteChecksum(p, extend)
 	w.buf = w.buf.Append(p)
 	w.bufBytes += n
 	if end := off + n; end > w.maxLogical {
 		w.maxLogical = end
 	}
+}
+
+// afterRecord applies the post-write policies: the data-flush threshold
+// (DataFlushBytes == 0 means write-through) and the flatten-overflow
+// check.
+func (w *Writer) afterRecord() error {
 	if w.bufBytes >= w.m.opt.DataFlushBytes {
-		// DataFlushBytes == 0 means write-through: every Write flushes.
 		if err := w.flushData(); err != nil {
 			return err
 		}
@@ -253,8 +317,29 @@ func (w *Writer) noteChecksum(p payload.Payload, extend bool) {
 // append errors are retried (the injector guarantees a transiently
 // failed append landed no bytes, so a reissue is clean); torn writes
 // are permanent and surface immediately.
+//
+// When the handle batches appends (BatchAppender) and more than one
+// piece is buffered, the whole buffer lands in one backend operation —
+// the fault wrapper deliberately hides the capability, so batches only
+// form where the per-piece retry/torn contracts cannot be weakened.
 func (w *Writer) flushData() error {
 	pol := w.m.opt.Retry
+	if len(w.buf) > 1 {
+		if ba, ok := w.dataFile.(BatchAppender); ok {
+			pl := w.buf
+			err := w.ctx.retry(pol, func() error {
+				_, e := ba.Appendv(pl)
+				return e
+			})
+			if err != nil {
+				return err
+			}
+			w.Stats.Appends++
+			w.written += w.bufBytes
+			w.buf, w.bufBytes = w.buf[:0], 0
+			return nil
+		}
+	}
 	for len(w.buf) > 0 {
 		p := w.buf[0]
 		err := w.ctx.retry(pol, func() error {
@@ -264,6 +349,7 @@ func (w *Writer) flushData() error {
 		if err != nil {
 			return err
 		}
+		w.Stats.Appends++
 		w.buf = w.buf[1:]
 		w.written += p.Len()
 		w.bufBytes -= p.Len()

@@ -6,6 +6,7 @@ package simfs
 import (
 	"time"
 
+	"plfs/internal/extent"
 	"plfs/internal/fault"
 	"plfs/internal/payload"
 	"plfs/internal/pfs"
@@ -128,3 +129,12 @@ func (f file) Append(p payload.Payload) (int64, error)    { return f.h.Append(p)
 func (f file) ReadAt(off, n int64) (payload.List, error)  { return f.h.ReadAt(off, n) }
 func (f file) Size() int64                                { return f.h.Size() }
 func (f file) Close() error                               { return f.h.Close() }
+
+// Vectored list-I/O, batched appends, and the advisory write lock pass
+// straight through to the simulated client, which models their cost
+// (plfs.VectoredIO / plfs.BatchAppender / plfs.RangeLocker).
+func (f file) WritevAt(segs []extent.Ext, data payload.List) error { return f.h.WritevAt(segs, data) }
+func (f file) ReadvAt(segs []extent.Ext) (payload.List, error)     { return f.h.ReadvAt(segs) }
+func (f file) Appendv(pl payload.List) (int64, error)              { return f.h.Appendv(pl) }
+func (f file) LockRange(off, n int64) error                        { return f.h.LockRange(off, n) }
+func (f file) UnlockRange(off, n int64) error                      { return f.h.UnlockRange(off, n) }

@@ -90,6 +90,47 @@ func TestAllKernelsVerifyOnBothDrivers(t *testing.T) {
 	}
 }
 
+// TestNoncontigQuadrantsVerify runs the four-quadrant taxonomy (file
+// contiguity × memory contiguity) through every I/O method on both
+// drivers with verification on: whatever path the method takes — per-op
+// naive, locked sieve RMW over neighbours' in-flight data, one vectored
+// list call, or two-phase redistribution — the bytes that come back must
+// be the bytes each rank wrote.
+func TestNoncontigQuadrantsVerify(t *testing.T) {
+	const ranks = 4
+	for _, access := range []workloads.Access{workloads.AccessContig, workloads.AccessStrided, workloads.AccessIrregular} {
+		for _, mem := range []bool{true, false} {
+			for _, m := range []adio.IOMethod{adio.MethodNaive, adio.MethodSieve, adio.MethodList, adio.MethodTwoPhase} {
+				for _, drv := range []string{"ufs", "plfs"} {
+					access, mem, m, drv := access, mem, m, drv
+					t.Run(fmt.Sprintf("%s/mem=%v/%s/%s", access, mem, m, drv), func(t *testing.T) {
+						k := workloads.Noncontig{
+							Access: access, BlockSize: 1 << 10, BlocksPerRank: 6,
+							Steps: 2, MemContig: mem, Seed: 3,
+						}
+						res := runKernel(t, k, ranks, drv, adio.Hints{IOMethod: m, ProcsPerNode: 4}, true)
+						if want := int64(6*2) << 10; res.BytesPerRank != want {
+							t.Fatalf("bytes per rank = %d, want %d", res.BytesPerRank, want)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestParseAccess(t *testing.T) {
+	for _, s := range []string{"contig", "strided", "irregular"} {
+		a, err := workloads.ParseAccess(s)
+		if err != nil || a.String() != s {
+			t.Fatalf("ParseAccess(%q) = %v, %v", s, a, err)
+		}
+	}
+	if _, err := workloads.ParseAccess("random"); err == nil {
+		t.Fatal("ParseAccess accepted garbage")
+	}
+}
+
 func TestLANL3WithCollectiveBuffering(t *testing.T) {
 	const ranks = 8
 	hints := adio.Hints{CollectiveBuffering: true, ProcsPerNode: 4}

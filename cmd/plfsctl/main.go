@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"plfs/internal/obs"
 	"plfs/internal/osfs"
@@ -261,10 +262,96 @@ func doTop(path string) error {
 			fmt.Printf("%-32s %14.3f\n", name, snap.Gauges[name])
 		}
 	}
+	printTenants(snap)
 	if snap.SpansDropped > 0 {
 		fmt.Printf("\n(%d spans dropped by the retention limit)\n", snap.SpansDropped)
 	}
 	return nil
+}
+
+// printTenants renders the mount-service view when the dump carries
+// plfs.svc.* / plfs.econ.* series (plfsrun -tenants -metrics): one row
+// per tenant joining the admission ledger counters with the cache-bytes
+// attribution gauge, then the economy totals.
+func printTenants(snap obs.Snapshot) {
+	type row struct {
+		admitted, completed, rejected, retries int64
+		cacheBytes                             float64
+	}
+	tenants := map[string]*row{}
+	get := func(t string) *row {
+		r := tenants[t]
+		if r == nil {
+			r = &row{}
+			tenants[t] = r
+		}
+		return r
+	}
+	const pfx = "plfs.svc.tenant."
+	for name, v := range snap.Counters {
+		rest, ok := strings.CutPrefix(name, pfx)
+		if !ok {
+			continue
+		}
+		t, field, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue
+		}
+		switch field {
+		case "admitted":
+			get(t).admitted = v
+		case "completed":
+			get(t).completed = v
+		case "rejected":
+			get(t).rejected = v
+		case "retries":
+			get(t).retries = v
+		}
+	}
+	for name, v := range snap.Gauges {
+		rest, ok := strings.CutPrefix(name, pfx)
+		if !ok {
+			continue
+		}
+		t, field, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue
+		}
+		// Gauges republished by Service.Publish carry the same ledger
+		// values as the streamed counters, so either source fills the row.
+		switch field {
+		case "cache_bytes":
+			get(t).cacheBytes = v
+		case "admitted":
+			get(t).admitted = int64(v)
+		case "completed":
+			get(t).completed = int64(v)
+		case "rejected":
+			get(t).rejected = int64(v)
+		case "retries":
+			get(t).retries = int64(v)
+		}
+	}
+	if len(tenants) == 0 {
+		return
+	}
+	names := make([]string, 0, len(tenants))
+	for t := range tenants {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-16s %10s %10s %10s %10s %12s\n",
+		"TENANT", "ADMITTED", "COMPLETED", "REJECTED", "RETRIES", "CACHE(KB)")
+	for _, t := range names {
+		r := tenants[t]
+		fmt.Printf("%-16s %10d %10d %10d %10d %12.1f\n",
+			t, r.admitted, r.completed, r.rejected, r.retries, r.cacheBytes/1024)
+	}
+	if budget, ok := snap.Gauges["plfs.econ.budget_bytes"]; ok {
+		fmt.Printf("economy: used %.0f/%.0f KB, evicted %.0f entries (%.0f KB)\n",
+			snap.Gauges["plfs.econ.used_bytes"]/1024, budget/1024,
+			snap.Gauges["plfs.econ.evictions"], snap.Gauges["plfs.econ.evicted_bytes"]/1024)
+	}
 }
 
 func doRead(m *plfs.Mount, ctx plfs.Ctx, logical string, off, n int64) error {

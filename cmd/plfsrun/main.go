@@ -58,6 +58,9 @@ func main() {
 		sieveKB  = flag.Int64("sieve-gap", 0, "sieving read coalescing: merge near-adjacent pieces up to this gap in KiB")
 		access   = flag.String("access", "strided", "noncontig kernel file pattern: contig | strided | irregular")
 		ioMethod = flag.String("io-method", "auto", "noncontiguous I/O method: auto | naive | sieve | list | twophase")
+		tenants  = flag.Int("tenants", 0, "run the multi-tenant mount service: this many concurrent tenant jobs (ignores -kernel)")
+		inflight = flag.Int("inflight", 4, "admission cap: concurrent operations the batch class admits (-tenants)")
+		budgetMB = flag.Int64("budget-mb", 256, "service cache budget in MB shared across tenants (-tenants)")
 	)
 	flag.Parse()
 
@@ -82,6 +85,10 @@ func main() {
 
 	bytes := *bytesMB << 20
 	op := *opKB << 10
+	if *tenants > 0 {
+		runTenants(cfg, *tenants, *ranks, *files, bytes, op, *seed, *inflight, *budgetMB, *metricsF, *spansF)
+		return
+	}
 	var k workloads.Kernel
 	nn := false
 	switch *kernel {
@@ -204,6 +211,66 @@ func main() {
 	}
 	if reg != nil {
 		if err := writeMetrics(reg, *metricsF, *spansF); err != nil {
+			fmt.Fprintln(os.Stderr, "plfsrun:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runTenants drives the multi-tenant mount service: n identical tenant
+// jobs of ranksPer ranks each, every job writing and verifying containers
+// files, all sharing one cache budget and one "batch" admission class.
+// Prints the per-tenant admission ledger and p99 open latency alongside
+// the aggregate throughput (plfsrun -tenants).
+func runTenants(cfg pfs.Config, n, ranksPer, containers int, bytes, op, seed int64, inflight int, budgetMB int64, metricsF, spansF string) {
+	opsPerRank := int(bytes / op / int64(containers))
+	if opsPerRank < 1 {
+		opsPerRank = 1
+	}
+	ts := make([]harness.SaturationTenant, n)
+	for i := range ts {
+		ts[i] = harness.SaturationTenant{
+			Name: fmt.Sprintf("t%d", i), Class: "batch",
+			Ranks: ranksPer, Containers: containers,
+			OpsPerRank: opsPerRank, OpSize: op,
+		}
+	}
+	var reg *obs.Registry
+	if metricsF != "" || spansF != "" {
+		reg = obs.New()
+	}
+	rep, err := harness.RunSaturation(harness.SaturationJob{
+		Seed: seed, Cfg: cfg,
+		Svc: plfs.ServiceOptions{
+			CacheBudgetBytes: budgetMB << 20,
+			Classes:          []plfs.ClassConfig{{Name: "batch", MaxInFlight: inflight}},
+		},
+		Tenants: ts,
+		Obs:     reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plfsrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mount service: %d tenants x %d ranks, %d container(s) each (batch cap %d in flight, cache %d MB)\n",
+		n, ranksPer, containers, inflight, budgetMB)
+	fmt.Printf("  makespan %.3fs   aggregate %.1f MB/s   worst-tenant p99 open %.3fs\n",
+		rep.Makespan.Seconds(), rep.AggregateBW/1e6, rep.OpenP99.Seconds())
+	var admitted, completed, rejected int64
+	for _, t := range rep.Tenants {
+		a := t.Admission
+		admitted += a.Admitted
+		completed += a.Completed
+		rejected += a.Rejected
+		fmt.Printf("  %-8s p99 open %7.3fs  opens %4d  admitted %5d  completed %5d  rejected %5d  retries %5d\n",
+			t.Tenant.Name, t.OpenP99.Seconds(), t.Opens, a.Admitted, a.Completed, a.Rejected, a.Retries)
+	}
+	fmt.Printf("  admission: admitted %d = completed %d + rejected %d\n", admitted, completed, rejected)
+	e := rep.Service.Economy
+	fmt.Printf("  cache: used %d/%d KB, evicted %d entries (%d KB)\n",
+		e.UsedBytes>>10, e.BudgetBytes>>10, e.Evictions, e.EvictedBytes>>10)
+	if reg != nil {
+		if err := writeMetrics(reg, metricsF, spansF); err != nil {
 			fmt.Fprintln(os.Stderr, "plfsrun:", err)
 			os.Exit(1)
 		}

@@ -45,6 +45,7 @@ func Figures() []Figure {
 		{"ablation-index-cache", "Ablation: cross-open index cache (reopen kernel)", AblationIndexCache},
 		{"ablation-sieve-gap", "Ablation: sieving read coalescing gap", AblationSieveGap},
 		{"ablation-noncontig", "Ablation: noncontiguous I/O method (naive/sieve/list/twophase)", AblationNoncontig},
+		{"ablation-tenants", "Ablation: mount-service saturation vs tenant count", AblationTenants},
 	}
 }
 

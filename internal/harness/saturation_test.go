@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"testing"
+
+	"plfs/internal/plfs"
+)
+
+// TestTenantIndependence is the service's isolation acceptance test: a
+// small interactive tenant's p99 container-open time must stay within 2x
+// of its unloaded baseline while a gated batch tenant hammers unrelated
+// containers on the same service.  Everything runs on the virtual clock,
+// so both sides of the comparison are deterministic in the seed.
+func TestTenantIndependence(t *testing.T) {
+	probe := SaturationTenant{
+		Name: "probe", Class: "interactive",
+		Ranks: 2, Containers: 4, OpsPerRank: 4, OpSize: 16 << 10,
+	}
+	bulk := SaturationTenant{
+		Name: "bulk", Class: "batch",
+		Ranks: 8, Containers: 6, OpsPerRank: 16, OpSize: 256 << 10,
+	}
+	svc := plfs.ServiceOptions{
+		CacheBudgetBytes: 16 << 20,
+		Classes: []plfs.ClassConfig{
+			{Name: "interactive", MaxInFlight: 8},
+			{Name: "batch", MaxInFlight: 2},
+		},
+	}
+	run := func(tenants ...SaturationTenant) SaturationReport {
+		t.Helper()
+		r, err := RunSaturation(SaturationJob{Seed: 7, Svc: svc, Tenants: tenants})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	probeOf := func(r SaturationReport) TenantOutcome {
+		t.Helper()
+		for _, out := range r.Tenants {
+			if out.Tenant.Name == "probe" {
+				return out
+			}
+		}
+		t.Fatal("probe tenant missing from report")
+		return TenantOutcome{}
+	}
+
+	base := probeOf(run(probe))
+	if base.Opens == 0 || base.OpenP99 <= 0 {
+		t.Fatalf("baseline probe recorded no opens: %+v", base)
+	}
+	if base.Admission.Rejected != 0 {
+		t.Fatalf("baseline probe rejected %d ops on an idle service", base.Admission.Rejected)
+	}
+
+	loadedRep := run(bulk, probe)
+	loaded := probeOf(loadedRep)
+	if loaded.Admission.Rejected != 0 {
+		t.Fatalf("probe rejected %d ops; the interactive class must not starve", loaded.Admission.Rejected)
+	}
+	if limit := 2 * base.OpenP99; loaded.OpenP99 > limit {
+		t.Fatalf("probe p99 open %v under bulk load, want <= %v (2x unloaded %v)",
+			loaded.OpenP99, limit, base.OpenP99)
+	}
+
+	// Virtual-clock determinism: the same seed reproduces the loaded run
+	// bit-for-bit.
+	again := run(bulk, probe)
+	if again.Makespan != loadedRep.Makespan || again.OpenP99 != loadedRep.OpenP99 ||
+		again.AggregateBytes != loadedRep.AggregateBytes {
+		t.Fatalf("nondeterministic run: %+v vs %+v",
+			again, loadedRep)
+	}
+	if probeOf(again).OpenP99 != loaded.OpenP99 {
+		t.Fatalf("probe p99 differs across identical runs: %v vs %v",
+			probeOf(again).OpenP99, loaded.OpenP99)
+	}
+}

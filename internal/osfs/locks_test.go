@@ -1,0 +1,56 @@
+package osfs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPathLockTableReleasesEntries: the table must hold an entry only
+// while some goroutine holds or awaits the lock — a long-lived service
+// must not leak one mutex per path ever locked.
+func TestPathLockTableReleasesEntries(t *testing.T) {
+	tab := newPathLockTable()
+	tab.lock("a")
+	tab.lock("b")
+	if got := tab.entries(); got != 2 {
+		t.Fatalf("entries while held = %d, want 2", got)
+	}
+	tab.unlock("a")
+	tab.unlock("b")
+	if got := tab.entries(); got != 0 {
+		t.Fatalf("entries after release = %d, want 0", got)
+	}
+}
+
+// TestPathLockTableContention hammers a small path set from many
+// goroutines: mutual exclusion per path must hold and every entry must
+// be reclaimed once the herd drains.
+func TestPathLockTableContention(t *testing.T) {
+	tab := newPathLockTable()
+	paths := []string{"p0", "p1", "p2"}
+	counts := make([]int, len(paths))
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := (g + i) % len(paths)
+				tab.lock(paths[p])
+				counts[p]++ // safe: p's lock is held
+				tab.unlock(paths[p])
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 16*200 {
+		t.Fatalf("lost increments: %d, want %d", total, 16*200)
+	}
+	if got := tab.entries(); got != 0 {
+		t.Fatalf("entries after drain = %d, want 0", got)
+	}
+}

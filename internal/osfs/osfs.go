@@ -17,12 +17,19 @@ import (
 
 // FS implements plfs.Backend over the host filesystem.  The zero value is
 // ready to use; paths are passed through verbatim.
-type FS struct{}
+//
+// Each FS built by New carries its own path-lock table, so unrelated
+// mounts never contend on (or even see) each other's locks; the zero
+// value falls back to a process-global table, which is correct but
+// shares lock state with every other zero-value FS.
+type FS struct {
+	locks *pathLockTable
+}
 
 var _ plfs.Backend = FS{}
 
-// New returns an OS-filesystem backend.
-func New() FS { return FS{} }
+// New returns an OS-filesystem backend with a private path-lock table.
+func New() FS { return FS{locks: newPathLockTable()} }
 
 // ConcurrentIO marks the backend as safe for the reader's I/O fan-out:
 // handles are os.Files, whose positional reads are pread(2) calls with no
@@ -34,31 +41,31 @@ func (FS) Mkdir(path string) error { return os.Mkdir(path, 0o755) }
 
 // Create implements plfs.Backend.  Creation is exclusive, matching the
 // container protocol's reliance on EEXIST.
-func (FS) Create(path string) (plfs.File, error) {
+func (fs FS) Create(path string) (plfs.File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &file{f: f, path: path}, nil
+	return &file{f: f, path: path, locks: fs.lockTable()}, nil
 }
 
 // OpenRead implements plfs.Backend.
-func (FS) OpenRead(path string) (plfs.File, error) {
+func (fs FS) OpenRead(path string) (plfs.File, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	return &file{f: f, path: path, ro: true}, nil
+	return &file{f: f, path: path, ro: true, locks: fs.lockTable()}, nil
 }
 
 // OpenWrite implements plfs.Backend: open an existing file for writing
 // without truncation.
-func (FS) OpenWrite(path string) (plfs.File, error) {
+func (fs FS) OpenWrite(path string) (plfs.File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &file{f: f, path: path}, nil
+	return &file{f: f, path: path, locks: fs.lockTable()}, nil
 }
 
 // Stat implements plfs.Backend.
@@ -97,9 +104,10 @@ func (FS) Remove(path string) error { return os.Remove(path) }
 func (FS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
 
 type file struct {
-	f    *os.File
-	path string
-	ro   bool
+	f     *os.File
+	path  string
+	ro    bool
+	locks *pathLockTable
 }
 
 func (f *file) WriteAt(off int64, p payload.Payload) error {
@@ -191,38 +199,83 @@ func (f *file) Appendv(pl payload.List) (int64, error) {
 	return off, err
 }
 
-// pathLocks serializes RMW windows among this process's writers, keyed by
-// path — the stand-in for fcntl byte-range locks when all writers are
-// goroutines of one process (fcntl locks are per-process, so they would
-// not exclude our own goroutines anyway).
-var pathLocks struct {
+// pathLockTable serializes RMW windows among one backend's writers,
+// keyed by path — the stand-in for fcntl byte-range locks when all
+// writers are goroutines of one process (fcntl locks are per-process, so
+// they would not exclude our own goroutines anyway).  Entries are
+// refcounted: the map holds a lock only while some goroutine holds or
+// awaits it, so a long-lived service does not accumulate one mutex per
+// path ever locked.
+type pathLockTable struct {
 	mu sync.Mutex
-	m  map[string]*sync.Mutex
+	m  map[string]*pathLock
 }
 
-func pathLock(path string) *sync.Mutex {
-	pathLocks.mu.Lock()
-	defer pathLocks.mu.Unlock()
-	if pathLocks.m == nil {
-		pathLocks.m = make(map[string]*sync.Mutex)
+type pathLock struct {
+	mu   sync.Mutex
+	refs int // holders + waiters, guarded by pathLockTable.mu
+}
+
+func newPathLockTable() *pathLockTable {
+	return &pathLockTable{m: make(map[string]*pathLock)}
+}
+
+// globalLocks backs zero-value FS instances that bypassed New.
+var globalLocks = newPathLockTable()
+
+func (fs FS) lockTable() *pathLockTable {
+	if fs.locks != nil {
+		return fs.locks
 	}
-	l := pathLocks.m[path]
+	return globalLocks
+}
+
+// lock acquires the path's mutex, creating the entry on first use.
+func (t *pathLockTable) lock(path string) {
+	t.mu.Lock()
+	l := t.m[path]
 	if l == nil {
-		l = new(sync.Mutex)
-		pathLocks.m[path] = l
+		l = new(pathLock)
+		t.m[path] = l
 	}
-	return l
+	l.refs++
+	t.mu.Unlock()
+	l.mu.Lock() // outside t.mu: waiting must not block other paths
+}
+
+// unlock releases the path's mutex and removes the entry once no holder
+// or waiter remains.
+func (t *pathLockTable) unlock(path string) {
+	t.mu.Lock()
+	l := t.m[path]
+	if l == nil {
+		t.mu.Unlock()
+		panic("osfs: unlock of unlocked path " + path)
+	}
+	l.refs--
+	if l.refs == 0 {
+		delete(t.m, path)
+	}
+	t.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// entries reports the live lock count (tests).
+func (t *pathLockTable) entries() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
 }
 
 // LockRange implements plfs.RangeLocker.  The grant is conservative:
 // whole-file, ignoring off/n.
 func (f *file) LockRange(off, n int64) error {
-	pathLock(f.path).Lock()
+	f.locks.lock(f.path)
 	return nil
 }
 
 // UnlockRange implements plfs.RangeLocker.
 func (f *file) UnlockRange(off, n int64) error {
-	pathLock(f.path).Unlock()
+	f.locks.unlock(f.path)
 	return nil
 }

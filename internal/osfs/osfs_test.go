@@ -5,6 +5,7 @@ import (
 	iofs "io/fs"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"plfs/internal/osfs"
 	"plfs/internal/payload"
@@ -79,5 +80,46 @@ func TestConcurrentIOAdvertised(t *testing.T) {
 	c, ok := b.(plfs.ConcurrentIO)
 	if !ok || !c.ConcurrentIO() {
 		t.Fatalf("osfs does not advertise ConcurrentIO")
+	}
+}
+
+// TestPathLocksScopedPerFS is the regression test for the process-global
+// lock table: two backends (two mounts) locking the same path must not
+// block each other — each FS built by New carries its own table, so
+// unrelated mounts never serialize on matching path strings.
+func TestPathLocksScopedPerFS(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "shared-name")
+	a, b := osfs.New(), osfs.New()
+	fa, err := a.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	fb, err := b.OpenWrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+
+	la := fa.(plfs.RangeLocker)
+	lb := fb.(plfs.RangeLocker)
+	if err := la.LockRange(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	defer la.UnlockRange(0, 1)
+
+	// With the old global table this deadlocks: b's lock keys to the
+	// same path string a already holds.
+	done := make(chan struct{})
+	go func() {
+		lb.LockRange(0, 1)
+		lb.UnlockRange(0, 1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second mount blocked on the first mount's path lock")
 	}
 }

@@ -1,0 +1,171 @@
+package plfs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// economy is the cache budget shared by everything a mount service keeps
+// resident on behalf of its tenants: built global indexes (the cross-open
+// index cache) and parsed index shards plus per-container bookkeeping
+// (containerState).  One byte budget covers them all, so a tenant that
+// touches ten thousand containers squeezes cold state out instead of
+// growing the process without bound.
+//
+// Charging is cheap (one mutex, two map updates); reclaiming is the rare
+// path.  When a charge pushes usage over budget, the charger calls
+// rebalance, which asks each registered cache to shed least-recently-used
+// idle entries until usage fits again.  Charges are attributed to the
+// tenant that caused the bytes to become resident, so per-tenant usage
+// is visible to plfsctl and the saturation harness.
+type economy struct {
+	budget int64
+	tick   atomic.Uint64 // shared LRU clock across all member caches
+
+	mu      sync.Mutex
+	used    int64
+	tenants map[string]int64
+
+	// Eviction-pressure counters: entries and bytes shed by rebalance.
+	evictions    atomic.Int64
+	evictedBytes atomic.Int64
+
+	rmu        sync.Mutex
+	reclaimers []reclaimer
+}
+
+// reclaimer is a cache that can shed idle resident bytes on demand.
+type reclaimer interface {
+	// reclaim frees up to need bytes of unpinned cached state (releasing
+	// the economy charges as it goes) and returns the bytes freed.
+	reclaim(need int64) int64
+}
+
+// defaultTenant labels charges from contexts that carry no tenant.
+const defaultTenant = "default"
+
+func tenantName(t string) string {
+	if t == "" {
+		return defaultTenant
+	}
+	return t
+}
+
+func newEconomy(budget int64) *economy {
+	return &economy{budget: budget, tenants: map[string]int64{}}
+}
+
+// register adds a cache to the reclaim rotation.
+func (e *economy) register(r reclaimer) {
+	e.rmu.Lock()
+	e.reclaimers = append(e.reclaimers, r)
+	e.rmu.Unlock()
+}
+
+// next advances the shared LRU clock.
+func (e *economy) next() uint64 { return e.tick.Add(1) }
+
+// charge attributes n resident bytes to tenant.  Callers holding cache
+// locks may charge freely; they must call rebalance only after releasing
+// them (reclaimers re-enter member caches).
+func (e *economy) charge(tenant string, n int64) {
+	if n == 0 {
+		return
+	}
+	tenant = tenantName(tenant)
+	e.mu.Lock()
+	e.used += n
+	e.tenants[tenant] += n
+	e.mu.Unlock()
+}
+
+// release returns n resident bytes previously charged to tenant.
+func (e *economy) release(tenant string, n int64) {
+	if n == 0 {
+		return
+	}
+	tenant = tenantName(tenant)
+	e.mu.Lock()
+	e.used -= n
+	if v := e.tenants[tenant] - n; v > 0 {
+		e.tenants[tenant] = v
+	} else {
+		delete(e.tenants, tenant)
+	}
+	e.mu.Unlock()
+}
+
+// noteEvicted records reclaim pressure: entries evicted to fit the budget.
+func (e *economy) noteEvicted(entries int, bytes int64) {
+	e.evictions.Add(int64(entries))
+	e.evictedBytes.Add(bytes)
+}
+
+// overBy returns how many bytes usage exceeds the budget (<= 0 = fits).
+func (e *economy) overBy() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.used - e.budget
+}
+
+// rebalance sheds idle cached state until usage fits the budget again.
+// It must be called without any member cache's lock held.  Rotation is
+// bounded: a pass over every reclaimer that frees nothing ends the loop
+// (everything left is pinned or already gone).
+func (e *economy) rebalance() {
+	e.rmu.Lock()
+	rs := append([]reclaimer(nil), e.reclaimers...)
+	e.rmu.Unlock()
+	for {
+		over := e.overBy()
+		if over <= 0 {
+			return
+		}
+		progress := false
+		for _, r := range rs {
+			if freed := r.reclaim(over); freed > 0 {
+				progress = true
+			}
+			if over = e.overBy(); over <= 0 {
+				return
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// EconomyStats is a point-in-time snapshot of the shared cache economy.
+type EconomyStats struct {
+	BudgetBytes  int64
+	UsedBytes    int64
+	Evictions    int64 // entries shed under budget pressure
+	EvictedBytes int64
+	// TenantBytes holds resident bytes attributed to each tenant, in
+	// tenant-name order.
+	TenantBytes []TenantBytes
+}
+
+// TenantBytes is one tenant's resident-byte attribution.
+type TenantBytes struct {
+	Tenant string
+	Bytes  int64
+}
+
+func (e *economy) stats() EconomyStats {
+	s := EconomyStats{
+		BudgetBytes:  e.budget,
+		Evictions:    e.evictions.Load(),
+		EvictedBytes: e.evictedBytes.Load(),
+	}
+	e.mu.Lock()
+	s.UsedBytes = e.used
+	for t, b := range e.tenants {
+		s.TenantBytes = append(s.TenantBytes, TenantBytes{Tenant: t, Bytes: b})
+	}
+	e.mu.Unlock()
+	sort.Slice(s.TenantBytes, func(i, j int) bool { return s.TenantBytes[i].Tenant < s.TenantBytes[j].Tenant })
+	return s
+}

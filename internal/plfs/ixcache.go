@@ -1,120 +1,199 @@
 package plfs
 
-import "sync"
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
 
-// indexCache is the mount's cross-open index cache: recently built global
-// indexes keyed by container path, valid only at the exact generation
-// they were built from.  The generation (containerState.gen) advances on
-// every mutation — write open, write close, truncate, rename, recover —
-// so a cached aggregation can never describe anything but the container's
-// current content.  A byte budget (Options.IndexCacheBytes) bounds the
-// resident cost, with least-recently-used eviction.
+// indexCache is the cross-open index cache: recently built global indexes
+// keyed by container path, valid only at the exact generation they were
+// built from.  The generation (containerState.gen) advances on every
+// mutation — write open, write close, truncate, rename, recover — so a
+// cached aggregation can never describe anything but the container's
+// current content.  Resident bytes are charged to the shared cache
+// economy; under budget pressure the economy reclaims from the cold end
+// of the LRU list.
 //
-// The cache is deliberately conservative about who publishes: see
-// Reader.maybeCachePut.  Lookups and inserts are cheap (one small mutex),
-// and a miss costs one map probe on top of the full aggregation it fails
-// to avoid.
+// A standalone Mount owns a private cache and economy; a Service shares
+// one cache across every mount it serves (keys carry a per-mount prefix,
+// see Mount.ckey).  The cache is deliberately conservative about who
+// publishes: see Reader.maybeCachePut.  Lookups and inserts are cheap
+// (one small mutex, O(1) list splices), and a miss costs one map probe
+// on top of the full aggregation it fails to avoid.
 type indexCache struct {
-	mu     sync.Mutex
-	budget int64
-	used   int64
-	tick   uint64 // monotone LRU clock
-	ents   map[string]*ixCacheEnt
+	econ *economy
+
+	mu   sync.Mutex
+	ents map[string]*ixCacheEnt
+	lru  ixCacheEnt // sentinel of the intrusive LRU ring: next = MRU, prev = LRU
+
+	evictions atomic.Int64 // entries evicted (pressure + older-gen sightings)
 }
 
 type ixCacheEnt struct {
-	gen   uint64
-	ix    *Index
-	bytes int64
-	last  uint64 // tick of last hit/insert
+	key        string
+	tenant     string
+	gen        uint64
+	ix         *Index
+	bytes      int64
+	prev, next *ixCacheEnt
 }
 
-func newIndexCache(budget int64) *indexCache {
-	return &indexCache{budget: budget, ents: map[string]*ixCacheEnt{}}
+func newIndexCache(econ *economy) *indexCache {
+	c := &indexCache{econ: econ, ents: map[string]*ixCacheEnt{}}
+	c.lru.prev, c.lru.next = &c.lru, &c.lru
+	return c
 }
 
-// get returns the cached index for rel iff it was built at exactly gen.
+// list splices, all under c.mu.
+func (c *indexCache) unlink(e *ixCacheEnt) {
+	e.prev.next, e.next.prev = e.next, e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (c *indexCache) pushFront(e *ixCacheEnt) {
+	e.prev, e.next = &c.lru, c.lru.next
+	e.prev.next, e.next.prev = e, e
+}
+
+// get returns the cached index for key iff it was built at exactly gen.
 // An entry from an older generation is deleted on sight — it can never
 // become valid again (generations only advance).
-func (c *indexCache) get(rel string, gen uint64) *Index {
+func (c *indexCache) get(key string, gen uint64) *Index {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.ents[rel]
+	e, ok := c.ents[key]
 	if !ok {
+		c.mu.Unlock()
 		return nil
 	}
 	if e.gen != gen {
+		var stale *ixCacheEnt
 		if e.gen < gen {
-			c.evict(rel, e)
+			c.remove(e)
+			stale = e
+		}
+		c.mu.Unlock()
+		if stale != nil {
+			c.econ.release(stale.tenant, stale.bytes)
 		}
 		return nil
 	}
-	c.tick++
-	e.last = c.tick
+	c.unlink(e)
+	c.pushFront(e)
+	c.mu.Unlock()
 	return e.ix
 }
 
-// put caches ix for rel at gen, returning how many entries were evicted
-// to make room.  An existing entry at a newer generation wins; an index
-// larger than the whole budget is not cached at all.
-func (c *indexCache) put(rel string, gen uint64, ix *Index) int {
+// put caches ix for key at gen on behalf of tenant, returning how many
+// entries this cache evicted to fit the economy's budget.  An existing
+// entry at a newer generation wins; an index larger than the whole
+// budget is not cached at all.
+func (c *indexCache) put(key string, gen uint64, ix *Index, tenant string) int {
 	if ix == nil {
 		return 0
 	}
 	size := ix.residentBytes()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if size > c.budget {
+	if size > c.econ.budget {
 		return 0
 	}
-	if e, ok := c.ents[rel]; ok {
+	tenant = tenantName(tenant)
+	c.mu.Lock()
+	var replaced *ixCacheEnt
+	if e, ok := c.ents[key]; ok {
 		if e.gen > gen {
+			c.mu.Unlock()
 			return 0
 		}
-		c.evict(rel, e)
+		c.remove(e)
+		replaced = e
 	}
-	evicted := 0
-	for c.used+size > c.budget {
-		var (
-			lruRel string
-			lru    *ixCacheEnt
-		)
-		for r, e := range c.ents {
-			if lru == nil || e.last < lru.last {
-				lruRel, lru = r, e
-			}
-		}
-		if lru == nil {
+	e := &ixCacheEnt{key: key, tenant: tenant, gen: gen, ix: ix, bytes: size}
+	c.ents[key] = e
+	c.pushFront(e)
+	c.mu.Unlock()
+	if replaced != nil {
+		c.econ.release(replaced.tenant, replaced.bytes)
+	}
+
+	before := c.evictions.Load()
+	c.econ.charge(tenant, size)
+	c.econ.rebalance()
+	return int(c.evictions.Load() - before)
+}
+
+// remove deletes e (which must be c.ents[e.key]) under c.mu; the caller
+// releases its economy charge after dropping the lock.
+func (c *indexCache) remove(e *ixCacheEnt) {
+	c.unlink(e)
+	delete(c.ents, e.key)
+}
+
+// reclaim implements reclaimer: evict from the cold end of the LRU list
+// until need bytes are freed or the cache is empty.
+func (c *indexCache) reclaim(need int64) int64 {
+	var freed int64
+	var entries int
+	for freed < need {
+		c.mu.Lock()
+		e := c.lru.prev
+		if e == &c.lru {
+			c.mu.Unlock()
 			break
 		}
-		c.evict(lruRel, lru)
-		evicted++
+		c.remove(e)
+		c.mu.Unlock()
+		c.econ.release(e.tenant, e.bytes)
+		freed += e.bytes
+		entries++
 	}
-	c.tick++
-	c.ents[rel] = &ixCacheEnt{gen: gen, ix: ix, bytes: size, last: c.tick}
-	c.used += size
-	return evicted
+	if entries > 0 {
+		c.evictions.Add(int64(entries))
+		c.econ.noteEvicted(entries, freed)
+	}
+	return freed
 }
 
-// evict removes e (which must be c.ents[rel]) under c.mu.
-func (c *indexCache) evict(rel string, e *ixCacheEnt) {
-	c.used -= e.bytes
-	delete(c.ents, rel)
-}
-
-// drop invalidates rel's entry, if any.
-func (c *indexCache) drop(rel string) {
+// drop invalidates key's entry, if any.
+func (c *indexCache) drop(key string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.ents[rel]; ok {
-		c.evict(rel, e)
+	e, ok := c.ents[key]
+	if ok {
+		c.remove(e)
+	}
+	c.mu.Unlock()
+	if ok {
+		c.econ.release(e.tenant, e.bytes)
+	}
+}
+
+// dropPrefix invalidates every entry whose key begins with prefix (a
+// mount detaching from a shared service cache).
+func (c *indexCache) dropPrefix(prefix string) {
+	c.mu.Lock()
+	var victims []*ixCacheEnt
+	for k, e := range c.ents {
+		if strings.HasPrefix(k, prefix) {
+			victims = append(victims, e)
+		}
+	}
+	for _, e := range victims {
+		c.remove(e)
+	}
+	c.mu.Unlock()
+	for _, e := range victims {
+		c.econ.release(e.tenant, e.bytes)
 	}
 }
 
 // clear empties the cache.
 func (c *indexCache) clear() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	old := c.ents
 	c.ents = map[string]*ixCacheEnt{}
-	c.used = 0
+	c.lru.prev, c.lru.next = &c.lru, &c.lru
+	c.mu.Unlock()
+	for _, e := range old {
+		c.econ.release(e.tenant, e.bytes)
+	}
 }

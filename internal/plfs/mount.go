@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"plfs/internal/comm"
@@ -217,6 +218,11 @@ type Ctx struct {
 	// Comm enables the collective optimizations; nil means serial mode
 	// (the FUSE-style interface), which always uses Original aggregation.
 	Comm comm.Comm
+	// Tenant names the job this process belongs to when the mount is
+	// served by a Service: cache charges are attributed to it and the
+	// admission gate of its class bounds the ops it may have in flight.
+	// Empty means the default tenant.
+	Tenant string
 	// Obs, when non-nil, receives op-level metrics and spans (see
 	// internal/obs and DESIGN.md §11): open/close/recover/scrub phase
 	// spans, per-op latency histograms, and retry counters.  Nil disables
@@ -239,27 +245,62 @@ func (c Ctx) sleep(d time.Duration) {
 
 // Mount is a PLFS mount point: shared configuration plus the cross-process
 // index cache.  Backend handles live in Ctx, so one Mount serves any
-// number of processes.
+// number of processes.  A standalone Mount (NewMount) owns a private
+// cache economy; a Mount built by Service.Mount shares the service's
+// economy, index cache, and admission gates with every other mount the
+// service serves.
 type Mount struct {
 	roots []string
 	opt   Options
+	svc   *Service    // non-nil when attached to a mount service
+	econ  *economy    // cache budget (shared under a service)
+	ixc   *indexCache // cross-open index cache (see ixcache.go)
+	id    string      // cache-key prefix within a shared service cache
 
-	ixc *indexCache // cross-open index cache (see ixcache.go)
-
-	mu    sync.Mutex
-	state map[string]*containerState
+	// Per-container state lives in a sharded table so unrelated
+	// containers never contend: steady-state lookups take only a shard's
+	// read lock, and all heavy per-container work happens under that
+	// container's own mutex.
+	shards [stateShards]stateShard
 }
+
+const stateShards = 16
+
+type stateShard struct {
+	mu sync.RWMutex
+	m  map[string]*containerState
+}
+
+// stateOverhead is the nominal resident charge for one containerState's
+// fixed bookkeeping, so idle empty states participate in the budget and
+// a long-lived service cannot leak the table itself.
+const stateOverhead = 256
+
+// recBytes approximates one parsed Rec's in-memory footprint.
+const recBytes = 64
+
+func recsResident(recs []Rec) int64 { return int64(len(recs))*recBytes + 64 }
 
 // containerState caches parsed index shards and built global indexes.
 // Droppings are immutable once written (log structure), so cached shards
 // never go stale; the generation invalidates built indexes when new
-// writers attach.
+// writers attach.  Parsed bytes are charged to the economy; under budget
+// pressure unpinned states are evicted wholesale (Mount.reclaim), which
+// also invalidates the container's cross-open cache entry — a recreated
+// state restarts at generation 0, so any entry published under the old
+// generation sequence must not survive the reset.
 type containerState struct {
 	mu       sync.Mutex
 	gen      uint64
+	pins     int  // active writers/readers; pinned states are never evicted
+	evicted  bool // no longer in the table; bytes already returned
+	tenant   string
+	bytes    int64 // parsed-shard bytes charged to the economy
 	parsed   map[string][]Rec
 	builtKey string
 	built    *Index
+
+	last atomic.Uint64 // economy tick of last touch (LRU for eviction)
 }
 
 // curGen returns the container's current in-memory generation.
@@ -269,23 +310,56 @@ func (st *containerState) curGen() uint64 {
 	return st.gen
 }
 
-// NewMount creates a mount over the given per-volume backend root paths.
+// NewMount creates a standalone mount over the given per-volume backend
+// root paths, with a private cache economy budgeted by
+// Options.IndexCacheBytes.
 func NewMount(roots []string, opt Options) *Mount {
+	return newMount(roots, opt, nil)
+}
+
+func newMount(roots []string, opt Options, svc *Service) *Mount {
 	if len(roots) == 0 {
 		panic("plfs: mount needs at least one volume root")
 	}
 	opt = opt.withDefaults()
-	return &Mount{
-		roots: roots,
-		opt:   opt,
-		ixc:   newIndexCache(opt.IndexCacheBytes),
-		state: map[string]*containerState{},
+	m := &Mount{roots: roots, opt: opt, svc: svc}
+	for i := range m.shards {
+		m.shards[i].m = map[string]*containerState{}
 	}
+	if svc != nil {
+		m.econ, m.ixc = svc.econ, svc.ixc
+		m.id = svc.nextMountID()
+	} else {
+		m.econ = newEconomy(opt.IndexCacheBytes)
+		m.ixc = newIndexCache(m.econ)
+		m.econ.register(m.ixc)
+	}
+	m.econ.register(m)
+	return m
+}
+
+// ckey is rel's key in the (possibly shared) cross-open index cache.
+func (m *Mount) ckey(rel string) string {
+	if m.id == "" {
+		return rel
+	}
+	return m.id + rel
 }
 
 // DropIndexCache empties the mount's cross-open index cache (harness
 // cold-start control; the next open of any container re-aggregates).
-func (m *Mount) DropIndexCache() { m.ixc.clear() }
+// Under a service only this mount's entries are dropped.
+func (m *Mount) DropIndexCache() {
+	if m.id == "" {
+		m.ixc.clear()
+	} else {
+		m.ixc.dropPrefix(m.id)
+	}
+}
+
+// EconomyStats reports the cache economy's usage (shared when the mount
+// is served by a Service).
+func (m *Mount) EconomyStats() EconomyStats { return m.econ.stats() }
 
 // Volumes returns the number of metadata volumes behind the mount.
 func (m *Mount) Volumes() int { return len(m.roots) }
@@ -296,21 +370,205 @@ func (m *Mount) Root(i int) string { return m.roots[i] }
 // Options returns the mount options (with defaults applied).
 func (m *Mount) Options() Options { return m.opt }
 
-func (m *Mount) stateOf(rel string) *containerState {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st, ok := m.state[rel]
-	if !ok {
-		st = &containerState{parsed: map[string][]Rec{}}
-		m.state[rel] = st
+func (m *Mount) shard(rel string) *stateShard {
+	return &m.shards[hashStr(rel)%stateShards]
+}
+
+// stateOf returns rel's container state, creating it on first touch.
+// The fast path takes only the shard's read lock, so lookups for
+// unrelated containers never serialize.
+func (m *Mount) stateOf(rel, tenant string) *containerState {
+	sh := m.shard(rel)
+	sh.mu.RLock()
+	st := sh.m[rel]
+	sh.mu.RUnlock()
+	if st != nil {
+		st.last.Store(m.econ.next())
+		return st
+	}
+	sh.mu.Lock()
+	st = sh.m[rel]
+	created := st == nil
+	if created {
+		st = &containerState{parsed: map[string][]Rec{}, tenant: tenantName(tenant)}
+		sh.m[rel] = st
+	}
+	st.last.Store(m.econ.next())
+	sh.mu.Unlock()
+	if created {
+		m.econ.charge(st.tenant, stateOverhead)
+		// Rebalance only when already over budget, so a create storm of
+		// idle containers cannot grow the table without bound while the
+		// hot path stays charge-only.
+		if m.econ.overBy() > 0 {
+			m.econ.rebalance()
+		}
 	}
 	return st
 }
 
+// pin returns rel's state with its pin count raised: a pinned state is
+// never evicted, which keeps the container's generation sequence
+// monotone across an open or write session — the invariant the
+// cross-open index cache's exact-generation check relies on.
+func (m *Mount) pin(rel, tenant string) *containerState {
+	for {
+		st := m.stateOf(rel, tenant)
+		st.mu.Lock()
+		if st.evicted {
+			st.mu.Unlock()
+			continue // raced with eviction; the next lookup recreates it
+		}
+		st.pins++
+		st.mu.Unlock()
+		return st
+	}
+}
+
+func (m *Mount) unpin(st *containerState) {
+	st.mu.Lock()
+	st.pins--
+	st.mu.Unlock()
+}
+
+// storeParsed caches one shard's decoded records on the container state
+// and charges the bytes to the economy.  An orphaned state (evicted
+// while a slow aggregation still held it) is a plain scratch buffer;
+// its bytes are not resident in any table, so nothing is charged.
+// Call without st.mu held.
+func (m *Mount) storeParsed(st *containerState, path string, recs []Rec) {
+	st.mu.Lock()
+	if _, dup := st.parsed[path]; dup || st.evicted {
+		if !dup {
+			st.parsed[path] = recs
+		}
+		st.mu.Unlock()
+		return
+	}
+	st.parsed[path] = recs
+	n := recsResident(recs)
+	st.bytes += n
+	tenant := st.tenant
+	st.mu.Unlock()
+	m.econ.charge(tenant, n)
+	m.econ.rebalance()
+}
+
+// invalidateState advances rel's generation and drops every derived
+// cache — parsed shards, built-index memo, cross-open entry — returning
+// the parsed bytes to the economy (truncate, recover).
+func (m *Mount) invalidateState(rel, tenant string) {
+	st := m.stateOf(rel, tenant)
+	st.mu.Lock()
+	st.gen++
+	st.builtKey, st.built = "", nil
+	st.parsed = map[string][]Rec{}
+	n := st.bytes
+	st.bytes = 0
+	evicted := st.evicted
+	owner := st.tenant
+	st.mu.Unlock()
+	if !evicted {
+		m.econ.release(owner, n)
+	}
+	m.ixc.drop(m.ckey(rel))
+}
+
+// dropState removes rel's state outright (rename, unlink) and returns
+// its charges to the economy.
 func (m *Mount) dropState(rel string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.state, rel)
+	sh := m.shard(rel)
+	sh.mu.Lock()
+	st, ok := sh.m[rel]
+	if ok {
+		delete(sh.m, rel)
+	}
+	sh.mu.Unlock()
+	if ok {
+		m.releaseState(st)
+	}
+}
+
+// releaseState marks st evicted and returns its resident bytes.
+func (m *Mount) releaseState(st *containerState) int64 {
+	st.mu.Lock()
+	if st.evicted {
+		st.mu.Unlock()
+		return 0
+	}
+	st.evicted = true
+	n := st.bytes + stateOverhead
+	tenant := st.tenant
+	st.bytes = 0
+	st.parsed = map[string][]Rec{}
+	st.builtKey, st.built = "", nil
+	st.mu.Unlock()
+	m.econ.release(tenant, n)
+	return n
+}
+
+// reclaim implements reclaimer: evict idle (unpinned) container states,
+// least recently touched first, until need bytes are freed.  Eviction
+// resets the container's generation sequence, so each victim's
+// cross-open cache entry is dropped with it — an entry published under
+// the old sequence must never be served against the new one.  The
+// collection scan is O(states), acceptable on this rare path.
+func (m *Mount) reclaim(need int64) int64 {
+	type cand struct {
+		rel  string
+		st   *containerState
+		last uint64
+	}
+	var cands []cand
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for rel, st := range sh.m {
+			cands = append(cands, cand{rel, st, st.last.Load()})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].last < cands[j].last })
+	var freed int64
+	entries := 0
+	for _, c := range cands {
+		if freed >= need {
+			break
+		}
+		sh := m.shard(c.rel)
+		sh.mu.Lock()
+		st, ok := sh.m[c.rel]
+		if !ok || st != c.st {
+			sh.mu.Unlock()
+			continue
+		}
+		// The evicted mark must be set in the same st.mu critical section
+		// as the pins check: a pinner blocked on st.mu would otherwise
+		// pin a state this loop is about to release.
+		st.mu.Lock()
+		if st.pins > 0 {
+			st.mu.Unlock()
+			sh.mu.Unlock()
+			continue
+		}
+		st.evicted = true
+		n := st.bytes + stateOverhead
+		tenant := st.tenant
+		st.bytes = 0
+		st.parsed = map[string][]Rec{}
+		st.builtKey, st.built = "", nil
+		st.mu.Unlock()
+		delete(sh.m, c.rel)
+		sh.mu.Unlock()
+		m.econ.release(tenant, n)
+		freed += n
+		m.ixc.drop(m.ckey(c.rel))
+		entries++
+	}
+	if entries > 0 {
+		m.econ.noteEvicted(entries, freed)
+	}
+	return freed
 }
 
 func clean(rel string) string {
@@ -579,8 +837,8 @@ func (m *Mount) Rename(ctx Ctx, oldRel, newRel string) error {
 	}
 	m.dropState(oldRel)
 	m.dropState(newRel)
-	m.ixc.drop(oldRel)
-	m.ixc.drop(newRel)
+	m.ixc.drop(m.ckey(oldRel))
+	m.ixc.drop(m.ckey(newRel))
 	return nil
 }
 
@@ -630,13 +888,7 @@ func (m *Mount) Truncate(ctx Ctx, rel string) error {
 	if err := ctx.writeFileAtomic(ctx.Vols[vc], path.Join(meta, fmt.Sprintf("%s%d", genPrefix, gen+1)), nil, m.opt.Retry, false); err != nil {
 		return err
 	}
-	st := m.stateOf(rel)
-	st.mu.Lock()
-	st.gen++
-	st.builtKey, st.built = "", nil
-	st.parsed = map[string][]Rec{}
-	st.mu.Unlock()
-	m.ixc.drop(rel)
+	m.invalidateState(rel, ctx.Tenant)
 	return nil
 }
 
@@ -673,7 +925,7 @@ func (m *Mount) Unlink(ctx Ctx, rel string) error {
 		return err
 	}
 	m.dropState(rel)
-	m.ixc.drop(rel)
+	m.ixc.drop(m.ckey(rel))
 	return nil
 }
 

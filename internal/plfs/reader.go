@@ -79,8 +79,18 @@ type ReadStats struct {
 // mode) the Original uncoordinated design is used.
 func (m *Mount) OpenReader(ctx Ctx, rel string) (*Reader, error) {
 	rel = clean(rel)
+	admitted, aerr := m.admit(ctx, "open")
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer admitted()
 	r := &Reader{m: m, ctx: ctx, rel: rel, handles: map[int32]File{}}
-	r.gen = m.stateOf(rel).curGen()
+	// Pin the state for the aggregation window: the generation captured
+	// here must still be current when maybeCachePut publishes under it,
+	// and eviction (which restarts the sequence at zero) would break that.
+	st := m.pin(rel, ctx.Tenant)
+	defer m.unpin(st)
+	r.gen = st.curGen()
 	mode := m.opt.IndexMode
 	if ctx.Comm == nil {
 		mode = Original
@@ -127,7 +137,7 @@ func (r *Reader) cacheGet() *Index {
 	}
 	count := !r.skipCache
 	r.skipCache = true
-	ix := r.m.ixc.get(r.rel, r.gen)
+	ix := r.m.ixc.get(r.m.ckey(r.rel), r.gen)
 	if count && r.ctx.Obs != nil {
 		if ix != nil {
 			r.ctx.Obs.Counter("plfs.index.cache.hit").Add(1)
@@ -156,7 +166,7 @@ func (r *Reader) maybeCachePut() {
 	if r.ctx.Comm != nil && (r.Stats.Mode == Original || r.ctx.Comm.Rank() != 0) {
 		return
 	}
-	if ev := m.ixc.put(r.rel, r.gen, r.ix); ev > 0 && r.ctx.Obs != nil {
+	if ev := m.ixc.put(m.ckey(r.rel), r.gen, r.ix, r.ctx.Tenant); ev > 0 && r.ctx.Obs != nil {
 		r.ctx.Obs.Counter("plfs.index.cache.evict").Add(int64(ev))
 	}
 }
@@ -201,7 +211,7 @@ func (r *Reader) tryGlobalIndex() (*Index, error) {
 func (r *Reader) buildCached(shards [][]Rec, dataPaths []string) *Index {
 	msp := r.sp.Child("merge")
 	defer msp.End()
-	st := r.m.stateOf(r.rel)
+	st := r.m.stateOf(r.rel, r.ctx.Tenant)
 	total := 0
 	for _, s := range shards {
 		total += len(s)
@@ -242,7 +252,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Rec, error) {
 	dsp := r.sp.Child("decode")
 	defer dsp.End()
 	m, ctx := r.m, r.ctx
-	st := m.stateOf(r.rel)
+	st := m.stateOf(r.rel, ctx.Tenant)
 	w := m.opt.decodeWorkers()
 	pol := m.opt.Retry
 	out := make([][]Rec, len(refs))
@@ -272,9 +282,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Rec, error) {
 				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
 				return
 			}
-			st.mu.Lock()
-			st.parsed[ref.Ref.Index] = es
-			st.mu.Unlock()
+			m.storeParsed(st, ref.Ref.Index, es)
 			out[i] = es
 		})
 		r.Stats.IndexReads += int(reads)
@@ -313,13 +321,11 @@ func (r *Reader) readShards(refs []shardRef) ([][]Rec, error) {
 			}
 			out[i] = es
 		})
-		st.mu.Lock()
 		for i, es := range out {
 			if es != nil && raw[i] != nil {
-				st.parsed[refs[i].Ref.Index] = es
+				m.storeParsed(st, refs[i].Ref.Index, es)
 			}
 		}
-		st.mu.Unlock()
 	}
 	if m.opt.AllowPartial {
 		// Graceful degradation: shards that stayed unreadable after
@@ -344,7 +350,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Rec, error) {
 // are immutable), so repeated opens decode once per process group.
 func (r *Reader) readShard(ref droppingRef, id int32) ([]Rec, error) {
 	m, ctx := r.m, r.ctx
-	st := m.stateOf(r.rel)
+	st := m.stateOf(r.rel, ctx.Tenant)
 	pl, size, err := ctx.readAllRetried(ctx.Vols[ref.Vol], ref.Index, m.opt.Retry)
 	if err != nil {
 		return nil, err
@@ -364,9 +370,7 @@ func (r *Reader) readShard(ref droppingRef, id int32) ([]Rec, error) {
 		// The sole caller (Check) prefixes the dropping path itself.
 		return nil, err
 	}
-	st.mu.Lock()
-	st.parsed[ref.Index] = recs
-	st.mu.Unlock()
+	m.storeParsed(st, ref.Index, recs)
 	return recs, nil
 }
 
@@ -1031,6 +1035,6 @@ func (m *Mount) Flatten(ctx Ctx, rel string) error {
 	}
 	// The flattened index changes what future opens should report
 	// (UsedGlobal); drop any cached pre-flatten aggregation.
-	m.ixc.drop(rel)
+	m.ixc.drop(m.ckey(rel))
 	return nil
 }

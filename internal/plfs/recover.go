@@ -297,13 +297,7 @@ func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
 		}
 	}
 	if changed {
-		st := m.stateOf(rel)
-		st.mu.Lock()
-		st.gen++
-		st.builtKey, st.built = "", nil
-		st.parsed = map[string][]Rec{}
-		st.mu.Unlock()
-		m.ixc.drop(rel)
+		m.invalidateState(rel, ctx.Tenant)
 	}
 	if ctx.Obs != nil {
 		ctx.Obs.Counter("plfs.recover.ops").Add(1)

@@ -1,0 +1,192 @@
+package plfs_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"plfs/internal/osfs"
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+// TestServiceRaceStress drives one mount service from many tenants at
+// once — mixed creates, writes, reads, cache drops — under a cache budget
+// small enough to keep the economy evicting throughout.  It checks the
+// service's two end-to-end promises: every successfully written container
+// reads back byte-identical (whatever the cache shed meanwhile), and the
+// admission ledger balances (admitted = completed + rejected per tenant).
+// CI runs it under -race.
+func TestServiceRaceStress(t *testing.T) {
+	const (
+		tenants    = 3
+		perTenant  = 4 // goroutines per tenant
+		containers = 8 // containers per tenant, one writer goroutine each
+		blocks     = 4
+		bs         = int64(1024)
+	)
+	classes := map[string]string{}
+	for i := 0; i < tenants; i++ {
+		classes[fmt.Sprintf("t%d", i)] = "work"
+	}
+	svc := plfs.NewService(plfs.ServiceOptions{
+		CacheBudgetBytes: 8 << 10, // tiny: force evictions under load
+		Classes:          []plfs.ClassConfig{{Name: "work", MaxInFlight: 6, Attempts: 64, Backoff: 10 * time.Microsecond}},
+		TenantClass:      classes,
+	})
+	roots := []string{t.TempDir(), t.TempDir()}
+	m := svc.Mount(roots, plfs.Options{NumSubdirs: 2, SpreadContainers: true})
+	clock := &fakeClock{}
+	ctxFor := func(tenant string) plfs.Ctx {
+		vols := make([]plfs.Backend, len(roots))
+		for i := range vols {
+			vols[i] = osfs.New()
+		}
+		return plfs.Ctx{Vols: vols, HostLeader: true, Clock: clock, Tenant: tenant}
+	}
+	name := func(tn, c int) string { return fmt.Sprintf("t%d-c%d", tn, c) }
+	tag := func(tn, c int) uint64 { return uint64(tn*1000 + c + 1) }
+
+	var rejected atomic.Int64
+	written := make([]atomic.Bool, tenants*containers)
+
+	write := func(ctx plfs.Ctx, tn, c int) {
+		w, err := m.Create(ctx, name(tn, c))
+		if errors.Is(err, plfs.ErrAdmission) {
+			rejected.Add(1)
+			return
+		}
+		if err != nil {
+			t.Errorf("create %s: %v", name(tn, c), err)
+			return
+		}
+		for k := 0; k < blocks; k++ {
+			off := int64(k) * bs
+			if err := w.Write(off, payload.Synthetic(tag(tn, c), off, bs)); err != nil {
+				t.Errorf("write %s: %v", name(tn, c), err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Errorf("close %s: %v", name(tn, c), err)
+			return
+		}
+		written[tn*containers+c].Store(true)
+	}
+	read := func(ctx plfs.Ctx, tn, c int) {
+		if !written[tn*containers+c].Load() {
+			return
+		}
+		r, err := m.OpenReader(ctx, name(tn, c))
+		if errors.Is(err, plfs.ErrAdmission) {
+			rejected.Add(1)
+			return
+		}
+		if err != nil {
+			t.Errorf("open %s: %v", name(tn, c), err)
+			return
+		}
+		defer r.Close()
+		total := int64(blocks) * bs
+		if r.Size() != total {
+			t.Errorf("%s: size %d, want %d", name(tn, c), r.Size(), total)
+			return
+		}
+		got, err := r.ReadAt(0, total)
+		if err != nil {
+			t.Errorf("read %s: %v", name(tn, c), err)
+			return
+		}
+		want := payload.List{payload.Synthetic(tag(tn, c), 0, total)}
+		if !payload.ContentEqual(got, want) {
+			t.Errorf("%s: read-back not byte-identical", name(tn, c))
+		}
+	}
+
+	// Phase 1: every container written by its own goroutine, with
+	// interleaved reads of whatever its tenant finished so far and
+	// occasional service-wide cache drops.
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		for g := 0; g < perTenant; g++ {
+			wg.Add(1)
+			go func(tn, g int) {
+				defer wg.Done()
+				ctx := ctxFor(fmt.Sprintf("t%d", tn))
+				for c := g; c < containers; c += perTenant {
+					write(ctx, tn, c)
+					read(ctx, tn, (c+perTenant)%containers)
+					if c%5 == 0 {
+						m.DropIndexCache()
+					}
+				}
+			}(tn, g)
+		}
+	}
+	wg.Wait()
+
+	// Phase 2: cross-tenant read-back of every written container.
+	for tn := 0; tn < tenants; tn++ {
+		for g := 0; g < perTenant; g++ {
+			wg.Add(1)
+			go func(tn, g int) {
+				defer wg.Done()
+				ctx := ctxFor(fmt.Sprintf("t%d", tn))
+				other := (tn + 1) % tenants
+				for c := g; c < containers; c += perTenant {
+					read(ctx, tn, c)
+					read(ctx, other, c)
+				}
+			}(tn, g)
+		}
+	}
+	wg.Wait()
+
+	st := svc.Stats()
+	var admitted, completed int64
+	for _, ta := range st.Tenants {
+		if ta.Admitted != ta.Completed+ta.Rejected {
+			t.Errorf("tenant %s: admitted %d != completed %d + rejected %d",
+				ta.Tenant, ta.Admitted, ta.Completed, ta.Rejected)
+		}
+		admitted += ta.Admitted
+		completed += ta.Completed
+	}
+	if admitted == 0 || completed == 0 {
+		t.Fatalf("no operations recorded: %+v", st.Tenants)
+	}
+	var totalRejected int64
+	for _, ta := range st.Tenants {
+		totalRejected += ta.Rejected
+	}
+	if totalRejected != rejected.Load() {
+		t.Errorf("ledger rejected %d, observed %d ErrAdmission returns", totalRejected, rejected.Load())
+	}
+	eco := st.Economy
+	if eco.UsedBytes < 0 {
+		t.Errorf("economy used %d < 0", eco.UsedBytes)
+	}
+	var tenantSum int64
+	for _, tb := range eco.TenantBytes {
+		if tb.Bytes <= 0 {
+			t.Errorf("tenant %s attribution %d, want > 0", tb.Tenant, tb.Bytes)
+		}
+		tenantSum += tb.Bytes
+	}
+	if tenantSum != eco.UsedBytes {
+		t.Errorf("tenant bytes sum %d != used %d", tenantSum, eco.UsedBytes)
+	}
+	if eco.Evictions == 0 {
+		t.Errorf("no evictions under a %d-byte budget; pressure counters dead?", eco.BudgetBytes)
+	}
+	for _, cl := range st.Classes {
+		if cl.InFlight != 0 {
+			t.Errorf("class %q still has %d in flight after quiescence", cl.Name, cl.InFlight)
+		}
+		if cl.PeakInFlight > cl.MaxInFlight {
+			t.Errorf("class %q peak %d exceeded cap %d", cl.Name, cl.PeakInFlight, cl.MaxInFlight)
+		}
+	}
+}

@@ -18,6 +18,7 @@ type Writer struct {
 	m   *Mount
 	ctx Ctx
 	rel string
+	st  *containerState // pinned for the session (Create..Close)
 
 	vc        int // canonical container volume
 	subdir    int
@@ -65,6 +66,11 @@ func (m *Mount) Create(ctx Ctx, rel string) (*Writer, error) {
 	if ctx.Obs != nil {
 		ctx.Obs.Counter("plfs.create.ops").Add(1)
 	}
+	admitted, err := m.admit(ctx, "create")
+	if err != nil {
+		return nil, err
+	}
+	defer admitted()
 	if ctx.Comm != nil {
 		var res any
 		if ctx.Comm.Rank() == 0 {
@@ -79,13 +85,22 @@ func (m *Mount) Create(ctx Ctx, rel string) (*Writer, error) {
 		}
 	}
 
-	st := m.stateOf(rel)
+	// Pin the container state for the whole write session: a pinned
+	// state cannot be evicted, so the generation sequence this writer
+	// advances stays monotone until Close.
+	st := m.pin(rel, ctx.Tenant)
+	ok := false
+	defer func() {
+		if !ok {
+			m.unpin(st)
+		}
+	}()
 	st.mu.Lock()
 	st.gen++
 	st.builtKey, st.built = "", nil
 	st.mu.Unlock()
 
-	w := &Writer{m: m, ctx: ctx, rel: rel}
+	w := &Writer{m: m, ctx: ctx, rel: rel, st: st}
 	w.vc = m.containerVol(rel)
 	w.subdir = m.subdirFor(ctx.Host)
 	if err := w.ensureHostdir(); err != nil {
@@ -112,6 +127,7 @@ func (m *Mount) Create(ctx Ctx, rel string) (*Writer, error) {
 		return nil, err
 	}
 	w.dataFile = df
+	ok = true
 	return w, nil
 }
 
@@ -526,12 +542,16 @@ func (w *Writer) Close() error {
 	// cross-open index cache can never serve a pre-close aggregation, and
 	// drop the per-container built-index memo.  This runs after the
 	// collective barrier, so by the time any opener observes the new
-	// generation every rank's droppings are durable.
-	st := m.stateOf(w.rel)
+	// generation every rank's droppings are durable.  A fresh lookup (not
+	// w.st) deliberately targets whatever state is live — an explicit
+	// rename/unlink during the session orphans w.st, and readers resolve
+	// the replacement.
+	st := m.stateOf(w.rel, ctx.Tenant)
 	st.mu.Lock()
 	st.gen++
 	st.builtKey, st.built = "", nil
 	st.mu.Unlock()
+	m.unpin(w.st)
 	return errors.Join(errs...)
 }
 

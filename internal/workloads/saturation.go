@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"errors"
+	"fmt"
+
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+// Saturation is the mount-service tenant kernel: one tenant job writes
+// Containers separate N-1 files under its own path prefix and, on
+// read-back, reopens and verifies each.  Every container's job-wide open
+// duration is recorded by the tenant root into the context's obs registry
+// (histograms "saturation.open_write_ns" / "saturation.open_read_ns"),
+// which is where the saturation harness takes its p99 open-latency signal.
+//
+// A container whose create or read-open the service's admission gate
+// rejects is skipped, not failed: the collective admission protocol
+// delivers the same verdict to every rank, so the job stays aligned and
+// simply completes less work — the throughput collapse the ablation
+// figure is there to show.  Any other error aborts the run.
+type Saturation struct {
+	// Containers is the number of files this tenant writes (and reads).
+	Containers int
+	// OpsPerRank and OpSize shape each container's strided N-1 pattern.
+	OpsPerRank int
+	OpSize     int64
+}
+
+// Name implements Kernel.
+func (s Saturation) Name() string { return "saturation" }
+
+// Run implements Kernel.
+func (s Saturation) Run(env *Env, readBack bool) (Result, error) {
+	n := env.Ranks()
+	rank := env.Rank()
+	base := env.Path
+	defer func() { env.Path = base }()
+	var res Result
+	written := make([]bool, s.Containers)
+
+	observe := func(name string, d int64) {
+		if env.Ctx.Obs != nil && rank == 0 {
+			env.Ctx.Obs.Histogram(name).ObserveNanos(d)
+		}
+	}
+
+	for c := 0; c < s.Containers; c++ {
+		env.Path = fmt.Sprintf("%s-c%d", base, c)
+		f, d, err := env.openWrite()
+		if errors.Is(err, plfs.ErrAdmission) {
+			continue
+		}
+		res.WriteOpen += d
+		observe("saturation.open_write_ns", int64(d))
+		if err != nil {
+			return res, err
+		}
+		d, err = env.phase(func() error {
+			for k := 0; k < s.OpsPerRank; k++ {
+				off := int64(k*n+rank) * s.OpSize
+				if err := f.WriteAt(off, payload.Synthetic(tag(rank), off, s.OpSize)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		res.Write += d
+		if err != nil {
+			return res, err
+		}
+		d, err = env.closeFile(f)
+		res.WriteClose += d
+		if err != nil {
+			return res, err
+		}
+		written[c] = true
+		res.BytesPerRank += s.OpSize * int64(s.OpsPerRank)
+	}
+	if !readBack {
+		return res, nil
+	}
+
+	for c := 0; c < s.Containers; c++ {
+		if !written[c] {
+			continue
+		}
+		env.Path = fmt.Sprintf("%s-c%d", base, c)
+		r, d, err := env.openRead()
+		if errors.Is(err, plfs.ErrAdmission) {
+			continue
+		}
+		res.ReadOpen += d
+		observe("saturation.open_read_ns", int64(d))
+		if err != nil {
+			return res, err
+		}
+		// Read the neighbor rank's stripe: cross-rank traffic through the
+		// aggregated index, not an echo of the local write path.
+		peer := (rank + 1) % n
+		d, err = env.phase(func() error {
+			for k := 0; k < s.OpsPerRank; k++ {
+				off := int64(k*n+peer) * s.OpSize
+				got, rerr := r.ReadAt(off, s.OpSize)
+				if rerr != nil {
+					return rerr
+				}
+				if err := verifyPiece(env, got, tag(peer), off, s.OpSize); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		res.Read += d
+		if err != nil {
+			return res, err
+		}
+		d, err = env.closeFile(r)
+		res.ReadClose += d
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

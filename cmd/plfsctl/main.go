@@ -11,13 +11,20 @@
 //	plfsctl check <logical> -root ...                 # container integrity check
 //	plfsctl recover <logical> -root ...               # rebuild lost index droppings
 //	plfsctl scrub <logical> -root ...                 # full integrity walk (checksums)
+//	plfsctl scrub <logical> -root ... -repair         # walk and fix (replicas, footers, temps)
 //	plfsctl rm   <logical> -root <volume-root> ...    # remove a container
 //	plfsctl top  <metrics.json>                       # summarise a -metrics dump
+//	plfsctl health <metrics.json>                     # volume breaker / self-healing view
 //
 // check, recover, and scrub accept -json for machine-readable reports
 // and use disciplined exit codes: 0 clean, 1 problems found, 2 usage or
-// operational error.  top takes the JSON written by plfsrun/plfsbench
-// -metrics ('-' = stdin) and renders timers by total time descending.
+// operational error.  scrub -repair applies the fixes scrub describes —
+// re-replicate under-replicated indexes, rebuild torn ones from recovery
+// footers, sweep orphaned commit temps — through the repair daemon's
+// container pass (pass -replicas to heal replica slots).  top takes the
+// JSON written by plfsrun/plfsbench -metrics ('-' = stdin) and renders
+// timers by total time descending; health renders the same dump's
+// per-volume breaker table and hedge/repair counters.
 package main
 
 import (
@@ -45,6 +52,8 @@ func main() {
 	off := fs.Int64("off", 0, "read offset")
 	length := fs.Int64("len", 256, "read length")
 	jsonOut := fs.Bool("json", false, "machine-readable JSON report (check/recover/scrub)")
+	repair := fs.Bool("repair", false, "scrub: apply fixes instead of report-only")
+	replicaN := fs.Int("replicas", 0, "index replication factor the container was written with (scrub -repair heals replica slots)")
 
 	var logical string
 	args := os.Args[2:]
@@ -55,13 +64,18 @@ func main() {
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
-	if cmd == "top" {
-		// top reads a metrics JSON file, not a container: no -root needed.
+	if cmd == "top" || cmd == "health" {
+		// top and health read a metrics JSON file, not a container: no
+		// -root needed.
 		if logical == "" {
-			fmt.Fprintln(os.Stderr, "plfsctl: top requires a metrics JSON file (from plfsrun/plfsbench -metrics)")
+			fmt.Fprintf(os.Stderr, "plfsctl: %s requires a metrics JSON file (from plfsrun/plfsbench -metrics)\n", cmd)
 			os.Exit(2)
 		}
-		if err := doTop(logical); err != nil {
+		do := doTop
+		if cmd == "health" {
+			do = doHealth
+		}
+		if err := do(logical); err != nil {
 			fmt.Fprintln(os.Stderr, "plfsctl:", err)
 			os.Exit(1)
 		}
@@ -75,7 +89,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	m := plfs.NewMount(roots, plfs.Options{})
+	m := plfs.NewMount(roots, plfs.Options{IndexReplicas: *replicaN})
 	ctx := plfs.Ctx{Vols: backends(len(roots)), HostLeader: true}
 
 	var err error
@@ -93,6 +107,9 @@ func main() {
 	case "flatten":
 		err = m.Flatten(ctx, logical)
 	case "check", "recover", "scrub":
+		if cmd == "scrub" && *repair {
+			cmd = "repair"
+		}
 		runReport(m, ctx, cmd, logical, *jsonOut)
 		return
 	default:
@@ -118,6 +135,8 @@ func runReport(m *plfs.Mount, ctx plfs.Ctx, cmd, logical string, jsonOut bool) {
 		rep, err = m.Recover(ctx, logical)
 	case "scrub":
 		rep, err = m.Scrub(ctx, logical)
+	case "repair":
+		rep, err = m.RepairContainer(ctx, logical)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "plfsctl:", err)
@@ -140,8 +159,8 @@ func runReport(m *plfs.Mount, ctx plfs.Ctx, cmd, logical string, jsonOut bool) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: plfsctl {ls|stat|map|read|flatten|check|recover|scrub|rm} [logical] -root DIR [-root DIR...] [-off N] [-len N] [-json]")
-	fmt.Fprintln(os.Stderr, "       plfsctl top <metrics.json>   (JSON from plfsrun/plfsbench -metrics; '-' = stdin)")
+	fmt.Fprintln(os.Stderr, "usage: plfsctl {ls|stat|map|read|flatten|check|recover|scrub|rm} [logical] -root DIR [-root DIR...] [-off N] [-len N] [-json] [-repair] [-replicas N]")
+	fmt.Fprintln(os.Stderr, "       plfsctl {top|health} <metrics.json>   (JSON from plfsrun/plfsbench -metrics; '-' = stdin)")
 	os.Exit(2)
 }
 
@@ -265,6 +284,78 @@ func doTop(path string) error {
 	printTenants(snap)
 	if snap.SpansDropped > 0 {
 		fmt.Printf("\n(%d spans dropped by the retention limit)\n", snap.SpansDropped)
+	}
+	return nil
+}
+
+// doHealth renders the self-healing view of a metrics dump: one row per
+// volume from the plfs.health.<root>.* gauges (breaker state, rolling
+// p99, transition and outcome counts), then the hedge/replica counters
+// and the repair ledger.
+func doHealth(path string) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(in).Decode(&snap); err != nil {
+		return fmt.Errorf("parsing metrics JSON: %w", err)
+	}
+
+	type vol struct{ fields map[string]float64 }
+	vols := map[string]*vol{}
+	const pfx = "plfs.health."
+	for name, v := range snap.Gauges {
+		rest, ok := strings.CutPrefix(name, pfx)
+		if !ok {
+			continue
+		}
+		i := strings.LastIndex(rest, ".")
+		if i < 0 {
+			continue
+		}
+		root, field := rest[:i], rest[i+1:]
+		r := vols[root]
+		if r == nil {
+			r = &vol{fields: map[string]float64{}}
+			vols[root] = r
+		}
+		r.fields[field] = v
+	}
+	if len(vols) == 0 {
+		fmt.Println("no plfs.health.* gauges in this dump (run with a Service mount and -metrics)")
+	} else {
+		roots := make([]string, 0, len(vols))
+		for r := range vols {
+			roots = append(roots, r)
+		}
+		sort.Strings(roots)
+		fmt.Printf("%-16s %-10s %10s %8s %8s %8s %10s %10s\n",
+			"VOLUME", "STATE", "P99(ms)", "OPENS", "PROBES", "PROBE_OK", "FAILURES", "SLOW_OPS")
+		for _, root := range roots {
+			f := vols[root].fields
+			state := plfs.BreakerState(int(f["state"])).String()
+			fmt.Printf("%-16s %-10s %10.3f %8.0f %8.0f %8.0f %10.0f %10.0f\n",
+				root, state, f["p99_ns"]/1e6, f["opens"], f["probes"], f["probe_ok"],
+				f["failures"], f["slow_ops"])
+		}
+	}
+
+	ctr := func(name string) int64 { return snap.Counters[name] }
+	fmt.Printf("\nhedging: hedged %d  hedge_wins %d  failover %d  replica_deferred %d  replica_write_errors %d\n",
+		ctr("plfs.read.hedged"), ctr("plfs.read.hedge_wins"), ctr("plfs.replica.failover"),
+		ctr("plfs.replica.deferred"), ctr("plfs.replica.write_errors"))
+	g := func(name string) float64 { return snap.Gauges[name] }
+	fmt.Printf("repair:  ticks %.0f  found %.0f = repaired %.0f + unrepairable %.0f  (deferred %.0f)\n",
+		g("plfs.repair.ticks"), g("plfs.repair.found"), g("plfs.repair.repaired"),
+		g("plfs.repair.unrepairable"), g("plfs.repair.deferred"))
+	if sk := ctr("plfs.read.skipped_shards"); sk > 0 {
+		fmt.Printf("degraded reads: %d skipped shards\n", sk)
 	}
 	return nil
 }

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"plfs/internal/adio"
@@ -61,6 +63,9 @@ func main() {
 		tenants  = flag.Int("tenants", 0, "run the multi-tenant mount service: this many concurrent tenant jobs (ignores -kernel)")
 		inflight = flag.Int("inflight", 4, "admission cap: concurrent operations the batch class admits (-tenants)")
 		budgetMB = flag.Int64("budget-mb", 256, "service cache budget in MB shared across tenants (-tenants)")
+		replicaN = flag.Int("replicas", 0, "index replication factor: commit index droppings and the global index to this many volumes (self-healing; <2 = off)")
+		hedge    = flag.Bool("hedge", false, "hedged index reads: steer around open volume breakers and reissue slow primaries against replicas")
+		brownS   = flag.String("brownout", "", "self-healing demo 'vol:factor[:from:to]': run the brownout harness instead of -kernel (4 volumes, per-step bandwidth series)")
 	)
 	flag.Parse()
 
@@ -85,6 +90,10 @@ func main() {
 
 	bytes := *bytesMB << 20
 	op := *opKB << 10
+	if *brownS != "" {
+		runBrownout(*brownS, *ranks, bytes, op, *seed, *hedge, *replicaN, *metricsF, *spansF)
+		return
+	}
 	if *tenants > 0 {
 		runTenants(cfg, *tenants, *ranks, *files, bytes, op, *seed, *inflight, *budgetMB, *metricsF, *spansF)
 		return
@@ -142,6 +151,8 @@ func main() {
 		NoRunCompression: !*compress,
 		NoIndexCache:     !*ixCache,
 		SieveGap:         *sieveKB << 10,
+		IndexReplicas:    *replicaN,
+		HedgedReads:      *hedge,
 	}
 	if *volumes > 1 {
 		if nn {
@@ -211,6 +222,86 @@ func main() {
 	}
 	if reg != nil {
 		if err := writeMetrics(reg, *metricsF, *spansF); err != nil {
+			fmt.Fprintln(os.Stderr, "plfsrun:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runBrownout drives the self-healing harness: one job writing and
+// verifying a fresh container per step while one volume browns out for
+// a window in the middle (plfsrun -brownout vol:factor[:from:to]).
+// Prints the per-step delivered-bandwidth series, the window averages,
+// the hedge counters (the CI smoke greps hedge_wins), the per-volume
+// breaker table, and the repair ledger.
+func runBrownout(spec string, ranks int, bytes, op, seed int64, hedge bool, replicas int, metricsF, spansF string) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 2 && len(parts) != 4 {
+		fmt.Fprintf(os.Stderr, "plfsrun: -brownout wants 'vol:factor[:from:to]', got %q\n", spec)
+		os.Exit(2)
+	}
+	nums := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plfsrun: -brownout %q: %v\n", spec, err)
+			os.Exit(2)
+		}
+		nums[i] = v
+	}
+	job := harness.BrownoutJob{
+		Seed: seed, Ranks: ranks,
+		Steps: 10, OpSize: op,
+		BrownVol: int(nums[0]), BrownFactor: nums[1],
+		BrownFrom: 2, BrownTo: 7,
+		Repair: true,
+		Opt: plfs.Options{
+			IndexMode: plfs.ParallelIndexRead, NumSubdirs: 4,
+			SpreadContainers: true, SpreadSubdirs: true,
+			HedgedReads: hedge, IndexReplicas: replicas,
+		},
+	}
+	if len(nums) == 4 {
+		job.BrownFrom, job.BrownTo = int(nums[2]), int(nums[3])
+	}
+	if job.BrownTo > job.Steps {
+		job.Steps = job.BrownTo + 2
+	}
+	job.OpsPerRank = int(bytes / op / int64(job.Steps))
+	if job.OpsPerRank < 1 {
+		job.OpsPerRank = 1
+	}
+	var reg *obs.Registry
+	if metricsF != "" || spansF != "" {
+		reg = obs.New()
+		job.Obs = reg
+	}
+	rep, err := harness.RunBrownout(job)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plfsrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("brownout: vol %d x%g over steps [%d,%d) of %d, %d ranks (hedge=%v replicas=%d)\n",
+		job.BrownVol, job.BrownFactor, job.BrownFrom, job.BrownTo, job.Steps, ranks, hedge, replicas)
+	for _, s := range rep.Steps {
+		mark := " "
+		if s.Browned {
+			mark = "*"
+		}
+		fmt.Printf("  step %2d %s %10.1f MB/s\n", s.Step, mark, s.BW/1e6)
+	}
+	fmt.Printf("  healthy %.1f MB/s   browned %.1f MB/s (%.0f%%)   after %.1f MB/s\n",
+		rep.HealthyBW/1e6, rep.BrownBW/1e6, 100*rep.BrownBW/rep.HealthyBW, rep.AfterBW/1e6)
+	fmt.Printf("self-heal: hedged %d hedge_wins %d failover %d\n", rep.Hedged, rep.HedgeWins, rep.Failover)
+	for _, h := range rep.Health {
+		fmt.Printf("  health %-12s state=%-9s opens=%d probes=%d probe_ok=%d failures=%d slow=%d\n",
+			h.Root, h.State, h.Opens, h.Probes, h.ProbeOK, h.Failures, h.SlowOps)
+	}
+	r := rep.Repair
+	fmt.Printf("  repair: ticks=%d found=%d repaired=%d unrepairable=%d deferred=%d\n",
+		r.Ticks, r.Found, r.Repaired, r.Unrepairable, r.Deferred)
+	if reg != nil {
+		if err := writeMetrics(reg, metricsF, spansF); err != nil {
 			fmt.Fprintln(os.Stderr, "plfsrun:", err)
 			os.Exit(1)
 		}

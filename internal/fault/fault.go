@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"plfs/internal/extent"
 	"plfs/internal/obs"
 	"plfs/internal/payload"
 	"plfs/internal/plfs"
@@ -86,7 +87,27 @@ type Spec struct {
 	// The backing store is left frozen in the post-crash state, to be
 	// reopened with fresh unwrapped backends.
 	CrashAt int64
+	// Brownout maps a volume to a sustained degradation factor (> 1): a
+	// browned-out volume's latency is multiplied by the factor (with a
+	// floor of brownoutBaseLatency when no latency is otherwise
+	// configured) and its operations additionally fail transiently at an
+	// elevated rate of factor/100, capped at maxBrownoutP.  Harnesses can
+	// also start and end brownouts mid-run with Injector.SetBrownout /
+	// ClearBrownout.
+	Brownout map[int]float64
 }
+
+// Brownout tuning: the latency floor applied to a browned-out volume
+// with no other configured delay, and the cap on the elevated transient
+// rate (factor/100).  The cap keeps a brownout a slow-but-mostly-working
+// disk: much above 10%, a bounded retry loop over the several backend
+// ops of an atomic commit fails outright often enough that an unsteered
+// workload can't finish at all, and the figure would measure luck
+// instead of latency.
+const (
+	brownoutBaseLatency = 250 * time.Microsecond
+	maxBrownoutP        = 0.10
+)
 
 // ParseSpec parses the -fault flag syntax: comma-separated key=value
 // pairs.
@@ -100,6 +121,8 @@ type Spec struct {
 //	slow=VOL:DUR  added latency on volume VOL (repeatable)
 //	lose=SUBSTR   paths containing SUBSTR are permanently lost (repeatable)
 //	crashat=K     crash the backend at its K-th mutating operation (K >= 1)
+//	brownout=VOL:F  degrade volume VOL: latency x F plus elevated
+//	              transient rate F/100 (repeatable, F > 1)
 func ParseSpec(s string) (Spec, error) {
 	spec := Spec{Seed: 1}
 	if strings.TrimSpace(s) == "" {
@@ -176,6 +199,23 @@ func ParseSpec(s string) (Spec, error) {
 			spec.SlowVol[n] = d
 		case k == "lose":
 			spec.Lose = append(spec.Lose, v)
+		case k == "brownout":
+			vol, fac, ok := strings.Cut(v, ":")
+			if !ok {
+				return spec, fmt.Errorf("fault: brownout %q is not VOL:FACTOR", v)
+			}
+			n, err := strconv.Atoi(vol)
+			if err != nil {
+				return spec, fmt.Errorf("fault: brownout volume %q: %v", vol, err)
+			}
+			fl, err := strconv.ParseFloat(fac, 64)
+			if err != nil || fl <= 1 {
+				return spec, fmt.Errorf("fault: brownout factor %q must be > 1", fac)
+			}
+			if spec.Brownout == nil {
+				spec.Brownout = map[int]float64{}
+			}
+			spec.Brownout[n] = fl
 		case k == "crashat":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil || n < 1 {
@@ -228,6 +268,14 @@ func (s Spec) String() string {
 	}
 	if s.CrashAt > 0 {
 		parts = append(parts, fmt.Sprintf("crashat=%d", s.CrashAt))
+	}
+	bvols := make([]int, 0, len(s.Brownout))
+	for v := range s.Brownout {
+		bvols = append(bvols, v)
+	}
+	sort.Ints(bvols)
+	for _, v := range bvols {
+		parts = append(parts, fmt.Sprintf("brownout=%d:%g", v, s.Brownout[v]))
 	}
 	return strings.Join(parts, ",")
 }
@@ -310,16 +358,70 @@ type Injector struct {
 	// before wrapping backends; nil disables publication.
 	Obs *obs.Registry
 
-	mu      sync.Mutex
-	seq     uint64
-	counts  map[Op]int
-	mutOps  int64
-	crashed bool
+	mu       sync.Mutex
+	seq      uint64
+	counts   map[Op]int
+	mutOps   int64
+	crashed  bool
+	brownout map[int]float64
 }
 
 // New builds an injector for the spec.
 func New(spec Spec) *Injector {
-	return &Injector{spec: spec, counts: map[Op]int{}}
+	bo := map[int]float64{}
+	for v, f := range spec.Brownout {
+		bo[v] = f
+	}
+	return &Injector{spec: spec, counts: map[Op]int{}, brownout: bo}
+}
+
+// SetBrownout starts (or retunes) a brownout on vol: latency x factor
+// with an elevated transient rate of factor/100 (capped).  Harnesses
+// call it at a virtual-time boundary to model a RAID rebuild or
+// overloaded OST beginning mid-run.  Factors <= 1 clear the brownout.
+func (in *Injector) SetBrownout(vol int, factor float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if factor <= 1 {
+		delete(in.brownout, vol)
+		return
+	}
+	in.brownout[vol] = factor
+}
+
+// ClearBrownout ends the brownout on vol, restoring its healthy latency
+// and error rate.
+func (in *Injector) ClearBrownout(vol int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.brownout, vol)
+}
+
+// brownoutFactor returns vol's current degradation factor (0 = healthy).
+func (in *Injector) brownoutFactor(vol int) float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.brownout[vol]
+}
+
+// fireBrownout decides whether the browned-out volume's elevated
+// transient rate hits this (op, path) call.  Healthy volumes roll no
+// dice, so enabling a brownout on one volume leaves the others'
+// schedules aligned with the op order, not with extra draws.
+func (in *Injector) fireBrownout(op Op, path string, vol int) bool {
+	fac := in.brownoutFactor(vol)
+	if fac <= 1 {
+		return false
+	}
+	p := fac / 100
+	if p > maxBrownoutP {
+		p = maxBrownoutP
+	}
+	if in.roll(op, "brownout:"+path) >= p {
+		return false
+	}
+	in.count(op)
+	return true
 }
 
 // Spec returns the injector's fault specification.
@@ -452,9 +554,17 @@ func (in *Injector) lost(path string) bool {
 }
 
 // latency charges the configured delay for volume vol through sleep;
-// a nil sleeper falls back to real time.
+// a nil sleeper falls back to real time.  A browned-out volume's delay
+// is multiplied by its factor, from a floor of brownoutBaseLatency when
+// the volume is otherwise undelayed.
 func (in *Injector) latency(vol int, sleep plfs.Sleeper) {
 	d := in.spec.Delay + in.spec.SlowVol[vol]
+	if fac := in.brownoutFactor(vol); fac > 1 {
+		if d <= 0 {
+			d = brownoutBaseLatency
+		}
+		d = time.Duration(float64(d) * fac)
+	}
 	if d <= 0 {
 		return
 	}
@@ -508,7 +618,7 @@ func (f *backend) gate(op Op, path string) error {
 	if f.in.lost(path) {
 		return &Error{Op: op, Path: path, Kind: Lost}
 	}
-	if f.in.fire(op, path) {
+	if f.in.fire(op, path) || f.in.fireBrownout(op, path, f.vol) {
 		return &Error{Op: op, Path: path, Kind: Transient}
 	}
 	return nil
@@ -645,12 +755,131 @@ func (f *file) Size() int64 { return f.f.Size() }
 // Close implements plfs.File.
 func (f *file) Close() error { return f.f.Close() }
 
-// The wrapper deliberately does NOT forward plfs.VectoredIO or
-// plfs.BatchAppender: a batched request would roll one fault die for K
-// extents, weakening coverage, and a torn batch has no defined prefix
-// semantics.  Under fault injection callers fall back to per-extent
-// loops, so every sub-operation faces its own injection decision and the
-// existing retry/torn contracts hold unchanged.
+// Batched capabilities (plfs.VectoredIO, plfs.BatchAppender) are
+// forwarded with per-piece injection semantics: a batch charges one
+// latency and counts as one mutating operation (that is the point of
+// batching), but every extent or payload piece rolls its own
+// transient/torn dice, so coverage matches the equivalent per-extent
+// loop.  Prefix semantics are defined exactly: the pieces before the
+// first failing one land, a torn failure additionally lands half of the
+// failing piece, and any failure after the first piece reports
+// TornWrite() so retry loops rebuild instead of reissuing in place.
+
+// WritevAt implements plfs.VectoredIO.  Transient errors (one die per
+// extent) fire before any byte lands, so a retry reissues cleanly —
+// WriteAt is idempotent at its offsets.
+func (f *file) WritevAt(segs []extent.Ext, data payload.List) error {
+	if err := f.b.gate(OpWrite, f.path); err != nil {
+		return err
+	}
+	for i := 1; i < len(segs); i++ {
+		if f.b.in.fire(OpWrite, f.path) || f.b.in.fireBrownout(OpWrite, f.path, f.b.vol) {
+			return &Error{Op: OpWrite, Path: f.path, Kind: Transient}
+		}
+	}
+	if vio, ok := f.f.(plfs.VectoredIO); ok {
+		return vio.WritevAt(segs, data)
+	}
+	pos := int64(0)
+	for _, s := range segs {
+		off := s.Off
+		for _, p := range data.Slice(pos, s.Len) {
+			if err := f.f.WriteAt(off, p); err != nil {
+				return err
+			}
+			off += p.Len()
+		}
+		pos += s.Len
+	}
+	return nil
+}
+
+// ReadvAt implements plfs.VectoredIO (one transient die per extent; a
+// failed vectored read returns no bytes).
+func (f *file) ReadvAt(segs []extent.Ext) (payload.List, error) {
+	if err := f.b.gate(OpRead, f.path); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(segs); i++ {
+		if f.b.in.fire(OpRead, f.path) || f.b.in.fireBrownout(OpRead, f.path, f.b.vol) {
+			return nil, &Error{Op: OpRead, Path: f.path, Kind: Transient}
+		}
+	}
+	if vio, ok := f.f.(plfs.VectoredIO); ok {
+		return vio.ReadvAt(segs)
+	}
+	var out payload.List
+	for _, s := range segs {
+		pl, err := f.f.ReadAt(s.Off, s.Len)
+		if err != nil {
+			return nil, err
+		}
+		out = out.Concat(pl)
+	}
+	return out, nil
+}
+
+// Appendv implements plfs.BatchAppender.  Each piece rolls its own
+// transient and torn dice in order: the pieces before the first failure
+// land, a torn failure lands half of the failing piece too, and a crash
+// in flight lands the first half of the batch (the batched analogue of
+// the single-append torn prefix).  A failure on the first piece is a
+// clean Transient — nothing landed, retry reissues safely; any later
+// failure is permanent and reports TornWrite().
+func (f *file) Appendv(pl payload.List) (int64, error) {
+	in := f.b.in
+	if err := in.crashCheck(OpAppend, f.path); err != nil {
+		if err.inFlight {
+			if k := len(pl) / 2; k > 0 {
+				f.appendvUnder(pl[:k])
+			}
+		}
+		return 0, err
+	}
+	in.latency(f.b.vol, f.b.sleep)
+	if in.lost(f.path) {
+		return 0, &Error{Op: OpAppend, Path: f.path, Kind: Lost}
+	}
+	for i, p := range pl {
+		if in.fire(OpAppend, f.path) || in.fireBrownout(OpAppend, f.path, f.b.vol) {
+			if i == 0 {
+				return 0, &Error{Op: OpAppend, Path: f.path, Kind: Transient}
+			}
+			f.appendvUnder(pl[:i])
+			return 0, &Error{Op: OpAppend, Path: f.path, Kind: Torn}
+		}
+		if in.fireTorn(f.path) {
+			prefix := pl[:i:i]
+			if half := p.Len() / 2; half > 0 {
+				prefix = append(prefix, p.Slice(0, half))
+			}
+			f.appendvUnder(prefix)
+			return 0, &Error{Op: OpAppend, Path: f.path, Kind: Torn}
+		}
+	}
+	return f.appendvUnder(pl)
+}
+
+// appendvUnder lands pieces on the wrapped handle, batched when the
+// handle can, without rolling further dice.
+func (f *file) appendvUnder(pl payload.List) (int64, error) {
+	if len(pl) == 0 {
+		return f.f.Size(), nil
+	}
+	if ba, ok := f.f.(plfs.BatchAppender); ok {
+		return ba.Appendv(pl)
+	}
+	off, err := f.f.Append(pl[0])
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range pl[1:] {
+		if _, err := f.f.Append(p); err != nil {
+			return off, err
+		}
+	}
+	return off, nil
+}
 
 // LockRange implements plfs.RangeLocker by forwarding to the wrapped
 // handle; the lock itself is not a faultable backend operation (it

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"plfs/internal/extent"
 	"plfs/internal/fault"
 	"plfs/internal/osfs"
 	"plfs/internal/payload"
@@ -21,6 +22,8 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		"open=0.1,read=0.2,torn=0.01",
 		"delay=2ms,slow=0:5ms,slow=3:1ms",
 		"lose=hostdir.3,lose=dropping.index",
+		"brownout=1:8",
+		"seed=3,all=0.02,brownout=0:4,brownout=2:16",
 	}
 	for _, s := range cases {
 		spec, err := fault.ParseSpec(s)
@@ -277,5 +280,206 @@ func TestParseSpecRejectsBadCrashAt(t *testing.T) {
 		if _, err := fault.ParseSpec(s); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", s)
 		}
+	}
+}
+
+// TestParseSpecRejectsBadBrownout: a brownout needs VOL:FACTOR with a
+// factor strictly above 1 (1 would be a no-op pretending to degrade).
+func TestParseSpecRejectsBadBrownout(t *testing.T) {
+	for _, s := range []string{"brownout=0", "brownout=x:8", "brownout=0:1", "brownout=0:0.5", "brownout=0:x"} {
+		if _, err := fault.ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+// TestBatchedAppendInjectable: the regression test for the wrapper
+// hiding BatchAppender — a batched append through the fault wrapper must
+// face per-piece injection with defined prefix semantics, not bypass the
+// injector entirely.
+func TestBatchedAppendInjectable(t *testing.T) {
+	mk := func(spec fault.Spec, name string) (plfs.File, *fault.Injector) {
+		in := fault.New(spec)
+		b := in.Wrap(osfs.New(), 0, nil)
+		f, err := b.Create(filepath.Join(t.TempDir(), name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, in
+	}
+	batch := payload.List{payload.Synthetic(1, 0, 100), payload.Synthetic(1, 100, 100)}
+
+	// append=1: the first piece's die always fires — a clean transient,
+	// nothing landed, retry may reissue.
+	f, in := mk(fault.Spec{Seed: 1, P: map[fault.Op]float64{fault.OpAppend: 1}}, "x")
+	ba, ok := f.(plfs.BatchAppender)
+	if !ok {
+		t.Fatal("wrapped file does not forward BatchAppender")
+	}
+	_, err := ba.Appendv(batch)
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Kind != fault.Transient {
+		t.Fatalf("batched append error = %v, want transient fault", err)
+	}
+	if got := f.Size(); got != 0 {
+		t.Errorf("failed-first-piece batch landed %d bytes, want 0", got)
+	}
+	if in.Injected()[fault.OpAppend] == 0 {
+		t.Error("injector did not count the batched append fault")
+	}
+	f.Close()
+
+	// torn=1: the first piece tears — half of it lands, permanent error.
+	f, _ = mk(fault.Spec{Seed: 1, Torn: 1}, "y")
+	_, err = f.(plfs.BatchAppender).Appendv(batch)
+	if !errors.As(err, &fe) || fe.Kind != fault.Torn {
+		t.Fatalf("torn batched append error = %v, want torn fault", err)
+	}
+	if got := f.Size(); got != 50 {
+		t.Errorf("torn batch landed %d bytes, want 50 (half of piece 0)", got)
+	}
+	f.Close()
+
+	// append=0.5 over many seeds: every outcome must be one of the three
+	// defined states (nothing / piece 0 exactly / both), a mid-batch
+	// failure must occur at least once, and it must report TornWrite so
+	// in-place retries know a prefix landed.
+	sawMid := false
+	for seed := int64(1); seed <= 64; seed++ {
+		f, _ := mk(fault.Spec{Seed: seed, P: map[fault.Op]float64{fault.OpAppend: 0.5}}, "z")
+		_, err := f.(plfs.BatchAppender).Appendv(batch)
+		got := f.Size()
+		switch {
+		case err == nil && got == 200:
+		case err != nil && got == 0:
+		case err != nil && got == 100:
+			sawMid = true
+			var tw interface{ TornWrite() bool }
+			if !errors.As(err, &tw) || !tw.TornWrite() {
+				t.Fatalf("seed %d: mid-batch failure does not report TornWrite: %v", seed, err)
+			}
+		default:
+			t.Fatalf("seed %d: undefined batch state: size=%d err=%v", seed, got, err)
+		}
+		f.Close()
+	}
+	if !sawMid {
+		t.Error("no mid-batch failure in 64 seeds; per-piece dice not rolling")
+	}
+}
+
+// TestVectoredForwarding: wrapped files forward VectoredIO, per-extent
+// dice included.
+func TestVectoredForwarding(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.New(fault.Spec{Seed: 1})
+	b := in.Wrap(osfs.New(), 0, nil)
+	f, err := b.Create(filepath.Join(dir, "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vio, ok := f.(plfs.VectoredIO)
+	if !ok {
+		t.Fatal("wrapped file does not forward VectoredIO")
+	}
+	segs := []extent.Ext{{Off: 0, Len: 64}, {Off: 128, Len: 64}}
+	data := payload.List{payload.Synthetic(1, 0, 64), payload.Synthetic(1, 64, 64)}
+	if err := vio.WritevAt(segs, data); err != nil {
+		t.Fatalf("WritevAt: %v", err)
+	}
+	got, err := vio.ReadvAt(segs)
+	if err != nil {
+		t.Fatalf("ReadvAt: %v", err)
+	}
+	if !payload.ContentEqual(got, data) {
+		t.Error("vectored round trip mismatch through the fault wrapper")
+	}
+	f.Close()
+
+	// read=1: the vectored read is injectable.
+	in2 := fault.New(fault.Spec{Seed: 1, P: map[fault.Op]float64{fault.OpRead: 1}})
+	f2, err := in2.Wrap(osfs.New(), 0, nil).OpenRead(filepath.Join(dir, "v"))
+	if err == nil { // OpOpen untouched by read probability
+		_, rerr := f2.(plfs.VectoredIO).ReadvAt(segs)
+		var fe *fault.Error
+		if !errors.As(rerr, &fe) || fe.Kind != fault.Transient {
+			t.Fatalf("vectored read error = %v, want transient fault", rerr)
+		}
+		f2.Close()
+	}
+}
+
+// TestBrownout: a browned-out volume charges multiplied latency through
+// its sleeper, fails transiently at the elevated rate, and recovers
+// exactly when the harness clears the brownout.
+func TestBrownout(t *testing.T) {
+	spec, err := fault.ParseSpec("seed=1,delay=1ms,brownout=1:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.New(spec)
+	healthy := &recordSleeper{}
+	browned := &recordSleeper{}
+	b0 := in.Wrap(osfs.New(), 0, healthy)
+	b1 := in.Wrap(osfs.New(), 1, browned)
+	b0.Stat("/nonexistent")
+	b1.Stat("/nonexistent")
+	if healthy.total != time.Millisecond {
+		t.Errorf("healthy vol charged %v, want 1ms", healthy.total)
+	}
+	if browned.total != 8*time.Millisecond {
+		t.Errorf("browned-out vol charged %v, want 8ms", browned.total)
+	}
+
+	// No configured delay: the brownout floor applies (250us x factor).
+	in2 := fault.New(fault.Spec{Seed: 1, Brownout: map[int]float64{0: 4}})
+	s2 := &recordSleeper{}
+	in2.Wrap(osfs.New(), 0, s2).Stat("/nonexistent")
+	if s2.total != time.Millisecond {
+		t.Errorf("floor brownout charged %v, want 1ms (250us x 4)", s2.total)
+	}
+
+	// Elevated transient rate: stats on the browned-out volume fail
+	// sometimes; the healthy volume injects nothing.
+	in3 := fault.New(fault.Spec{Seed: 1, Brownout: map[int]float64{1: 8}})
+	h3 := in3.Wrap(osfs.New(), 0, &recordSleeper{})
+	d3 := in3.Wrap(osfs.New(), 1, &recordSleeper{})
+	dir := t.TempDir()
+	if f, err := osfs.New().Create(filepath.Join(dir, "x")); err != nil {
+		t.Fatal(err)
+	} else {
+		f.Close()
+	}
+	fails := 0
+	for i := 0; i < 400; i++ {
+		if _, err := h3.Stat(filepath.Join(dir, "x")); err != nil {
+			t.Fatalf("healthy vol injected: %v", err)
+		}
+		var fe *fault.Error
+		if _, err := d3.Stat(filepath.Join(dir, "x")); errors.As(err, &fe) {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Error("browned-out volume injected no transients in 400 ops")
+	}
+
+	// Dynamic control: clearing the brownout restores healthy behavior.
+	in3.ClearBrownout(1)
+	s4 := &recordSleeper{}
+	d4 := in3.Wrap(osfs.New(), 1, s4)
+	for i := 0; i < 400; i++ {
+		if _, err := d4.Stat(filepath.Join(dir, "x")); err != nil {
+			t.Fatalf("cleared brownout still injecting: %v", err)
+		}
+	}
+	if s4.total != 0 {
+		t.Errorf("cleared brownout still charging latency: %v", s4.total)
+	}
+	in3.SetBrownout(1, 16)
+	s5 := &recordSleeper{}
+	in3.Wrap(osfs.New(), 1, s5).Stat(filepath.Join(dir, "x"))
+	if s5.total != 4*time.Millisecond {
+		t.Errorf("re-set brownout charged %v, want 4ms (250us x 16)", s5.total)
 	}
 }

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"testing"
+
+	"plfs/internal/plfs"
+)
+
+// brownoutJob builds the acceptance-test schedule: eight steps, volume 0
+// browned out (16x latency, elevated transients) for steps 2-4.
+func brownoutJob(hedged bool, replicas int) BrownoutJob {
+	return BrownoutJob{
+		Seed:  11,
+		Ranks: 4, Steps: 10, OpsPerRank: 8, OpSize: 64 << 10,
+		BrownVol: 0, BrownFactor: 256, BrownFrom: 2, BrownTo: 7,
+		Repair: true,
+		Opt: plfs.Options{
+			IndexMode: plfs.ParallelIndexRead, NumSubdirs: 4,
+			SpreadContainers: true, SpreadSubdirs: true,
+			HedgedReads: hedged, IndexReplicas: replicas,
+		},
+	}
+}
+
+// TestBrownoutSelfHealing is the headline acceptance check: during a
+// 1-volume brownout the hedged+replicated mount sustains most of the
+// healthy aggregate bandwidth while the naive mount collapses, and after
+// the window closes the half-open probes restore baseline throughput.
+func TestBrownoutSelfHealing(t *testing.T) {
+	naive, err := RunBrownout(brownoutJob(false, 0))
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	healed, err := RunBrownout(brownoutJob(true, 2))
+	if err != nil {
+		t.Fatalf("hedged+replicated: %v", err)
+	}
+
+	if naive.HealthyBW <= 0 || healed.HealthyBW <= 0 {
+		t.Fatalf("no healthy baseline: naive %.0f healed %.0f", naive.HealthyBW, healed.HealthyBW)
+	}
+	// Naive collapses: the browned volume sits on every step's critical
+	// path, so delivered bandwidth drops below a quarter of baseline.
+	if frac := naive.BrownBW / naive.HealthyBW; frac >= 0.25 {
+		t.Errorf("naive browned BW = %.0f%% of healthy, want < 25%%", 100*frac)
+	}
+	// Self-healing holds the line: breaker-aware placement and hedged
+	// replicated index reads keep >= 60%% of the healthy bandwidth.
+	if frac := healed.BrownBW / healed.HealthyBW; frac < 0.60 {
+		t.Errorf("healed browned BW = %.0f%% of healthy, want >= 60%%", 100*frac)
+	}
+	// Recovery: once the brownout clears and probes close the breaker,
+	// throughput returns to baseline.
+	if frac := healed.AfterBW / healed.HealthyBW; frac < 0.60 {
+		t.Errorf("healed post-brownout BW = %.0f%% of healthy, want >= 60%%", 100*frac)
+	}
+	if healed.Hedged == 0 || healed.HedgeWins == 0 {
+		t.Errorf("healed run hedged %d wins %d, want both > 0", healed.Hedged, healed.HedgeWins)
+	}
+	if naive.Hedged != 0 {
+		t.Errorf("naive run hedged %d reads, want 0", naive.Hedged)
+	}
+	// The breaker actually cycled: volume 0 opened at least once and a
+	// probe closed it again by the end of the run.
+	var v0 plfs.VolHealth
+	for _, v := range healed.Health {
+		if v.Opens > 0 {
+			v0 = v
+		}
+	}
+	if v0.Opens == 0 {
+		t.Errorf("no breaker opened during the brownout: %+v", healed.Health)
+	}
+	if v0.ProbeOK == 0 {
+		t.Errorf("breaker never closed via a probe: %+v", v0)
+	}
+	// Repair ledger invariant.
+	if healed.Repair.Found != healed.Repair.Repaired+healed.Repair.Unrepairable {
+		t.Errorf("repair ledger broken: %+v", healed.Repair)
+	}
+
+	// Virtual-clock determinism: the same seed reproduces the healed run
+	// bit-for-bit, counters included.
+	again, err := RunBrownout(brownoutJob(true, 2))
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if len(again.Steps) != len(healed.Steps) {
+		t.Fatalf("step counts differ across identical runs")
+	}
+	for i := range again.Steps {
+		if again.Steps[i] != healed.Steps[i] {
+			t.Errorf("step %d differs across identical runs: %+v vs %+v",
+				i, again.Steps[i], healed.Steps[i])
+		}
+	}
+	if again.Hedged != healed.Hedged || again.HedgeWins != healed.HedgeWins ||
+		again.Repair != healed.Repair {
+		t.Errorf("counters differ across identical runs: %+v vs %+v", again, healed)
+	}
+}

@@ -46,6 +46,7 @@ func Figures() []Figure {
 		{"ablation-sieve-gap", "Ablation: sieving read coalescing gap", AblationSieveGap},
 		{"ablation-noncontig", "Ablation: noncontiguous I/O method (naive/sieve/list/twophase)", AblationNoncontig},
 		{"ablation-tenants", "Ablation: mount-service saturation vs tenant count", AblationTenants},
+		{"ablation-brownout", "Ablation: brownout self-healing (naive/hedged/hedged+replicated)", AblationBrownout},
 	}
 }
 

@@ -172,6 +172,20 @@ type Options struct {
 	// context's Sleeper, so the ablation figure sees the cost in
 	// simulated mode.
 	ChecksumCPUPerMB time.Duration
+	// IndexReplicas commits each index dropping and global index to this
+	// many distinct volumes (clamped to the volume count; 0 or 1 keeps a
+	// single copy).  Replica k of a primary on volume v lands at the same
+	// relative path on volume (v+k) mod V via the writeFileAtomic
+	// protocol, primary first; readers fail over replica-by-replica
+	// before AllowPartial gets to skip a shard.  See DESIGN.md §15.
+	IndexReplicas int
+	// HedgedReads enables the self-healing read/placement policy: index
+	// reads whose volume breaker is open go to a replica first, reads
+	// slower than the volume's rolling p99 window reissue against a
+	// replica and take the first success (plfs.read.hedged/hedge_wins
+	// counters), and writers steer new droppings away from open-breaker
+	// volumes.  Requires a health table (any Service mount has one).
+	HedgedReads bool
 }
 
 // decodeWorkers resolves DecodeWorkers to an effective pool size.
@@ -250,12 +264,13 @@ func (c Ctx) sleep(d time.Duration) {
 // economy, index cache, and admission gates with every other mount the
 // service serves.
 type Mount struct {
-	roots []string
-	opt   Options
-	svc   *Service    // non-nil when attached to a mount service
-	econ  *economy    // cache budget (shared under a service)
-	ixc   *indexCache // cross-open index cache (see ixcache.go)
-	id    string      // cache-key prefix within a shared service cache
+	roots  []string
+	opt    Options
+	svc    *Service    // non-nil when attached to a mount service
+	econ   *economy    // cache budget (shared under a service)
+	ixc    *indexCache // cross-open index cache (see ixcache.go)
+	id     string      // cache-key prefix within a shared service cache
+	health *Health     // per-volume breakers (shared under a service)
 
 	// Per-container state lives in a sharded table so unrelated
 	// containers never contend: steady-state lookups take only a shard's
@@ -329,10 +344,14 @@ func newMount(roots []string, opt Options, svc *Service) *Mount {
 	if svc != nil {
 		m.econ, m.ixc = svc.econ, svc.ixc
 		m.id = svc.nextMountID()
+		m.health = svc.health
 	} else {
 		m.econ = newEconomy(opt.IndexCacheBytes)
 		m.ixc = newIndexCache(m.econ)
 		m.econ.register(m.ixc)
+		if opt.HedgedReads || opt.IndexReplicas > 1 {
+			m.health = NewHealth(HealthConfig{})
+		}
 	}
 	m.econ.register(m)
 	return m
@@ -615,9 +634,47 @@ func (m *Mount) hostdirPath(rel string, i int) (string, int) {
 // subdirFor maps a writer to its hostdir (real PLFS hashes by host).
 func (m *Mount) subdirFor(host int) int { return host % m.opt.NumSubdirs }
 
+// placeSubdir is subdirFor with breaker-aware placement: under
+// HedgedReads a writer whose hash-assigned hostdir lands on an
+// open-breaker volume walks forward to the first hostdir on a healthy
+// volume, so new droppings steer around a browned-out target.  Readers
+// discover droppings by listing, so placement is free to vary per open.
+func (m *Mount) placeSubdir(ctx Ctx, rel string, host int) int {
+	id := m.subdirFor(host)
+	if m.health == nil || !m.opt.HedgedReads || len(m.roots) == 1 {
+		return id
+	}
+	now := ctx.now()
+	vc := m.containerVol(rel)
+	for k := 0; k < m.opt.NumSubdirs; k++ {
+		cand := (id + k) % m.opt.NumSubdirs
+		// State, not Avoid: placement routes a whole dropping stream, so
+		// it must never consume the half-open trial budget — a breaker
+		// probe should be one cheap read, not a step's worth of writes.
+		if m.health.State(m.roots[m.subdirVol(vc, cand)], now) == BreakerClosed {
+			return cand
+		}
+	}
+	return id // every volume unhealthy: original placement
+}
+
+// Health returns the mount's per-volume breaker table (nil when the
+// self-healing layer is off: a standalone mount without HedgedReads or
+// IndexReplicas).
+func (m *Mount) Health() *Health { return m.health }
+
+// volDegraded reports whether volume v's breaker is anything but closed
+// — deferrable work (background repair, re-replication) should steer
+// around it rather than grind degraded-latency operations.
+func (m *Mount) volDegraded(ctx Ctx, v int) bool {
+	return m.health != nil && v < len(m.roots) &&
+		m.health.State(m.roots[v], ctx.now()) != BreakerClosed
+}
+
 // Mkdir creates a logical directory on every volume, so containers and
 // shadow containers can be placed under it anywhere.
 func (m *Mount) Mkdir(ctx Ctx, rel string) error {
+	ctx = m.healthCtx(ctx)
 	rel = clean(rel)
 	for v, root := range m.roots {
 		if err := ctx.Vols[v].Mkdir(path.Join(root, rel)); err != nil && !errors.Is(err, iofs.ErrExist) {
@@ -629,6 +686,7 @@ func (m *Mount) Mkdir(ctx Ctx, rel string) error {
 
 // IsContainer reports whether rel names a PLFS container.
 func (m *Mount) IsContainer(ctx Ctx, rel string) (bool, error) {
+	ctx = m.healthCtx(ctx)
 	rel = clean(rel)
 	cpath, vc := m.containerPath(rel)
 	fi, err := ctx.Vols[vc].Stat(cpath)
@@ -711,12 +769,13 @@ func cachedSize(ents []Info) (int64, bool) {
 // Stat returns the logical file info for a container: its name and the
 // logical size cached in the metadir by writers at close.
 func (m *Mount) Stat(ctx Ctx, rel string) (Info, error) {
+	ctx = m.healthCtx(ctx)
 	rel = clean(rel)
 	cpath, vc := m.containerPath(rel)
 	if _, err := ctx.Vols[vc].Stat(cpath); err != nil {
 		return Info{}, err
 	}
-	ents, err := ctx.Vols[vc].ReadDir(path.Join(cpath, metaDir))
+	ents, err := ctx.readDirRetried(ctx.Vols[vc], path.Join(cpath, metaDir), m.opt.Retry)
 	if err != nil {
 		return Info{}, err
 	}
@@ -740,6 +799,7 @@ func (m *Mount) Stat(ctx Ctx, rel string) (Info, error) {
 // ReadDir lists the logical directory rel: the union across volumes, with
 // containers presented as logical files.
 func (m *Mount) ReadDir(ctx Ctx, rel string) ([]Info, error) {
+	ctx = m.healthCtx(ctx)
 	rel = clean(rel)
 	seen := map[string]Info{}
 	found := false
@@ -790,6 +850,7 @@ func (m *Mount) ReadDir(ctx Ctx, rel string) ([]Info, error) {
 // name, so renames that would change the hash placement are refused —
 // the same restriction rigid metadata realms impose.
 func (m *Mount) Rename(ctx Ctx, oldRel, newRel string) error {
+	ctx = m.healthCtx(ctx)
 	oldRel, newRel = clean(oldRel), clean(newRel)
 	if ok, err := m.IsContainer(ctx, oldRel); err != nil {
 		return err
@@ -835,6 +896,7 @@ func (m *Mount) Rename(ctx Ctx, oldRel, newRel string) error {
 	if err := ctx.Vols[vc].Remove(gp); err != nil && !errors.Is(err, iofs.ErrNotExist) {
 		return err
 	}
+	m.removeReplicas(ctx, gp)
 	m.dropState(oldRel)
 	m.dropState(newRel)
 	m.ixc.drop(m.ckey(oldRel))
@@ -847,6 +909,7 @@ func (m *Mount) Rename(ctx Ctx, oldRel, newRel string) error {
 // removed; the container skeleton stays so open handles' paths remain
 // valid namespaces.
 func (m *Mount) Truncate(ctx Ctx, rel string) error {
+	ctx = m.healthCtx(ctx)
 	rel = clean(rel)
 	if ok, err := m.IsContainer(ctx, rel); err != nil {
 		return err
@@ -865,6 +928,7 @@ func (m *Mount) Truncate(ctx Ctx, rel string) error {
 			if err := ctx.Vols[d.Vol].Remove(d.Index); err != nil && !errors.Is(err, iofs.ErrNotExist) {
 				return err
 			}
+			m.removeReplicas(ctx, d.Index)
 		}
 	}
 	cpath, vc := m.containerPath(rel)
@@ -879,6 +943,9 @@ func (m *Mount) Truncate(ctx Ctx, rel string) error {
 			return err
 		}
 	}
+	// Replicas of the flattened global index must not outlive it: a
+	// failover read after truncate would serve the pre-truncate index.
+	m.removeReplicas(ctx, path.Join(meta, globalIndex))
 	// Bump the truncation generation so size records that escape the
 	// removals above (or race in from a closing writer of the previous
 	// session) are recognizably stale: writers stamp new records with the
@@ -895,6 +962,7 @@ func (m *Mount) Truncate(ctx Ctx, rel string) error {
 // Unlink removes a container: droppings, hostdirs (canonical and shadow),
 // metadata, and the container directories themselves.
 func (m *Mount) Unlink(ctx Ctx, rel string) error {
+	ctx = m.healthCtx(ctx)
 	rel = clean(rel)
 	cpath, vc := m.containerPath(rel)
 	b := ctx.Vols[vc]
@@ -923,6 +991,15 @@ func (m *Mount) Unlink(ctx Ctx, rel string) error {
 	}
 	if err := b.Remove(cpath); err != nil && !errors.Is(err, iofs.ErrNotExist) {
 		return err
+	}
+	// Replica directories mirror the container tree on the other volumes;
+	// they are invisible to dropping discovery but must not leak.
+	if m.replicas() > 1 {
+		for v, root := range m.roots {
+			if err := removeTree(ctx.Vols[v], path.Join(root, rel)); err != nil {
+				return err
+			}
+		}
 	}
 	m.dropState(rel)
 	m.ixc.drop(m.ckey(rel))
@@ -969,7 +1046,7 @@ type droppingRef struct {
 // spread hostdirs), sorted ascending.
 func (m *Mount) hostdirIDs(ctx Ctx, rel string) ([]int, error) {
 	cpath, vc := m.containerPath(rel)
-	ents, err := ctx.Vols[vc].ReadDir(cpath)
+	ents, err := ctx.readDirRetried(ctx.Vols[vc], cpath, m.opt.Retry)
 	if err != nil {
 		return nil, err
 	}
@@ -1010,7 +1087,11 @@ func (m *Mount) listDroppings(ctx Ctx, rel string) ([]droppingRef, error) {
 	var refs []droppingRef
 	for _, i := range ids {
 		hpath, hv := m.hostdirPath(rel, i)
-		hents, err := ctx.Vols[hv].ReadDir(hpath)
+		if hedged, ok := m.listHostdirHedged(ctx, hpath, hv); ok {
+			refs = append(refs, hedged...)
+			continue
+		}
+		hents, err := ctx.readDirRetried(ctx.Vols[hv], hpath, m.opt.Retry)
 		if err != nil {
 			if errors.Is(err, iofs.ErrNotExist) {
 				continue
@@ -1052,4 +1133,58 @@ func (m *Mount) listDroppings(ctx Ctx, rel string) ([]droppingRef, error) {
 	}
 	sort.Slice(refs, func(i, j int) bool { return refs[i].Data < refs[j].Data })
 	return refs, nil
+}
+
+// listHostdirHedged is dropping discovery's hedge: when the volume
+// hosting a hostdir has an open breaker, the readdir itself would grind
+// at degraded latency — and unlike the index reads behind it, a readdir
+// has no replica to fail over to.  But the hostdir's index-dropping
+// replicas live at the same container-relative path on the replica
+// volumes, so listing a healthy replica directory recovers the dropping
+// names without touching the sick volume.  Paths are synthesized back
+// to canonical: the index read downstream then hedges normally via
+// readIndexReplicated, and the data path (never replicated) stays on
+// the primary for the extents that truly need it.  Returns ok=false
+// when the hedge does not apply (healthy volume, no replication, or no
+// replica copy found) — the caller lists the primary as usual.
+func (m *Mount) listHostdirHedged(ctx Ctx, hpath string, hv int) ([]droppingRef, bool) {
+	R := m.replicas()
+	if R <= 1 || !m.opt.HedgedReads || m.health == nil {
+		return nil, false
+	}
+	// State, not Avoid: discovery steers without spending the half-open
+	// probe budget (the periodic scrub probes; see Health.Avoid).
+	now := ctx.now()
+	if m.health.State(m.roots[hv], now) == BreakerClosed {
+		return nil, false
+	}
+	relh := strings.TrimPrefix(hpath, m.roots[hv])
+	for k := 1; k < R; k++ {
+		rv := (hv + k) % len(m.roots)
+		if m.health.State(m.roots[rv], now) != BreakerClosed {
+			continue
+		}
+		ents, err := ctx.readDirRetried(ctx.Vols[rv], path.Join(m.roots[rv], relh), m.opt.Retry)
+		if err != nil {
+			// ErrNotExist is ambiguous here: an empty hostdir and a failed
+			// replication look the same, so fall through to the primary
+			// rather than silently dropping shards.
+			continue
+		}
+		var refs []droppingRef
+		for _, e := range ents {
+			if e.Dir || isTmpName(e.Name) || !strings.HasPrefix(e.Name, indexPrefix) {
+				continue
+			}
+			stamp := strings.TrimPrefix(e.Name, indexPrefix)
+			refs = append(refs, droppingRef{
+				Vol:   hv,
+				Index: path.Join(hpath, e.Name),
+				Data:  path.Join(hpath, dataPrefix+stamp),
+			})
+		}
+		sort.Slice(refs, func(i, j int) bool { return refs[i].Data < refs[j].Data })
+		return refs, true
+	}
+	return nil, false
 }

@@ -78,6 +78,7 @@ type ReadStats struct {
 // the configured collective aggregation runs; without one (serial/FUSE
 // mode) the Original uncoordinated design is used.
 func (m *Mount) OpenReader(ctx Ctx, rel string) (*Reader, error) {
+	ctx = m.healthCtx(ctx)
 	rel = clean(rel)
 	admitted, aerr := m.admit(ctx, "open")
 	if aerr != nil {
@@ -188,9 +189,12 @@ func (m *Mount) volOfPath(p string) int {
 // (nil, nil) when none exists.
 func (r *Reader) tryGlobalIndex() (*Index, error) {
 	m, ctx := r.m, r.ctx
-	cpath, vc := m.containerPath(r.rel)
+	cpath, _ := m.containerPath(r.rel)
 	gp := path.Join(cpath, metaDir, globalIndex)
-	pl, size, err := ctx.readAllRetried(ctx.Vols[vc], gp, m.opt.Retry)
+	// Existence probe: most containers have no flattened index, so a
+	// degraded replica slot must not charge its browned-out latency just
+	// to confirm a miss a healthy volume already reported.
+	pl, size, err := m.readIndexReplicatedOpt(ctx, gp, m.opt.Retry, true)
 	if err != nil {
 		if errors.Is(err, iofs.ErrNotExist) {
 			return nil, nil
@@ -262,7 +266,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Rec, error) {
 		var reads, bytes, entries int64
 		parallelFor(w, len(refs), func(i int) {
 			ref := refs[i]
-			pl, size, err := ctx.readAllRetried(ctx.Vols[ref.Ref.Vol], ref.Ref.Index, pol)
+			pl, size, err := m.readIndexReplicated(ctx, ref.Ref.Index, pol)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
 				return
@@ -291,7 +295,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Rec, error) {
 	} else {
 		raw := make([][]byte, len(refs))
 		for i, ref := range refs {
-			pl, size, err := ctx.readAllRetried(ctx.Vols[ref.Ref.Vol], ref.Ref.Index, pol)
+			pl, size, err := m.readIndexReplicated(ctx, ref.Ref.Index, pol)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", ref.Ref.Index, err)
 				continue
@@ -336,6 +340,11 @@ func (r *Reader) readShards(refs []shardRef) ([][]Rec, error) {
 				continue
 			}
 			r.Stats.SkippedShards = append(r.Stats.SkippedShards, refs[i].Ref.Index)
+			if ctx.Obs != nil {
+				// Per-volume visibility for degraded reads (plfsctl top).
+				ctx.Obs.Counter("plfs.read.skipped_shards").Add(1)
+				ctx.Obs.Counter("plfs.read.skipped_shards." + m.roots[refs[i].Ref.Vol]).Add(1)
+			}
 			errs[i], out[i] = nil, nil
 		}
 	}
@@ -351,7 +360,7 @@ func (r *Reader) readShards(refs []shardRef) ([][]Rec, error) {
 func (r *Reader) readShard(ref droppingRef, id int32) ([]Rec, error) {
 	m, ctx := r.m, r.ctx
 	st := m.stateOf(r.rel, ctx.Tenant)
-	pl, size, err := ctx.readAllRetried(ctx.Vols[ref.Vol], ref.Index, m.opt.Retry)
+	pl, size, err := m.readIndexReplicated(ctx, ref.Index, m.opt.Retry)
 	if err != nil {
 		return nil, err
 	}
@@ -417,7 +426,7 @@ func (r *Reader) aggregateOriginal() error {
 	refs := make([]shardRef, 0, len(drops))
 	for i, d := range drops {
 		paths[i] = d.Data
-		if d.Index == "" {
+		if d.Index == "" && !r.m.fillMissingIndex(r.ctx, &d) {
 			continue
 		}
 		refs = append(refs, shardRef{Ref: d, ID: int32(i)})
@@ -598,7 +607,7 @@ func (r *Reader) aggregateParallel() error {
 	// Members read their assigned subindices through the worker pool.
 	refs := make([]shardRef, 0, len(assignment))
 	for _, a := range assignment {
-		if a.Ref.Index == "" {
+		if a.Ref.Index == "" && !r.m.fillMissingIndex(r.ctx, &a.Ref) {
 			continue
 		}
 		refs = append(refs, a)
@@ -901,6 +910,11 @@ func (r *Reader) readVerified(pieces []Piece) (payload.List, error) {
 			// Graceful degradation: the corrupt extent reads as a
 			// hole rather than serving damaged bytes.
 			r.ReadStats.ChecksumErrors++
+			if obs := r.ctx.Obs; obs != nil {
+				dp := r.ix.Droppings()[piece.Dropping]
+				obs.Counter("plfs.read.checksum_zero_fill").Add(1)
+				obs.Counter("plfs.read.checksum_zero_fill." + r.m.roots[r.m.volOfPath(dp)]).Add(1)
+			}
 			out = out.Append(payload.Zeros(piece.Length))
 			continue
 		}
@@ -988,7 +1002,7 @@ func (m *Mount) aggregateSerial(ctx Ctx, rel string, drops []droppingRef) (*Inde
 	refs := make([]shardRef, 0, len(drops))
 	for i, d := range drops {
 		paths[i] = d.Data
-		if d.Index == "" {
+		if d.Index == "" && !m.fillMissingIndex(ctx, &d) {
 			continue
 		}
 		refs = append(refs, shardRef{Ref: d, ID: int32(i)})
@@ -1006,6 +1020,7 @@ func (m *Mount) aggregateSerial(ctx Ctx, rel string, drops []droppingRef) (*Inde
 // file instead of re-aggregating — useful for write-once, read-many
 // data.  It is idempotent; a second call is a cheap no-op.
 func (m *Mount) Flatten(ctx Ctx, rel string) error {
+	ctx = m.healthCtx(ctx)
 	rel = clean(rel)
 	r := &Reader{m: m, ctx: ctx, rel: rel, handles: map[int32]File{}}
 	if ix, err := r.tryGlobalIndex(); err != nil {
@@ -1029,8 +1044,8 @@ func (m *Mount) Flatten(ctx Ctx, rel string) error {
 	}
 	// Atomic commit; a rename refused because another flattener already
 	// published is fine — same container, same flattened content.
-	cpath, vc := m.containerPath(rel)
-	if err := ctx.writeFileAtomic(ctx.Vols[vc], path.Join(cpath, metaDir, globalIndex), buf, m.opt.Retry, false); err != nil {
+	cpath, _ := m.containerPath(rel)
+	if err := m.commitReplicated(ctx, path.Join(cpath, metaDir, globalIndex), buf, m.opt.Retry, false); err != nil {
 		return err
 	}
 	// The flattened index changes what future opens should report

@@ -211,6 +211,7 @@ func (r RecoverReport) String() string {
 // indexes, is removed.  Recover returns an error only when the container
 // itself cannot be examined; per-dropping failures land in the report.
 func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
+	ctx = m.healthCtx(ctx)
 	rel = clean(rel)
 	rep := RecoverReport{}
 	if ok, err := m.IsContainer(ctx, rel); err != nil {
@@ -233,6 +234,9 @@ func (m *Mount) Recover(ctx Ctx, rel string) (RecoverReport, error) {
 				gsp.End()
 				return rep, rmErr
 			}
+			// Replica copies must go with the primary, or a later
+			// replicated read would resurrect the corrupt index.
+			m.removeReplicas(ctx, gp)
 			rep.DroppedGlobal = true
 		}
 	} else if !errors.Is(err, iofs.ErrNotExist) {
@@ -329,5 +333,8 @@ func (m *Mount) rebuildIndex(ctx Ctx, d droppingRef, entries []Entry) (string, e
 	if err := ctx.writeFileAtomic(ctx.Vols[d.Vol], ipath, buf, m.opt.Retry, true); err != nil {
 		return "", err
 	}
+	// A rebuilt index re-enters the replication contract immediately
+	// (replace semantics: stale replicas of the torn original converge).
+	m.replicateFile(ctx, ipath, buf, m.opt.Retry)
 	return ipath, nil
 }

@@ -104,6 +104,24 @@ func (c Ctx) retrySleep(d time.Duration) {
 	time.Sleep(d)
 }
 
+// mkdirRetried is Backend.Mkdir under the retry policy.  ErrExist is
+// permanent (not retried) and surfaces to the caller, who typically
+// tolerates it — another writer got there first.
+func (c Ctx) mkdirRetried(b Backend, path string, p RetryPolicy) error {
+	return c.retry(p, func() error { return b.Mkdir(path) })
+}
+
+// readDirRetried is Backend.ReadDir under the retry policy.
+func (c Ctx) readDirRetried(b Backend, path string, p RetryPolicy) ([]Info, error) {
+	var ents []Info
+	err := c.retry(p, func() error {
+		var e error
+		ents, e = b.ReadDir(path)
+		return e
+	})
+	return ents, err
+}
+
 // createRetried is Backend.Create under the retry policy.  If an earlier
 // attempt failed after the backend created the file (a post-create
 // transient), the retry would see ErrExist for a file this caller owns;

@@ -104,6 +104,12 @@ func (m *Mount) sweepTmpFiles(ctx Ctx, rel string) ([]string, error) {
 	}
 	for _, i := range ids {
 		hpath, hv := m.hostdirPath(rel, i)
+		if m.volDegraded(ctx, hv) {
+			// Temp files are invisible to readers; sweeping this hostdir
+			// can wait for the volume's breaker to close rather than
+			// grinding a degraded-latency listing every pass.
+			continue
+		}
 		dirs = append(dirs, dirRef{ctx.Vols[hv], hpath})
 	}
 	var removed []string

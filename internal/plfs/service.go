@@ -70,6 +70,9 @@ type ServiceOptions struct {
 	// TenantClass maps a tenant name to its admission class; unmapped
 	// tenants use the "" class when declared, else run ungated.
 	TenantClass map[string]string
+	// Health tunes the per-volume circuit breakers every mount of the
+	// service shares (see health.go); the zero value uses the defaults.
+	Health HealthConfig
 }
 
 func (o ServiceOptions) withDefaults() ServiceOptions {
@@ -84,15 +87,25 @@ func (o ServiceOptions) withDefaults() ServiceOptions {
 // One Service per process serves any number of mounts, tenants, and
 // containers concurrently.
 type Service struct {
-	opt  ServiceOptions
-	econ *economy
-	ixc  *indexCache
+	opt    ServiceOptions
+	econ   *economy
+	ixc    *indexCache
+	health *Health // per-volume breakers, shared by every mount
 
 	gates map[string]*gate // by class name; immutable after NewService
 
 	mu      sync.Mutex
 	nmounts int
 	tenants map[string]*tenantStats
+
+	// Repair ledger: every problem the repair daemon (or plfsctl scrub
+	// -repair) finds ends up as exactly one of repaired or unrepairable,
+	// so found = repaired + unrepairable over any quiescent window.
+	repairTicks        atomic.Int64
+	repairFound        atomic.Int64
+	repairRepaired     atomic.Int64
+	repairUnrepairable atomic.Int64
+	repairDeferred     atomic.Int64
 }
 
 // gate is one class's in-flight-operation semaphore.  Admission is
@@ -142,6 +155,7 @@ func NewService(opt ServiceOptions) *Service {
 		opt:     opt,
 		econ:    econ,
 		ixc:     newIndexCache(econ),
+		health:  NewHealth(opt.Health),
 		gates:   map[string]*gate{},
 		tenants: map[string]*tenantStats{},
 	}
@@ -153,10 +167,14 @@ func NewService(opt ServiceOptions) *Service {
 }
 
 // Mount attaches a mount to the service: it shares the service's cache
-// economy, cross-open index cache, and admission gates.
+// economy, cross-open index cache, admission gates, and per-volume
+// health table.
 func (s *Service) Mount(roots []string, opt Options) *Mount {
 	return newMount(roots, opt, s)
 }
+
+// Health returns the service's shared per-volume breaker table.
+func (s *Service) Health() *Health { return s.health }
 
 func (s *Service) nextMountID() string {
 	s.mu.Lock()
@@ -276,6 +294,21 @@ type ServiceStats struct {
 	Economy EconomyStats
 	Tenants []TenantAdmission
 	Classes []ClassStats
+	Repair  RepairTotals
+	Health  []VolHealth
+}
+
+// RepairTotals is the service's lifetime repair ledger.  Over any
+// quiescent window Found = Repaired + Unrepairable.
+type RepairTotals struct {
+	Ticks        int64
+	Found        int64
+	Repaired     int64
+	Unrepairable int64
+	// Deferred counts work items skipped because their volume's breaker
+	// was not closed — not part of the found ledger (nothing was
+	// diagnosed), just a measure of how much the scrubber is steering.
+	Deferred int64
 }
 
 // TenantAdmission is one tenant's admission ledger.  Over any quiescent
@@ -298,7 +331,17 @@ type ClassStats struct {
 
 // Stats snapshots the service's economy, tenant, and gate state.
 func (s *Service) Stats() ServiceStats {
-	out := ServiceStats{Economy: s.econ.stats()}
+	out := ServiceStats{
+		Economy: s.econ.stats(),
+		Repair: RepairTotals{
+			Ticks:        s.repairTicks.Load(),
+			Found:        s.repairFound.Load(),
+			Repaired:     s.repairRepaired.Load(),
+			Unrepairable: s.repairUnrepairable.Load(),
+			Deferred:     s.repairDeferred.Load(),
+		},
+		Health: s.health.Snapshot(),
+	}
 	s.mu.Lock()
 	names := make([]string, 0, len(s.tenants))
 	for t := range s.tenants {
@@ -368,4 +411,10 @@ func (s *Service) Publish(reg *obs.Registry) {
 		}
 		reg.Gauge("plfs.svc.class." + name + ".peak_inflight").Set(float64(c.PeakInFlight))
 	}
+	reg.Gauge("plfs.repair.ticks").Set(float64(st.Repair.Ticks))
+	reg.Gauge("plfs.repair.found").Set(float64(st.Repair.Found))
+	reg.Gauge("plfs.repair.repaired").Set(float64(st.Repair.Repaired))
+	reg.Gauge("plfs.repair.unrepairable").Set(float64(st.Repair.Unrepairable))
+	reg.Gauge("plfs.repair.deferred").Set(float64(st.Repair.Deferred))
+	s.health.Publish(reg)
 }

@@ -60,6 +60,7 @@ type WriteStats struct {
 // MPI-IO open.  Without one, every caller races politely (mkdir with
 // EEXIST tolerated), as through FUSE.
 func (m *Mount) Create(ctx Ctx, rel string) (*Writer, error) {
+	ctx = m.healthCtx(ctx)
 	rel = clean(rel)
 	csp := ctx.Obs.StartSpan("create")
 	defer csp.End()
@@ -102,7 +103,7 @@ func (m *Mount) Create(ctx Ctx, rel string) (*Writer, error) {
 
 	w := &Writer{m: m, ctx: ctx, rel: rel, st: st}
 	w.vc = m.containerVol(rel)
-	w.subdir = m.subdirFor(ctx.Host)
+	w.subdir = m.placeSubdir(ctx, rel, ctx.Host)
 	if err := w.ensureHostdir(); err != nil {
 		return nil, err
 	}
@@ -143,7 +144,7 @@ func errToStr(err error) any {
 func (m *Mount) createSkeleton(ctx Ctx, rel string) error {
 	cpath, vc := m.containerPath(rel)
 	b := ctx.Vols[vc]
-	if err := b.Mkdir(cpath); err != nil && !errors.Is(err, iofs.ErrExist) {
+	if err := ctx.mkdirRetried(b, cpath, m.opt.Retry); err != nil && !errors.Is(err, iofs.ErrExist) {
 		return err
 	}
 	err := ctx.retry(m.opt.Retry, func() error {
@@ -157,7 +158,7 @@ func (m *Mount) createSkeleton(ctx Ctx, rel string) error {
 		return err
 	}
 	for _, sub := range []string{metaDir, openHostsDir} {
-		if err := b.Mkdir(path.Join(cpath, sub)); err != nil && !errors.Is(err, iofs.ErrExist) {
+		if err := ctx.mkdirRetried(b, path.Join(cpath, sub), m.opt.Retry); err != nil && !errors.Is(err, iofs.ErrExist) {
 			return err
 		}
 	}
@@ -172,11 +173,11 @@ func (w *Writer) ensureHostdir() error {
 	if hv != m.containerVol(w.rel) {
 		// Shadow container directory on the remote volume.
 		shadow := path.Join(m.roots[hv], w.rel)
-		if err := ctx.Vols[hv].Mkdir(shadow); err != nil && !errors.Is(err, iofs.ErrExist) {
+		if err := ctx.mkdirRetried(ctx.Vols[hv], shadow, m.opt.Retry); err != nil && !errors.Is(err, iofs.ErrExist) {
 			return err
 		}
 	}
-	err := ctx.Vols[hv].Mkdir(hpath)
+	err := ctx.mkdirRetried(ctx.Vols[hv], hpath, m.opt.Retry)
 	switch {
 	case err == nil:
 		if hv != m.containerVol(w.rel) {
@@ -402,7 +403,7 @@ func (w *Writer) writeOwnIndex() error {
 	if w.m.opt.Checksum {
 		buf = appendSumTrailer(buf, idxSumMagic)
 	}
-	if err := w.ctx.writeFileAtomic(w.ctx.Vols[w.subVol], w.indexPath, buf, w.m.opt.Retry, false); err != nil {
+	if err := w.m.commitReplicated(w.ctx, w.indexPath, buf, w.m.opt.Retry, false); err != nil {
 		return err
 	}
 	w.spilledAll = true
@@ -646,6 +647,6 @@ func (w *Writer) writeGlobalIndex(shardVals []any) error {
 	// Atomic temp+rename commit: readers can never decode a half-written
 	// global index, and a retried append cannot duplicate entries (each
 	// attempt starts from a fresh temp file).
-	cpath, vc := w.m.containerPath(w.rel)
-	return w.ctx.writeFileAtomic(w.ctx.Vols[vc], path.Join(cpath, metaDir, globalIndex), buf, w.m.opt.Retry, false)
+	cpath, _ := w.m.containerPath(w.rel)
+	return w.m.commitReplicated(w.ctx, path.Join(cpath, metaDir, globalIndex), buf, w.m.opt.Retry, false)
 }

@@ -1,0 +1,154 @@
+package workloads
+
+import (
+	"fmt"
+
+	"plfs/internal/payload"
+)
+
+// Brownout is the self-healing ablation kernel: a sequence of Steps
+// identical write+verify-read rounds, each against a fresh container, so
+// per-step aggregate bandwidth becomes a time series the harness can
+// plot while it degrades and restores a volume between steps.
+//
+// The harness drives the fault schedule through Control: rank 0 calls
+// it at the top of every step (before any I/O), a barrier aligns the
+// job, and only then does the round run — so injector toggles land on
+// deterministic step boundaries.  Observe hands every rank the step's
+// Result after its trailing barrier; phase durations are job-wide, so
+// all ranks report identical numbers and the harness reads rank 0's.
+type Brownout struct {
+	// Steps is the number of write+read rounds (one container each).
+	Steps int
+	// OpsPerRank and OpSize shape each round's strided N-1 pattern.
+	OpsPerRank int
+	OpSize     int64
+	// Control, when set, runs on rank 0 at each step boundary.
+	Control func(step int)
+	// Observe, when set, receives each completed step's Result.
+	Observe func(step int, res Result)
+}
+
+// Name implements Kernel.
+func (b Brownout) Name() string { return "brownout" }
+
+// Run implements Kernel.
+func (b Brownout) Run(env *Env, readBack bool) (Result, error) {
+	n := env.Ranks()
+	rank := env.Rank()
+	base := env.Path
+	defer func() { env.Path = base }()
+	var total Result
+
+	for s := 0; s < b.Steps; s++ {
+		if b.Control != nil && rank == 0 {
+			b.Control(s)
+		}
+		env.Ctx.Comm.Barrier()
+		env.Path = fmt.Sprintf("%s-s%d", base, s)
+		var step Result
+
+		f, d, err := env.openWrite()
+		step.WriteOpen = d
+		if err != nil {
+			return total, err
+		}
+		d, err = env.phase(func() error {
+			for k := 0; k < b.OpsPerRank; k++ {
+				off := int64(k*n+rank) * b.OpSize
+				if err := f.WriteAt(off, payload.Synthetic(tag(rank), off, b.OpSize)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		step.Write = d
+		if err != nil {
+			return total, err
+		}
+		d, err = env.closeFile(f)
+		step.WriteClose = d
+		if err != nil {
+			return total, err
+		}
+		step.BytesPerRank = b.OpSize * int64(b.OpsPerRank)
+
+		if readBack {
+			env.dropCaches()
+			r, d, err := env.openRead()
+			step.ReadOpen = d
+			if err != nil {
+				return total, err
+			}
+			// Verify the neighbor rank's stripe: cross-rank traffic
+			// through the aggregated index, not an echo of local writes.
+			peer := (rank + 1) % n
+			d, err = env.phase(func() error {
+				for k := 0; k < b.OpsPerRank; k++ {
+					off := int64(k*n+peer) * b.OpSize
+					got, rerr := r.ReadAt(off, b.OpSize)
+					if rerr != nil {
+						return rerr
+					}
+					if err := verifyPiece(env, got, tag(peer), off, b.OpSize); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			step.Read = d
+			if err != nil {
+				return total, err
+			}
+			d, err = env.closeFile(r)
+			step.ReadClose = d
+			if err != nil {
+				return total, err
+			}
+
+			// Every later step also re-reads the first piece of the
+			// step-0 container — the shared-input-deck pattern.  New
+			// steps' droppings are steered away from a browned-out
+			// volume at write time, so this pre-brownout container is
+			// the traffic that actually exercises hedged index reads
+			// and replica failover mid-window.
+			if s > 0 {
+				env.Path = fmt.Sprintf("%s-s0", base)
+				w, d, err := env.openRead()
+				step.ReadOpen += d
+				if err != nil {
+					return total, err
+				}
+				d, err = env.phase(func() error {
+					got, rerr := w.ReadAt(0, b.OpSize)
+					if rerr != nil {
+						return rerr
+					}
+					return verifyPiece(env, got, tag(0), 0, b.OpSize)
+				})
+				step.Read += d
+				if err != nil {
+					return total, err
+				}
+				d, err = env.closeFile(w)
+				step.ReadClose += d
+				if err != nil {
+					return total, err
+				}
+				env.Path = fmt.Sprintf("%s-s%d", base, s)
+			}
+		}
+
+		if b.Observe != nil {
+			b.Observe(s, step)
+		}
+		total.WriteOpen += step.WriteOpen
+		total.Write += step.Write
+		total.WriteClose += step.WriteClose
+		total.ReadOpen += step.ReadOpen
+		total.Read += step.Read
+		total.ReadClose += step.ReadClose
+		total.BytesPerRank += step.BytesPerRank
+	}
+	return total, nil
+}

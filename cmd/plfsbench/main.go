@@ -37,6 +37,7 @@ func main() {
 		faultS   = flag.String("fault", "", "fault injection spec applied to every run, e.g. 'seed=7,all=0.01'")
 		retryN   = flag.Int("retry", 1, "PLFS retry attempts for transient backend errors (1 = no retry)")
 		metricsF = flag.String("metrics", "", "accumulate op metrics across every run and write them as JSON to this file ('-' = stdout)")
+		backend  = flag.String("backend", "posix", "simulated store for every run: posix | objfs (ablation-backend compares both regardless)")
 	)
 	flag.Parse()
 
@@ -47,9 +48,16 @@ func main() {
 		return
 	}
 
+	switch *backend {
+	case harness.BackendPosix, harness.BackendObjfs:
+	default:
+		fmt.Fprintf(os.Stderr, "plfsbench: unknown backend %q (want posix or objfs)\n", *backend)
+		os.Exit(2)
+	}
 	opts := harness.Options{
 		Reps: *reps, DecodeWorkers: *workers,
-		Retry: plfs.RetryPolicy{Attempts: *retryN},
+		Retry:   plfs.RetryPolicy{Attempts: *retryN},
+		Backend: *backend,
 	}
 	if *faultS != "" {
 		spec, err := fault.ParseSpec(*faultS)

@@ -66,8 +66,16 @@ func main() {
 		replicaN = flag.Int("replicas", 0, "index replication factor: commit index droppings and the global index to this many volumes (self-healing; <2 = off)")
 		hedge    = flag.Bool("hedge", false, "hedged index reads: steer around open volume breakers and reissue slow primaries against replicas")
 		brownS   = flag.String("brownout", "", "self-healing demo 'vol:factor[:from:to]': run the brownout harness instead of -kernel (4 volumes, per-step bandwidth series)")
+		backend  = flag.String("backend", "posix", "simulated store: posix (cluster file system) | objfs (flat object store, commits via conditional PUT)")
 	)
 	flag.Parse()
+
+	switch *backend {
+	case harness.BackendPosix, harness.BackendObjfs:
+	default:
+		fmt.Fprintf(os.Stderr, "plfsrun: unknown backend %q (want posix or objfs)\n", *backend)
+		os.Exit(2)
+	}
 
 	cfg := pfs.SmallCluster()
 	if *profile == "cielo" {
@@ -91,11 +99,11 @@ func main() {
 	bytes := *bytesMB << 20
 	op := *opKB << 10
 	if *brownS != "" {
-		runBrownout(*brownS, *ranks, bytes, op, *seed, *hedge, *replicaN, *metricsF, *spansF)
+		runBrownout(*brownS, *backend, *ranks, bytes, op, *seed, *hedge, *replicaN, *metricsF, *spansF)
 		return
 	}
 	if *tenants > 0 {
-		runTenants(cfg, *tenants, *ranks, *files, bytes, op, *seed, *inflight, *budgetMB, *metricsF, *spansF)
+		runTenants(cfg, *backend, *tenants, *ranks, *files, bytes, op, *seed, *inflight, *budgetMB, *metricsF, *spansF)
 		return
 	}
 	var k workloads.Kernel
@@ -172,7 +180,7 @@ func main() {
 		Opt:    opt,
 		Hints:  adio.Hints{CollectiveBuffering: *cb, ProcsPerNode: cfg.ProcsPerNode, IOMethod: meth},
 		Kernel: k, UsePLFS: *usePLFS, ReadBack: !*noRead, Verify: *verify,
-		DropCaches: *dropC,
+		DropCaches: *dropC, Backend: *backend,
 	}
 	if *faultS != "" {
 		spec, err := fault.ParseSpec(*faultS)
@@ -209,7 +217,7 @@ func main() {
 	if *usePLFS {
 		target = fmt.Sprintf("plfs (%s, %d volume(s))", m, *volumes)
 	}
-	fmt.Printf("%s x %d ranks on %s via %s\n", k.Name(), *ranks, *profile, target)
+	fmt.Printf("%s x %d ranks on %s/%s via %s\n", k.Name(), *ranks, *profile, *backend, target)
 	fmt.Printf("  write: open %8.3fs  io %8.3fs  close %8.3fs   %10.1f MB/s effective\n",
 		res.WriteOpen.Seconds(), res.Write.Seconds(), res.WriteClose.Seconds(), res.WriteBW(*ranks)/1e6)
 	if !*noRead && res.ReadTotal() > 0 {
@@ -234,7 +242,7 @@ func main() {
 // Prints the per-step delivered-bandwidth series, the window averages,
 // the hedge counters (the CI smoke greps hedge_wins), the per-volume
 // breaker table, and the repair ledger.
-func runBrownout(spec string, ranks int, bytes, op, seed int64, hedge bool, replicas int, metricsF, spansF string) {
+func runBrownout(spec, backend string, ranks int, bytes, op, seed int64, hedge bool, replicas int, metricsF, spansF string) {
 	parts := strings.Split(spec, ":")
 	if len(parts) != 2 && len(parts) != 4 {
 		fmt.Fprintf(os.Stderr, "plfsrun: -brownout wants 'vol:factor[:from:to]', got %q\n", spec)
@@ -250,7 +258,7 @@ func runBrownout(spec string, ranks int, bytes, op, seed int64, hedge bool, repl
 		nums[i] = v
 	}
 	job := harness.BrownoutJob{
-		Seed: seed, Ranks: ranks,
+		Seed: seed, Ranks: ranks, Backend: backend,
 		Steps: 10, OpSize: op,
 		BrownVol: int(nums[0]), BrownFactor: nums[1],
 		BrownFrom: 2, BrownTo: 7,
@@ -313,7 +321,7 @@ func runBrownout(spec string, ranks int, bytes, op, seed int64, hedge bool, repl
 // files, all sharing one cache budget and one "batch" admission class.
 // Prints the per-tenant admission ledger and p99 open latency alongside
 // the aggregate throughput (plfsrun -tenants).
-func runTenants(cfg pfs.Config, n, ranksPer, containers int, bytes, op, seed int64, inflight int, budgetMB int64, metricsF, spansF string) {
+func runTenants(cfg pfs.Config, backend string, n, ranksPer, containers int, bytes, op, seed int64, inflight int, budgetMB int64, metricsF, spansF string) {
 	opsPerRank := int(bytes / op / int64(containers))
 	if opsPerRank < 1 {
 		opsPerRank = 1
@@ -331,7 +339,7 @@ func runTenants(cfg pfs.Config, n, ranksPer, containers int, bytes, op, seed int
 		reg = obs.New()
 	}
 	rep, err := harness.RunSaturation(harness.SaturationJob{
-		Seed: seed, Cfg: cfg,
+		Seed: seed, Cfg: cfg, Backend: backend,
 		Svc: plfs.ServiceOptions{
 			CacheBudgetBytes: budgetMB << 20,
 			Classes:          []plfs.ClassConfig{{Name: "batch", MaxInFlight: inflight}},

@@ -13,6 +13,15 @@ import (
 // links only.
 var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
 
+// sectionRef matches the "§N" shorthand the docs use for DESIGN.md's
+// numbered sections ("DESIGN.md §16", "(§9)").  Paper sections are
+// roman ("§IV.C") and deliberately unmatched.
+var sectionRef = regexp.MustCompile(`§(\d+)`)
+
+// pkgRef matches internal/... package and file references in prose and
+// tables ("internal/objfs", "internal/plfs/backend.go").
+var pkgRef = regexp.MustCompile(`internal/[a-zA-Z0-9_.-]+(?:/[a-zA-Z0-9_.-]+)*`)
+
 // TestDocLinks verifies that every relative link in the top-level docs
 // points at a file or directory that exists, so the cross-references
 // between README, DESIGN, and EXPERIMENTS cannot silently rot.
@@ -36,6 +45,60 @@ func TestDocLinks(t *testing.T) {
 			}
 			if _, err := os.Stat(filepath.Clean(path)); err != nil {
 				t.Errorf("%s: broken link %q: %v", doc, target, err)
+			}
+		}
+	}
+}
+
+// TestDocSectionAnchors verifies that every "§N" reference in the docs
+// resolves to a numbered "## N. " section that actually exists in
+// DESIGN.md — renumbering a section without chasing its references is
+// how anchors rot.
+func TestDocSectionAnchors(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections := map[string]bool{}
+	header := regexp.MustCompile(`(?m)^## (\d+)\. `)
+	for _, m := range header.FindAllStringSubmatch(string(design), -1) {
+		sections[m[1]] = true
+	}
+	if len(sections) < 16 {
+		t.Fatalf("only %d numbered DESIGN.md sections found; header format changed?", len(sections))
+	}
+	for _, doc := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"} {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		for _, m := range sectionRef.FindAllStringSubmatch(string(data), -1) {
+			if !sections[m[1]] {
+				t.Errorf("%s: reference to §%s, but DESIGN.md has no section %s", doc, m[1], m[1])
+			}
+		}
+	}
+}
+
+// TestDocPackageRefs verifies that every internal/... package or file
+// the docs name exists in the tree.
+func TestDocPackageRefs(t *testing.T) {
+	for _, doc := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"} {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		for _, ref := range pkgRef.FindAllString(string(data), -1) {
+			// A ref at the end of a sentence drags its period along;
+			// trim trailing dots only when the literal path is absent.
+			if _, err := os.Stat(ref); err == nil {
+				continue
+			}
+			trimmed := strings.TrimRight(ref, ".")
+			if _, err := os.Stat(trimmed); err != nil {
+				t.Errorf("%s: reference to %q, which does not exist", doc, ref)
 			}
 		}
 	}

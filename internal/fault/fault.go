@@ -47,7 +47,10 @@ import (
 type Op string
 
 // Operation classes.  OpOpen covers OpenRead and OpenWrite; OpRead and
-// OpWrite/OpAppend fire on file handles, the rest on the backend.
+// OpWrite/OpAppend fire on file handles, the rest on the backend.  OpPut
+// covers the conditional PUTs of object-store backends (plfs.CondPutter:
+// PutIfAbsent and PutReplace); a crashing or failing conditional PUT is
+// atomic — it never applies partially, so there is no torn variant.
 const (
 	OpMkdir   Op = "mkdir"
 	OpCreate  Op = "create"
@@ -59,9 +62,10 @@ const (
 	OpRead    Op = "read"
 	OpWrite   Op = "write"
 	OpAppend  Op = "append"
+	OpPut     Op = "put"
 )
 
-var allOps = []Op{OpMkdir, OpCreate, OpOpen, OpStat, OpReadDir, OpRemove, OpRename, OpRead, OpWrite, OpAppend}
+var allOps = []Op{OpMkdir, OpCreate, OpOpen, OpStat, OpReadDir, OpRemove, OpRename, OpRead, OpWrite, OpAppend, OpPut}
 
 // Spec describes the faults to inject.
 type Spec struct {
@@ -80,8 +84,8 @@ type Spec struct {
 	// containing one of these substrings fails with ErrNotExist.
 	Lose []string
 	// CrashAt, when > 0, crashes the wrapped backend at its CrashAt-th
-	// mutating operation (mkdir, create, remove, rename, write, append —
-	// counted across all wrapped volumes).  The crashing operation does
+	// mutating operation (mkdir, create, remove, rename, write, append,
+	// put — counted across all wrapped volumes).  The crashing operation does
 	// not apply, except that an append in flight lands a torn prefix
 	// first; every operation after the crash point fails permanently.
 	// The backing store is left frozen in the post-crash state, to be
@@ -115,7 +119,7 @@ const (
 //	seed=N        RNG seed (default 1)
 //	all=P         transient-error probability for every operation class
 //	<op>=P        per-op probability: mkdir create open stat readdir
-//	              remove rename read write append
+//	              remove rename read write append put
 //	torn=P        torn-append probability
 //	delay=DUR     added latency on every volume (time.ParseDuration)
 //	slow=VOL:DUR  added latency on volume VOL (repeatable)
@@ -440,7 +444,7 @@ func (in *Injector) Injected() map[Op]int {
 }
 
 // MutatingOps returns how many mutating operations (mkdir, create,
-// remove, rename, write, append) have reached the wrapped backends.
+// remove, rename, write, append, put) have reached the wrapped backends.
 // It counts even when no crash point is set, so a fault-free counting
 // run establishes the sweep bound for crashat enumeration.
 func (in *Injector) MutatingOps() int64 {
@@ -458,7 +462,7 @@ func (in *Injector) Crashed() bool {
 
 func mutating(op Op) bool {
 	switch op {
-	case OpMkdir, OpCreate, OpRemove, OpRename, OpWrite, OpAppend:
+	case OpMkdir, OpCreate, OpRemove, OpRename, OpWrite, OpAppend, OpPut:
 		return true
 	}
 	return false
@@ -701,6 +705,36 @@ func (f *backend) Rename(oldPath, newPath string) error {
 		return &Error{Op: OpRename, Path: newPath, Kind: Lost}
 	}
 	return f.b.Rename(oldPath, newPath)
+}
+
+// PutIfAbsent implements plfs.CondPutter.  The inner backend is probed
+// first: when it lacks the capability, errors.ErrUnsupported returns
+// before any gate — no latency, no dice, no mutating-op count — so a
+// caller probing a POSIX-backed wrapper leaves the crashat schedule
+// undistorted.  A supported conditional PUT gates as one mutating op;
+// a crash or transient on it means the PUT did not apply (atomicity is
+// the backend's contract — there is no torn conditional PUT).
+func (f *backend) PutIfAbsent(path string, data []byte) error {
+	cp, ok := f.b.(plfs.CondPutter)
+	if !ok {
+		return errors.ErrUnsupported
+	}
+	if err := f.gate(OpPut, path); err != nil {
+		return err
+	}
+	return cp.PutIfAbsent(path, data)
+}
+
+// PutReplace implements plfs.CondPutter (see PutIfAbsent).
+func (f *backend) PutReplace(path string, data []byte) error {
+	cp, ok := f.b.(plfs.CondPutter)
+	if !ok {
+		return errors.ErrUnsupported
+	}
+	if err := f.gate(OpPut, path); err != nil {
+		return err
+	}
+	return cp.PutReplace(path, data)
 }
 
 type file struct {

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"fmt"
+
+	"plfs/internal/plfs"
+	"plfs/internal/stats"
+	"plfs/internal/workloads"
+)
+
+// AblationBackend runs the same PLFS workloads over the POSIX cluster
+// simulation and the flat object store, isolating what the backend
+// choice moves.  Two pathologies disappear on objfs for free: the N-N
+// create storm no longer serializes on shared-directory create locks
+// (every dropping is an independent key), and index commits no longer
+// funnel through rename (conditional PUT publishes in one round trip).
+// Two costs replace them, and the figure makes both visible: the
+// read-side hostdir listing becomes a paged prefix scan priced per key
+// scanned, and every dropping carries per-object metadata on the KV
+// tier instead of inode state amortized by the directory.
+func AblationBackend(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
+	backends := []string{BackendPosix, BackendObjfs}
+	meta := &stats.Table{
+		Title:  "Ablation: backend — N-N create storm (directory create serialization)",
+		XLabel: "files", YLabel: "seconds",
+	}
+	read := &stats.Table{
+		Title:  "Ablation: backend — N-1 restart read-open (readdir vs prefix scan)",
+		XLabel: "procs", YLabel: "seconds",
+	}
+
+	// Panel 1: the create storm.  On posix every open contends for the
+	// shared hostdir's create lock; on objfs a create is one conditional
+	// PUT against a flat keyspace and the storm embarrasses itself in
+	// parallel.  Close time carries the commit protocol (rename vs PUT).
+	files := []int{32, 64, 128}
+	ranks := 32
+	if o.Scale == Paper {
+		files = []int{256, 512, 1024}
+		ranks = 128
+	}
+	for _, nf := range files {
+		r := ranks
+		if r > nf {
+			r = nf
+		}
+		per := nf / r
+		for _, be := range backends {
+			var so, sc stats.Sample
+			for rep := 0; rep < o.repsFor(r); rep++ {
+				res, err := o.run(Job{
+					Seed: o.BaseSeed + int64(rep), Ranks: r, Cfg: o.small(), Net: defaultNet(),
+					Opt:     o.nnMountOpt(1),
+					Kernel:  workloads.CreateStorm{FilesPerRank: per},
+					UsePLFS: true, Backend: be,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("ablation-backend storm %s@%d: %w", be, nf, err)
+				}
+				so.Add(res.WriteOpen.Seconds())
+				sc.Add(res.WriteClose.Seconds())
+				o.log("ablation-backend %-5s files=%-5d rep %d: open %.3fs close %.3fs",
+					be, nf, rep, res.WriteOpen.Seconds(), res.WriteClose.Seconds())
+			}
+			meta.AddSample(be+"-open", float64(nf), &so)
+			meta.AddSample(be+"-close", float64(nf), &sc)
+		}
+	}
+
+	// Panel 2: the restart read.  Read-open is dominated by hostdir
+	// discovery plus index aggregation; on objfs the listing is a paged
+	// prefix scan whose cost grows with the dropping count — the price
+	// paid for losing directories.
+	nb, op := o.n1Bytes()
+	for _, procs := range o.procCounts() {
+		for _, be := range backends {
+			var s stats.Sample
+			for rep := 0; rep < o.repsFor(procs); rep++ {
+				res, err := o.run(Job{
+					Seed: o.BaseSeed + int64(rep), Ranks: procs, Cfg: o.small(), Net: defaultNet(),
+					Opt:    o.n1MountOpt(plfs.ParallelIndexRead, 1),
+					Kernel: workloads.MPIIOTest(nb, op), UsePLFS: true, ReadBack: true,
+					DropCaches: true, Backend: be,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("ablation-backend read %s@%d: %w", be, procs, err)
+				}
+				s.Add(res.ReadOpen.Seconds())
+				o.log("ablation-backend %-5s procs=%-5d rep %d: readopen %.3fs readBW %.0f MB/s",
+					be, procs, rep, res.ReadOpen.Seconds(), res.ReadBW(procs)/1e6)
+			}
+			read.AddSample(be, float64(procs), &s)
+		}
+	}
+	return []*stats.Table{meta, read}, nil
+}

@@ -1,0 +1,110 @@
+package harness_test
+
+import (
+	"testing"
+
+	"plfs/internal/harness"
+	"plfs/internal/mpi"
+	"plfs/internal/pfs"
+	"plfs/internal/plfs"
+	"plfs/internal/workloads"
+)
+
+// TestObjfsKernelSuite runs the kernel suite over the object-store
+// backend with content verification on: every workload must complete
+// and read back byte-identical through the container protocol with
+// commits carried by conditional PUT instead of rename.  The same jobs
+// run over posix as a control — the backends must agree on logical
+// content, only on cost.
+func TestObjfsKernelSuite(t *testing.T) {
+	jobs := []struct {
+		name string
+		k    workloads.Kernel
+	}{
+		{"restart-n1", workloads.RestartN1(1<<20, 64<<10)},
+		{"mpi-io-test", workloads.MPIIOTest(1<<20, 64<<10)},
+		{"noncontig", workloads.Noncontig{
+			Access: workloads.AccessStrided, BlockSize: 32 << 10, BlocksPerRank: 4,
+			Steps: 2, MemContig: true, Seed: 7,
+		}},
+		{"create-storm", workloads.CreateStorm{FilesPerRank: 3}},
+	}
+	for _, be := range []string{harness.BackendPosix, harness.BackendObjfs} {
+		for _, j := range jobs {
+			t.Run(be+"/"+j.name, func(t *testing.T) {
+				nn := j.name == "create-storm"
+				opt := plfs.Options{IndexMode: plfs.ParallelIndexRead, NumSubdirs: 4, SpreadSubdirs: !nn}
+				if nn {
+					opt.SpreadContainers = true
+				}
+				cfg := pfs.SmallCluster()
+				cfg.Volumes = 2
+				res, err := harness.Run(harness.Job{
+					Seed: 42, Ranks: 8, Cfg: cfg, Net: mpi.DefaultNet(), Backend: be,
+					Opt: opt, Kernel: j.k, UsePLFS: true,
+					ReadBack: !nn, Verify: true, DropCaches: true,
+				})
+				if err != nil {
+					t.Fatalf("%s over %s: %v", j.name, be, err)
+				}
+				if res.BytesPerRank < 0 {
+					t.Fatalf("negative volume: %+v", res)
+				}
+				if !nn && res.ReadTotal() <= 0 {
+					t.Fatalf("%s over %s: no read phase recorded", j.name, be)
+				}
+			})
+		}
+	}
+}
+
+// TestObjfsSaturationAndBrownout covers the two service runners on the
+// object store: the multi-tenant saturation harness and the brownout
+// self-healing harness (both verify read-back internally).
+func TestObjfsSaturationAndBrownout(t *testing.T) {
+	t.Run("saturation", func(t *testing.T) {
+		rep, err := harness.RunSaturation(harness.SaturationJob{
+			Seed: 3, Backend: harness.BackendObjfs,
+			Svc: plfs.ServiceOptions{
+				CacheBudgetBytes: 8 << 20,
+				Classes:          []plfs.ClassConfig{{Name: "batch", MaxInFlight: 2}},
+			},
+			Tenants: []harness.SaturationTenant{
+				{Name: "t0", Class: "batch", Ranks: 2, Containers: 2, OpsPerRank: 4, OpSize: 32 << 10},
+				{Name: "t1", Class: "batch", Ranks: 2, Containers: 2, OpsPerRank: 4, OpSize: 32 << 10},
+			},
+		})
+		if err != nil {
+			t.Fatalf("saturation over objfs: %v", err)
+		}
+		if rep.AggregateBytes == 0 || rep.Makespan <= 0 {
+			t.Fatalf("implausible saturation report: %+v", rep)
+		}
+	})
+	t.Run("brownout", func(t *testing.T) {
+		rep, err := harness.RunBrownout(harness.BrownoutJob{
+			Seed: 5, Backend: harness.BackendObjfs,
+			Ranks: 4, Steps: 6, OpsPerRank: 4, OpSize: 32 << 10,
+			BrownVol: 0, BrownFactor: 64, BrownFrom: 2, BrownTo: 4,
+			Repair: true,
+		})
+		if err != nil {
+			t.Fatalf("brownout over objfs: %v", err)
+		}
+		if rep.HealthyBW <= 0 {
+			t.Fatalf("no healthy bandwidth measured: %+v", rep)
+		}
+	})
+}
+
+// TestBackendUnknownRejected pins the validation path: an unrecognized
+// backend name must fail fast, not fall through to posix.
+func TestBackendUnknownRejected(t *testing.T) {
+	_, err := harness.Run(harness.Job{
+		Seed: 1, Ranks: 2, Cfg: pfs.SmallCluster(), Net: mpi.DefaultNet(), Backend: "s3",
+		Kernel: workloads.MPIIOTest(1<<16, 1<<14), UsePLFS: true,
+	})
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"plfs/internal/adio"
 	"plfs/internal/fault"
 	"plfs/internal/mpi"
+	"plfs/internal/objfs"
 	"plfs/internal/obs"
 	"plfs/internal/pfs"
 	"plfs/internal/plfs"
@@ -25,7 +26,7 @@ import (
 // figure compares naive, hedged, and hedged+replicated mounts.
 type BrownoutJob struct {
 	Seed int64
-	Cfg  pfs.Config   // zero Nodes = pfs.SmallCluster()
+	Cfg  pfs.Config // zero Nodes = pfs.SmallCluster()
 	Net  mpi.NetConfig
 	Opt  plfs.Options // zero NumSubdirs = spread-subdir service defaults
 	Svc  plfs.ServiceOptions
@@ -50,6 +51,11 @@ type BrownoutJob struct {
 	// Obs, if non-nil, receives the service gauges (health table,
 	// repair ledger) after the run.
 	Obs *obs.Registry
+	// Backend selects the simulated store ("" or BackendPosix, or
+	// BackendObjfs).  Over objfs the brownout schedule still keys on the
+	// injector's volume index, so a browned "volume" is a browned slice
+	// of the flat keyspace.
+	Backend string
 }
 
 // BrownoutStep is one step of the time series.
@@ -103,19 +109,35 @@ func RunBrownout(j BrownoutJob) (BrownoutReport, error) {
 	if j.Ranks > j.Cfg.Nodes*ppn {
 		ppn = (j.Ranks + j.Cfg.Nodes - 1) / j.Cfg.Nodes
 	}
+	if !backendKnown(j.Backend) {
+		return BrownoutReport{}, fmt.Errorf("brownout: unknown backend %q", j.Backend)
+	}
+	useObj := j.Backend == BackendObjfs
 	cfg := j.Cfg
 	cfg.ProcsPerNode = ppn
-	fs := pfs.New(eng, cfg)
-	world := mpi.NewWorld(eng, j.Ranks, ppn, j.Net)
-	roots := make([]string, fs.Volumes())
-	for i := range roots {
-		roots[i] = fs.VolumeRoot(i)
+	var fs *pfs.FS
+	var store *objfs.Store
+	var roots []string
+	if useObj {
+		vols := cfg.Volumes
+		if vols < 1 {
+			vols = 1
+		}
+		store = objfs.NewSim(eng, objfs.DefaultConfig())
+		roots = store.Roots(vols)
+	} else {
+		fs = pfs.New(eng, cfg)
+		roots = make([]string, fs.Volumes())
+		for i := range roots {
+			roots[i] = fs.VolumeRoot(i)
+		}
 	}
+	world := mpi.NewWorld(eng, j.Ranks, ppn, j.Net)
 	if j.Opt.NumSubdirs == 0 {
 		j.Opt.IndexMode = plfs.ParallelIndexRead
 		j.Opt.NumSubdirs = 4
-		j.Opt.SpreadContainers = fs.Volumes() > 1
-		j.Opt.SpreadSubdirs = fs.Volumes() > 1
+		j.Opt.SpreadContainers = len(roots) > 1
+		j.Opt.SpreadSubdirs = len(roots) > 1
 	}
 	if j.Opt.Retry.Attempts <= 1 {
 		// Brownouts elevate transient error rates; the retry policy is
@@ -138,7 +160,12 @@ func RunBrownout(j BrownoutJob) (BrownoutReport, error) {
 	steps := make([]BrownoutStep, j.Steps)
 	var kerr error
 	world.SpawnAll(func(r *mpi.Rank) {
-		ctx := simfs.FaultCtx(fs, r.Node(), r.Proc(), r.Rank(), ppn, inj)
+		var ctx plfs.Ctx
+		if useObj {
+			ctx = objfs.FaultCtx(store, len(roots), r.Node(), r.Proc(), r.Rank(), ppn, inj)
+		} else {
+			ctx = simfs.FaultCtx(fs, r.Node(), r.Proc(), r.Rank(), ppn, inj)
+		}
 		ctx.Comm = r.Comm()
 		ctx.Obs = reg
 		env := &workloads.Env{
@@ -152,7 +179,9 @@ func RunBrownout(j BrownoutJob) (BrownoutReport, error) {
 		// which a warm cross-open index cache would short-circuit.
 		if r.Rank() == 0 {
 			env.InvalidateCaches = func() {
-				fs.DropCaches()
+				if fs != nil {
+					fs.DropCaches()
+				}
 				mount.DropIndexCache()
 			}
 		} else {
@@ -267,7 +296,7 @@ func AblationBrownout(o Options) ([]*stats.Table, error) {
 	job := BrownoutJob{
 		Ranks: 4, Steps: 10, OpsPerRank: 8, OpSize: 64 << 10,
 		BrownVol: 0, BrownFactor: 256, BrownFrom: 2, BrownTo: 7,
-		Repair: true,
+		Repair: true, Backend: o.Backend,
 	}
 	if o.Scale == Paper {
 		job.Ranks, job.Steps, job.OpsPerRank = 16, 12, 16

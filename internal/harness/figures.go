@@ -47,6 +47,7 @@ func Figures() []Figure {
 		{"ablation-noncontig", "Ablation: noncontiguous I/O method (naive/sieve/list/twophase)", AblationNoncontig},
 		{"ablation-tenants", "Ablation: mount-service saturation vs tenant count", AblationTenants},
 		{"ablation-brownout", "Ablation: brownout self-healing (naive/hedged/hedged+replicated)", AblationBrownout},
+		{"ablation-backend", "Ablation: posix vs object-store backend (create storm, prefix scan)", AblationBackend},
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"plfs/internal/adio"
 	"plfs/internal/fault"
 	"plfs/internal/mpi"
+	"plfs/internal/objfs"
 	"plfs/internal/obs"
 	"plfs/internal/pfs"
 	"plfs/internal/plfs"
@@ -23,9 +24,30 @@ import (
 	"plfs/internal/workloads"
 )
 
+// Backend names for Job.Backend / Options.Backend (-backend flag).
+const (
+	// BackendPosix is the simulated POSIX parallel file system
+	// (internal/pfs via internal/simfs) — the default.
+	BackendPosix = "posix"
+	// BackendObjfs is the simulated flat object store (internal/objfs):
+	// no directories, conditional-PUT commits, prefix-scan listings.
+	// Cfg is still consulted for Volumes (key prefixes) but the POSIX
+	// cluster is not built; the store's own calibration applies.
+	BackendObjfs = "objfs"
+)
+
+// backendKnown validates a backend name ("" means posix).
+func backendKnown(name string) bool {
+	return name == "" || name == BackendPosix || name == BackendObjfs
+}
+
 // Job describes one simulated run.
 type Job struct {
-	Seed     int64
+	Seed int64
+	// Backend selects the simulated store under the mount: "" or
+	// BackendPosix for the POSIX cluster, BackendObjfs for the flat
+	// object store.
+	Backend  string
 	Ranks    int
 	Cfg      pfs.Config
 	Net      mpi.NetConfig
@@ -66,6 +88,10 @@ func Run(j Job) (workloads.Result, error) {
 // RunWithReport also returns the simulated file system's resource-usage
 // report, for bottleneck analysis.
 func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
+	if !backendKnown(j.Backend) {
+		return workloads.Result{}, pfs.Report{}, fmt.Errorf("harness: unknown backend %q", j.Backend)
+	}
+	useObj := j.Backend == BackendObjfs
 	eng := sim.NewEngine(j.Seed)
 	// Metrics ride the virtual clock: a span covering a simulated phase
 	// reports simulated time, deterministic in the seed.
@@ -78,17 +104,36 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 	}
 	cfgPPN := j.Cfg
 	cfgPPN.ProcsPerNode = ppn
-	fs := pfs.New(eng, cfgPPN)
-	world := mpi.NewWorld(eng, j.Ranks, ppn, j.Net)
-	roots := make([]string, fs.Volumes())
-	for i := range roots {
-		roots[i] = fs.VolumeRoot(i)
+	// Exactly one of fs/store backs the run: the POSIX cluster, or the
+	// flat object store (whose "volumes" are key prefixes in one shared
+	// keyspace — Cfg.Volumes still shapes the mount's spread policy).
+	var fs *pfs.FS
+	var store *objfs.Store
+	var roots []string
+	if useObj {
+		vols := j.Cfg.Volumes
+		if vols < 1 {
+			vols = 1
+		}
+		store = objfs.NewSim(eng, objfs.DefaultConfig())
+		roots = store.Roots(vols)
+	} else {
+		fs = pfs.New(eng, cfgPPN)
+		roots = make([]string, fs.Volumes())
+		for i := range roots {
+			roots[i] = fs.VolumeRoot(i)
+		}
 	}
+	world := mpi.NewWorld(eng, j.Ranks, ppn, j.Net)
 	mount := plfs.NewMount(roots, j.Opt)
 	var rec *trace.Recorder
 	if j.TraceEvery > 0 && j.TraceTo != nil {
 		rec = trace.NewRecorder(eng, j.TraceEvery)
-		for _, p := range fs.TraceProbes() {
+		probes := fs.TraceProbes
+		if useObj {
+			probes = store.TraceProbes
+		}
+		for _, p := range probes() {
 			rec.Add(p.Name, p.Fn)
 		}
 	}
@@ -100,7 +145,12 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 	var res workloads.Result
 	var kerr error
 	world.SpawnAll(func(r *mpi.Rank) {
-		ctx := simfs.FaultCtx(fs, r.Node(), r.Proc(), r.Rank(), ppn, inj)
+		var ctx plfs.Ctx
+		if useObj {
+			ctx = objfs.FaultCtx(store, len(roots), r.Node(), r.Proc(), r.Rank(), ppn, inj)
+		} else {
+			ctx = simfs.FaultCtx(fs, r.Node(), r.Proc(), r.Rank(), ppn, inj)
+		}
 		ctx.Comm = r.Comm()
 		ctx.Obs = j.Obs
 		var drv adio.Driver
@@ -109,13 +159,15 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 			drv = adio.PLFS{Mount: mount}
 		} else {
 			drv = adio.UFS{Vol: 0}
-			path = fs.VolumeRoot(0) + "/" + path
+			path = roots[0] + "/" + path
 		}
 		env := &workloads.Env{Ctx: ctx, Driver: drv, Hints: j.Hints, Path: path, Verify: j.Verify}
 		if j.DropCaches {
 			if r.Rank() == 0 {
 				env.InvalidateCaches = func() {
-					fs.DropCaches()
+					if fs != nil {
+						fs.DropCaches() // the object store keeps no caches
+					}
 					mount.DropIndexCache()
 				}
 			} else {
@@ -130,9 +182,22 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 			res = out
 		}
 	})
+	report := func() pfs.Report {
+		if useObj {
+			return store.Report()
+		}
+		return fs.Report()
+	}
+	publish := func() {
+		if useObj {
+			store.PublishObs(j.Obs)
+		} else {
+			fs.PublishObs(j.Obs)
+		}
+	}
 	if rec != nil {
 		if err := rec.Start(); err != nil {
-			return res, fs.Report(), err
+			return res, report(), err
 		}
 	}
 	if err := eng.Run(); err != nil {
@@ -142,16 +207,16 @@ func RunWithReport(j Job) (workloads.Result, pfs.Report, error) {
 		if kerr != nil {
 			err = errors.Join(kerr, err)
 		}
-		fs.PublishObs(j.Obs)
-		return res, fs.Report(), err
+		publish()
+		return res, report(), err
 	}
 	if rec != nil {
 		if err := rec.WriteCSV(j.TraceTo); err != nil {
-			return res, fs.Report(), err
+			return res, report(), err
 		}
 	}
-	fs.PublishObs(j.Obs)
-	rep := fs.Report()
+	publish()
+	rep := report()
 	// Large runs (tens of thousands of simulated processes) leave big
 	// heaps behind; return the memory before the next repetition so
 	// paper-scale sweeps stay within a laptop's RAM.
@@ -195,6 +260,11 @@ type Options struct {
 	// (plfsbench -metrics): one registry accumulates metrics across the
 	// whole suite.
 	Obs *obs.Registry
+	// Backend selects the simulated store for every job the figure suite
+	// runs ("" or BackendPosix, or BackendObjfs; plfsbench -backend).
+	// Jobs that set their own Backend — the ablation-backend figure —
+	// keep it.
+	Backend string
 }
 
 func (o Options) withDefaults() Options {
@@ -212,6 +282,9 @@ func (o Options) withDefaults() Options {
 func (o Options) run(j Job) (workloads.Result, error) {
 	j.Fault = o.Fault
 	j.Obs = o.Obs
+	if j.Backend == "" {
+		j.Backend = o.Backend
+	}
 	return Run(j)
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"plfs/internal/adio"
 	"plfs/internal/mpi"
+	"plfs/internal/objfs"
 	"plfs/internal/obs"
 	"plfs/internal/pfs"
 	"plfs/internal/plfs"
@@ -32,7 +33,7 @@ type SaturationTenant struct {
 // concurrently on the simulated cluster against a single plfs.Service.
 type SaturationJob struct {
 	Seed int64
-	Cfg  pfs.Config  // zero Nodes = pfs.SmallCluster()
+	Cfg  pfs.Config // zero Nodes = pfs.SmallCluster()
 	Net  mpi.NetConfig
 	Opt  plfs.Options // zero NumSubdirs = the N-N service mount defaults
 	// Svc carries the cache budget and admission classes; TenantClass is
@@ -42,6 +43,9 @@ type SaturationJob struct {
 	// Obs, if non-nil, additionally receives the service's economy and
 	// gate gauges (Service.Publish) after the run.
 	Obs *obs.Registry
+	// Backend selects the simulated store ("" or BackendPosix, or
+	// BackendObjfs).
+	Backend string
 }
 
 // TenantOutcome is one tenant's view of the run.
@@ -95,19 +99,35 @@ func RunSaturation(j SaturationJob) (SaturationReport, error) {
 	if total > j.Cfg.Nodes*ppn {
 		ppn = (total + j.Cfg.Nodes - 1) / j.Cfg.Nodes
 	}
+	if !backendKnown(j.Backend) {
+		return SaturationReport{}, fmt.Errorf("saturation: unknown backend %q", j.Backend)
+	}
+	useObj := j.Backend == BackendObjfs
 	cfg := j.Cfg
 	cfg.ProcsPerNode = ppn
-	fs := pfs.New(eng, cfg)
-	world := mpi.NewWorld(eng, total, ppn, j.Net)
-	roots := make([]string, fs.Volumes())
-	for i := range roots {
-		roots[i] = fs.VolumeRoot(i)
+	var fs *pfs.FS
+	var store *objfs.Store
+	var roots []string
+	if useObj {
+		vols := cfg.Volumes
+		if vols < 1 {
+			vols = 1
+		}
+		store = objfs.NewSim(eng, objfs.DefaultConfig())
+		roots = store.Roots(vols)
+	} else {
+		fs = pfs.New(eng, cfg)
+		roots = make([]string, fs.Volumes())
+		for i := range roots {
+			roots[i] = fs.VolumeRoot(i)
+		}
 	}
+	world := mpi.NewWorld(eng, total, ppn, j.Net)
 	if j.Opt.NumSubdirs == 0 {
 		j.Opt = plfs.Options{
 			IndexMode:        plfs.ParallelIndexRead,
 			NumSubdirs:       4,
-			SpreadContainers: fs.Volumes() > 1,
+			SpreadContainers: len(roots) > 1,
 		}
 	}
 	if j.Svc.TenantClass == nil {
@@ -143,7 +163,12 @@ func RunSaturation(j SaturationJob) (SaturationReport, error) {
 	world.SpawnAll(func(r *mpi.Rank) {
 		ti := tenantOf[r.Rank()]
 		t := j.Tenants[ti]
-		ctx := simfs.FaultCtx(fs, r.Node(), r.Proc(), r.Rank(), ppn, nil)
+		var ctx plfs.Ctx
+		if useObj {
+			ctx = objfs.Ctx(store, len(roots), r.Node(), r.Proc(), r.Rank(), ppn)
+		} else {
+			ctx = simfs.FaultCtx(fs, r.Node(), r.Proc(), r.Rank(), ppn, nil)
+		}
 		ctx.Comm = r.Comm().Split(ti, r.Rank())
 		ctx.Tenant = t.Name
 		ctx.Obs = regs[ti]
@@ -244,7 +269,8 @@ func AblationTenants(o Options) ([]*stats.Table, error) {
 				}
 			}
 			r, err := RunSaturation(SaturationJob{
-				Seed: o.BaseSeed + int64(rep),
+				Seed:    o.BaseSeed + int64(rep),
+				Backend: o.Backend,
 				// The batch gate admits four concurrent jobs' operations: a
 				// tenant runs one collective op at a time, so the sweep
 				// crosses the admission wall at four tenants and the p99

@@ -1,0 +1,213 @@
+package objfs
+
+import (
+	"errors"
+	iofs "io/fs"
+	"testing"
+	"time"
+
+	"plfs/internal/payload"
+	"plfs/internal/sim"
+)
+
+func TestMarkerSemantics(t *testing.T) {
+	s := New(DefaultConfig())
+	b := Vol(s)
+	if err := b.Mkdir("/d"); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if err := b.Mkdir("/d"); !errors.Is(err, iofs.ErrExist) {
+		t.Fatalf("re-mkdir: want ErrExist, got %v", err)
+	}
+	fi, err := b.Stat("/d")
+	if err != nil || !fi.Dir {
+		t.Fatalf("stat dir: %+v, %v", fi, err)
+	}
+	// A file whose ancestors were never created still works: flat store.
+	f, err := b.Create("/d/sub/x")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := f.Append(payload.FromBytes([]byte("hi"))); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	f.Close()
+	// "/d/sub" exists as a directory purely by prefix.
+	fi, err = b.Stat("/d/sub")
+	if err != nil || !fi.Dir {
+		t.Fatalf("stat implied dir: %+v, %v", fi, err)
+	}
+	ents, err := b.ReadDir("/d")
+	if err != nil || len(ents) != 1 || ents[0].Name != "sub" || !ents[0].Dir {
+		t.Fatalf("readdir /d: %+v, %v", ents, err)
+	}
+	if err := b.Remove("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove non-empty: want ErrNotEmpty, got %v", err)
+	}
+	if err := b.Remove("/d/sub/x"); err != nil {
+		t.Fatalf("remove file: %v", err)
+	}
+	if err := b.Remove("/d"); err != nil {
+		t.Fatalf("remove emptied dir: %v", err)
+	}
+	if _, err := b.Stat("/d"); !errors.Is(err, iofs.ErrNotExist) {
+		t.Fatalf("stat removed: want ErrNotExist, got %v", err)
+	}
+}
+
+func TestCondPut(t *testing.T) {
+	s := New(DefaultConfig())
+	b := Vol(s)
+	if err := b.PutIfAbsent("/k", []byte("one")); err != nil {
+		t.Fatalf("put-if-absent: %v", err)
+	}
+	if err := b.PutIfAbsent("/k", []byte("two")); !errors.Is(err, iofs.ErrExist) {
+		t.Fatalf("second put-if-absent: want ErrExist, got %v", err)
+	}
+	if err := b.PutReplace("/k", []byte("three")); err != nil {
+		t.Fatalf("put-replace: %v", err)
+	}
+	f, err := b.OpenRead("/k")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	got := string(f.(*file).ReadAtMust(t, 0, f.Size()))
+	if got != "three" {
+		t.Fatalf("read back %q, want %q", got, "three")
+	}
+	st := s.Stats()
+	if st.CondPuts != 3 || st.Conflicts != 1 {
+		t.Fatalf("stats: condputs=%d conflicts=%d, want 3/1", st.CondPuts, st.Conflicts)
+	}
+}
+
+// ReadAtMust keeps the test terse.
+func (f *file) ReadAtMust(t *testing.T, off, n int64) []byte {
+	t.Helper()
+	pl, err := f.ReadAt(off, n)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return pl.Materialize()
+}
+
+func TestRenamePrefix(t *testing.T) {
+	s := New(DefaultConfig())
+	b := Vol(s)
+	if err := b.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"/a/x", "/a/sub/y"} {
+		f, err := b.Create(k)
+		if err != nil {
+			t.Fatalf("create %s: %v", k, err)
+		}
+		f.Append(payload.FromBytes([]byte(k)))
+		f.Close()
+	}
+	if err := b.Rename("/a", "/b"); err != nil {
+		t.Fatalf("rename prefix: %v", err)
+	}
+	if _, err := b.Stat("/a"); !errors.Is(err, iofs.ErrNotExist) {
+		t.Fatalf("old prefix still visible: %v", err)
+	}
+	f, err := b.OpenRead("/b/sub/y")
+	if err != nil {
+		t.Fatalf("open moved: %v", err)
+	}
+	if got := string(f.(*file).ReadAtMust(t, 0, f.Size())); got != "/a/sub/y" {
+		t.Fatalf("moved content %q", got)
+	}
+	// Rename onto a taken name refuses with ErrExist, source intact.
+	if err := b.Mkdir("/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Rename("/b", "/c"); !errors.Is(err, iofs.ErrExist) {
+		t.Fatalf("rename over existing: want ErrExist, got %v", err)
+	}
+	if _, err := b.Stat("/b"); err != nil {
+		t.Fatalf("source gone after refused rename: %v", err)
+	}
+}
+
+func TestSimCostsAndConflict(t *testing.T) {
+	eng := sim.NewEngine(7)
+	s := NewSim(eng, DefaultConfig())
+	s.Roots(1)
+	setup := Vol(s)
+	if err := setup.PutIfAbsent("/obj0/k", []byte("base")); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+
+	var errA, errB error
+	err := eng.RunProcs(
+		func(p *sim.Proc) {
+			b := Backend{s: s, p: p}
+			errA = b.PutReplace("/obj0/k", []byte("from-a"))
+		},
+		func(p *sim.Proc) {
+			b := Backend{s: s, p: p}
+			errB = b.PutReplace("/obj0/k", []byte("from-b"))
+		},
+	)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if eng.Now() == 0 {
+		t.Fatal("sim-bound ops charged no virtual time")
+	}
+	// Both procs HEAD the same generation before either PUT lands, so
+	// exactly one conditional PUT wins and the other gets a transient
+	// ConflictError — deterministically, whatever the jitter.
+	var ce *ConflictError
+	switch {
+	case errA == nil && errors.As(errB, &ce):
+	case errB == nil && errors.As(errA, &ce):
+	default:
+		t.Fatalf("want exactly one conflict, got errA=%v errB=%v", errA, errB)
+	}
+	if !ce.Transient() {
+		t.Fatal("ConflictError must be transient")
+	}
+	if st := s.Stats(); st.Conflicts != 1 {
+		t.Fatalf("conflicts=%d, want 1", st.Conflicts)
+	}
+}
+
+func TestReadDirPaging(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ListPage = 10
+	cfg.JitterFrac = 0
+	eng := sim.NewEngine(1)
+	s := NewSim(eng, cfg)
+	s.Roots(1)
+	err := eng.RunProcs(func(p *sim.Proc) {
+		b := Backend{s: s, p: p}
+		for i := 0; i < 25; i++ {
+			f, err := b.Create("/obj0/f" + string(rune('a'+i)))
+			if err != nil {
+				t.Errorf("create %d: %v", i, err)
+				return
+			}
+			f.Close()
+		}
+		t0 := p.Now()
+		ents, err := b.ReadDir("/obj0")
+		if err != nil || len(ents) != 25 {
+			t.Errorf("readdir: %d ents, %v", len(ents), err)
+			return
+		}
+		elapsed := time.Duration(p.Now() - t0)
+		// 25 keys at page size 10 = 3 LIST pages + 25 per-key scans + RTTs.
+		want := 3*(cfg.RTT+cfg.ListOp) + 25*cfg.ListKey
+		if elapsed != want {
+			t.Errorf("paged scan cost %v, want %v", elapsed, want)
+		}
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if st := s.Stats(); st.Lists != 3 || st.ListKeys != 25 {
+		t.Fatalf("lists=%d listkeys=%d, want 3/25", st.Lists, st.ListKeys)
+	}
+}

@@ -1,0 +1,17 @@
+package osfs_test
+
+import (
+	"testing"
+
+	"plfs/internal/osfs"
+	"plfs/internal/plfs"
+	"plfs/internal/plfs/backendtest"
+)
+
+// TestBackendConformance runs the DESIGN.md §16 contract suite over the
+// real filesystem backend.
+func TestBackendConformance(t *testing.T) {
+	backendtest.Run(t, func(t *testing.T) (plfs.Backend, string) {
+		return osfs.New(), t.TempDir()
+	})
+}

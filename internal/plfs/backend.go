@@ -22,10 +22,16 @@
 //     across multiple metadata volumes — §V, Fig. 6.
 //
 // PLFS is written against the small Backend/Clock/Sleeper interfaces below
-// and the comm.Comm collectives, so the identical middleware runs over a
-// real directory tree with goroutine writers (internal/osfs +
-// internal/localcomm) and inside the simulated cluster (internal/simfs +
-// internal/mpi), where the paper's performance claims are reproduced.
+// and the comm.Comm collectives, so the identical middleware runs over any
+// store that implements them.  Five implementations exist today: a real
+// directory tree with goroutine writers (internal/osfs + internal/localcomm),
+// the simulated POSIX cluster (internal/simfs + internal/mpi) where the
+// paper's performance claims are reproduced, the fault-injection wrapper
+// (internal/fault) that decorates either, the health-tracking wrapper this
+// package's self-healing service interposes, and a simulated flat object
+// store (internal/objfs) where droppings become objects and commits become
+// conditional PUTs.  DESIGN.md §16 is the authoritative guide for writing
+// a sixth; internal/plfs/backendtest is its executable form.
 package plfs
 
 import (
@@ -35,35 +41,89 @@ import (
 	"plfs/internal/payload"
 )
 
-// Backend is the slice of an underlying (parallel) file system PLFS needs.
-// Implementations must return errors satisfying errors.Is(err,
-// io/fs.ErrExist) and io/fs.ErrNotExist where applicable.  A Backend
-// handle is private to one process/goroutine unless the implementation
-// also satisfies ConcurrentIO, in which case the reader may fan out I/O
-// calls across its worker pool.
+// Backend is the slice of an underlying storage system PLFS needs.  The
+// full contract an implementation must honor — error sentinels, atomicity,
+// concurrency, and the optional capabilities below — is documented in
+// DESIGN.md §16 and asserted executably by internal/plfs/backendtest.
+//
+// Error sentinels (checked with errors.Is, so wrapping is fine):
+//
+//   - Mkdir and Create on a taken name fail with io/fs.ErrExist — the
+//     container protocol's open races resolve on that verdict.
+//   - OpenRead, OpenWrite, Stat, ReadDir, and Remove of a missing name
+//     fail with io/fs.ErrNotExist.
+//   - Rename onto an existing target either replaces it atomically
+//     (os.Rename) or fails with io/fs.ErrExist leaving both names intact
+//     (the simulated stores); callers must tolerate both, and the commit
+//     protocol does — it treats ErrExist-without-replace as "already
+//     published".
+//
+// A Backend value and its Files are private to one process/goroutine
+// unless the implementation also satisfies ConcurrentIO, in which case
+// the reader may fan I/O calls out across its worker pool.  Transient
+// failures should implement `Transient() bool` so Retryable can tell
+// them from permanent namespace verdicts.
 type Backend interface {
+	// Mkdir creates a directory.  Parent-existence requirements are
+	// backend-specific (a flat object store has no parents); PLFS always
+	// creates ancestors first, so portable callers should too.
 	Mkdir(path string) error
+	// Create creates a file exclusively (O_EXCL): ErrExist if taken.
 	Create(path string) (File, error)
+	// OpenRead opens an existing file read-only.
 	OpenRead(path string) (File, error)
+	// OpenWrite opens an existing file for writing without truncation.
 	OpenWrite(path string) (File, error)
+	// Stat describes a name (file size; directory flag).
 	Stat(path string) (Info, error)
+	// ReadDir returns the directory's entries sorted by Name (ascending,
+	// byte order) — dropping discovery depends on the ordering.
 	ReadDir(path string) ([]Info, error)
+	// Remove deletes a file or an empty directory.
 	Remove(path string) error
+	// Rename moves oldPath to newPath (see the contract above for the
+	// existing-target cases).
 	Rename(oldPath, newPath string) error
 }
 
-// File is an open backend file.
+// File is an open backend file.  Offsets never carry a cursor: every
+// method is positional, and reads past the written size return zeros for
+// the overhang (PLFS bounds reads by the logical size it tracks itself).
 type File interface {
 	// WriteAt writes p at the given offset.
 	WriteAt(off int64, p payload.Payload) error
 	// Append writes p at end-of-file and returns the offset it landed at.
+	// The returned offset is load-bearing: index records point at it.
 	Append(p payload.Payload) (int64, error)
-	// ReadAt returns the byte range [off, off+n).
+	// ReadAt returns the byte range [off, off+n), zero-filled past EOF.
 	ReadAt(off, n int64) (payload.List, error)
 	// Size returns the current file size.
 	Size() int64
 	// Close releases the file.
 	Close() error
+}
+
+// CondPutter is an optional Backend capability: conditional whole-object
+// publication, the native commit primitive of object stores.  When a
+// backend advertises it, the commit protocol (writeFileAtomic) skips the
+// create-temp/append/rename dance entirely and publishes with one call —
+// index replication and background repair inherit the switch for free.
+//
+//   - PutIfAbsent atomically creates path with data; if the key is
+//     already taken it fails with io/fs.ErrExist and writes nothing.
+//     No reader may ever observe a partial object.
+//   - PutReplace atomically replaces path with data (creating it if
+//     absent).  Implementations typically condition on a generation
+//     read immediately beforehand; losing a race fails with a transient
+//     error (Transient() == true) and writes nothing, and the caller
+//     retries.
+//
+// Wrappers (fault injection, health tracking) forward the capability
+// only when their inner backend has it, so a type assertion on the
+// outermost backend always tells the truth.
+type CondPutter interface {
+	PutIfAbsent(path string, data []byte) error
+	PutReplace(path string, data []byte) error
 }
 
 // VectoredIO is an optional File capability: many (offset, length)

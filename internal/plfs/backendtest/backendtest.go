@@ -1,0 +1,477 @@
+// Package backendtest is the executable form of the Backend contract
+// documented in DESIGN.md §16: a table of conformance checks that every
+// plfs.Backend implementation must pass, run verbatim against osfs,
+// simfs, and objfs by each package's conformance test.
+//
+// Checks report failures with Errorf only (never FailNow), so a harness
+// may run them on any goroutine — the simfs conformance test drives them
+// from a discrete-event process.  Optional capabilities (VectoredIO,
+// BatchAppender, CondPutter) are probed and silently skipped when the
+// backend does not advertise them; the capability matrix in README's
+// "Backends" section says who should pass what.
+//
+// Deliberately not checked, because implementations legitimately
+// diverge (§16 documents each):
+//
+//   - Create in a missing parent directory (POSIX stores require the
+//     parent; a flat object store has no parents).
+//   - Rename over an existing target: both atomic replacement and an
+//     ErrExist refusal are conforming, and the check accepts either.
+//   - The error kind of removing a non-empty directory (only that it
+//     fails and removes nothing).
+package backendtest
+
+import (
+	"errors"
+	iofs "io/fs"
+	"testing"
+
+	"plfs/internal/extent"
+	"plfs/internal/payload"
+	"plfs/internal/plfs"
+)
+
+// Check is one conformance check.  b must be a fresh backend whose root
+// directory exists and is empty; the check may create anything it likes
+// below it.
+type Check struct {
+	Name string
+	Fn   func(tb testing.TB, b plfs.Backend, root string)
+}
+
+// Checks returns the conformance table.
+func Checks() []Check {
+	return []Check{
+		{"CreateExclusive", checkCreateExclusive},
+		{"MissingNames", checkMissingNames},
+		{"MkdirSemantics", checkMkdirSemantics},
+		{"AppendOffsets", checkAppendOffsets},
+		{"SparseWriteAt", checkSparseWriteAt},
+		{"ReadPastEOF", checkReadPastEOF},
+		{"RenameBasic", checkRenameBasic},
+		{"RenameOverExisting", checkRenameOverExisting},
+		{"RemoveNonEmptyDir", checkRemoveNonEmptyDir},
+		{"ReadDirOrdering", checkReadDirOrdering},
+		{"VectoredEquivalence", checkVectoredEquivalence},
+		{"BatchAppend", checkBatchAppend},
+		{"CondPut", checkCondPut},
+	}
+}
+
+// Run executes every check as a subtest over an engineless backend.
+// make is called once per subtest and must return a fresh backend and
+// its empty root.  Backends that need an engine (simfs) iterate Checks
+// themselves and drive each Fn from a simulated process.
+func Run(t *testing.T, make func(t *testing.T) (plfs.Backend, string)) {
+	for _, c := range Checks() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			b, root := make(t)
+			c.Fn(t, b, root)
+		})
+	}
+}
+
+// bytesOf reads [0, size) of an open handle as materialized bytes.
+func bytesOf(tb testing.TB, f plfs.File) []byte {
+	tb.Helper()
+	pl, err := f.ReadAt(0, f.Size())
+	if err != nil {
+		tb.Errorf("read back: %v", err)
+		return nil
+	}
+	return pl.Materialize()
+}
+
+func checkCreateExclusive(tb testing.TB, b plfs.Backend, root string) {
+	p := root + "/f"
+	f, err := b.Create(p)
+	if err != nil {
+		tb.Errorf("create: %v", err)
+		return
+	}
+	f.Close()
+	if _, err := b.Create(p); !errors.Is(err, iofs.ErrExist) {
+		tb.Errorf("second create: want errors.Is ErrExist, got %v", err)
+	}
+	// OpenWrite reopens without truncation.
+	f, err = b.OpenWrite(p)
+	if err != nil {
+		tb.Errorf("openwrite existing: %v", err)
+		return
+	}
+	f.Close()
+}
+
+func checkMissingNames(tb testing.TB, b plfs.Backend, root string) {
+	p := root + "/missing"
+	if _, err := b.OpenRead(p); !errors.Is(err, iofs.ErrNotExist) {
+		tb.Errorf("openread missing: want ErrNotExist, got %v", err)
+	}
+	if _, err := b.OpenWrite(p); !errors.Is(err, iofs.ErrNotExist) {
+		tb.Errorf("openwrite missing: want ErrNotExist, got %v", err)
+	}
+	if _, err := b.Stat(p); !errors.Is(err, iofs.ErrNotExist) {
+		tb.Errorf("stat missing: want ErrNotExist, got %v", err)
+	}
+	if _, err := b.ReadDir(p); !errors.Is(err, iofs.ErrNotExist) {
+		tb.Errorf("readdir missing: want ErrNotExist, got %v", err)
+	}
+	if err := b.Remove(p); !errors.Is(err, iofs.ErrNotExist) {
+		tb.Errorf("remove missing: want ErrNotExist, got %v", err)
+	}
+	if err := b.Rename(p, root+"/elsewhere"); !errors.Is(err, iofs.ErrNotExist) {
+		tb.Errorf("rename missing: want ErrNotExist, got %v", err)
+	}
+}
+
+func checkMkdirSemantics(tb testing.TB, b plfs.Backend, root string) {
+	d := root + "/d"
+	if err := b.Mkdir(d); err != nil {
+		tb.Errorf("mkdir: %v", err)
+		return
+	}
+	if err := b.Mkdir(d); !errors.Is(err, iofs.ErrExist) {
+		tb.Errorf("re-mkdir: want ErrExist, got %v", err)
+	}
+	fi, err := b.Stat(d)
+	if err != nil || !fi.Dir {
+		tb.Errorf("stat dir: %+v, %v", fi, err)
+	}
+	ents, err := b.ReadDir(d)
+	if err != nil || len(ents) != 0 {
+		tb.Errorf("readdir empty dir: %v ents, err %v", len(ents), err)
+	}
+	if err := b.Remove(d); err != nil {
+		tb.Errorf("remove empty dir: %v", err)
+	}
+	if _, err := b.Stat(d); !errors.Is(err, iofs.ErrNotExist) {
+		tb.Errorf("stat removed dir: want ErrNotExist, got %v", err)
+	}
+}
+
+func checkAppendOffsets(tb testing.TB, b plfs.Backend, root string) {
+	f, err := b.Create(root + "/f")
+	if err != nil {
+		tb.Errorf("create: %v", err)
+		return
+	}
+	defer f.Close()
+	off, err := f.Append(payload.FromBytes([]byte("hello")))
+	if err != nil || off != 0 {
+		tb.Errorf("first append: off %d, err %v (want 0, nil)", off, err)
+	}
+	off, err = f.Append(payload.FromBytes([]byte("way")))
+	if err != nil || off != 5 {
+		tb.Errorf("second append: off %d, err %v (want 5, nil)", off, err)
+	}
+	if sz := f.Size(); sz != 8 {
+		tb.Errorf("size after appends: %d, want 8", sz)
+	}
+	if got := string(bytesOf(tb, f)); got != "helloway" {
+		tb.Errorf("content %q, want %q", got, "helloway")
+	}
+}
+
+func checkSparseWriteAt(tb testing.TB, b plfs.Backend, root string) {
+	f, err := b.Create(root + "/f")
+	if err != nil {
+		tb.Errorf("create: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := f.WriteAt(100, payload.FromBytes([]byte("tail"))); err != nil {
+		tb.Errorf("sparse write: %v", err)
+		return
+	}
+	if sz := f.Size(); sz != 104 {
+		tb.Errorf("size %d, want 104", sz)
+	}
+	pl, err := f.ReadAt(98, 6)
+	if err != nil {
+		tb.Errorf("read across hole: %v", err)
+		return
+	}
+	if got := pl.Materialize(); string(got) != "\x00\x00tail" {
+		tb.Errorf("hole read %q, want two NULs then tail", got)
+	}
+}
+
+func checkReadPastEOF(tb testing.TB, b plfs.Backend, root string) {
+	f, err := b.Create(root + "/f")
+	if err != nil {
+		tb.Errorf("create: %v", err)
+		return
+	}
+	defer f.Close()
+	f.Append(payload.FromBytes([]byte("abc")))
+	pl, err := f.ReadAt(1, 5)
+	if err != nil {
+		tb.Errorf("read past EOF: %v", err)
+		return
+	}
+	if got := pl.Materialize(); string(got) != "bc\x00\x00\x00" {
+		tb.Errorf("overhang %q, want bc then three NULs", got)
+	}
+	if pl.Len() != 5 {
+		tb.Errorf("overhang length %d, want 5 (zero-filled)", pl.Len())
+	}
+}
+
+func checkRenameBasic(tb testing.TB, b plfs.Backend, root string) {
+	f, err := b.Create(root + "/old")
+	if err != nil {
+		tb.Errorf("create: %v", err)
+		return
+	}
+	f.Append(payload.FromBytes([]byte("cargo")))
+	f.Close()
+	if err := b.Rename(root+"/old", root+"/new"); err != nil {
+		tb.Errorf("rename: %v", err)
+		return
+	}
+	if _, err := b.OpenRead(root + "/old"); !errors.Is(err, iofs.ErrNotExist) {
+		tb.Errorf("old name after rename: want ErrNotExist, got %v", err)
+	}
+	f, err = b.OpenRead(root + "/new")
+	if err != nil {
+		tb.Errorf("open renamed: %v", err)
+		return
+	}
+	defer f.Close()
+	if got := string(bytesOf(tb, f)); got != "cargo" {
+		tb.Errorf("renamed content %q, want %q", got, "cargo")
+	}
+}
+
+func checkRenameOverExisting(tb testing.TB, b plfs.Backend, root string) {
+	mk := func(name, content string) {
+		f, err := b.Create(root + "/" + name)
+		if err != nil {
+			tb.Errorf("create %s: %v", name, err)
+			return
+		}
+		f.Append(payload.FromBytes([]byte(content)))
+		f.Close()
+	}
+	mk("src", "source")
+	mk("dst", "target")
+	err := b.Rename(root+"/src", root+"/dst")
+	read := func(name string) string {
+		f, err := b.OpenRead(root + "/" + name)
+		if err != nil {
+			return "<" + err.Error() + ">"
+		}
+		defer f.Close()
+		return string(bytesOf(tb, f))
+	}
+	switch {
+	case err == nil:
+		// Atomic replacement (os.Rename): source gone, target is source.
+		if _, serr := b.Stat(root + "/src"); !errors.Is(serr, iofs.ErrNotExist) {
+			tb.Errorf("replace outcome: src still present (%v)", serr)
+		}
+		if got := read("dst"); got != "source" {
+			tb.Errorf("replace outcome: dst %q, want %q", got, "source")
+		}
+	case errors.Is(err, iofs.ErrExist):
+		// Refusal: both names intact, nothing moved.
+		if got := read("src"); got != "source" {
+			tb.Errorf("refusal outcome: src %q, want %q", got, "source")
+		}
+		if got := read("dst"); got != "target" {
+			tb.Errorf("refusal outcome: dst %q, want %q", got, "target")
+		}
+	default:
+		tb.Errorf("rename over existing: want nil or ErrExist, got %v", err)
+	}
+}
+
+func checkRemoveNonEmptyDir(tb testing.TB, b plfs.Backend, root string) {
+	d := root + "/d"
+	if err := b.Mkdir(d); err != nil {
+		tb.Errorf("mkdir: %v", err)
+		return
+	}
+	f, err := b.Create(d + "/f")
+	if err != nil {
+		tb.Errorf("create in dir: %v", err)
+		return
+	}
+	f.Close()
+	if err := b.Remove(d); err == nil {
+		tb.Errorf("remove non-empty dir succeeded")
+	}
+	if fi, err := b.Stat(d); err != nil || !fi.Dir {
+		tb.Errorf("dir damaged by refused remove: %+v, %v", fi, err)
+	}
+	if err := b.Remove(d + "/f"); err != nil {
+		tb.Errorf("remove child: %v", err)
+	}
+	if err := b.Remove(d); err != nil {
+		tb.Errorf("remove emptied dir: %v", err)
+	}
+}
+
+func checkReadDirOrdering(tb testing.TB, b plfs.Backend, root string) {
+	for _, name := range []string{"b", "a", "c10", "c2"} {
+		f, err := b.Create(root + "/" + name)
+		if err != nil {
+			tb.Errorf("create %s: %v", name, err)
+			return
+		}
+		f.Append(payload.FromBytes([]byte(name)))
+		f.Close()
+	}
+	if err := b.Mkdir(root + "/adir"); err != nil {
+		tb.Errorf("mkdir: %v", err)
+		return
+	}
+	ents, err := b.ReadDir(root)
+	if err != nil {
+		tb.Errorf("readdir: %v", err)
+		return
+	}
+	want := []struct {
+		name string
+		dir  bool
+		size int64
+	}{{"a", false, 1}, {"adir", true, 0}, {"b", false, 1}, {"c10", false, 3}, {"c2", false, 2}}
+	if len(ents) != len(want) {
+		tb.Errorf("readdir: %d entries, want %d (%+v)", len(ents), len(want), ents)
+		return
+	}
+	for i, w := range want {
+		e := ents[i]
+		if e.Name != w.name || e.Dir != w.dir || (!e.Dir && e.Size != w.size) {
+			tb.Errorf("entry %d: %+v, want %+v", i, e, w)
+		}
+	}
+}
+
+func checkVectoredEquivalence(tb testing.TB, b plfs.Backend, root string) {
+	fv, err := b.Create(root + "/vectored")
+	if err != nil {
+		tb.Errorf("create: %v", err)
+		return
+	}
+	defer fv.Close()
+	vio, ok := fv.(plfs.VectoredIO)
+	if !ok {
+		return // optional capability
+	}
+	fp, err := b.Create(root + "/plain")
+	if err != nil {
+		tb.Errorf("create plain: %v", err)
+		return
+	}
+	defer fp.Close()
+
+	segs := []extent.Ext{{Off: 0, Len: 3}, {Off: 10, Len: 4}, {Off: 5, Len: 2}}
+	data := payload.FromBytes([]byte("abcdefghi"))
+	if err := vio.WritevAt(segs, payload.List{data}); err != nil {
+		tb.Errorf("writev: %v", err)
+		return
+	}
+	pos := int64(0)
+	for _, s := range segs {
+		if err := fp.WriteAt(s.Off, data.Slice(pos, s.Len)); err != nil {
+			tb.Errorf("plain write: %v", err)
+			return
+		}
+		pos += s.Len
+	}
+	if fv.Size() != fp.Size() {
+		tb.Errorf("sizes diverge: vectored %d, plain %d", fv.Size(), fp.Size())
+	}
+	got, err := vio.ReadvAt([]extent.Ext{{Off: 0, Len: 7}, {Off: 9, Len: 5}})
+	if err != nil {
+		tb.Errorf("readv: %v", err)
+		return
+	}
+	a, err := fp.ReadAt(0, 7)
+	if err != nil {
+		tb.Errorf("plain read: %v", err)
+		return
+	}
+	bb, err := fp.ReadAt(9, 5)
+	if err != nil {
+		tb.Errorf("plain read: %v", err)
+		return
+	}
+	if !payload.ContentEqual(got, a.Concat(bb)) {
+		tb.Errorf("vectored read %q != per-extent read %q",
+			got.Materialize(), a.Concat(bb).Materialize())
+	}
+}
+
+func checkBatchAppend(tb testing.TB, b plfs.Backend, root string) {
+	f, err := b.Create(root + "/f")
+	if err != nil {
+		tb.Errorf("create: %v", err)
+		return
+	}
+	defer f.Close()
+	ba, ok := f.(plfs.BatchAppender)
+	if !ok {
+		return // optional capability
+	}
+	f.Append(payload.FromBytes([]byte("head")))
+	off, err := ba.Appendv(payload.List{
+		payload.FromBytes([]byte("-mid-")),
+		payload.FromBytes([]byte("tail")),
+	})
+	if err != nil || off != 4 {
+		tb.Errorf("appendv: off %d, err %v (want 4, nil)", off, err)
+	}
+	if got := string(bytesOf(tb, f)); got != "head-mid-tail" {
+		tb.Errorf("batched content %q, want %q", got, "head-mid-tail")
+	}
+}
+
+func checkCondPut(tb testing.TB, b plfs.Backend, root string) {
+	cp, ok := b.(plfs.CondPutter)
+	if !ok {
+		return // optional capability
+	}
+	p := root + "/rec"
+	err := cp.PutIfAbsent(p, []byte("v1"))
+	if errors.Is(err, errors.ErrUnsupported) {
+		return // a wrapper whose inner backend lacks the capability
+	}
+	if err != nil {
+		tb.Errorf("put-if-absent: %v", err)
+		return
+	}
+	if err := cp.PutIfAbsent(p, []byte("v2")); !errors.Is(err, iofs.ErrExist) {
+		tb.Errorf("second put-if-absent: want ErrExist, got %v", err)
+	}
+	f, err := b.OpenRead(p)
+	if err != nil {
+		tb.Errorf("open after losing put: %v", err)
+		return
+	}
+	got := string(bytesOf(tb, f))
+	f.Close()
+	if got != "v1" {
+		tb.Errorf("losing put mutated object: %q, want %q", got, "v1")
+	}
+	if err := cp.PutReplace(p, []byte("v3")); err != nil {
+		tb.Errorf("put-replace: %v", err)
+		return
+	}
+	f, err = b.OpenRead(p)
+	if err != nil {
+		tb.Errorf("open after replace: %v", err)
+		return
+	}
+	got = string(bytesOf(tb, f))
+	f.Close()
+	if got != "v3" {
+		tb.Errorf("replace content %q, want %q", got, "v3")
+	}
+	// PutReplace also creates absent keys (generation "absent").
+	if err := cp.PutReplace(root+"/fresh", []byte("new")); err != nil {
+		tb.Errorf("put-replace absent: %v", err)
+	}
+}

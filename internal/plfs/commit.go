@@ -7,6 +7,13 @@ package plfs
 // Readers, listDroppings, and the metadir parsers all ignore temp
 // names, so a crash mid-commit leaves at worst an orphaned temp file
 // (swept by Scrub and Recover), never a consumable torn file.
+//
+// Backends that advertise CondPutter (object stores) take a shorter
+// path: the whole record publishes as one conditional PUT — put-if-absent
+// replacing the rename-no-replace, put-if-generation replacing the
+// remove+rename — so there is no temp name, no rename, and nothing for a
+// crash to orphan.  Both paths give the same guarantee: the final name
+// only ever appears with complete content.
 
 import (
 	"errors"
@@ -42,6 +49,14 @@ func isTmpName(name string) bool { return strings.Contains(name, tmpSuffix) }
 // applied despite an ambiguous error — and under this protocol same
 // name means same committed content.  The duplicate temp is dropped.
 func (c Ctx) writeFileAtomic(b Backend, final string, buf []byte, pol RetryPolicy, replace bool) error {
+	if cp, ok := b.(CondPutter); ok {
+		err := c.condPutLoop(cp, final, buf, pol, replace)
+		if !errors.Is(err, errors.ErrUnsupported) {
+			return err
+		}
+		// A wrapper advertised the capability but its inner backend lacks
+		// it; fall through to the rename protocol.
+	}
 	tmp := tmpName(final, c.Rank)
 	attempts := pol.Attempts
 	if attempts < 1 {
@@ -82,6 +97,45 @@ func (c Ctx) commitOnce(b Backend, tmp, final string, buf []byte, replace bool) 
 	err = b.Rename(tmp, final)
 	if err != nil && !replace && errors.Is(err, iofs.ErrExist) {
 		b.Remove(tmp)
+		return nil
+	}
+	return err
+}
+
+// condPutLoop is the commit protocol over a CondPutter backend: each
+// attempt is one conditional PUT, atomic by the backend's contract.
+// errors.ErrUnsupported is surfaced immediately (the wrapper's inner
+// backend lacks the capability; the caller falls back to the rename
+// protocol) — it must not reach commitRetryable, which would classify
+// its EIO-shaped self as worth retrying.
+func (c Ctx) condPutLoop(cp CondPutter, final string, buf []byte, pol RetryPolicy, replace bool) error {
+	attempts := pol.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for k := 1; ; k++ {
+		err = c.condPutOnce(cp, final, buf, replace)
+		if err == nil || errors.Is(err, errors.ErrUnsupported) ||
+			k >= attempts || !commitRetryable(err) {
+			return err
+		}
+		c.retrySleep(pol.delay(k, c.Rank))
+	}
+}
+
+func (c Ctx) condPutOnce(cp CondPutter, final string, buf []byte, replace bool) error {
+	if replace {
+		// Put-if-generation: a losing writer gets a transient conflict
+		// and the loop above re-reads and reissues.
+		return cp.PutReplace(final, buf)
+	}
+	err := cp.PutIfAbsent(final, buf)
+	if err != nil && errors.Is(err, iofs.ErrExist) {
+		// The rename protocol's ErrExist-without-replace verdict, one op
+		// earlier: the record is already published — by a racing peer or
+		// an earlier ambiguous attempt of ours — and under this protocol
+		// same name means same committed content.
 		return nil
 	}
 	return err

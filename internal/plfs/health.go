@@ -28,6 +28,7 @@ package plfs
 // private table.
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"time"
@@ -605,6 +606,37 @@ func (hb *healthBackend) Rename(oldPath, newPath string) error {
 	t0 := hb.now()
 	err := hb.b.Rename(oldPath, newPath)
 	hb.observe(t0, err)
+	return err
+}
+
+// PutIfAbsent implements CondPutter.  The inner backend is probed first,
+// and an errors.ErrUnsupported outcome — from the assertion here or from
+// a deeper wrapper's probe — never feeds the breaker: capability
+// discovery is not a health signal.
+func (hb *healthBackend) PutIfAbsent(path string, data []byte) error {
+	cp, ok := hb.b.(CondPutter)
+	if !ok {
+		return errors.ErrUnsupported
+	}
+	t0 := hb.now()
+	err := cp.PutIfAbsent(path, data)
+	if !errors.Is(err, errors.ErrUnsupported) {
+		hb.observeData(t0, int64(len(data)), err)
+	}
+	return err
+}
+
+// PutReplace implements CondPutter (see PutIfAbsent).
+func (hb *healthBackend) PutReplace(path string, data []byte) error {
+	cp, ok := hb.b.(CondPutter)
+	if !ok {
+		return errors.ErrUnsupported
+	}
+	t0 := hb.now()
+	err := cp.PutReplace(path, data)
+	if !errors.Is(err, errors.ErrUnsupported) {
+		hb.observeData(t0, int64(len(data)), err)
+	}
 	return err
 }
 

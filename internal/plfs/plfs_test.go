@@ -24,12 +24,15 @@ type fakeClock struct{ t atomic.Int64 }
 
 func (c *fakeClock) Now() int64 { return c.t.Add(1) }
 
-// rig is a real-filesystem PLFS test rig: one mount over temp-dir
-// volumes, contexts built per rank.
+// rig is an engineless PLFS test rig: one mount over temp-dir osfs
+// volumes by default, contexts built per rank.  newVols overrides the
+// per-context volume set (the objfs crash tests route everything to one
+// shared object store).
 type rig struct {
-	m     *Mountish
-	roots []string
-	clock *fakeClock
+	m       *Mountish
+	roots   []string
+	clock   *fakeClock
+	newVols func() []plfs.Backend
 }
 
 // Mountish aliases to keep call sites short.
@@ -45,9 +48,14 @@ func newRig(t testing.TB, volumes int, opt plfs.Options) *rig {
 }
 
 func (r *rig) ctx(rank int, c comm.Comm) plfs.Ctx {
-	vols := make([]plfs.Backend, len(r.roots))
-	for i := range vols {
-		vols[i] = osfs.New()
+	var vols []plfs.Backend
+	if r.newVols != nil {
+		vols = r.newVols()
+	} else {
+		vols = make([]plfs.Backend, len(r.roots))
+		for i := range vols {
+			vols[i] = osfs.New()
+		}
 	}
 	return plfs.Ctx{
 		Vols:       vols,

@@ -34,6 +34,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"plfs/internal/obs"
@@ -259,6 +260,7 @@ func doTop(path string) error {
 				name, h.Count, h.SumSeconds, h.P50Seconds, h.P95Seconds, h.P99Seconds, h.MaxSeconds)
 		}
 	}
+	printVolumeLoad(snap)
 	if len(snap.Counters) > 0 {
 		names := make([]string, 0, len(snap.Counters))
 		for name := range snap.Counters {
@@ -286,6 +288,73 @@ func doTop(path string) error {
 		fmt.Printf("\n(%d spans dropped by the retention limit)\n", snap.SpansDropped)
 	}
 	return nil
+}
+
+// printVolumeLoad renders the per-volume metadata load table from the
+// pfs.vol<i>.mds_busy_seconds / mdsread_busy_seconds gauges: per-volume
+// mutation and read-path busy time, each volume's share of the total,
+// and the max/median skew — the operator view of the hot-volume
+// imbalance the mount's Rebalance pass acts on.
+func printVolumeLoad(snap obs.Snapshot) {
+	type load struct{ mut, read float64 }
+	vols := map[int]*load{}
+	at := func(i int) *load {
+		if vols[i] == nil {
+			vols[i] = &load{}
+		}
+		return vols[i]
+	}
+	for name, v := range snap.Gauges {
+		rest, ok := strings.CutPrefix(name, "pfs.vol")
+		if !ok {
+			continue
+		}
+		idStr, field, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			continue
+		}
+		switch field {
+		case "mds_busy_seconds":
+			at(id).mut = v
+		case "mdsread_busy_seconds":
+			at(id).read = v
+		}
+	}
+	if len(vols) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(vols))
+	var total float64
+	busy := make([]float64, 0, len(vols))
+	for id, l := range vols {
+		ids = append(ids, id)
+		total += l.mut
+		busy = append(busy, l.mut)
+	}
+	sort.Ints(ids)
+	fmt.Printf("\n%-6s %14s %14s %8s\n", "VOLUME", "MDS_BUSY(s)", "MDSREAD_BUSY(s)", "SHARE")
+	for _, id := range ids {
+		l := vols[id]
+		share := 0.0
+		if total > 0 {
+			share = 100 * l.mut / total
+		}
+		fmt.Printf("vol%-3d %14.6f %14.6f %7.1f%%\n", id, l.mut, l.read, share)
+	}
+	sort.Float64s(busy)
+	maxL, med := busy[len(busy)-1], busy[len(busy)/2]
+	switch {
+	case len(busy) < 2 || maxL <= 0:
+		fmt.Printf("mds load skew (max/median): n/a\n")
+	case med <= 0:
+		fmt.Printf("mds load skew (max/median): inf (median volume idle)\n")
+	default:
+		fmt.Printf("mds load skew (max/median): %.2f\n", maxL/med)
+	}
 }
 
 // doHealth renders the self-healing view of a metrics dump: one row per

@@ -9,6 +9,7 @@
 //	plfsrun -kernel lanl3 -ranks 512 -plfs -cb
 //	plfsrun -kernel noncontig -access strided -io-method sieve -ranks 64
 //	plfsrun -kernel create-storm -ranks 2048 -files 4 -profile cielo -volumes 10 -plfs
+//	plfsrun -kernel meta-storm -ranks 4096 -bulk-create -rebalance
 package main
 
 import (
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		kernel   = flag.String("kernel", "mpi-io-test", "workload: mpi-io-test | ior | madbench | pixie3d | aramco | lanl1 | lanl2 | lanl3 | noncontig | n-n | create-storm")
+		kernel   = flag.String("kernel", "mpi-io-test", "workload: mpi-io-test | ior | madbench | pixie3d | aramco | lanl1 | lanl2 | lanl3 | noncontig | n-n | create-storm | meta-storm")
 		ranks    = flag.Int("ranks", 64, "number of MPI ranks")
 		bytesMB  = flag.Int64("mb", 50, "MB per rank (or total for strong-scaling kernels)")
 		opKB     = flag.Int64("opkb", 50, "operation size in KiB (where applicable)")
@@ -67,6 +68,9 @@ func main() {
 		hedge    = flag.Bool("hedge", false, "hedged index reads: steer around open volume breakers and reissue slow primaries against replicas")
 		brownS   = flag.String("brownout", "", "self-healing demo 'vol:factor[:from:to]': run the brownout harness instead of -kernel (4 volumes, per-step bandwidth series)")
 		backend  = flag.String("backend", "posix", "simulated store: posix (cluster file system) | objfs (flat object store, commits via conditional PUT)")
+		bulk     = flag.Bool("bulk-create", false, "batch collective creates through the MDS bulk-create RPC (rank 0 ships one batch per volume, Bcasts the verdicts)")
+		rebal    = flag.Bool("rebalance", false, "meta-storm: rebalance hot-volume hostdirs between storm rounds (per-volume MDS busy-time feed)")
+		rounds   = flag.Int("rounds", 3, "meta-storm rounds")
 	)
 	flag.Parse()
 
@@ -104,6 +108,10 @@ func main() {
 	}
 	if *tenants > 0 {
 		runTenants(cfg, *backend, *tenants, *ranks, *files, bytes, op, *seed, *inflight, *budgetMB, *metricsF, *spansF)
+		return
+	}
+	if *kernel == "meta-storm" {
+		runMetaStorm(cfg, *ranks, *rounds, *volumes, *seed, *bulk, *rebal)
 		return
 	}
 	var k workloads.Kernel
@@ -161,6 +169,7 @@ func main() {
 		SieveGap:         *sieveKB << 10,
 		IndexReplicas:    *replicaN,
 		HedgedReads:      *hedge,
+		BulkCreate:       *bulk,
 	}
 	if *volumes > 1 {
 		if nn {
@@ -234,6 +243,32 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runMetaStorm drives the metadata-at-scale harness: a collective
+// create storm with bulk-create batching and between-round volume
+// rebalancing togglable (plfsrun -kernel meta-storm).  With the default
+// -volumes 1, the harness's 4-volume federation applies (skew needs a
+// federation to be skewed across).
+func runMetaStorm(cfg pfs.Config, ranks, rounds, volumes int, seed int64, bulk, rebalance bool) {
+	job := harness.MetaStormJob{
+		Seed: seed, Ranks: ranks, Rounds: rounds,
+		BulkCreate: bulk, Rebalance: rebalance,
+	}
+	if volumes > 1 {
+		job.Cfg = cfg
+	}
+	rep, err := harness.RunMetaStorm(job)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plfsrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("meta-storm: %d ranks, %d rounds (bulk-create=%v rebalance=%v)\n",
+		ranks, rounds, bulk, rebalance)
+	fmt.Printf("  creates %d   open %.3fs   rate %.0f creates/s\n",
+		rep.Creates, rep.OpenTime.Seconds(), rep.OpenRate)
+	fmt.Printf("  mds load skew (max/median) %.2f   migrations %d   makespan %.3fs\n",
+		rep.Skew, rep.Moves, rep.Makespan.Seconds())
 }
 
 // runBrownout drives the self-healing harness: one job writing and

@@ -725,6 +725,44 @@ func (f *backend) PutIfAbsent(path string, data []byte) error {
 	return cp.PutIfAbsent(path, data)
 }
 
+// CreateBulk implements plfs.BulkCreator.  Like PutIfAbsent, an inner
+// backend without the capability answers errors.ErrUnsupported before any
+// gate fires.  Each entry then gates individually as one mutating op —
+// mkdirs as OpMkdir, files as OpCreate — so a crashat point mid-batch
+// applies a strict prefix: the entries before the crash are shipped to
+// the inner bulk RPC and land, the rest report Crashed.  That is the
+// server-side semantics of a real MDS bulk commit dying partway through
+// its journal, and it keeps the crash-torture sweep's op schedule honest.
+func (f *backend) CreateBulk(ops []plfs.BulkOp) []error {
+	bc, ok := f.b.(plfs.BulkCreator)
+	if !ok {
+		errs := make([]error, len(ops))
+		for i := range errs {
+			errs[i] = errors.ErrUnsupported
+		}
+		return errs
+	}
+	errs := make([]error, len(ops))
+	var pass []plfs.BulkOp
+	var passIdx []int
+	for i, op := range ops {
+		gateOp := OpCreate
+		if op.Dir {
+			gateOp = OpMkdir
+		}
+		if err := f.gate(gateOp, op.Path); err != nil {
+			errs[i] = err
+			continue
+		}
+		pass = append(pass, op)
+		passIdx = append(passIdx, i)
+	}
+	for j, err := range bc.CreateBulk(pass) {
+		errs[passIdx[j]] = err
+	}
+	return errs
+}
+
 // PutReplace implements plfs.CondPutter (see PutIfAbsent).
 func (f *backend) PutReplace(path string, data []byte) error {
 	cp, ok := f.b.(plfs.CondPutter)

@@ -48,6 +48,7 @@ func Figures() []Figure {
 		{"ablation-tenants", "Ablation: mount-service saturation vs tenant count", AblationTenants},
 		{"ablation-brownout", "Ablation: brownout self-healing (naive/hedged/hedged+replicated)", AblationBrownout},
 		{"ablation-backend", "Ablation: posix vs object-store backend (create storm, prefix scan)", AblationBackend},
+		{"ablation-metadata", "Ablation: metadata at scale (static vs batched vs batched+rebalanced)", AblationMetadata},
 	}
 }
 

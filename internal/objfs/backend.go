@@ -202,7 +202,7 @@ func (b Backend) ReadDir(p string) ([]plfs.Info, error) {
 		if rest := len(keys) - i*b.s.cfg.ListPage; rest < n {
 			n = rest
 		}
-		b.s.service(b.p, b.s.cfg.ListOp+time.Duration(n)*b.s.cfg.ListKey)
+		b.s.listPage(b.p, time.Duration(n)*b.s.cfg.ListKey)
 	}
 	b.s.count(func(st *Stats) {
 		st.Lists += int64(pages)

@@ -105,6 +105,14 @@ type Config struct {
 	// ceil(n/ListPage) paged LIST requests.
 	ListPage int
 
+	// ListInflight bounds LIST pages outstanding store-wide.  A
+	// 100k-dropping container lists as ~100 pages per reader, and a wide
+	// collective open fans out one such scan per rank; without
+	// backpressure those pages monopolize the KV pool and starve
+	// everything else.  Excess pages queue at the admission gate instead
+	// (0 disables the bound; engineless stores never block).
+	ListInflight int
+
 	// RTT is the per-request round-trip latency (the HTTP-ish overhead
 	// every object operation pays, typically above a POSIX RPC's).
 	RTT time.Duration
@@ -134,8 +142,9 @@ func DefaultConfig() Config {
 		DeleteOp:  300 * time.Microsecond,
 		ListOp:    600 * time.Microsecond,
 		ListKey:   3 * time.Microsecond,
-		ListPage:  1000,
-		RTT:       250 * time.Microsecond,
+		ListPage:     1000,
+		ListInflight: 8,
+		RTT:          250 * time.Microsecond,
 		DataBW:    1.25e9,
 
 		MetaObjBytes: 512,
@@ -176,10 +185,11 @@ type object struct {
 // (NewSim) must be driven from the engine's processes, one operation in
 // flight per process, like every other simulated resource.
 type Store struct {
-	cfg Config
-	eng *sim.Engine
-	kv  *sim.Resource
-	net *sim.PSLink
+	cfg      Config
+	eng      *sim.Engine
+	kv       *sim.Resource
+	net      *sim.PSLink
+	listGate *sim.Resource // LIST-page admission (Config.ListInflight)
 
 	mu   sync.Mutex
 	objs map[string]*object
@@ -205,6 +215,9 @@ func NewSim(eng *sim.Engine, cfg Config) *Store {
 	s := New(cfg)
 	s.eng = eng
 	s.kv = sim.NewResource(eng, max(1, cfg.KVServers))
+	if cfg.ListInflight > 0 {
+		s.listGate = sim.NewResource(eng, cfg.ListInflight)
+	}
 	if cfg.DataBW > 0 {
 		s.net = sim.NewPSLink(eng, "objfs-data", cfg.DataBW)
 	}
@@ -303,6 +316,9 @@ func (s *Store) TraceProbes() []struct {
 	if s.kv != nil {
 		ps = append(ps, probe{"objfs_kv_queue", func() float64 { return float64(s.kv.QueueLen()) }})
 	}
+	if s.listGate != nil {
+		ps = append(ps, probe{"objfs_list_queue", func() float64 { return float64(s.listGate.QueueLen()) }})
+	}
 	if s.net != nil {
 		ps = append(ps, probe{"objfs_data_flows", func() float64 { return float64(s.net.Active()) }})
 	}
@@ -326,6 +342,18 @@ func (s *Store) service(p *sim.Proc, d time.Duration) {
 	}
 	p.Sleep(s.eng.Jitter(s.cfg.RTT, s.cfg.JitterFrac))
 	s.kv.Use(p, s.eng.Jitter(d, s.cfg.JitterFrac))
+}
+
+// listPage charges one paged LIST request while holding a listing
+// admission slot, so at most Config.ListInflight pages are in service
+// (RTT included) at once across the whole store — queueing, not KV-pool
+// monopolization, is what a storm of giant prefix scans buys itself.
+func (s *Store) listPage(p *sim.Proc, perKey time.Duration) {
+	if s.listGate != nil && p != nil {
+		s.listGate.Acquire(p)
+		defer s.listGate.Release()
+	}
+	s.service(p, s.cfg.ListOp+perKey)
 }
 
 // transfer charges object-byte movement through the shared data link.

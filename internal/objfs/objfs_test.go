@@ -2,6 +2,7 @@ package objfs
 
 import (
 	"errors"
+	"fmt"
 	iofs "io/fs"
 	"testing"
 	"time"
@@ -209,5 +210,68 @@ func TestReadDirPaging(t *testing.T) {
 	}
 	if st := s.Stats(); st.Lists != 3 || st.ListKeys != 25 {
 		t.Fatalf("lists=%d listkeys=%d, want 3/25", st.Lists, st.ListKeys)
+	}
+}
+
+// TestListInflightBackpressure pins the listing admission gate: with
+// ListInflight slots, a fan-out of concurrent giant prefix scans is
+// served at most ListInflight pages at a time — total scan time grows
+// to pages/slots rounds — while an unbounded store lets every lister's
+// pages proceed concurrently.  Results must be identical either way.
+func TestListInflightBackpressure(t *testing.T) {
+	const listers, files = 8, 30
+	run := func(inflight int) (time.Duration, error) {
+		cfg := DefaultConfig()
+		cfg.ListPage = 10
+		cfg.ListInflight = inflight
+		cfg.JitterFrac = 0
+		eng := sim.NewEngine(1)
+		s := NewSim(eng, cfg)
+		s.Roots(1)
+		if err := eng.RunProcs(func(p *sim.Proc) {
+			b := Backend{s: s, p: p}
+			for i := 0; i < files; i++ {
+				f, err := b.Create(fmt.Sprintf("/obj0/f%02d", i))
+				if err != nil {
+					t.Errorf("create %d: %v", i, err)
+					return
+				}
+				f.Close()
+			}
+		}); err != nil {
+			return 0, err
+		}
+		start := eng.Now()
+		fns := make([]func(*sim.Proc), listers)
+		for l := 0; l < listers; l++ {
+			fns[l] = func(p *sim.Proc) {
+				ents, err := Backend{s: s, p: p}.ReadDir("/obj0")
+				if err != nil || len(ents) != files {
+					t.Errorf("readdir: %d ents, %v", len(ents), err)
+				}
+			}
+		}
+		if err := eng.RunProcs(fns...); err != nil {
+			return 0, err
+		}
+		return time.Duration(eng.Now() - start), nil
+	}
+
+	bounded, err := run(2)
+	if err != nil {
+		t.Fatalf("bounded run: %v", err)
+	}
+	unbounded, err := run(0)
+	if err != nil {
+		t.Fatalf("unbounded run: %v", err)
+	}
+	// 8 listers x 3 pages = 24 pages through 2 slots: at least 12 rounds
+	// of full page service, against ~3 rounds unbounded.
+	pageCost := DefaultConfig().RTT + DefaultConfig().ListOp + 10*DefaultConfig().ListKey
+	if bounded < 12*pageCost {
+		t.Errorf("bounded scan finished in %v, want >= %v (the gate applied no backpressure)", bounded, 12*pageCost)
+	}
+	if bounded < 3*unbounded {
+		t.Errorf("bounded %v vs unbounded %v: expected >=3x serialization from the gate", bounded, unbounded)
 	}
 }

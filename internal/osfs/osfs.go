@@ -49,6 +49,29 @@ func (fs FS) Create(path string) (plfs.File, error) {
 	return &file{f: f, path: path, locks: fs.lockTable()}, nil
 }
 
+// CreateBulk implements plfs.BulkCreator.  A local filesystem has no
+// bulk-create RPC, so the batch applies as an in-order loop — the
+// capability here is a correctness contract (per-entry verdicts, entries
+// applied in order, files left closed), not an amortization: a real MDS
+// backend makes the same batch one round trip.  It exists so the batched
+// collective open path runs over the POSIX rig, where the fault wrapper
+// can still gate every entry individually.
+func (fs FS) CreateBulk(ops []plfs.BulkOp) []error {
+	errs := make([]error, len(ops))
+	for i, op := range ops {
+		if op.Dir {
+			errs[i] = fs.Mkdir(op.Path)
+			continue
+		}
+		f, err := fs.Create(op.Path)
+		if err == nil {
+			err = f.Close()
+		}
+		errs[i] = err
+	}
+	return errs
+}
+
 // OpenRead implements plfs.Backend.
 func (fs FS) OpenRead(path string) (plfs.File, error) {
 	f, err := os.Open(path)

@@ -1,0 +1,139 @@
+package pfs
+
+import (
+	"fmt"
+	"testing"
+
+	"plfs/internal/sim"
+)
+
+func TestCreateBulkSemantics(t *testing.T) {
+	eng, fs := testFS(1, nil)
+	runOne(t, eng, func(p *sim.Proc) {
+		c := fs.Client(0, p)
+		if errs := c.CreateBulk(nil); len(errs) != 0 {
+			t.Errorf("empty batch: %v", errs)
+		}
+		if _, err := c.Create("/vol0/taken"); err != nil {
+			t.Fatal(err)
+		}
+		errs := c.CreateBulk([]BulkOp{
+			{Path: "/vol0/d", Dir: true}, // fresh dir
+			{Path: "/vol0/d/f"},          // file under the dir made above
+			{Path: "/vol0/taken"},        // name already exists
+			{Path: "/vol0/missing/f"},    // parent does not exist
+			{Path: "/vol0/d/g"},          // second file, same parent
+			{Path: "/vol0/taken/child"},  // parent is a file
+		})
+		want := []error{nil, nil, ErrExist, ErrNotExist, nil, ErrNotDir}
+		for i, e := range errs {
+			if e != want[i] {
+				t.Errorf("entry %d: got %v, want %v", i, e, want[i])
+			}
+		}
+		for _, path := range []string{"/vol0/d/f", "/vol0/d/g"} {
+			if fi, err := c.Stat(path); err != nil || fi.Dir {
+				t.Errorf("stat %s: %+v %v", path, fi, err)
+			}
+		}
+		// Created files are not opened; OpenWrite attaches to them.
+		h, err := c.OpenWrite("/vol0/d/f")
+		if err != nil {
+			t.Fatalf("open bulk-created file: %v", err)
+		}
+		h.Close()
+	})
+	if fs.BulkBatches != 1 || fs.BulkOps != 6 {
+		t.Fatalf("bulk counters = %d batches / %d ops", fs.BulkBatches, fs.BulkOps)
+	}
+}
+
+// TestCreateBulkAmortizesSerialization is the Li/Latham claim in miniature:
+// shipping N creates as one RPC costs far less than N create RPCs, because
+// the round trip, the directory critical section, and the per-op mutation
+// service are paid once per batch rather than once per entry.
+func TestCreateBulkAmortizesSerialization(t *testing.T) {
+	const n = 1024
+	run := func(bulk bool) sim.Time {
+		eng, fs := testFS(3, nil)
+		return runOne(t, eng, func(p *sim.Proc) {
+			c := fs.Client(0, p)
+			if bulk {
+				ops := make([]BulkOp, n)
+				for i := range ops {
+					ops[i] = BulkOp{Path: fmt.Sprintf("/vol0/f%d", i)}
+				}
+				for i, err := range c.CreateBulk(ops) {
+					if err != nil {
+						t.Errorf("bulk entry %d: %v", i, err)
+					}
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					h, err := c.Create(fmt.Sprintf("/vol0/f%d", i))
+					if err != nil {
+						t.Error(err)
+					} else {
+						h.Close()
+					}
+				}
+			}
+		})
+	}
+	serial := run(false)
+	bulk := run(true)
+	if ratio := float64(serial) / float64(bulk); ratio < 5 {
+		t.Fatalf("serial/bulk create ratio = %.2f, want amortization (>5x)", ratio)
+	}
+}
+
+// TestCreateBulkMultiVolume verifies the per-volume service charge: a batch
+// spanning volumes posts one amortized mutation charge on each.
+func TestCreateBulkMultiVolume(t *testing.T) {
+	eng, fs := testFS(1, func(c *Config) { c.Volumes = 4 })
+	runOne(t, eng, func(p *sim.Proc) {
+		c := fs.Client(0, p)
+		var ops []BulkOp
+		for v := 0; v < 4; v++ {
+			for i := 0; i < 8; i++ {
+				ops = append(ops, BulkOp{Path: fmt.Sprintf("/vol%d/f%d", v, i)})
+			}
+		}
+		for i, err := range c.CreateBulk(ops) {
+			if err != nil {
+				t.Errorf("entry %d: %v", i, err)
+			}
+		}
+	})
+	for v := 0; v < 4; v++ {
+		if fs.vols[v].mds.Busy == 0 {
+			t.Errorf("volume %d mutation pool saw no bulk service", v)
+		}
+	}
+}
+
+func BenchmarkBulkCreate(b *testing.B) {
+	const n = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(int64(i + 1))
+		cfg := SmallCluster()
+		cfg.JitterFrac = 0
+		fs := New(eng, cfg)
+		eng.Spawn("bench", func(p *sim.Proc) {
+			c := fs.Client(0, p)
+			ops := make([]BulkOp, n)
+			for k := range ops {
+				ops[k] = BulkOp{Path: fmt.Sprintf("/vol0/f%d", k)}
+			}
+			for k, err := range c.CreateBulk(ops) {
+				if err != nil {
+					b.Errorf("entry %d: %v", k, err)
+				}
+			}
+		})
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -43,6 +43,11 @@ type Config struct {
 	MDSReadServers int           // parallel read-path servers per volume
 	CreateOp       time.Duration // service time: create/mkdir/remove
 	LookupOp       time.Duration // service time: open/lookup
+	// Bulk-create RPC (Client.CreateBulk): one batch pays BulkCreateOp of
+	// mutation service plus BulkCreateItem per entry, instead of CreateOp
+	// per entry — the Li/Latham amortization of per-op serialization.
+	BulkCreateOp   time.Duration // service time: bulk-create batch base
+	BulkCreateItem time.Duration // additional bulk-create time per entry
 	StatOp         time.Duration // service time: stat
 	CloseOp        time.Duration // service time: close of a written file
 	ReadDirOp      time.Duration // service time: readdir base
@@ -108,6 +113,8 @@ func SmallCluster() Config {
 		MDSReadServers: 64,
 		CreateOp:       1200 * time.Microsecond,
 		LookupOp:       150 * time.Microsecond,
+		BulkCreateOp:   1500 * time.Microsecond,
+		BulkCreateItem: 2 * time.Microsecond,
 		StatOp:         100 * time.Microsecond,
 		CloseOp:        150 * time.Microsecond,
 		ReadDirOp:      200 * time.Microsecond,

@@ -41,11 +41,13 @@ type FS struct {
 	nextObj uint64
 
 	// Counters for diagnostics and tests.
-	MetaOps   int64
-	LockOps   int64
-	SeekOps   int64
-	CacheHitB int64
-	CacheMisB int64
+	MetaOps     int64
+	LockOps     int64
+	SeekOps     int64
+	CacheHitB   int64
+	CacheMisB   int64
+	BulkBatches int64 // bulk-create RPCs (each counts once in MetaOps)
+	BulkOps     int64 // entries shipped inside bulk-create RPCs
 }
 
 type volume struct {
@@ -164,6 +166,8 @@ type Report struct {
 	MetaOps     int64
 	LockOps     int64
 	SeekOps     int64
+	BulkBatches int64
+	BulkOps     int64
 	NetBytes    int64   // through the storage network
 	DiskBytes   int64   // through the OST groups (includes seek-equivalents)
 	CacheHitPct float64 // client-cache read hit ratio
@@ -185,10 +189,12 @@ func (fs *FS) DropCaches() {
 // Report builds a usage summary.
 func (fs *FS) Report() Report {
 	r := Report{
-		MetaOps:  fs.MetaOps,
-		LockOps:  fs.LockOps,
-		SeekOps:  fs.SeekOps,
-		NetBytes: fs.snet.Moved,
+		MetaOps:     fs.MetaOps,
+		LockOps:     fs.LockOps,
+		SeekOps:     fs.SeekOps,
+		BulkBatches: fs.BulkBatches,
+		BulkOps:     fs.BulkOps,
+		NetBytes:    fs.snet.Moved,
 	}
 	for _, g := range fs.groups {
 		r.DiskBytes += g.Moved
@@ -331,6 +337,8 @@ func (fs *FS) PublishObs(reg *obs.Registry) {
 	reg.Gauge("pfs.meta_ops").Set(float64(r.MetaOps))
 	reg.Gauge("pfs.lock_rpcs").Set(float64(r.LockOps))
 	reg.Gauge("pfs.seeks").Set(float64(r.SeekOps))
+	reg.Gauge("pfs.bulk_batches").Set(float64(r.BulkBatches))
+	reg.Gauge("pfs.bulk_ops").Set(float64(r.BulkOps))
 	reg.Gauge("pfs.net_bytes").Set(float64(r.NetBytes))
 	reg.Gauge("pfs.disk_bytes").Set(float64(r.DiskBytes))
 	reg.Gauge("pfs.cache_hit_pct").Set(r.CacheHitPct)

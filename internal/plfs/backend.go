@@ -126,6 +126,31 @@ type CondPutter interface {
 	PutReplace(path string, data []byte) error
 }
 
+// BulkOp is one entry in a bulk-create batch: a file or directory to be
+// created at Path.  Entries apply in order, so a directory created early
+// in a batch can parent files created later in the same batch.
+type BulkOp struct {
+	Path string
+	Dir  bool
+}
+
+// BulkCreator is an optional Backend capability: many namespace creates
+// shipped to the metadata service as one RPC whose cost amortizes the
+// per-operation serialization (Li/Latham's bulk object creation).  It
+// returns one error slot per entry — io/fs.ErrExist for taken names
+// (the entry is left untouched), io/fs.ErrNotExist for missing parents —
+// and created files are not opened; callers pair it with OpenWrite.
+// Entries should be grouped by parent directory (directories before the
+// files under them) so the server coalesces per-directory locking.
+//
+// Wrappers forward the capability only when their inner backend has it
+// (the fault wrapper gates each entry individually, so a crash point
+// mid-batch applies a prefix — the server-side bulk commit a real MDS
+// performs).  A type assertion on the outermost backend tells the truth.
+type BulkCreator interface {
+	CreateBulk(ops []BulkOp) []error
+}
+
 // VectoredIO is an optional File capability: many (offset, length)
 // extents shipped as one backend request — list I/O.  data carries the
 // bytes concatenated in segment order (piece boundaries need not align

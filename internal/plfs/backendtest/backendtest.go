@@ -55,6 +55,7 @@ func Checks() []Check {
 		{"VectoredEquivalence", checkVectoredEquivalence},
 		{"BatchAppend", checkBatchAppend},
 		{"CondPut", checkCondPut},
+		{"BulkCreate", checkBulkCreate},
 	}
 }
 
@@ -473,5 +474,51 @@ func checkCondPut(tb testing.TB, b plfs.Backend, root string) {
 	// PutReplace also creates absent keys (generation "absent").
 	if err := cp.PutReplace(root+"/fresh", []byte("new")); err != nil {
 		tb.Errorf("put-replace absent: %v", err)
+	}
+}
+
+func checkBulkCreate(tb testing.TB, b plfs.Backend, root string) {
+	bc, ok := b.(plfs.BulkCreator)
+	if !ok {
+		return // optional capability
+	}
+	f, err := b.Create(root + "/taken")
+	if err != nil {
+		tb.Errorf("setup create: %v", err)
+		return
+	}
+	f.Close()
+	errs := bc.CreateBulk([]plfs.BulkOp{
+		{Path: root + "/d", Dir: true},
+		{Path: root + "/d/inner"}, // parented by the batch's own first entry
+		{Path: root + "/taken"},   // name already exists
+		{Path: root + "/d/second"},
+	})
+	if len(errs) != 4 {
+		tb.Errorf("verdict count %d, want 4", len(errs))
+		return
+	}
+	if errors.Is(errs[0], errors.ErrUnsupported) {
+		return // a wrapper whose inner backend lacks the capability
+	}
+	if errs[0] != nil || errs[1] != nil || errs[3] != nil {
+		tb.Errorf("fresh entries: %v, %v, %v (want nils)", errs[0], errs[1], errs[3])
+	}
+	if !errors.Is(errs[2], iofs.ErrExist) {
+		tb.Errorf("taken entry: want errors.Is ErrExist, got %v", errs[2])
+	}
+	fi, err := b.Stat(root + "/d")
+	if err != nil || !fi.Dir {
+		tb.Errorf("bulk-created dir: %+v, %v", fi, err)
+	}
+	// Created files are closed and fresh: OpenWrite must attach, and the
+	// losing entry must not have disturbed the existing file.
+	for _, p := range []string{root + "/d/inner", root + "/d/second", root + "/taken"} {
+		f, err := b.OpenWrite(p)
+		if err != nil {
+			tb.Errorf("openwrite %s after bulk: %v", p, err)
+			continue
+		}
+		f.Close()
 	}
 }

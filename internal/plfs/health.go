@@ -640,6 +640,33 @@ func (hb *healthBackend) PutReplace(path string, data []byte) error {
 	return err
 }
 
+// CreateBulk implements BulkCreator (probe-first, like PutIfAbsent).
+// One batch feeds the breaker one observation — the first entry error if
+// any, else success: the batch is one RPC to the volume, and counting it
+// per entry would let a single bulk storm trip a breaker that saw only
+// one slow round trip.
+func (hb *healthBackend) CreateBulk(ops []BulkOp) []error {
+	bc, ok := hb.b.(BulkCreator)
+	if !ok {
+		errs := make([]error, len(ops))
+		for i := range errs {
+			errs[i] = errors.ErrUnsupported
+		}
+		return errs
+	}
+	t0 := hb.now()
+	errs := bc.CreateBulk(ops)
+	var first error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, errors.ErrUnsupported) {
+			first = err
+			break
+		}
+	}
+	hb.observe(t0, first)
+	return errs
+}
+
 // healthFile times the data-path operations of an open handle.  The
 // optional capabilities are forwarded with delegate-or-fallback
 // semantics so wrapping never hides what the store can do (the same

@@ -179,6 +179,16 @@ type Options struct {
 	// protocol, primary first; readers fail over replica-by-replica
 	// before AllowPartial gets to skip a shard.  See DESIGN.md §15.
 	IndexReplicas int
+	// BulkCreate coalesces the per-rank creates of a collective Create
+	// into one bulk-create RPC per volume: rank 0 gathers every rank's
+	// hostdir/dropping targets, ships them through the backend's
+	// BulkCreator capability, and broadcasts the verdict; ranks then
+	// attach to their pre-created droppings with OpenWrite (the wide
+	// read-path pool) instead of Create (the narrow mutation pool).
+	// Ignored when the backend lacks BulkCreator or there is no
+	// communicator.  The batched path also honors rebalance forwarding
+	// markers, so post-migration writers follow their hostdirs.
+	BulkCreate bool
 	// HedgedReads enables the self-healing read/placement policy: index
 	// reads whose volume breaker is open go to a replica first, reads
 	// slower than the volume's rolling p99 window reissue against a
@@ -969,6 +979,31 @@ func (m *Mount) Unlink(ctx Ctx, rel string) error {
 	if _, err := b.Stat(path.Join(cpath, accessFile)); err != nil {
 		return fmt.Errorf("plfs: unlink %s: not a container: %w", rel, err)
 	}
+	// Rebalance forwarding entries: remove the moved hostdir trees they
+	// point at, then the marker files themselves (they are plain files in
+	// the canonical container dir and would block its final Remove).
+	if ents, err := b.ReadDir(cpath); err == nil {
+		for _, e := range ents {
+			id, _, mv, ok := parseMovedMarker(e.Name)
+			if !ok || e.Dir {
+				continue
+			}
+			if mv < len(m.roots) {
+				mpath := path.Join(m.roots[mv], rel, fmt.Sprintf("%s%d", hostdirPrefix, id))
+				if err := removeTree(ctx.Vols[mv], mpath); err != nil {
+					return err
+				}
+				if mv != vc {
+					_ = ctx.Vols[mv].Remove(path.Join(m.roots[mv], rel))
+				}
+			}
+			if err := b.Remove(path.Join(cpath, e.Name)); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+				return err
+			}
+		}
+	} else if !errors.Is(err, iofs.ErrNotExist) {
+		return err
+	}
 	// Remove hostdirs on every volume they may live on.
 	for i := 0; i < m.opt.NumSubdirs; i++ {
 		hpath, hv := m.hostdirPath(rel, i)
@@ -1041,16 +1076,92 @@ type droppingRef struct {
 	Vol   int
 }
 
+// movedInfix is the middle of a rebalance forwarding entry's name:
+// hostdir.<i>.moved.<seq>.v<vol>, a plain file in the canonical container
+// recording that hostdir i now lives on volume vol.  seq increments per
+// migration of the same hostdir; the highest seq wins, so a crash between
+// publishing a new marker and removing the old one resolves correctly.
+const movedInfix = ".moved."
+
+// movedMarkerName renders the forwarding entry for hostdir id at seq
+// pointing to vol.
+func movedMarkerName(id, seq, vol int) string {
+	return fmt.Sprintf("%s%d%s%d.v%d", hostdirPrefix, id, movedInfix, seq, vol)
+}
+
+// parseMovedMarker inverts movedMarkerName.
+func parseMovedMarker(name string) (id, seq, vol int, ok bool) {
+	if !strings.HasPrefix(name, hostdirPrefix) {
+		return 0, 0, 0, false
+	}
+	rest := strings.TrimPrefix(name, hostdirPrefix)
+	idS, rest, found := strings.Cut(rest, movedInfix)
+	if !found {
+		return 0, 0, 0, false
+	}
+	seqS, volS, found := strings.Cut(rest, ".v")
+	if !found {
+		return 0, 0, 0, false
+	}
+	var err error
+	if id, err = strconv.Atoi(idS); err != nil || id < 0 {
+		return 0, 0, 0, false
+	}
+	if seq, err = strconv.Atoi(seqS); err != nil || seq < 0 {
+		return 0, 0, 0, false
+	}
+	if vol, err = strconv.Atoi(volS); err != nil || vol < 0 {
+		return 0, 0, 0, false
+	}
+	return id, seq, vol, true
+}
+
+// movedTarget is the winning forwarding entry for one hostdir id.
+type movedTarget struct {
+	Vol int
+	Seq int
+}
+
+// movedTargets reduces a canonical-container listing to the highest-seq
+// forwarding entry per hostdir id.
+func movedTargets(ents []Info) map[int]movedTarget {
+	var out map[int]movedTarget
+	for _, e := range ents {
+		if e.Dir {
+			continue
+		}
+		id, seq, vol, ok := parseMovedMarker(e.Name)
+		if !ok {
+			continue
+		}
+		if out == nil {
+			out = map[int]movedTarget{}
+		}
+		if t, dup := out[id]; !dup || seq > t.Seq {
+			out[id] = movedTarget{Vol: vol, Seq: seq}
+		}
+	}
+	return out
+}
+
 // hostdirIDs enumerates the container's hostdir ids from one readdir of
-// the canonical container (hostdir directories plus metalink markers for
-// spread hostdirs), sorted ascending.
-func (m *Mount) hostdirIDs(ctx Ctx, rel string) ([]int, error) {
+// the canonical container (hostdir directories, metalink markers for
+// spread hostdirs, and rebalance forwarding entries), sorted ascending.
+// moved maps a migrated hostdir id to the volume now hosting it.
+func (m *Mount) hostdirIDs(ctx Ctx, rel string) (ids []int, moved map[int]int, err error) {
 	cpath, vc := m.containerPath(rel)
 	ents, err := ctx.readDirRetried(ctx.Vols[vc], cpath, m.opt.Retry)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	present := map[int]bool{}
+	for id, t := range movedTargets(ents) {
+		if moved == nil {
+			moved = map[int]int{}
+		}
+		moved[id] = t.Vol
+		present[id] = true
+	}
 	for _, e := range ents {
 		name := e.Name
 		if strings.HasSuffix(name, metalinkSufx) {
@@ -1065,12 +1176,36 @@ func (m *Mount) hostdirIDs(ctx Ctx, rel string) ([]int, error) {
 			present[i] = true
 		}
 	}
-	ids := make([]int, 0, len(present))
+	ids = make([]int, 0, len(present))
 	for i := range present {
 		ids = append(ids, i)
 	}
 	sort.Ints(ids)
-	return ids, nil
+	return ids, moved, nil
+}
+
+// hostdirLoc is one candidate location of a hostdir.
+type hostdirLoc struct {
+	path string
+	vol  int
+}
+
+// hostdirLocs returns the locations a hostdir's droppings may live at,
+// forwarding target first: a migrated hostdir is read from its new volume,
+// but the hash-placed location is still consulted — it holds the originals
+// until the mover finishes cleanup, and uncoordinated (non-batched)
+// writers may recreate it afterwards.  Duplicate stamps resolve to the
+// forwarded copy; droppings are immutable, so the copies are identical.
+func (m *Mount) hostdirLocs(rel string, i int, moved map[int]int) []hostdirLoc {
+	hpath, hv := m.hostdirPath(rel, i)
+	mv, ok := moved[i]
+	if !ok || mv == hv || mv >= len(m.roots) {
+		return []hostdirLoc{{hpath, hv}}
+	}
+	return []hostdirLoc{
+		{path.Join(m.roots[mv], rel, fmt.Sprintf("%s%d", hostdirPrefix, i)), mv},
+		{hpath, hv},
+	}
 }
 
 // listDroppings enumerates the container's droppings in canonical (sorted
@@ -1080,44 +1215,60 @@ func (m *Mount) hostdirIDs(ctx Ctx, rel string) ([]int, error) {
 // readdir of the canonical container plus one readdir per existing
 // hostdir.
 func (m *Mount) listDroppings(ctx Ctx, rel string) ([]droppingRef, error) {
-	ids, err := m.hostdirIDs(ctx, rel)
+	ids, moved, err := m.hostdirIDs(ctx, rel)
 	if err != nil {
 		return nil, err
 	}
 	var refs []droppingRef
 	for _, i := range ids {
-		hpath, hv := m.hostdirPath(rel, i)
-		if hedged, ok := m.listHostdirHedged(ctx, hpath, hv); ok {
-			refs = append(refs, hedged...)
-			continue
-		}
-		hents, err := ctx.readDirRetried(ctx.Vols[hv], hpath, m.opt.Retry)
-		if err != nil {
-			if errors.Is(err, iofs.ErrNotExist) {
+		// Candidate locations in precedence order (forwarding target
+		// first); a stamp claimed by an earlier location shadows the same
+		// stamp at a later one — mid-migration both copies exist and are
+		// byte-identical, so either answer is correct, but preferring the
+		// forwarded copy keeps the listing stable across the cleanup.
+		byStamp := map[string]*droppingRef{}
+		for _, loc := range m.hostdirLocs(rel, i, moved) {
+			if hedged, ok := m.listHostdirHedged(ctx, loc.path, loc.vol); ok {
+				for _, r := range hedged {
+					stamp := strings.TrimPrefix(path.Base(r.Data), dataPrefix)
+					if _, dup := byStamp[stamp]; !dup {
+						r := r
+						byStamp[stamp] = &r
+					}
+				}
 				continue
 			}
-			return nil, err
-		}
-		byStamp := map[string]*droppingRef{}
-		for _, e := range hents {
-			switch {
-			case isTmpName(e.Name):
-			case strings.HasPrefix(e.Name, dataPrefix):
-				stamp := strings.TrimPrefix(e.Name, dataPrefix)
+			hents, err := ctx.readDirRetried(ctx.Vols[loc.vol], loc.path, m.opt.Retry)
+			if err != nil {
+				if errors.Is(err, iofs.ErrNotExist) {
+					continue
+				}
+				return nil, err
+			}
+			claimed := func(stamp string) *droppingRef {
 				r := byStamp[stamp]
 				if r == nil {
-					r = &droppingRef{Vol: hv}
+					r = &droppingRef{Vol: loc.vol}
 					byStamp[stamp] = r
+				} else if r.Vol != loc.vol {
+					return nil // claimed by an earlier (forwarded) location
 				}
-				r.Data = path.Join(hpath, e.Name)
-			case strings.HasPrefix(e.Name, indexPrefix):
-				stamp := strings.TrimPrefix(e.Name, indexPrefix)
-				r := byStamp[stamp]
-				if r == nil {
-					r = &droppingRef{Vol: hv}
-					byStamp[stamp] = r
+				return r
+			}
+			for _, e := range hents {
+				switch {
+				case isTmpName(e.Name):
+				case strings.HasPrefix(e.Name, dataPrefix):
+					stamp := strings.TrimPrefix(e.Name, dataPrefix)
+					if r := claimed(stamp); r != nil {
+						r.Data = path.Join(loc.path, e.Name)
+					}
+				case strings.HasPrefix(e.Name, indexPrefix):
+					stamp := strings.TrimPrefix(e.Name, indexPrefix)
+					if r := claimed(stamp); r != nil {
+						r.Index = path.Join(loc.path, e.Name)
+					}
 				}
-				r.Index = path.Join(hpath, e.Name)
 			}
 		}
 		stamps := make([]string, 0, len(byStamp))

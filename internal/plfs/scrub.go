@@ -98,19 +98,20 @@ func (m *Mount) sweepTmpFiles(ctx Ctx, rel string) ([]string, error) {
 	}
 	cpath, vc := m.containerPath(rel)
 	dirs := []dirRef{{ctx.Vols[vc], path.Join(cpath, metaDir)}}
-	ids, err := m.hostdirIDs(ctx, rel)
+	ids, moved, err := m.hostdirIDs(ctx, rel)
 	if err != nil {
 		return nil, err
 	}
 	for _, i := range ids {
-		hpath, hv := m.hostdirPath(rel, i)
-		if m.volDegraded(ctx, hv) {
-			// Temp files are invisible to readers; sweeping this hostdir
-			// can wait for the volume's breaker to close rather than
-			// grinding a degraded-latency listing every pass.
-			continue
+		for _, loc := range m.hostdirLocs(rel, i, moved) {
+			if m.volDegraded(ctx, loc.vol) {
+				// Temp files are invisible to readers; sweeping this hostdir
+				// can wait for the volume's breaker to close rather than
+				// grinding a degraded-latency listing every pass.
+				continue
+			}
+			dirs = append(dirs, dirRef{ctx.Vols[loc.vol], loc.path})
 		}
-		dirs = append(dirs, dirRef{ctx.Vols[hv], hpath})
 	}
 	var removed []string
 	for _, d := range dirs {
@@ -199,39 +200,46 @@ func (m *Mount) Scrub(ctx Ctx, rel string) (ScrubReport, error) {
 	// (index without data) are visible too.
 	wsp := sp.Child("walk")
 	defer wsp.End()
-	ids, err := m.hostdirIDs(ctx, rel)
+	ids, moved, err := m.hostdirIDs(ctx, rel)
 	if err != nil {
 		return rep, err
 	}
 	for _, i := range ids {
-		hpath, hv := m.hostdirPath(rel, i)
-		hents, err := ctx.Vols[hv].ReadDir(hpath)
-		if err != nil {
-			if errors.Is(err, iofs.ErrNotExist) {
-				continue
-			}
-			return rep, err
-		}
+		// Forwarded location first: mid-migration copies are byte-identical,
+		// so a stamp seen at the forwarding target shadows the original.
 		byStamp := map[string]*droppingRef{}
-		for _, e := range hents {
-			switch {
-			case isTmpName(e.Name): // already swept above
-			case strings.HasPrefix(e.Name, dataPrefix):
-				stamp := strings.TrimPrefix(e.Name, dataPrefix)
+		for _, loc := range m.hostdirLocs(rel, i, moved) {
+			hents, err := ctx.Vols[loc.vol].ReadDir(loc.path)
+			if err != nil {
+				if errors.Is(err, iofs.ErrNotExist) {
+					continue
+				}
+				return rep, err
+			}
+			claimed := func(stamp string) *droppingRef {
 				r := byStamp[stamp]
 				if r == nil {
-					r = &droppingRef{Vol: hv}
+					r = &droppingRef{Vol: loc.vol}
 					byStamp[stamp] = r
+				} else if r.Vol != loc.vol {
+					return nil
 				}
-				r.Data = path.Join(hpath, e.Name)
-			case strings.HasPrefix(e.Name, indexPrefix):
-				stamp := strings.TrimPrefix(e.Name, indexPrefix)
-				r := byStamp[stamp]
-				if r == nil {
-					r = &droppingRef{Vol: hv}
-					byStamp[stamp] = r
+				return r
+			}
+			for _, e := range hents {
+				switch {
+				case isTmpName(e.Name): // already swept above
+				case strings.HasPrefix(e.Name, dataPrefix):
+					stamp := strings.TrimPrefix(e.Name, dataPrefix)
+					if r := claimed(stamp); r != nil {
+						r.Data = path.Join(loc.path, e.Name)
+					}
+				case strings.HasPrefix(e.Name, indexPrefix):
+					stamp := strings.TrimPrefix(e.Name, indexPrefix)
+					if r := claimed(stamp); r != nil {
+						r.Index = path.Join(loc.path, e.Name)
+					}
 				}
-				r.Index = path.Join(hpath, e.Name)
 			}
 		}
 		stamps := make([]string, 0, len(byStamp))

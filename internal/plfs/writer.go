@@ -72,6 +72,9 @@ func (m *Mount) Create(ctx Ctx, rel string) (*Writer, error) {
 		return nil, err
 	}
 	defer admitted()
+	if m.opt.BulkCreate && ctx.Comm != nil && bulkCapable(ctx.Vols) {
+		return m.createBatched(ctx, rel)
+	}
 	if ctx.Comm != nil {
 		var res any
 		if ctx.Comm.Rank() == 0 {

@@ -114,6 +114,18 @@ func (b Backend) ReadDir(path string) ([]plfs.Info, error) {
 	return out, nil
 }
 
+// CreateBulk implements plfs.BulkCreator: the batch rides the simulated
+// MDS's bulk-create RPC, paying one amortized service charge per volume
+// instead of per-entry create costs (pfs errors wrap the io/fs sentinels
+// the plfs contract asks for, so verdicts pass through unchanged).
+func (b Backend) CreateBulk(ops []plfs.BulkOp) []error {
+	pops := make([]pfs.BulkOp, len(ops))
+	for i, op := range ops {
+		pops[i] = pfs.BulkOp{Path: op.Path, Dir: op.Dir}
+	}
+	return b.c.CreateBulk(pops)
+}
+
 // Remove implements plfs.Backend.
 func (b Backend) Remove(path string) error { return b.c.Remove(path) }
 

@@ -1,0 +1,67 @@
+package workloads
+
+import "fmt"
+
+// CreateStorm100k is the collective create storm behind the
+// metadata-at-scale experiments (the regime past the paper's Fig 7/8,
+// where per-op metadata RPCs dominate): every round, all ranks
+// collectively create-open and close each of Containers containers,
+// writing no data.  Unlike CreateStorm (N-N, uncoordinated private
+// files), the opens here are collective N-1 creates, which is exactly
+// the path the mount's bulk-create batching accelerates — with batching
+// off the storm degenerates to one metadata RPC per rank per container.
+//
+// Open time accumulates in Result.WriteOpen and close time in
+// Result.WriteClose; readBack is ignored (metadata only).
+type CreateStorm100k struct {
+	// Containers is the number of containers hit each round (each is a
+	// separate collective create; containers persist across rounds, so
+	// later rounds reopen them).
+	Containers int
+	// Rounds repeats the storm; must be >= 1.  Repeated rounds give a
+	// rebalancing pass something to act on: round k+1's dropping creates
+	// land wherever round k's hostdirs live now.
+	Rounds int
+	// AfterRound, if set, runs collectively after each round's closes,
+	// outside the timed open/close phases and bracketed by barriers.
+	// Every rank calls it; the metadata harness uses it to trigger a
+	// rank-0 rebalancing pass between rounds.
+	AfterRound func(round int)
+}
+
+// Name implements Kernel.
+func (CreateStorm100k) Name() string { return "meta-storm" }
+
+// Creates returns the total create count a full run issues, the
+// numerator of the per-op open rate.
+func (s CreateStorm100k) Creates(ranks int) int64 {
+	return int64(ranks) * int64(s.Containers) * int64(s.Rounds)
+}
+
+// Run implements Kernel.
+func (s CreateStorm100k) Run(env *Env, readBack bool) (Result, error) {
+	base := env.Path
+	defer func() { env.Path = base }()
+	var res Result
+	for r := 0; r < s.Rounds; r++ {
+		for c := 0; c < s.Containers; c++ {
+			env.Path = fmt.Sprintf("%s-c%d", base, c)
+			f, d, err := env.openWrite()
+			res.WriteOpen += d
+			if err != nil {
+				return res, err
+			}
+			d, err = env.closeFile(f)
+			res.WriteClose += d
+			if err != nil {
+				return res, err
+			}
+		}
+		if s.AfterRound != nil {
+			env.Ctx.Comm.Barrier()
+			s.AfterRound(r)
+			env.Ctx.Comm.Barrier()
+		}
+	}
+	return res, nil
+}
